@@ -1,0 +1,46 @@
+//! Ablation benchmarks: runtime impact of SAMP's subset size and of the
+//! conservative noise treatment (quality-side ablations live in the
+//! `ablation_*` harness binaries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use humo::sampling::{PartialSamplingConfig, PartialSamplingOptimizer};
+use humo::{GroundTruthOracle, Optimizer, QualityRequirement};
+use humo_bench::synthetic_workload;
+
+fn ablations(c: &mut Criterion) {
+    let requirement = QualityRequirement::symmetric(0.9).unwrap();
+    let workload = synthetic_workload(50_000, 14.0, 0.1, 9);
+    let mut group = c.benchmark_group("samp_ablations");
+    group.sample_size(10);
+    for unit in [100usize, 200, 400] {
+        let config = PartialSamplingConfig { unit_size: unit, ..PartialSamplingConfig::new(requirement) };
+        group.bench_with_input(BenchmarkId::new("unit_size", unit), &config, |b, cfg| {
+            b.iter(|| {
+                let optimizer = PartialSamplingOptimizer::new(*cfg).unwrap();
+                let mut oracle = GroundTruthOracle::new();
+                optimizer.optimize(&workload, &mut oracle).unwrap()
+            })
+        });
+    }
+    for conservative in [false, true] {
+        let config = PartialSamplingConfig {
+            conservative_noise: conservative,
+            ..PartialSamplingConfig::new(requirement)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("noise_model", if conservative { "conservative" } else { "paper" }),
+            &config,
+            |b, cfg| {
+                b.iter(|| {
+                    let optimizer = PartialSamplingOptimizer::new(*cfg).unwrap();
+                    let mut oracle = GroundTruthOracle::new();
+                    optimizer.optimize(&workload, &mut oracle).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, ablations);
+criterion_main!(benches);

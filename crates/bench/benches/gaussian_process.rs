@@ -1,0 +1,29 @@
+//! Microbenchmarks of the Gaussian-process substrate used by SAMP/HYBR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use er_stats::{GaussianProcess, GpConfig};
+
+fn training_data(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.95 / (1.0 + (-14.0 * (x - 0.55)).exp())).collect();
+    (xs, ys)
+}
+
+fn gaussian_process(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gaussian_process");
+    for &n in &[20usize, 50, 100] {
+        let (xs, ys) = training_data(n);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap())
+        });
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let query: Vec<f64> = (0..500).map(|i| i as f64 / 500.0).collect();
+        group.bench_with_input(BenchmarkId::new("predict_joint_500", n), &n, |b, _| {
+            b.iter(|| gp.predict_joint(&query))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gaussian_process);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion benchmark behind Table VII: machine runtime of the three optimizers
+//! on the DS- and AB-like workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use humo::QualityRequirement;
+use humo_bench::{ab_workload, ds_workload, run_base, run_hybr, run_samp};
+
+fn optimizer_runtime(c: &mut Criterion) {
+    let requirement = QualityRequirement::symmetric(0.9).unwrap();
+    let mut group = c.benchmark_group("optimizer_runtime");
+    group.sample_size(10);
+    for (name, workload) in [("DS", ds_workload(1)), ("AB", ab_workload(1))] {
+        group.bench_with_input(BenchmarkId::new("BASE", name), &workload, |b, w| {
+            b.iter(|| run_base(w, requirement, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("SAMP", name), &workload, |b, w| {
+            b.iter(|| run_samp(w, requirement, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("HYBR", name), &workload, |b, w| {
+            b.iter(|| run_hybr(w, requirement, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizer_runtime);
+criterion_main!(benches);

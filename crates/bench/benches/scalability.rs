@@ -1,0 +1,28 @@
+//! Criterion benchmark behind Figure 12: optimizer runtime vs workload size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use humo::QualityRequirement;
+use humo_bench::{run_base, run_hybr, run_samp, synthetic_workload};
+
+fn scalability(c: &mut Criterion) {
+    let requirement = QualityRequirement::symmetric(0.9).unwrap();
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for &n in &[10_000usize, 50_000, 100_000, 200_000] {
+        let workload = synthetic_workload(n, 14.0, 0.1, 5);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("BASE", n), &workload, |b, w| {
+            b.iter(|| run_base(w, requirement, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("SAMP", n), &workload, |b, w| {
+            b.iter(|| run_samp(w, requirement, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("HYBR", n), &workload, |b, w| {
+            b.iter(|| run_hybr(w, requirement, 0))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, scalability);
+criterion_main!(benches);

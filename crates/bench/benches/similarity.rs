@@ -1,0 +1,24 @@
+//! Microbenchmarks of the similarity substrate (string measures and the
+//! attribute-weighted pair scorer).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use er_core::similarity::{
+    jaccard_similarity, jaro_winkler_similarity, levenshtein_similarity, monge_elkan_similarity,
+};
+use er_core::text::word_tokens;
+
+fn similarity(c: &mut Criterion) {
+    let a = "enabling quality control for entity resolution a human and machine framework";
+    let b = "a human and machine cooperation framework for entity resolution quality control";
+    let ta = word_tokens(a);
+    let tb = word_tokens(b);
+    let mut group = c.benchmark_group("similarity");
+    group.bench_function("levenshtein", |bench| bench.iter(|| levenshtein_similarity(a, b)));
+    group.bench_function("jaro_winkler", |bench| bench.iter(|| jaro_winkler_similarity(a, b)));
+    group.bench_function("jaccard_words", |bench| bench.iter(|| jaccard_similarity(&ta, &tb)));
+    group.bench_function("monge_elkan", |bench| bench.iter(|| monge_elkan_similarity(a, b)));
+    group.finish();
+}
+
+criterion_group!(benches, similarity);
+criterion_main!(benches);

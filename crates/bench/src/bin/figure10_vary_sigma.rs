@@ -1,0 +1,36 @@
+//! Figure 10 — varying the irregularity σ of the per-subset match proportions on
+//! synthetic workloads (τ = 14, α = β = θ = 0.9).
+
+use humo::QualityRequirement;
+use humo_bench::{header, run_base, run_hybr, run_samp, summarize, synthetic_workload};
+
+fn main() {
+    header("Figure 10", "manual work, precision and recall vs σ on synthetic workloads (τ = 14)");
+    let requirement = QualityRequirement::symmetric(0.9).unwrap();
+    println!(
+        "{:>4} | {:>8} {:>8} {:>8} | {:>11} {:>11} {:>11}",
+        "σ", "BASE %", "SAMP %", "HYBR %", "BASE P/R", "SAMP P/R", "HYBR P/R"
+    );
+    for sigma in [0.1, 0.2, 0.3, 0.4, 0.5] {
+        let workload = synthetic_workload(100_000, 14.0, sigma, 13);
+        let base = run_base(&workload, requirement, 0);
+        let samp = summarize(&workload, requirement, run_samp);
+        let hybr = summarize(&workload, requirement, run_hybr);
+        println!(
+            "{sigma:>4.1} | {:>8.1} {:>8.1} {:>8.1} | {:>5.2}/{:<5.2} {:>5.2}/{:<5.2} {:>5.2}/{:<5.2}",
+            100.0 * base.human_cost_fraction(workload.len()),
+            100.0 * samp.cost_fraction,
+            100.0 * hybr.cost_fraction,
+            base.metrics.precision(),
+            base.metrics.recall(),
+            samp.precision,
+            samp.recall,
+            hybr.precision,
+            hybr.recall,
+        );
+    }
+    println!(
+        "\npaper: manual work grows with σ; all three meet the requirement up to σ = 0.4; at σ = 0.5 \
+         the monotonicity assumption breaks and BASE/HYBR miss precision while SAMP still copes"
+    );
+}

@@ -1,0 +1,40 @@
+//! Figure 11 — extra manual work HUMO spends per 1% absolute F1 improvement over ACTL.
+
+use er_ml::{ActiveLearningClassifier, ActlConfig};
+use humo::QualityRequirement;
+use humo_bench::{ab_workload, ds_workload, header, run_hybr, summarize};
+
+fn main() {
+    header("Figure 11", "manual work per 1% absolute F1 improvement over ACTL (DS and AB)");
+    println!("{:>10} {:>14} {:>14}", "target α", "DS Δψ/(100·ΔF1)", "AB Δψ/(100·ΔF1)");
+    let ds = ds_workload(1);
+    let ab = ab_workload(1);
+    for target in [0.75, 0.80, 0.85, 0.90, 0.95] {
+        let requirement = QualityRequirement::new(target, target, 0.9).unwrap();
+        let mut cells = Vec::new();
+        for workload in [&ds, &ab] {
+            let humo_summary = summarize(workload, requirement, run_hybr);
+            let actl = ActiveLearningClassifier::new(ActlConfig {
+                target_precision: target,
+                confidence: 0.9,
+                samples_per_probe: 200,
+                max_probes: 20,
+                seed: 3,
+            })
+            .unwrap()
+            .run(workload)
+            .unwrap();
+            let delta_cost = 100.0
+                * (humo_summary.cost_fraction - actl.human_cost_fraction(workload.len()));
+            let delta_f1 = humo_summary.f1 - actl.metrics.f1();
+            let roi =
+                if delta_f1.abs() > 1e-9 { delta_cost / (100.0 * delta_f1) } else { f64::NAN };
+            cells.push(roi);
+        }
+        println!("{target:>10.2} {:>14.4} {:>14.4}", cells[0], cells[1]);
+    }
+    println!(
+        "\npaper: the cost of 1% F1 improvement rises with the target precision and stays below \
+         0.35% on DS and 0.21% on AB"
+    );
+}

@@ -1,0 +1,26 @@
+//! Figure 7 — varying the confidence level θ on DS (α = β = 0.9).
+
+use humo::QualityRequirement;
+use humo_bench::{ds_workload, header, run_hybr, run_samp, summarize};
+
+fn main() {
+    header("Figure 7", "human cost and success rate vs confidence level on DS (α = β = 0.9)");
+    let workload = ds_workload(1);
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10}",
+        "θ", "SAMP %", "HYBR %", "SAMP succ", "HYBR succ"
+    );
+    for theta in [0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
+        let requirement = QualityRequirement::new(0.9, 0.9, theta).unwrap();
+        let samp = summarize(&workload, requirement, run_samp);
+        let hybr = summarize(&workload, requirement, run_hybr);
+        println!(
+            "{theta:>10.2} {:>10.2} {:>10.2} {:>9.0}% {:>9.0}%",
+            100.0 * samp.cost_fraction,
+            100.0 * hybr.cost_fraction,
+            100.0 * samp.success_rate,
+            100.0 * hybr.success_rate
+        );
+    }
+    println!("\npaper: cost rises only modestly with θ (≈6.5% → 8.5%); success rate stays above θ");
+}

@@ -1,0 +1,36 @@
+//! Figure 9 — varying the steepness τ of the logistic curve on synthetic workloads
+//! (σ = 0.1, α = β = θ = 0.9).
+
+use humo::QualityRequirement;
+use humo_bench::{header, run_base, run_hybr, run_samp, summarize, synthetic_workload};
+
+fn main() {
+    header("Figure 9", "manual work, precision and recall vs τ on synthetic workloads (σ = 0.1)");
+    let requirement = QualityRequirement::symmetric(0.9).unwrap();
+    println!(
+        "{:>4} | {:>8} {:>8} {:>8} | {:>11} {:>11} {:>11} | {:>11} {:>11} {:>11}",
+        "τ", "BASE %", "SAMP %", "HYBR %", "BASE P/R", "SAMP P/R", "HYBR P/R", "", "", ""
+    );
+    for tau in [8.0, 10.0, 12.0, 14.0, 16.0, 18.0] {
+        let workload = synthetic_workload(100_000, tau, 0.1, 11);
+        let base = run_base(&workload, requirement, 0);
+        let samp = summarize(&workload, requirement, run_samp);
+        let hybr = summarize(&workload, requirement, run_hybr);
+        println!(
+            "{tau:>4.0} | {:>8.1} {:>8.1} {:>8.1} | {:>5.2}/{:<5.2} {:>5.2}/{:<5.2} {:>5.2}/{:<5.2}",
+            100.0 * base.human_cost_fraction(workload.len()),
+            100.0 * samp.cost_fraction,
+            100.0 * hybr.cost_fraction,
+            base.metrics.precision(),
+            base.metrics.recall(),
+            samp.precision,
+            samp.recall,
+            hybr.precision,
+            hybr.recall,
+        );
+    }
+    println!(
+        "\npaper: manual work falls as τ grows; BASE is cheaper than SAMP for τ ≤ 10 and more \
+         expensive beyond; HYBR tracks the better of the two; all methods stay above 0.9 quality"
+    );
+}

@@ -1,0 +1,29 @@
+//! Table III — quality and success rate achieved by SAMP on DS and AB.
+
+use humo::QualityRequirement;
+use humo_bench::{ab_workload, ds_workload, header, run_samp, summarize};
+
+fn main() {
+    header("Table III", "quality and success rate of SAMP on DS and AB");
+    println!(
+        "{:>12} {:>16} {:>16} {:>8} {:>8}",
+        "requirement", "DS (P / R)", "AB (P / R)", "DS succ", "AB succ"
+    );
+    let ds = ds_workload(1);
+    let ab = ab_workload(1);
+    for level in [0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+        let d = summarize(&ds, requirement, run_samp);
+        let a = summarize(&ab, requirement, run_samp);
+        println!(
+            "α=β={level:.2}   {:>7.4}/{:>7.4} {:>7.4}/{:>7.4} {:>7.0}% {:>7.0}%",
+            d.precision,
+            d.recall,
+            a.precision,
+            a.recall,
+            100.0 * d.success_rate,
+            100.0 * a.success_rate
+        );
+    }
+    println!("\npaper: SAMP meets the requirement in ≈96-100% of runs with margins above the target");
+}

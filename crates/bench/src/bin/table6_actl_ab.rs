@@ -1,0 +1,48 @@
+//! Table VI — HUMO vs the active-learning baseline (ACTL) on AB.
+
+use er_ml::{ActiveLearningClassifier, ActlConfig};
+use humo::QualityRequirement;
+use humo_bench::{ab_workload, header, run_hybr, summarize};
+
+fn main() {
+    header("Table VI", "HUMO (HYBR) vs ACTL on AB at matched target precision");
+    let workload = ab_workload(1);
+    println!(
+        "{:>10} | {:>12} {:>12} | {:>9} {:>9} | {:>16}",
+        "target α", "HUMO recall", "ACTL recall", "HUMO ψ%", "ACTL ψ%", "Δψ / (100·ΔRecall)"
+    );
+    for target in [0.75, 0.80, 0.85, 0.90, 0.95] {
+        let requirement = QualityRequirement::new(target, target, 0.9).unwrap();
+        let humo_summary = summarize(&workload, requirement, run_hybr);
+        let actl = ActiveLearningClassifier::new(ActlConfig {
+            target_precision: target,
+            confidence: 0.9,
+            samples_per_probe: 200,
+            max_probes: 20,
+            seed: 3,
+        })
+        .unwrap()
+        .run(&workload)
+        .unwrap();
+        let humo_cost = 100.0 * humo_summary.cost_fraction;
+        let actl_cost = 100.0 * actl.human_cost_fraction(workload.len());
+        let recall_gain = humo_summary.recall - actl.metrics.recall();
+        let roi = if recall_gain.abs() > 1e-9 {
+            (humo_cost - actl_cost) / (100.0 * recall_gain)
+        } else {
+            f64::NAN
+        };
+        println!(
+            "{target:>10.2} | {:>12.4} {:>12.4} | {:>9.2} {:>9.2} | {:>16.4}",
+            humo_summary.recall,
+            actl.metrics.recall(),
+            humo_cost,
+            actl_cost,
+            roi
+        );
+    }
+    println!(
+        "\npaper: on AB ACTL collapses to 0.10-0.20 recall while HUMO stays at 0.86-0.95; the extra \
+         manual work per 1% recall gain is 0.10-0.19%"
+    );
+}

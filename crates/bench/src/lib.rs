@@ -1,0 +1,162 @@
+//! Shared helpers for the HUMO experiment harness.
+//!
+//! Every table and figure of the paper's evaluation section has a matching binary
+//! in `src/bin/` (see DESIGN.md for the index). The binaries share the workload
+//! builders, optimizer runners and table formatting defined here.
+//!
+//! Two environment variables keep full sweeps tractable on a laptop:
+//!
+//! * `HUMO_SCALE` — fraction of the full DS/AB workload sizes to generate
+//!   (default `0.2`; use `1.0` to reproduce the paper-scale workloads);
+//! * `HUMO_RUNS` — number of repeated runs for the randomized optimizers
+//!   (default `5`; the paper averages over 100).
+
+use er_core::workload::Workload;
+use er_datagen::calibrated::CalibratedConfig;
+use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+use humo::{
+    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer,
+    OptimizationOutcome, Optimizer, PartialSamplingConfig, PartialSamplingOptimizer,
+    QualityRequirement,
+};
+
+/// Fraction of the full DS/AB sizes used by the harness (env `HUMO_SCALE`, default 0.2).
+pub fn scale() -> f64 {
+    std::env::var("HUMO_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.2)
+}
+
+/// Number of repeated runs for randomized optimizers (env `HUMO_RUNS`, default 5).
+pub fn runs() -> usize {
+    std::env::var("HUMO_RUNS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+}
+
+/// The DS-like workload at the harness scale.
+pub fn ds_workload(seed: u64) -> Workload {
+    CalibratedConfig::ds(seed).scaled(scale()).generate()
+}
+
+/// The AB-like workload at the harness scale.
+pub fn ab_workload(seed: u64) -> Workload {
+    CalibratedConfig::ab(seed).scaled(scale()).generate()
+}
+
+/// A synthetic logistic workload (paper Section VIII-A).
+pub fn synthetic_workload(num_pairs: usize, tau: f64, sigma: f64, seed: u64) -> Workload {
+    SyntheticGenerator::new(SyntheticConfig { num_pairs, tau, sigma, subset_size: 200, seed })
+        .generate()
+}
+
+/// Runs the BASE optimizer once.
+pub fn run_base(workload: &Workload, requirement: QualityRequirement, _seed: u64) -> OptimizationOutcome {
+    let optimizer = BaselineOptimizer::new(BaselineConfig::new(requirement)).expect("valid config");
+    let mut oracle = GroundTruthOracle::new();
+    optimizer.optimize(workload, &mut oracle).expect("BASE optimization succeeds")
+}
+
+/// Runs the SAMP optimizer with the given seed.
+pub fn run_samp(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+) -> OptimizationOutcome {
+    let optimizer =
+        PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement).with_seed(seed))
+            .expect("valid config");
+    let mut oracle = GroundTruthOracle::new();
+    optimizer.optimize(workload, &mut oracle).expect("SAMP optimization succeeds")
+}
+
+/// Runs the HYBR optimizer with the given seed.
+pub fn run_hybr(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+) -> OptimizationOutcome {
+    let optimizer = HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed))
+        .expect("valid config");
+    let mut oracle = GroundTruthOracle::new();
+    optimizer.optimize(workload, &mut oracle).expect("HYBR optimization succeeds")
+}
+
+/// Aggregate of repeated randomized runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSummary {
+    /// Mean achieved precision.
+    pub precision: f64,
+    /// Mean achieved recall.
+    pub recall: f64,
+    /// Mean achieved F1.
+    pub f1: f64,
+    /// Mean human cost as a fraction of the workload.
+    pub cost_fraction: f64,
+    /// Fraction of runs meeting both requirement levels.
+    pub success_rate: f64,
+}
+
+/// Runs a randomized optimizer `runs()` times and summarizes.
+pub fn summarize(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    mut run: impl FnMut(&Workload, QualityRequirement, u64) -> OptimizationOutcome,
+) -> RunSummary {
+    let n = runs().max(1);
+    let mut precision = 0.0;
+    let mut recall = 0.0;
+    let mut f1 = 0.0;
+    let mut cost = 0.0;
+    let mut successes = 0usize;
+    for seed in 0..n as u64 {
+        let outcome = run(workload, requirement, seed);
+        precision += outcome.metrics.precision();
+        recall += outcome.metrics.recall();
+        f1 += outcome.metrics.f1();
+        cost += outcome.human_cost_fraction(workload.len());
+        if requirement.is_satisfied_by(&outcome.metrics) {
+            successes += 1;
+        }
+    }
+    let n = n as f64;
+    RunSummary {
+        precision: precision / n,
+        recall: recall / n,
+        f1: f1 / n,
+        cost_fraction: cost / n,
+        success_rate: successes as f64 / n,
+    }
+}
+
+/// Prints the standard harness header for an experiment.
+pub fn header(id: &str, description: &str) {
+    println!("================================================================");
+    println!("{id}: {description}");
+    println!(
+        "scale = {} of the paper's workload sizes, runs = {} per configuration",
+        scale(),
+        runs()
+    );
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_workloads_have_expected_shape() {
+        let ds = ds_workload(1);
+        let ab = ab_workload(1);
+        assert!(ds.len() > 1_000);
+        assert!(ab.len() > ds.len());
+        assert!(ds.total_matches() > ab.total_matches());
+    }
+
+    #[test]
+    fn summaries_average_over_runs() {
+        let w = synthetic_workload(5_000, 14.0, 0.1, 3);
+        let requirement = QualityRequirement::symmetric(0.85).unwrap();
+        let summary = summarize(&w, requirement, run_samp);
+        assert!(summary.precision > 0.5);
+        assert!(summary.cost_fraction > 0.0 && summary.cost_fraction < 1.0);
+        assert!((0.0..=1.0).contains(&summary.success_rate));
+    }
+}

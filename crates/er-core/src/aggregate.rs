@@ -1,0 +1,308 @@
+//! Attribute-weighted pair similarity.
+//!
+//! The paper computes pair similarity "by aggregating attribute similarities with
+//! weights", where "the weight of each attribute is determined by the number of
+//! its distinct attribute values". This module implements that scheme:
+//! a [`PairScorer`] evaluates a configured similarity measure per attribute and
+//! combines the scores with per-attribute weights, renormalizing over the
+//! attributes actually present on both records.
+
+use crate::record::{Dataset, Record};
+use crate::similarity::StringMeasure;
+use crate::similarity::{absolute_difference_similarity, relative_difference_similarity};
+use crate::{AttributeValue, ErError, Result};
+
+/// How per-attribute weights are derived.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttributeWeighting {
+    /// All attributes weigh the same.
+    Uniform,
+    /// Each attribute is weighted by its number of distinct values across the
+    /// datasets being matched (the paper's rule): attributes with many distinct
+    /// values are more discriminative and therefore weigh more.
+    DistinctValues,
+}
+
+/// How a single attribute contributes to the pair similarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttributeMeasure {
+    /// Compare attribute texts with a string measure.
+    Text(StringMeasure),
+    /// Compare numeric attributes with `max(0, 1 - |a-b|/tolerance)`.
+    NumberAbsolute {
+        /// The difference at which similarity reaches zero.
+        tolerance: f64,
+    },
+    /// Compare numeric attributes with `1 - |a-b| / max(|a|,|b|)`.
+    NumberRelative,
+}
+
+impl AttributeMeasure {
+    fn eval(&self, a: &AttributeValue, b: &AttributeValue) -> Option<f64> {
+        match self {
+            AttributeMeasure::Text(measure) => match (a.as_text(), b.as_text()) {
+                (Some(ta), Some(tb)) => Some(measure.eval(ta, tb)),
+                _ => None,
+            },
+            AttributeMeasure::NumberAbsolute { tolerance } => match (a.as_number(), b.as_number())
+            {
+                (Some(na), Some(nb)) => Some(absolute_difference_similarity(na, nb, *tolerance)),
+                _ => None,
+            },
+            AttributeMeasure::NumberRelative => match (a.as_number(), b.as_number()) {
+                (Some(na), Some(nb)) => Some(relative_difference_similarity(na, nb)),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Configuration of a [`PairScorer`]: which attributes to compare, how, and how to weight them.
+#[derive(Debug, Clone)]
+pub struct ScoringConfig {
+    /// `(attribute name, measure)` pairs.
+    pub attributes: Vec<(String, AttributeMeasure)>,
+    /// Weighting rule.
+    pub weighting: AttributeWeighting,
+}
+
+impl ScoringConfig {
+    /// Creates a configuration comparing the given attributes with the given measures.
+    pub fn new(
+        attributes: impl IntoIterator<Item = (impl Into<String>, AttributeMeasure)>,
+        weighting: AttributeWeighting,
+    ) -> Self {
+        Self {
+            attributes: attributes.into_iter().map(|(n, m)| (n.into(), m)).collect(),
+            weighting,
+        }
+    }
+}
+
+/// A configured attribute with its resolved weight.
+#[derive(Debug, Clone)]
+struct WeightedAttribute {
+    name: String,
+    measure: AttributeMeasure,
+    weight: f64,
+}
+
+/// Computes weighted pair similarities between records.
+#[derive(Debug, Clone)]
+pub struct PairScorer {
+    attributes: Vec<WeightedAttribute>,
+}
+
+impl PairScorer {
+    /// Builds a scorer from a configuration and the datasets being matched.
+    ///
+    /// The datasets are only consulted when [`AttributeWeighting::DistinctValues`]
+    /// is selected, to count distinct values per attribute.
+    pub fn new(config: &ScoringConfig, datasets: &[&Dataset]) -> Result<Self> {
+        if config.attributes.is_empty() {
+            return Err(ErError::InvalidArgument(
+                "scoring configuration must name at least one attribute".to_string(),
+            ));
+        }
+        let mut attributes = Vec::with_capacity(config.attributes.len());
+        for (name, measure) in &config.attributes {
+            let weight = match config.weighting {
+                AttributeWeighting::Uniform => 1.0,
+                AttributeWeighting::DistinctValues => {
+                    let count: usize =
+                        datasets.iter().map(|d| d.distinct_value_count(name)).sum();
+                    // An attribute absent from every dataset still participates with a
+                    // minimal weight so the scorer never divides by zero.
+                    (count as f64).max(1.0)
+                }
+            };
+            attributes.push(WeightedAttribute { name: name.clone(), measure: *measure, weight });
+        }
+        Ok(Self { attributes })
+    }
+
+    /// Builds a scorer with explicit per-attribute weights (bypassing the weighting rule).
+    pub fn with_weights(
+        attributes: impl IntoIterator<Item = (impl Into<String>, AttributeMeasure, f64)>,
+    ) -> Result<Self> {
+        let attributes: Vec<WeightedAttribute> = attributes
+            .into_iter()
+            .map(|(n, m, w)| WeightedAttribute { name: n.into(), measure: m, weight: w })
+            .collect();
+        if attributes.is_empty() {
+            return Err(ErError::InvalidArgument(
+                "scorer needs at least one attribute".to_string(),
+            ));
+        }
+        if attributes.iter().any(|a| a.weight < 0.0 || !a.weight.is_finite()) {
+            return Err(ErError::InvalidArgument(
+                "attribute weights must be finite and non-negative".to_string(),
+            ));
+        }
+        Ok(Self { attributes })
+    }
+
+    /// The attribute names this scorer compares, with their weights.
+    pub fn weights(&self) -> Vec<(&str, f64)> {
+        self.attributes.iter().map(|a| (a.name.as_str(), a.weight)).collect()
+    }
+
+    /// Per-attribute similarity scores for a record pair (`None` where either side
+    /// is missing or of the wrong type). Useful as a feature vector for classifiers.
+    pub fn attribute_scores(&self, a: &Record, b: &Record) -> Vec<Option<f64>> {
+        self.attributes
+            .iter()
+            .map(|attr| attr.measure.eval(a.get(&attr.name), b.get(&attr.name)))
+            .collect()
+    }
+
+    /// Weighted aggregate similarity of a record pair in `[0, 1]`.
+    ///
+    /// Attributes missing on either side are excluded and the remaining weights are
+    /// renormalized; if every attribute is missing the pair scores `0`.
+    pub fn score(&self, a: &Record, b: &Record) -> f64 {
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for attr in &self.attributes {
+            if let Some(sim) = attr.measure.eval(a.get(&attr.name), b.get(&attr.name)) {
+                weighted_sum += attr.weight * sim;
+                weight_total += attr.weight;
+            }
+        }
+        if weight_total == 0.0 {
+            0.0
+        } else {
+            (weighted_sum / weight_total).clamp(0.0, 1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, RecordId, Schema};
+    use crate::text::Tokenizer;
+
+    fn paper_record(id: u64, title: &str, venue: &str) -> Record {
+        Record::new(RecordId(id)).with("title", title).with("venue", venue)
+    }
+
+    fn bib_dataset(records: Vec<Record>) -> Dataset {
+        let mut ds = Dataset::new("test", Schema::new(["title", "venue", "year"]));
+        for r in records {
+            ds.push(r).unwrap();
+        }
+        ds
+    }
+
+    fn title_venue_config() -> ScoringConfig {
+        ScoringConfig::new(
+            [
+                (
+                    "title",
+                    AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)),
+                ),
+                ("venue", AttributeMeasure::Text(StringMeasure::JaroWinkler)),
+            ],
+            AttributeWeighting::DistinctValues,
+        )
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        let ds = bib_dataset(vec![
+            paper_record(1, "entity resolution", "icde"),
+            paper_record(2, "record linkage", "vldb"),
+        ]);
+        let scorer = PairScorer::new(&title_venue_config(), &[&ds]).unwrap();
+        let a = paper_record(10, "entity resolution", "icde");
+        assert!((scorer.score(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrelated_records_score_low() {
+        let ds = bib_dataset(vec![paper_record(1, "entity resolution", "icde")]);
+        let scorer = PairScorer::new(&title_venue_config(), &[&ds]).unwrap();
+        let a = paper_record(10, "entity resolution with quality guarantees", "icde");
+        let b = paper_record(11, "deep convolutional networks", "nips");
+        assert!(scorer.score(&a, &b) < 0.5);
+        assert!(scorer.score(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn missing_attributes_renormalize_weights() {
+        let ds = bib_dataset(vec![paper_record(1, "entity resolution", "icde")]);
+        let scorer = PairScorer::new(&title_venue_config(), &[&ds]).unwrap();
+        let full = paper_record(10, "entity resolution", "icde");
+        let missing_venue = Record::new(RecordId(11)).with("title", "entity resolution");
+        // Only the title attribute participates, and the titles are identical.
+        assert!((scorer.score(&full, &missing_venue) - 1.0).abs() < 1e-12);
+        // A record with no comparable attributes scores 0.
+        let empty = Record::new(RecordId(12));
+        assert_eq!(scorer.score(&full, &empty), 0.0);
+    }
+
+    #[test]
+    fn distinct_value_weighting_prefers_discriminative_attributes() {
+        // Titles are all distinct; venue has a single value, so title carries more weight.
+        let ds = bib_dataset(vec![
+            paper_record(1, "paper one", "icde"),
+            paper_record(2, "paper two", "icde"),
+            paper_record(3, "paper three", "icde"),
+        ]);
+        let scorer = PairScorer::new(&title_venue_config(), &[&ds]).unwrap();
+        let weights = scorer.weights();
+        let title_weight = weights.iter().find(|(n, _)| *n == "title").unwrap().1;
+        let venue_weight = weights.iter().find(|(n, _)| *n == "venue").unwrap().1;
+        assert!(title_weight > venue_weight);
+
+        // Same titles, different venue: should still score high because venue weighs little.
+        let a = paper_record(10, "matching paper", "icde");
+        let b = paper_record(11, "matching paper", "sigmod");
+        assert!(scorer.score(&a, &b) > 0.7);
+    }
+
+    #[test]
+    fn numeric_attribute_measures() {
+        let scorer = PairScorer::with_weights([
+            ("year", AttributeMeasure::NumberAbsolute { tolerance: 10.0 }, 1.0),
+            ("price", AttributeMeasure::NumberRelative, 1.0),
+        ])
+        .unwrap();
+        let a = Record::new(RecordId(1)).with("year", 2000.0).with("price", 100.0);
+        let b = Record::new(RecordId(2)).with("year", 2005.0).with("price", 50.0);
+        // year: 1 - 5/10 = 0.5; price: 1 - 50/100 = 0.5 → aggregate 0.5.
+        assert!((scorer.score(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribute_scores_expose_feature_vector() {
+        let scorer = PairScorer::with_weights([
+            ("title", AttributeMeasure::Text(StringMeasure::Levenshtein), 1.0),
+            ("year", AttributeMeasure::NumberAbsolute { tolerance: 5.0 }, 1.0),
+        ])
+        .unwrap();
+        let a = Record::new(RecordId(1)).with("title", "abc").with("year", 2000.0);
+        let b = Record::new(RecordId(2)).with("title", "abc");
+        let scores = scorer.attribute_scores(&a, &b);
+        assert_eq!(scores.len(), 2);
+        assert!((scores[0].unwrap() - 1.0).abs() < 1e-12);
+        assert!(scores[1].is_none());
+    }
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        let ds = bib_dataset(vec![]);
+        let empty = ScoringConfig::new(
+            Vec::<(String, AttributeMeasure)>::new(),
+            AttributeWeighting::Uniform,
+        );
+        assert!(PairScorer::new(&empty, &[&ds]).is_err());
+        assert!(PairScorer::with_weights([(
+            "title",
+            AttributeMeasure::Text(StringMeasure::Jaro),
+            -1.0
+        )])
+        .is_err());
+    }
+}

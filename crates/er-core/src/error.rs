@@ -1,0 +1,30 @@
+//! Error type for the entity-resolution substrate.
+
+/// Errors raised by the `er-core` crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// A record did not conform to the schema it was validated against.
+    SchemaMismatch(String),
+    /// An attribute was requested that does not exist.
+    UnknownAttribute(String),
+    /// A record id was requested that does not exist in the dataset.
+    UnknownRecord(String),
+    /// An operation received an argument outside of its valid domain.
+    InvalidArgument(String),
+    /// A workload was malformed (e.g. empty where a non-empty workload is required).
+    InvalidWorkload(String),
+}
+
+impl std::fmt::Display for ErError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ErError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            ErError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            ErError::UnknownRecord(id) => write!(f, "unknown record: {id}"),
+            ErError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            ErError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {}

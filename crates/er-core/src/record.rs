@@ -1,0 +1,351 @@
+//! Record, schema and dataset model.
+//!
+//! Records are flat maps from attribute names to [`AttributeValue`]s. A [`Schema`]
+//! declares the attribute names a dataset is expected to carry, and a [`Dataset`]
+//! is an indexed collection of records from one source (e.g. "DBLP" or "Abt").
+
+use crate::{ErError, Result};
+use std::collections::BTreeMap;
+
+/// Identifier of a record, unique within its dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttributeValue {
+    /// Free-form text (titles, names, descriptions, …).
+    Text(String),
+    /// A numeric value (prices, years, …).
+    Number(f64),
+    /// The attribute is present in the schema but missing for this record.
+    Missing,
+}
+
+impl AttributeValue {
+    /// Text content if this is a [`AttributeValue::Text`] value.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttributeValue::Text(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Numeric content if this is a [`AttributeValue::Number`] value.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttributeValue::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is missing.
+    pub fn is_missing(&self) -> bool {
+        matches!(self, AttributeValue::Missing)
+    }
+}
+
+impl From<&str> for AttributeValue {
+    fn from(s: &str) -> Self {
+        AttributeValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for AttributeValue {
+    fn from(s: String) -> Self {
+        AttributeValue::Text(s)
+    }
+}
+
+impl From<f64> for AttributeValue {
+    fn from(v: f64) -> Self {
+        AttributeValue::Number(v)
+    }
+}
+
+/// Declares the attribute names carried by the records of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Creates a schema from attribute names, deduplicating while preserving order.
+    pub fn new<I, S>(attributes: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut names = Vec::new();
+        for a in attributes {
+            let a = a.into();
+            if seen.insert(a.clone()) {
+                names.push(a);
+            }
+        }
+        Self { attributes: names }
+    }
+
+    /// Attribute names in declaration order.
+    pub fn attributes(&self) -> &[String] {
+        &self.attributes
+    }
+
+    /// Whether the schema contains an attribute with the given name.
+    pub fn contains(&self, name: &str) -> bool {
+        self.attributes.iter().any(|a| a == name)
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema declares no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+}
+
+/// A relational record: an id plus attribute values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    id: RecordId,
+    values: BTreeMap<String, AttributeValue>,
+}
+
+impl Record {
+    /// Creates an empty record with the given id.
+    pub fn new(id: RecordId) -> Self {
+        Self { id, values: BTreeMap::new() }
+    }
+
+    /// Builder-style attribute setter.
+    pub fn with(mut self, attribute: impl Into<String>, value: impl Into<AttributeValue>) -> Self {
+        self.values.insert(attribute.into(), value.into());
+        self
+    }
+
+    /// Sets an attribute value.
+    pub fn set(&mut self, attribute: impl Into<String>, value: impl Into<AttributeValue>) {
+        self.values.insert(attribute.into(), value.into());
+    }
+
+    /// The record id.
+    pub fn id(&self) -> RecordId {
+        self.id
+    }
+
+    /// The value of an attribute, treating absent attributes as [`AttributeValue::Missing`].
+    pub fn get(&self, attribute: &str) -> &AttributeValue {
+        static MISSING: AttributeValue = AttributeValue::Missing;
+        self.values.get(attribute).unwrap_or(&MISSING)
+    }
+
+    /// Text of an attribute, or `None` when missing or non-text.
+    pub fn text(&self, attribute: &str) -> Option<&str> {
+        self.get(attribute).as_text()
+    }
+
+    /// Number of attributes actually present on this record.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the record carries no attribute values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterator over `(attribute, value)` pairs in attribute-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &AttributeValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Checks the record against a schema: every present attribute must be declared.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for name in self.values.keys() {
+            if !schema.contains(name) {
+                return Err(ErError::SchemaMismatch(format!(
+                    "record {} carries undeclared attribute '{name}'",
+                    self.id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A named, schema-typed collection of records with id-based lookup.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    name: String,
+    schema: Schema,
+    records: Vec<Record>,
+    index: BTreeMap<RecordId, usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        Self { name: name.into(), schema, records: Vec::new(), index: BTreeMap::new() }
+    }
+
+    /// Dataset name (e.g. `"DBLP"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Adds a record after validating it against the schema.
+    ///
+    /// Returns an error if the record carries undeclared attributes or if a record
+    /// with the same id is already present.
+    pub fn push(&mut self, record: Record) -> Result<()> {
+        record.validate(&self.schema)?;
+        if self.index.contains_key(&record.id()) {
+            return Err(ErError::InvalidArgument(format!(
+                "duplicate record id {} in dataset '{}'",
+                record.id(),
+                self.name
+            )));
+        }
+        self.index.insert(record.id(), self.records.len());
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record lookup by id.
+    pub fn get(&self, id: RecordId) -> Option<&Record> {
+        self.index.get(&id).map(|&i| &self.records[i])
+    }
+
+    /// Record lookup by id, returning an error when absent.
+    pub fn require(&self, id: RecordId) -> Result<&Record> {
+        self.get(id).ok_or_else(|| ErError::UnknownRecord(id.to_string()))
+    }
+
+    /// Slice of all records in insertion order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Iterator over all records.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// Number of distinct non-missing values observed for an attribute.
+    ///
+    /// The paper weights each attribute by its number of distinct values when
+    /// aggregating attribute similarities; this method provides that count.
+    pub fn distinct_value_count(&self, attribute: &str) -> usize {
+        let mut texts = std::collections::BTreeSet::new();
+        let mut numbers = std::collections::BTreeSet::new();
+        for record in &self.records {
+            match record.get(attribute) {
+                AttributeValue::Text(s) => {
+                    texts.insert(s.clone());
+                }
+                AttributeValue::Number(v) => {
+                    numbers.insert(v.to_bits());
+                }
+                AttributeValue::Missing => {}
+            }
+        }
+        texts.len() + numbers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(["title", "authors", "venue", "year"])
+    }
+
+    #[test]
+    fn schema_deduplicates_and_preserves_order() {
+        let s = Schema::new(["a", "b", "a", "c"]);
+        assert_eq!(s.attributes(), &["a".to_string(), "b".to_string(), "c".to_string()]);
+        assert!(s.contains("b"));
+        assert!(!s.contains("z"));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn record_get_returns_missing_for_absent_attribute() {
+        let r = Record::new(RecordId(1)).with("title", "a paper");
+        assert_eq!(r.text("title"), Some("a paper"));
+        assert!(r.get("venue").is_missing());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn attribute_value_conversions() {
+        assert_eq!(AttributeValue::from("x").as_text(), Some("x"));
+        assert_eq!(AttributeValue::from(3.5).as_number(), Some(3.5));
+        assert!(AttributeValue::Missing.is_missing());
+        assert_eq!(AttributeValue::from(3.5).as_text(), None);
+    }
+
+    #[test]
+    fn record_validation_against_schema() {
+        let ok = Record::new(RecordId(1)).with("title", "t").with("year", 2001.0);
+        assert!(ok.validate(&schema()).is_ok());
+        let bad = Record::new(RecordId(2)).with("price", 10.0);
+        assert!(bad.validate(&schema()).is_err());
+    }
+
+    #[test]
+    fn dataset_push_and_lookup() {
+        let mut ds = Dataset::new("DBLP", schema());
+        ds.push(Record::new(RecordId(1)).with("title", "entity resolution")).unwrap();
+        ds.push(Record::new(RecordId(2)).with("title", "record linkage")).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.get(RecordId(2)).unwrap().text("title"), Some("record linkage"));
+        assert!(ds.get(RecordId(99)).is_none());
+        assert!(ds.require(RecordId(99)).is_err());
+    }
+
+    #[test]
+    fn dataset_rejects_duplicate_ids_and_bad_schema() {
+        let mut ds = Dataset::new("DBLP", schema());
+        ds.push(Record::new(RecordId(1)).with("title", "x")).unwrap();
+        assert!(ds.push(Record::new(RecordId(1)).with("title", "y")).is_err());
+        assert!(ds.push(Record::new(RecordId(3)).with("undeclared", "y")).is_err());
+    }
+
+    #[test]
+    fn distinct_value_count_ignores_missing_and_duplicates() {
+        let mut ds = Dataset::new("DBLP", schema());
+        ds.push(Record::new(RecordId(1)).with("venue", "vldb")).unwrap();
+        ds.push(Record::new(RecordId(2)).with("venue", "vldb")).unwrap();
+        ds.push(Record::new(RecordId(3)).with("venue", "icde")).unwrap();
+        ds.push(Record::new(RecordId(4))).unwrap();
+        assert_eq!(ds.distinct_value_count("venue"), 2);
+        assert_eq!(ds.distinct_value_count("title"), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Levenshtein edit distance and its normalized similarity.
+
+/// Levenshtein (edit) distance between two strings, computed over Unicode scalar
+/// values with the classic two-row dynamic program (O(|a|·|b|) time, O(min) space).
+pub fn levenshtein_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the shorter string as the row to minimize memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sc) in short.iter().enumerate() {
+            let substitution = prev[j] + usize::from(lc != sc);
+            let deletion = prev[j + 1] + 1;
+            let insertion = curr[j] + 1;
+            curr[j + 1] = substitution.min(deletion).min(insertion);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 − distance / max(|a|, |b|)`.
+///
+/// Two empty strings are considered identical (similarity `1`).
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let len_a = a.chars().count();
+    let len_b = b.chars().count();
+    let max_len = len_a.max(len_b);
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_known_values() {
+        assert_eq!(levenshtein_distance("kitten", "sitting"), 3);
+        assert_eq!(levenshtein_distance("flaw", "lawn"), 2);
+        assert_eq!(levenshtein_distance("", "abc"), 3);
+        assert_eq!(levenshtein_distance("abc", ""), 3);
+        assert_eq!(levenshtein_distance("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn distance_handles_unicode() {
+        assert_eq!(levenshtein_distance("café", "cafe"), 1);
+        assert_eq!(levenshtein_distance("日本語", "日本"), 1);
+    }
+
+    #[test]
+    fn similarity_known_values() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "abc"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        assert!((levenshtein_similarity("kitten", "sitting") - (1.0 - 3.0 / 7.0)).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(a in "\\PC{0,15}", b in "\\PC{0,15}") {
+            prop_assert_eq!(levenshtein_distance(&a, &b), levenshtein_distance(&b, &a));
+        }
+
+        #[test]
+        fn distance_identity(a in "\\PC{0,15}") {
+            prop_assert_eq!(levenshtein_distance(&a, &a), 0);
+        }
+
+        #[test]
+        fn distance_triangle_inequality(
+            a in "[a-c]{0,8}",
+            b in "[a-c]{0,8}",
+            c in "[a-c]{0,8}",
+        ) {
+            let ab = levenshtein_distance(&a, &b);
+            let bc = levenshtein_distance(&b, &c);
+            let ac = levenshtein_distance(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn distance_bounded_by_longer_string(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = levenshtein_distance(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+}

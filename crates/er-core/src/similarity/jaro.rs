@@ -1,0 +1,129 @@
+//! Jaro and Jaro-Winkler similarity.
+//!
+//! Jaro-Winkler is the measure the paper uses for short attributes (the `venue`
+//! attribute of the DBLP-Scholar dataset): it boosts the Jaro score of strings
+//! sharing a common prefix, which suits abbreviations such as "VLDB" vs "VLDB J.".
+
+/// Jaro similarity between two strings, in `[0, 1]`.
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+    for (i, ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == *ca {
+                b_matched[j] = true;
+                a_matches.push(*ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Transpositions: compare the matched sequences in order.
+    let b_matches: Vec<char> =
+        b.iter().zip(&b_matched).filter(|(_, &used)| used).map(|(c, _)| *c).collect();
+    let transpositions =
+        a_matches.iter().zip(&b_matches).filter(|(x, y)| x != y).count() as f64 / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale `p = 0.1` and a maximum
+/// considered prefix of four characters.
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    jaro_winkler_with_scale(a, b, 0.1)
+}
+
+/// Jaro-Winkler similarity with an explicit prefix scale `p ∈ [0, 0.25]`.
+pub fn jaro_winkler_with_scale(a: &str, b: &str, prefix_scale: f64) -> f64 {
+    let p = prefix_scale.clamp(0.0, 0.25);
+    let jaro = jaro_similarity(a, b);
+    let prefix_len = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    jaro + prefix_len * p * (1.0 - jaro)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn jaro_known_values() {
+        // Classical textbook examples.
+        assert_close(jaro_similarity("MARTHA", "MARHTA"), 0.944_444, 1e-5);
+        assert_close(jaro_similarity("DIXON", "DICKSONX"), 0.766_667, 1e-5);
+        assert_close(jaro_similarity("JELLYFISH", "SMELLYFISH"), 0.896_296, 1e-5);
+    }
+
+    #[test]
+    fn jaro_winkler_known_values() {
+        assert_close(jaro_winkler_similarity("MARTHA", "MARHTA"), 0.961_111, 1e-5);
+        assert_close(jaro_winkler_similarity("DIXON", "DICKSONX"), 0.813_333, 1e-5);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("abc", ""), 0.0);
+        assert_eq!(jaro_similarity("", "abc"), 0.0);
+        assert_eq!(jaro_similarity("abc", "abc"), 1.0);
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn winkler_boost_only_helps_shared_prefixes() {
+        let base = jaro_similarity("prefixed", "prefixes");
+        let boosted = jaro_winkler_similarity("prefixed", "prefixes");
+        assert!(boosted >= base);
+        // No shared prefix → no boost.
+        let a = jaro_similarity("abcd", "xbcd");
+        let b = jaro_winkler_similarity("abcd", "xbcd");
+        assert_close(a, b, 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn jaro_bounded_and_symmetric(a in "[a-f]{0,12}", b in "[a-f]{0,12}") {
+            let s = jaro_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - jaro_similarity(&b, &a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn jaro_winkler_at_least_jaro(a in "[a-f]{0,12}", b in "[a-f]{0,12}") {
+            prop_assert!(jaro_winkler_similarity(&a, &b) + 1e-12 >= jaro_similarity(&a, &b));
+            prop_assert!(jaro_winkler_similarity(&a, &b) <= 1.0 + 1e-12);
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-f]{1,12}") {
+            prop_assert!((jaro_similarity(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((jaro_winkler_similarity(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Monge-Elkan hybrid similarity.
+//!
+//! For every word token of the first string, finds the best Jaro-Winkler match
+//! among the tokens of the second string, and averages those best scores. The
+//! result is symmetrized by averaging both directions, which keeps the measure
+//! usable as a machine metric under HUMO's monotonicity assumption.
+
+use super::jaro::jaro_winkler_similarity;
+use crate::text::word_tokens;
+
+fn directed(a_tokens: &[String], b_tokens: &[String]) -> f64 {
+    if a_tokens.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = a_tokens
+        .iter()
+        .map(|ta| {
+            b_tokens
+                .iter()
+                .map(|tb| jaro_winkler_similarity(ta, tb))
+                .fold(0.0, f64::max)
+        })
+        .sum();
+    total / a_tokens.len() as f64
+}
+
+/// Symmetrized Monge-Elkan similarity over word tokens with a Jaro-Winkler base.
+///
+/// Two empty strings are considered identical (similarity `1`); empty vs
+/// non-empty scores `0`.
+pub fn monge_elkan_similarity(a: &str, b: &str) -> f64 {
+    let ta = word_tokens(a);
+    let tb = word_tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    0.5 * (directed(&ta, &tb) + directed(&tb, &ta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert!((monge_elkan_similarity("peter christen", "peter christen") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn word_reordering_is_tolerated() {
+        let s = monge_elkan_similarity("christen peter", "peter christen");
+        assert!(s > 0.99, "reordered names should still score high, got {s}");
+    }
+
+    #[test]
+    fn typos_degrade_gracefully() {
+        let clean = monge_elkan_similarity("entity resolution", "entity resolution");
+        let typo = monge_elkan_similarity("entity resolution", "entity resolutoin");
+        let different = monge_elkan_similarity("entity resolution", "graph embedding");
+        assert!(clean > typo);
+        assert!(typo > different);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(monge_elkan_similarity("", ""), 1.0);
+        assert_eq!(monge_elkan_similarity("", "abc"), 0.0);
+        assert_eq!(monge_elkan_similarity("abc", ""), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_symmetric(a in "[a-f ]{0,20}", b in "[a-f ]{0,20}") {
+            let ab = monge_elkan_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&ab));
+            prop_assert!((ab - monge_elkan_similarity(&b, &a)).abs() < 1e-12);
+        }
+    }
+}

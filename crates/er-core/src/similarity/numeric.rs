@@ -1,0 +1,62 @@
+//! Similarity functions for numeric attributes (prices, years, quantities).
+
+/// Similarity based on the absolute difference scaled by a tolerance:
+/// `max(0, 1 − |a − b| / tolerance)`.
+///
+/// A non-positive tolerance degenerates to exact equality (1 if equal, else 0).
+pub fn absolute_difference_similarity(a: f64, b: f64, tolerance: f64) -> f64 {
+    if tolerance <= 0.0 {
+        return if a == b { 1.0 } else { 0.0 };
+    }
+    (1.0 - (a - b).abs() / tolerance).max(0.0)
+}
+
+/// Similarity based on the relative difference:
+/// `1 − |a − b| / max(|a|, |b|)`, and `1` when both values are zero.
+pub fn relative_difference_similarity(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn absolute_similarity_basics() {
+        assert_eq!(absolute_difference_similarity(10.0, 10.0, 5.0), 1.0);
+        assert_eq!(absolute_difference_similarity(10.0, 15.0, 5.0), 0.0);
+        assert!((absolute_difference_similarity(10.0, 12.5, 5.0) - 0.5).abs() < 1e-12);
+        assert_eq!(absolute_difference_similarity(10.0, 30.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn zero_tolerance_is_exact_match() {
+        assert_eq!(absolute_difference_similarity(2.0, 2.0, 0.0), 1.0);
+        assert_eq!(absolute_difference_similarity(2.0, 2.000001, 0.0), 0.0);
+    }
+
+    #[test]
+    fn relative_similarity_basics() {
+        assert_eq!(relative_difference_similarity(0.0, 0.0), 1.0);
+        assert_eq!(relative_difference_similarity(100.0, 100.0), 1.0);
+        assert!((relative_difference_similarity(100.0, 50.0) - 0.5).abs() < 1e-12);
+        assert_eq!(relative_difference_similarity(100.0, 0.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bounded_and_symmetric(a in -1e6..1e6f64, b in -1e6..1e6f64, tol in 0.01..1e3f64) {
+            let abs_sim = absolute_difference_similarity(a, b, tol);
+            let rel_sim = relative_difference_similarity(a, b);
+            prop_assert!((0.0..=1.0).contains(&abs_sim));
+            prop_assert!((0.0..=1.0).contains(&rel_sim));
+            prop_assert!((abs_sim - absolute_difference_similarity(b, a, tol)).abs() < 1e-12);
+            prop_assert!((rel_sim - relative_difference_similarity(b, a)).abs() < 1e-12);
+        }
+    }
+}

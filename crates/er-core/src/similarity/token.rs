@@ -1,0 +1,118 @@
+//! Set-based token similarities: Jaccard, Dice and the overlap coefficient.
+//!
+//! Jaccard over word tokens is the primary attribute similarity used by the
+//! paper's experiments (titles, author lists, product names and descriptions).
+
+use std::collections::BTreeSet;
+
+fn token_sets<'a, S: AsRef<str>>(a: &'a [S], b: &'a [S]) -> (BTreeSet<&'a str>, BTreeSet<&'a str>) {
+    (
+        a.iter().map(|t| t.as_ref()).collect(),
+        b.iter().map(|t| t.as_ref()).collect(),
+    )
+}
+
+/// Jaccard similarity `|A ∩ B| / |A ∪ B|` over token *sets*.
+///
+/// Two empty token lists are considered identical (similarity `1`).
+pub fn jaccard_similarity<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let intersection = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    intersection as f64 / union as f64
+}
+
+/// Dice similarity `2|A ∩ B| / (|A| + |B|)` over token sets.
+pub fn dice_similarity<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let intersection = sa.intersection(&sb).count();
+    2.0 * intersection as f64 / (sa.len() + sb.len()) as f64
+}
+
+/// Overlap coefficient `|A ∩ B| / min(|A|, |B|)` over token sets.
+///
+/// Returns `0` when exactly one side is empty and `1` when both are empty.
+pub fn overlap_coefficient<S: AsRef<str>>(a: &[S], b: &[S]) -> f64 {
+    let (sa, sb) = token_sets(a, b);
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    if sa.is_empty() || sb.is_empty() {
+        return 0.0;
+    }
+    let intersection = sa.intersection(&sb).count();
+    intersection as f64 / sa.len().min(sb.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::text::word_tokens(s)
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard_similarity(&toks("a b c"), &toks("a b c")), 1.0);
+        assert_eq!(jaccard_similarity(&toks("a b"), &toks("c d")), 0.0);
+        assert!((jaccard_similarity(&toks("a b c"), &toks("b c d")) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_ignores_duplicates() {
+        // Set semantics: duplicates collapse.
+        assert_eq!(jaccard_similarity(&toks("a a a b"), &toks("a b")), 1.0);
+    }
+
+    #[test]
+    fn dice_known_values() {
+        assert!((dice_similarity(&toks("a b c"), &toks("b c d")) - 2.0 * 2.0 / 6.0).abs() < 1e-12);
+        assert_eq!(dice_similarity(&toks(""), &toks("")), 1.0);
+        assert_eq!(dice_similarity(&toks("a"), &toks("")), 0.0);
+    }
+
+    #[test]
+    fn overlap_is_one_for_subset() {
+        assert_eq!(overlap_coefficient(&toks("a b"), &toks("a b c d")), 1.0);
+        assert_eq!(overlap_coefficient(&toks(""), &toks("a")), 0.0);
+        assert_eq!(overlap_coefficient(&toks(""), &toks("")), 1.0);
+    }
+
+    #[test]
+    fn dice_at_least_jaccard() {
+        let a = toks("entity resolution with quality control");
+        let b = toks("quality control for entity matching");
+        assert!(dice_similarity(&a, &b) >= jaccard_similarity(&a, &b));
+    }
+
+    proptest! {
+        #[test]
+        fn token_measures_bounded_and_symmetric(a in "[a-d ]{0,20}", b in "[a-d ]{0,20}") {
+            let (ta, tb) = (toks(&a), toks(&b));
+            for f in [jaccard_similarity::<String>, dice_similarity::<String>, overlap_coefficient::<String>] {
+                let ab = f(&ta, &tb);
+                prop_assert!((0.0..=1.0).contains(&ab));
+                prop_assert!((ab - f(&tb, &ta)).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn jaccard_le_dice_le_overlap(a in "[a-d ]{1,20}", b in "[a-d ]{1,20}") {
+            let (ta, tb) = (toks(&a), toks(&b));
+            prop_assume!(!ta.is_empty() && !tb.is_empty());
+            let j = jaccard_similarity(&ta, &tb);
+            let d = dice_similarity(&ta, &tb);
+            let o = overlap_coefficient(&ta, &tb);
+            prop_assert!(j <= d + 1e-12);
+            prop_assert!(d <= o + 1e-12);
+        }
+    }
+}

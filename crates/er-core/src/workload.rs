@@ -1,0 +1,619 @@
+//! The ER workload model: similarity-scored instance pairs with ground truth,
+//! label assignments, quality metrics and equal-count subset partitioning.
+//!
+//! This is the data structure every HUMO optimizer operates on. A [`Workload`]
+//! keeps its pairs sorted by ascending machine-metric value (pair similarity in
+//! the paper, but any monotone classification metric works), which is what makes
+//! interval-based reasoning — "move `v⁻` left", "move `v⁺` right", "subset `D_i`
+//! dominates subset `D_j`" — well defined.
+
+use crate::record::RecordId;
+use crate::{ErError, Result};
+
+/// Identifier of an instance pair inside a workload.
+///
+/// Pair ids are dense indices assigned at workload construction; they are stable
+/// across sorting because they are attached to the pair, not to its position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairId(pub u64);
+
+impl std::fmt::Display for PairId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Binary ER label for an instance pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The two records are declared to refer to the same real-world entity.
+    Match,
+    /// The two records are declared to refer to different entities.
+    Unmatch,
+}
+
+impl Label {
+    /// Converts a boolean match flag into a label.
+    pub fn from_bool(is_match: bool) -> Self {
+        if is_match {
+            Label::Match
+        } else {
+            Label::Unmatch
+        }
+    }
+
+    /// Whether this label is `Match`.
+    pub fn is_match(&self) -> bool {
+        matches!(self, Label::Match)
+    }
+}
+
+/// An instance pair: two records (optionally), a machine-metric value and the
+/// hidden ground-truth label.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstancePair {
+    id: PairId,
+    left: Option<RecordId>,
+    right: Option<RecordId>,
+    similarity: f64,
+    ground_truth: Label,
+}
+
+impl InstancePair {
+    /// Creates a pair without record provenance (used by pair-level generators).
+    pub fn new(id: PairId, similarity: f64, ground_truth: Label) -> Self {
+        Self { id, left: None, right: None, similarity, ground_truth }
+    }
+
+    /// Creates a pair carrying the ids of the two underlying records.
+    pub fn with_records(
+        id: PairId,
+        left: RecordId,
+        right: RecordId,
+        similarity: f64,
+        ground_truth: Label,
+    ) -> Self {
+        Self { id, left: Some(left), right: Some(right), similarity, ground_truth }
+    }
+
+    /// The pair id.
+    pub fn id(&self) -> PairId {
+        self.id
+    }
+
+    /// Id of the left record, when known.
+    pub fn left(&self) -> Option<RecordId> {
+        self.left
+    }
+
+    /// Id of the right record, when known.
+    pub fn right(&self) -> Option<RecordId> {
+        self.right
+    }
+
+    /// The machine-metric value (pair similarity) of this pair.
+    pub fn similarity(&self) -> f64 {
+        self.similarity
+    }
+
+    /// The ground-truth label.
+    ///
+    /// Machine-side algorithms must not consult this directly; it is exposed for
+    /// the human oracle, for evaluation, and for dataset generators.
+    pub fn ground_truth(&self) -> Label {
+        self.ground_truth
+    }
+
+    /// Whether the pair is a true match according to the ground truth.
+    pub fn is_match(&self) -> bool {
+        self.ground_truth.is_match()
+    }
+}
+
+/// An ER workload: instance pairs sorted by ascending similarity.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pairs: Vec<InstancePair>,
+}
+
+impl Workload {
+    /// Builds a workload from pairs, sorting them by ascending similarity.
+    ///
+    /// Returns an error if any similarity is not a finite number in `[0, 1]`.
+    pub fn from_pairs(mut pairs: Vec<InstancePair>) -> Result<Self> {
+        for p in &pairs {
+            if !p.similarity.is_finite() || !(0.0..=1.0).contains(&p.similarity) {
+                return Err(ErError::InvalidWorkload(format!(
+                    "pair {} has similarity {} outside [0,1]",
+                    p.id, p.similarity
+                )));
+            }
+        }
+        pairs.sort_by(|a, b| {
+            a.similarity
+                .partial_cmp(&b.similarity)
+                .expect("similarities are finite")
+                .then(a.id.cmp(&b.id))
+        });
+        Ok(Self { pairs })
+    }
+
+    /// Builds a workload from `(similarity, is_match)` tuples, assigning dense pair ids.
+    pub fn from_scores(scores: impl IntoIterator<Item = (f64, bool)>) -> Result<Self> {
+        let pairs = scores
+            .into_iter()
+            .enumerate()
+            .map(|(i, (sim, is_match))| {
+                InstancePair::new(PairId(i as u64), sim, Label::from_bool(is_match))
+            })
+            .collect();
+        Self::from_pairs(pairs)
+    }
+
+    /// Number of pairs in the workload.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The pairs, sorted by ascending similarity.
+    pub fn pairs(&self) -> &[InstancePair] {
+        &self.pairs
+    }
+
+    /// The pair at a position in similarity order.
+    pub fn pair(&self, index: usize) -> &InstancePair {
+        &self.pairs[index]
+    }
+
+    /// Total number of ground-truth matching pairs.
+    pub fn total_matches(&self) -> usize {
+        self.pairs.iter().filter(|p| p.is_match()).count()
+    }
+
+    /// Number of ground-truth matching pairs within an index range.
+    pub fn matches_in_range(&self, range: std::ops::Range<usize>) -> usize {
+        self.pairs[range].iter().filter(|p| p.is_match()).count()
+    }
+
+    /// Ground-truth match proportion within an index range (`0` for an empty range).
+    pub fn match_proportion(&self, range: std::ops::Range<usize>) -> f64 {
+        let len = range.len();
+        if len == 0 {
+            return 0.0;
+        }
+        self.matches_in_range(range) as f64 / len as f64
+    }
+
+    /// Similarity value at a position in similarity order.
+    pub fn similarity_at(&self, index: usize) -> f64 {
+        self.pairs[index].similarity()
+    }
+
+    /// Index of the first pair whose similarity is `>= threshold`
+    /// (equals `len()` when every pair is below the threshold).
+    pub fn lower_bound_index(&self, threshold: f64) -> usize {
+        self.pairs.partition_point(|p| p.similarity() < threshold)
+    }
+
+    /// Partitions the workload into consecutive subsets of `unit_size` pairs each
+    /// (the last subset absorbs the remainder). This is the subset structure used
+    /// by the sampling-based and hybrid optimizers; the paper uses `unit_size = 200`.
+    pub fn partition(&self, unit_size: usize) -> Result<SubsetPartition> {
+        SubsetPartition::new(self, unit_size)
+    }
+
+    /// Evaluates a label assignment against the ground truth.
+    pub fn evaluate(&self, assignment: &LabelAssignment) -> Result<QualityMetrics> {
+        if assignment.len() != self.len() {
+            return Err(ErError::InvalidArgument(format!(
+                "label assignment covers {} pairs but the workload has {}",
+                assignment.len(),
+                self.len()
+            )));
+        }
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut fn_ = 0usize;
+        let mut tn = 0usize;
+        for (pair, label) in self.pairs.iter().zip(assignment.labels()) {
+            match (pair.is_match(), label.is_match()) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        Ok(QualityMetrics::from_counts(tp, fp, fn_, tn))
+    }
+}
+
+/// A dense label assignment: one label per pair, aligned with the workload's
+/// similarity order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelAssignment {
+    labels: Vec<Label>,
+}
+
+impl LabelAssignment {
+    /// Creates an assignment from a vector of labels aligned with the workload order.
+    pub fn new(labels: Vec<Label>) -> Self {
+        Self { labels }
+    }
+
+    /// Creates an assignment that labels every pair `Unmatch`.
+    pub fn all_unmatch(len: usize) -> Self {
+        Self { labels: vec![Label::Unmatch; len] }
+    }
+
+    /// Creates a threshold assignment: pairs at or above `threshold_index` (in
+    /// similarity order) are labeled `Match`, the rest `Unmatch`.
+    pub fn from_threshold_index(len: usize, threshold_index: usize) -> Self {
+        let labels = (0..len)
+            .map(|i| if i >= threshold_index { Label::Match } else { Label::Unmatch })
+            .collect();
+        Self { labels }
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the assignment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The labels in workload order.
+    pub fn labels(&self) -> &[Label] {
+        &self.labels
+    }
+
+    /// Sets the label at a position.
+    pub fn set(&mut self, index: usize, label: Label) {
+        self.labels[index] = label;
+    }
+
+    /// Number of pairs labeled `Match`.
+    pub fn match_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_match()).count()
+    }
+}
+
+/// Standard ER quality metrics derived from a confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityMetrics {
+    /// True positives: matching pairs labeled match.
+    pub true_positives: usize,
+    /// False positives: unmatching pairs labeled match.
+    pub false_positives: usize,
+    /// False negatives: matching pairs labeled unmatch.
+    pub false_negatives: usize,
+    /// True negatives: unmatching pairs labeled unmatch.
+    pub true_negatives: usize,
+}
+
+impl QualityMetrics {
+    /// Builds metrics directly from confusion-matrix counts.
+    pub fn from_counts(
+        true_positives: usize,
+        false_positives: usize,
+        false_negatives: usize,
+        true_negatives: usize,
+    ) -> Self {
+        Self { true_positives, false_positives, false_negatives, true_negatives }
+    }
+
+    /// Precision `tp / (tp + fp)`; `1` when nothing was labeled match
+    /// (the empty prediction makes no false claims).
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_positives + self.false_positives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// Recall `tp / (tp + fn)`; `1` when the workload contains no matching pairs.
+    pub fn recall(&self) -> f64 {
+        let denom = self.true_positives + self.false_negatives;
+        if denom == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / denom as f64
+        }
+    }
+
+    /// F1 score, the harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Total number of pairs covered by the confusion matrix.
+    pub fn total(&self) -> usize {
+        self.true_positives + self.false_positives + self.false_negatives + self.true_negatives
+    }
+}
+
+/// One subset of an equal-count workload partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSubset {
+    index: usize,
+    range: std::ops::Range<usize>,
+    mean_similarity: f64,
+}
+
+impl WorkloadSubset {
+    /// Position of the subset in the partition (0 = lowest similarities).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The workload index range covered by this subset.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.range.clone()
+    }
+
+    /// Number of pairs in the subset.
+    pub fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    /// Whether the subset is empty (never true for partitions built by [`SubsetPartition::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Mean similarity of the pairs in the subset — the `v_i` the Gaussian process
+    /// regresses over.
+    pub fn mean_similarity(&self) -> f64 {
+        self.mean_similarity
+    }
+}
+
+/// An equal-count partition of a workload into similarity-ordered subsets.
+#[derive(Debug, Clone)]
+pub struct SubsetPartition {
+    unit_size: usize,
+    subsets: Vec<WorkloadSubset>,
+    workload_len: usize,
+}
+
+impl SubsetPartition {
+    /// Partitions a workload into consecutive subsets of `unit_size` pairs
+    /// (the final subset absorbs any remainder so no subset is smaller than
+    /// `unit_size` except when the workload itself is smaller).
+    pub fn new(workload: &Workload, unit_size: usize) -> Result<Self> {
+        if unit_size == 0 {
+            return Err(ErError::InvalidArgument("subset unit size must be positive".to_string()));
+        }
+        if workload.is_empty() {
+            return Err(ErError::InvalidWorkload(
+                "cannot partition an empty workload".to_string(),
+            ));
+        }
+        let n = workload.len();
+        let full_subsets = (n / unit_size).max(1);
+        let mut subsets = Vec::with_capacity(full_subsets);
+        for i in 0..full_subsets {
+            let start = i * unit_size;
+            let end = if i + 1 == full_subsets { n } else { (i + 1) * unit_size };
+            let range = start..end;
+            let mean_similarity = workload.pairs[range.clone()]
+                .iter()
+                .map(|p| p.similarity())
+                .sum::<f64>()
+                / range.len() as f64;
+            subsets.push(WorkloadSubset { index: i, range, mean_similarity });
+        }
+        Ok(Self { unit_size, subsets, workload_len: n })
+    }
+
+    /// The requested unit size.
+    pub fn unit_size(&self) -> usize {
+        self.unit_size
+    }
+
+    /// Number of subsets.
+    pub fn len(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Whether the partition has no subsets (never true for successfully built partitions).
+    pub fn is_empty(&self) -> bool {
+        self.subsets.is_empty()
+    }
+
+    /// The subsets in ascending similarity order.
+    pub fn subsets(&self) -> &[WorkloadSubset] {
+        &self.subsets
+    }
+
+    /// The subset at a given position.
+    pub fn subset(&self, index: usize) -> &WorkloadSubset {
+        &self.subsets[index]
+    }
+
+    /// Total number of pairs covered (equals the workload length).
+    pub fn total_pairs(&self) -> usize {
+        self.workload_len
+    }
+
+    /// The workload index range spanned by the subsets `[from, to]` (inclusive).
+    pub fn range_of(&self, from: usize, to: usize) -> std::ops::Range<usize> {
+        assert!(from <= to && to < self.subsets.len(), "invalid subset range {from}..={to}");
+        self.subsets[from].range().start..self.subsets[to].range().end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple_workload() -> Workload {
+        // Matches concentrated at high similarity.
+        Workload::from_scores(vec![
+            (0.1, false),
+            (0.2, false),
+            (0.35, false),
+            (0.5, true),
+            (0.55, false),
+            (0.7, true),
+            (0.8, true),
+            (0.9, true),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn workload_sorts_by_similarity() {
+        let w = Workload::from_scores(vec![(0.9, true), (0.1, false), (0.5, false)]).unwrap();
+        let sims: Vec<f64> = w.pairs().iter().map(|p| p.similarity()).collect();
+        assert_eq!(sims, vec![0.1, 0.5, 0.9]);
+    }
+
+    #[test]
+    fn workload_rejects_out_of_range_similarity() {
+        assert!(Workload::from_scores(vec![(1.5, true)]).is_err());
+        assert!(Workload::from_scores(vec![(-0.1, false)]).is_err());
+        assert!(Workload::from_scores(vec![(f64::NAN, false)]).is_err());
+    }
+
+    #[test]
+    fn match_counting_and_proportion() {
+        let w = simple_workload();
+        assert_eq!(w.total_matches(), 4);
+        assert_eq!(w.matches_in_range(0..4), 1);
+        assert!((w.match_proportion(4..8) - 0.75).abs() < 1e-12);
+        assert_eq!(w.match_proportion(3..3), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_index_finds_threshold() {
+        let w = simple_workload();
+        assert_eq!(w.lower_bound_index(0.0), 0);
+        assert_eq!(w.lower_bound_index(0.5), 3);
+        assert_eq!(w.lower_bound_index(0.95), 8);
+    }
+
+    #[test]
+    fn evaluate_threshold_assignment() {
+        let w = simple_workload();
+        // Label everything with similarity >= 0.5 as match (index 3 onwards).
+        let assignment = LabelAssignment::from_threshold_index(w.len(), 3);
+        let m = w.evaluate(&assignment).unwrap();
+        assert_eq!(m.true_positives, 4);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.false_negatives, 0);
+        assert_eq!(m.true_negatives, 3);
+        assert!((m.precision() - 0.8).abs() < 1e-12);
+        assert!((m.recall() - 1.0).abs() < 1e-12);
+        assert!((m.f1() - 2.0 * 0.8 / 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_rejects_wrong_length() {
+        let w = simple_workload();
+        assert!(w.evaluate(&LabelAssignment::all_unmatch(3)).is_err());
+    }
+
+    #[test]
+    fn metrics_degenerate_cases() {
+        // No predictions at all → precision 1 by convention.
+        let m = QualityMetrics::from_counts(0, 0, 5, 10);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.recall(), 0.0);
+        assert_eq!(m.f1(), 0.0);
+        // No matches in the workload → recall 1 by convention.
+        let m = QualityMetrics::from_counts(0, 0, 0, 10);
+        assert_eq!(m.recall(), 1.0);
+    }
+
+    #[test]
+    fn partition_equal_counts_with_remainder() {
+        let w = Workload::from_scores((0..10).map(|i| (i as f64 / 10.0, false))).unwrap();
+        let p = w.partition(3).unwrap();
+        // 10 pairs, unit 3 → subsets of sizes 3, 3, 4 (last absorbs remainder).
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.subset(0).len(), 3);
+        assert_eq!(p.subset(1).len(), 3);
+        assert_eq!(p.subset(2).len(), 4);
+        assert_eq!(p.total_pairs(), 10);
+        assert_eq!(p.range_of(0, 2), 0..10);
+        assert_eq!(p.range_of(1, 1), 3..6);
+    }
+
+    #[test]
+    fn partition_mean_similarities_are_monotone() {
+        let w = Workload::from_scores((0..100).map(|i| (i as f64 / 100.0, false))).unwrap();
+        let p = w.partition(10).unwrap();
+        let means: Vec<f64> = p.subsets().iter().map(|s| s.mean_similarity()).collect();
+        for pair in means.windows(2) {
+            assert!(pair[0] < pair[1]);
+        }
+    }
+
+    #[test]
+    fn partition_rejects_invalid_input() {
+        let w = simple_workload();
+        assert!(w.partition(0).is_err());
+        let empty = Workload::from_pairs(vec![]).unwrap();
+        assert!(empty.partition(10).is_err());
+    }
+
+    #[test]
+    fn label_assignment_helpers() {
+        let mut a = LabelAssignment::all_unmatch(4);
+        assert_eq!(a.match_count(), 0);
+        a.set(2, Label::Match);
+        assert_eq!(a.match_count(), 1);
+        let t = LabelAssignment::from_threshold_index(4, 2);
+        assert_eq!(t.labels(), &[Label::Unmatch, Label::Unmatch, Label::Match, Label::Match]);
+    }
+
+    proptest! {
+        #[test]
+        fn partition_covers_workload_without_overlap(
+            n in 1usize..500,
+            unit in 1usize..80,
+        ) {
+            let w = Workload::from_scores((0..n).map(|i| (i as f64 / n as f64, i % 7 == 0))).unwrap();
+            let p = w.partition(unit).unwrap();
+            // Ranges are contiguous, non-overlapping and cover 0..n.
+            let mut cursor = 0usize;
+            for s in p.subsets() {
+                prop_assert_eq!(s.range().start, cursor);
+                prop_assert!(!s.is_empty());
+                cursor = s.range().end;
+            }
+            prop_assert_eq!(cursor, n);
+        }
+
+        #[test]
+        fn threshold_assignments_have_monotone_recall(
+            n in 2usize..200,
+        ) {
+            let w = Workload::from_scores((0..n).map(|i| (i as f64 / n as f64, i % 3 == 0))).unwrap();
+            // Lowering the threshold index can only increase recall.
+            let mut last_recall = 0.0;
+            for idx in (0..=n).rev() {
+                let m = w.evaluate(&LabelAssignment::from_threshold_index(n, idx)).unwrap();
+                prop_assert!(m.recall() + 1e-12 >= last_recall);
+                last_recall = m.recall();
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Small random-sampling helpers layered on top of `rand`.
+//!
+//! Only uniform sampling is taken from the `rand` crate; Gaussian and truncated
+//! Gaussian variates are derived here via Box-Muller so no extra distribution
+//! crates are needed.
+
+use rand::Rng;
+
+/// Draws a standard normal variate using the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Draws a normal variate and rejects (re-draws) until it falls inside `[lo, hi]`.
+///
+/// Falls back to clamping after 64 rejected draws so pathological parameter
+/// combinations cannot loop forever.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std_dev: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    debug_assert!(lo <= hi, "truncated_normal requires lo <= hi");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std_dev);
+        if (lo..=hi).contains(&x) {
+            return x;
+        }
+    }
+    normal(rng, mean, std_dev).clamp(lo, hi)
+}
+
+/// Draws an exponential variate with the given rate, truncated to `[0, max]` by
+/// rejection (with a clamping fallback).
+pub fn truncated_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64, max: f64) -> f64 {
+    debug_assert!(rate > 0.0 && max > 0.0);
+    for _ in 0..64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let x = -u.ln() / rate;
+        if x <= max {
+            return x;
+        }
+    }
+    rng.gen_range(0.0..max)
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    let p = p.clamp(0.0, 1.0);
+    rng.gen_range(0.0..1.0) < p
+}
+
+/// Picks a uniformly random element of a non-empty slice.
+pub fn choice<'a, R: Rng + ?Sized, T>(rng: &mut R, items: &'a [T]) -> &'a T {
+    assert!(!items.is_empty(), "choice requires a non-empty slice");
+    &items[rng.gen_range(0..items.len())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_has_roughly_zero_mean_unit_variance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let x = truncated_normal(&mut rng, 0.5, 0.3, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_exponential_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..5_000 {
+            let x = truncated_exponential(&mut rng, 5.0, 0.8);
+            assert!((0.0..=0.8).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = StdRng::seed_from_u64(17);
+        assert!(!(0..100).any(|_| bernoulli(&mut rng, 0.0)));
+        assert!((0..100).all(|_| bernoulli(&mut rng, 1.0)));
+    }
+
+    #[test]
+    fn bernoulli_rate_close_to_p() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let hits = (0..20_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn choice_returns_member() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let items = ["a", "b", "c"];
+        for _ in 0..50 {
+            assert!(items.contains(choice(&mut rng, &items)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..10).map(|_| normal(&mut a, 0.0, 1.0)).collect();
+        let ys: Vec<f64> = (0..10).map(|_| normal(&mut b, 0.0, 1.0)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,199 @@
+//! The paper's synthetic workload generator.
+//!
+//! Section VIII-A of the paper describes a generator that "uses the logistic
+//! function to simulate the function of match proportion with regard to pair
+//! similarity":
+//!
+//! ```text
+//! R(v) = 0.95 / (1 + e^(−τ (v − 0.55)))          (Eq. 22)
+//! ```
+//!
+//! where `τ` controls the steepness of the curve (smaller `τ` → flatter curve →
+//! harder workload) and a second parameter `σ` controls the *irregularity* of the
+//! per-subset match proportions: each subset's match proportion is the logistic
+//! value at its mean similarity perturbed by zero-mean Gaussian noise with
+//! standard deviation proportional to `σ`. With large `σ` the monotonicity
+//! assumption of precision breaks down, which is exactly the regime Figure 10 of
+//! the paper explores.
+
+use crate::rng::normal;
+use er_core::workload::{InstancePair, Label, PairId, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The paper's logistic match-proportion curve (Eq. 22).
+pub fn logistic_match_proportion(similarity: f64, tau: f64) -> f64 {
+    0.95 / (1.0 + (-tau * (similarity - 0.55)).exp())
+}
+
+/// Configuration of the synthetic workload generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of instance pairs to generate.
+    pub num_pairs: usize,
+    /// Steepness `τ` of the logistic curve (the paper sweeps 8–18).
+    pub tau: f64,
+    /// Irregularity `σ` of per-subset match proportions (the paper sweeps 0.1–0.5).
+    pub sigma: f64,
+    /// Number of pairs per subset used when applying the `σ` perturbation;
+    /// the paper's experiments use 200-pair subsets.
+    pub subset_size: usize,
+    /// RNG seed, so workloads are reproducible.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        Self { num_pairs: 100_000, tau: 14.0, sigma: 0.1, subset_size: 200, seed: 42 }
+    }
+}
+
+impl SyntheticConfig {
+    /// Convenience constructor for the parameters the paper sweeps.
+    pub fn new(num_pairs: usize, tau: f64, sigma: f64) -> Self {
+        Self { num_pairs, tau, sigma, ..Self::default() }
+    }
+
+    /// Returns a copy with a different seed (used to average over runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Generates synthetic ER workloads following the paper's logistic model.
+#[derive(Debug, Clone)]
+pub struct SyntheticGenerator {
+    config: SyntheticConfig,
+}
+
+impl SyntheticGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: SyntheticConfig) -> Self {
+        Self { config }
+    }
+
+    /// The generator configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+
+    /// Generates a workload.
+    ///
+    /// Pair similarities are uniform over `[0, 1]`; pairs are then grouped into
+    /// consecutive similarity-ordered subsets of `subset_size` pairs; each subset
+    /// draws its match proportion from the (noise-perturbed) logistic curve and
+    /// labels its pairs by independent Bernoulli draws with that proportion.
+    pub fn generate(&self) -> Workload {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // Similarity values, sorted ascending so subsets are similarity intervals.
+        let mut sims: Vec<f64> = (0..cfg.num_pairs).map(|_| rng.gen_range(0.0..=1.0)).collect();
+        sims.sort_by(|a, b| a.partial_cmp(b).expect("finite similarities"));
+
+        let subset_size = cfg.subset_size.max(1);
+        let mut pairs = Vec::with_capacity(cfg.num_pairs);
+        let mut next_id = 0u64;
+        for chunk in sims.chunks(subset_size) {
+            let mean_sim = chunk.iter().sum::<f64>() / chunk.len() as f64;
+            let base = logistic_match_proportion(mean_sim, cfg.tau);
+            // The σ parameter perturbs the subset's match proportion. The paper's
+            // σ is the *variance scale* of per-subset proportions; we interpret it
+            // as the standard deviation of a multiplicative-free additive noise
+            // term, clamped back into [0, 1].
+            let noise = if cfg.sigma > 0.0 { normal(&mut rng, 0.0, cfg.sigma * 0.5) } else { 0.0 };
+            let proportion = (base + noise).clamp(0.0, 1.0);
+            for &sim in chunk {
+                let is_match = rng.gen_range(0.0..1.0) < proportion;
+                pairs.push(InstancePair::new(PairId(next_id), sim, Label::from_bool(is_match)));
+                next_id += 1;
+            }
+        }
+        Workload::from_pairs(pairs).expect("generated similarities are always in [0,1]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logistic_curve_shape() {
+        // Increasing in similarity.
+        assert!(logistic_match_proportion(0.2, 14.0) < logistic_match_proportion(0.5, 14.0));
+        assert!(logistic_match_proportion(0.5, 14.0) < logistic_match_proportion(0.9, 14.0));
+        // Midpoint at 0.55 gives half the plateau.
+        assert!((logistic_match_proportion(0.55, 14.0) - 0.475).abs() < 1e-12);
+        // Bounded by the 0.95 plateau.
+        assert!(logistic_match_proportion(1.0, 18.0) < 0.95);
+        assert!(logistic_match_proportion(0.0, 18.0) > 0.0);
+    }
+
+    #[test]
+    fn larger_tau_is_steeper() {
+        let low_tau_spread =
+            logistic_match_proportion(0.7, 8.0) - logistic_match_proportion(0.4, 8.0);
+        let high_tau_spread =
+            logistic_match_proportion(0.7, 18.0) - logistic_match_proportion(0.4, 18.0);
+        assert!(high_tau_spread > low_tau_spread);
+    }
+
+    #[test]
+    fn generated_workload_has_requested_size_and_valid_range() {
+        let w = SyntheticGenerator::new(SyntheticConfig::new(5_000, 14.0, 0.1)).generate();
+        assert_eq!(w.len(), 5_000);
+        for p in w.pairs() {
+            assert!((0.0..=1.0).contains(&p.similarity()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = SyntheticConfig::new(2_000, 12.0, 0.2);
+        let a = SyntheticGenerator::new(cfg).generate();
+        let b = SyntheticGenerator::new(cfg).generate();
+        assert_eq!(a.total_matches(), b.total_matches());
+        assert_eq!(a.len(), b.len());
+        let c = SyntheticGenerator::new(cfg.with_seed(1)).generate();
+        // Different seed should (overwhelmingly likely) give a different workload.
+        assert_ne!(a.total_matches(), 0);
+        assert!(a.total_matches() != c.total_matches() || a.similarity_at(0) != c.similarity_at(0));
+    }
+
+    #[test]
+    fn match_proportion_increases_with_similarity_when_sigma_small() {
+        let w = SyntheticGenerator::new(SyntheticConfig::new(40_000, 14.0, 0.05)).generate();
+        let n = w.len();
+        let low = w.match_proportion(0..n / 4);
+        let mid = w.match_proportion(n / 4..3 * n / 4);
+        let high = w.match_proportion(3 * n / 4..n);
+        assert!(low < mid, "low {low} should be below mid {mid}");
+        assert!(mid < high, "mid {mid} should be below high {high}");
+    }
+
+    #[test]
+    fn overall_match_rate_tracks_logistic_integral() {
+        // With uniform similarities the expected match rate is the average of the
+        // logistic curve over [0,1]; for τ=14 that is roughly 0.43.
+        let w = SyntheticGenerator::new(SyntheticConfig::new(60_000, 14.0, 0.0)).generate();
+        let rate = w.total_matches() as f64 / w.len() as f64;
+        assert!((rate - 0.43).abs() < 0.03, "match rate {rate} too far from expectation");
+    }
+
+    #[test]
+    fn larger_sigma_creates_more_irregularity() {
+        // Measure irregularity as the number of adjacent 200-pair subsets whose
+        // match proportion *decreases* as similarity increases.
+        fn inversions(w: &Workload) -> usize {
+            let p = w.partition(200).unwrap();
+            let props: Vec<f64> =
+                p.subsets().iter().map(|s| w.match_proportion(s.range())).collect();
+            props.windows(2).filter(|w| w[1] + 1e-9 < w[0]).count()
+        }
+        let smooth = SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.0)).generate();
+        let rough =
+            SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.5).with_seed(7)).generate();
+        assert!(inversions(&rough) > inversions(&smooth));
+    }
+}

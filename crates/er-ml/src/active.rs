@@ -1,0 +1,302 @@
+//! ACTL: the active-learning baseline HUMO is compared against.
+//!
+//! The techniques of Arasu et al. (SIGMOD'10) and Bellare et al. (KDD'12)
+//! maximize recall subject to a user-specified *precision* constraint. They share
+//! two properties this implementation reproduces:
+//!
+//! * the decision rule is a threshold on a similarity-like machine metric — every
+//!   pair at or above the learned threshold is labeled a match;
+//! * the achieved precision of a candidate threshold is *estimated by sampling*:
+//!   pairs are drawn from the candidate match region and labeled manually, so the
+//!   method consumes human labels just like HUMO does (this is the `ψ` human-cost
+//!   column of Tables V and VI).
+//!
+//! Unlike HUMO, ACTL cannot enforce a recall requirement: the paper's Tables V
+//! and VI quantify how much recall it gives up at matched precision levels.
+
+use crate::{MlError, Result};
+use er_core::workload::{LabelAssignment, QualityMetrics, Workload};
+use er_stats::Normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Configuration of the ACTL baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActlConfig {
+    /// Precision level the learned classifier must (statistically) satisfy.
+    pub target_precision: f64,
+    /// Confidence of the precision lower bound used to accept a threshold.
+    pub confidence: f64,
+    /// Number of manual labels drawn per threshold probe.
+    pub samples_per_probe: usize,
+    /// Maximum number of threshold probes (bisection steps).
+    pub max_probes: usize,
+    /// RNG seed for sampling.
+    pub seed: u64,
+}
+
+impl Default for ActlConfig {
+    fn default() -> Self {
+        Self {
+            target_precision: 0.9,
+            confidence: 0.9,
+            samples_per_probe: 200,
+            max_probes: 20,
+            seed: 17,
+        }
+    }
+}
+
+/// The outcome of running ACTL on a workload.
+#[derive(Debug, Clone)]
+pub struct ActlResult {
+    /// Smallest workload index labeled match (pairs at or above it are matches).
+    pub threshold_index: usize,
+    /// The produced label assignment.
+    pub assignment: LabelAssignment,
+    /// Quality of the assignment against the ground truth.
+    pub metrics: QualityMetrics,
+    /// Number of distinct pairs manually labeled while estimating precision.
+    pub human_labels_used: usize,
+    /// The sampled precision estimate at the accepted threshold.
+    pub estimated_precision: f64,
+}
+
+impl ActlResult {
+    /// Human cost as a fraction of the workload size (the `ψ` of Tables V/VI).
+    pub fn human_cost_fraction(&self, workload_size: usize) -> f64 {
+        if workload_size == 0 {
+            0.0
+        } else {
+            self.human_labels_used as f64 / workload_size as f64
+        }
+    }
+}
+
+/// The ACTL active-learning classifier.
+#[derive(Debug, Clone)]
+pub struct ActiveLearningClassifier {
+    config: ActlConfig,
+}
+
+impl ActiveLearningClassifier {
+    /// Creates a classifier with the given configuration.
+    pub fn new(config: ActlConfig) -> Result<Self> {
+        if !(0.0..=1.0).contains(&config.target_precision) {
+            return Err(MlError::InvalidConfig(format!(
+                "target precision must be in [0,1], got {}",
+                config.target_precision
+            )));
+        }
+        if !(0.0..1.0).contains(&config.confidence) {
+            return Err(MlError::InvalidConfig(format!(
+                "confidence must be in [0,1), got {}",
+                config.confidence
+            )));
+        }
+        if config.samples_per_probe == 0 || config.max_probes == 0 {
+            return Err(MlError::InvalidConfig(
+                "samples_per_probe and max_probes must be positive".to_string(),
+            ));
+        }
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ActlConfig {
+        &self.config
+    }
+
+    /// Runs the precision-constrained threshold search on a workload.
+    ///
+    /// The workload's ground-truth labels are consulted only for the sampled
+    /// pairs (this is the simulated manual verification) and for the final
+    /// quality evaluation.
+    pub fn run(&self, workload: &Workload) -> Result<ActlResult> {
+        let n = workload.len();
+        if n == 0 {
+            return Err(MlError::InvalidTrainingData("empty workload".to_string()));
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Cache of manually labeled pairs: workload index → is_match.
+        let mut labeled: BTreeMap<usize, bool> = BTreeMap::new();
+
+        let z = Normal::two_sided_critical_value(self.config.confidence)
+            .map_err(|e| MlError::InvalidConfig(e.to_string()))?;
+
+        // Bisection for the smallest threshold index whose match region satisfies
+        // the precision constraint. `hi` is always feasible (labelling nothing is
+        // vacuously precise); `lo` is the first index known infeasible + 1 ... we
+        // maintain lo <= answer <= hi.
+        let mut lo = 0usize;
+        let mut hi = n; // empty match region
+        let mut estimated_precision = 1.0;
+        for _ in 0..self.config.max_probes {
+            if lo >= hi {
+                break;
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (estimate, lower_bound) =
+                self.estimate_precision(workload, mid, &mut labeled, &mut rng, z);
+            if lower_bound >= self.config.target_precision {
+                hi = mid;
+                estimated_precision = estimate;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let threshold_index = hi;
+        let assignment = LabelAssignment::from_threshold_index(n, threshold_index);
+        let metrics = workload
+            .evaluate(&assignment)
+            .map_err(|e| MlError::InvalidTrainingData(e.to_string()))?;
+        Ok(ActlResult {
+            threshold_index,
+            assignment,
+            metrics,
+            human_labels_used: labeled.len(),
+            estimated_precision,
+        })
+    }
+
+    /// Estimates the precision of the region `[threshold, n)` by sampling, and
+    /// returns `(point estimate, lower confidence bound)`.
+    fn estimate_precision(
+        &self,
+        workload: &Workload,
+        threshold: usize,
+        labeled: &mut BTreeMap<usize, bool>,
+        rng: &mut StdRng,
+        z: f64,
+    ) -> (f64, f64) {
+        let n = workload.len();
+        let region = n - threshold;
+        if region == 0 {
+            return (1.0, 1.0);
+        }
+        let sample_size = self.config.samples_per_probe.min(region);
+        // Draw (approximately) without replacement; duplicates are simply skipped,
+        // already-labeled pairs are reused at no extra cost.
+        let mut drawn = std::collections::BTreeSet::new();
+        let mut attempts = 0usize;
+        while drawn.len() < sample_size && attempts < sample_size * 20 {
+            let idx = rng.gen_range(threshold..n);
+            drawn.insert(idx);
+            attempts += 1;
+        }
+        let mut positives = 0usize;
+        for &idx in &drawn {
+            let is_match =
+                *labeled.entry(idx).or_insert_with(|| workload.pair(idx).is_match());
+            if is_match {
+                positives += 1;
+            }
+        }
+        let k = drawn.len().max(1);
+        let p = positives as f64 / k as f64;
+        let std_err = (p * (1.0 - p) / k as f64).sqrt();
+        // Finite population correction keeps the bound tight when the region is small.
+        let fpc = if region > 1 {
+            (((region - k) as f64) / ((region - 1) as f64)).max(0.0).sqrt()
+        } else {
+            0.0
+        };
+        (p, (p - z * std_err * fpc).max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn synthetic_workload() -> Workload {
+        SyntheticGenerator::new(SyntheticConfig::new(20_000, 14.0, 0.05)).generate()
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        assert!(ActiveLearningClassifier::new(ActlConfig {
+            target_precision: 1.5,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ActiveLearningClassifier::new(ActlConfig {
+            confidence: 1.0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(ActiveLearningClassifier::new(ActlConfig {
+            samples_per_probe: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn satisfies_the_precision_target_on_a_monotone_workload() {
+        let w = synthetic_workload();
+        for target in [0.8, 0.9, 0.95] {
+            let actl = ActiveLearningClassifier::new(ActlConfig {
+                target_precision: target,
+                ..Default::default()
+            })
+            .unwrap();
+            let result = actl.run(&w).unwrap();
+            assert!(
+                result.metrics.precision() >= target - 0.05,
+                "target {target}: achieved precision {} too low",
+                result.metrics.precision()
+            );
+            assert!(result.human_labels_used > 0);
+            assert!(result.human_labels_used < w.len() / 2);
+        }
+    }
+
+    #[test]
+    fn higher_precision_targets_cost_recall() {
+        let w = synthetic_workload();
+        let recall_at = |target: f64| {
+            let actl = ActiveLearningClassifier::new(ActlConfig {
+                target_precision: target,
+                ..Default::default()
+            })
+            .unwrap();
+            actl.run(&w).unwrap().metrics.recall()
+        };
+        let low = recall_at(0.75);
+        let high = recall_at(0.97);
+        assert!(
+            low >= high,
+            "recall should not increase with a stricter precision target ({low} vs {high})"
+        );
+    }
+
+    #[test]
+    fn human_cost_is_bounded_by_probe_budget() {
+        let w = synthetic_workload();
+        let config = ActlConfig { samples_per_probe: 100, max_probes: 10, ..Default::default() };
+        let actl = ActiveLearningClassifier::new(config).unwrap();
+        let result = actl.run(&w).unwrap();
+        assert!(result.human_labels_used <= 100 * 10);
+        assert!(result.human_cost_fraction(w.len()) < 0.06);
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let w = Workload::from_pairs(vec![]).unwrap();
+        let actl = ActiveLearningClassifier::new(ActlConfig::default()).unwrap();
+        assert!(actl.run(&w).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = synthetic_workload();
+        let actl = ActiveLearningClassifier::new(ActlConfig::default()).unwrap();
+        let a = actl.run(&w).unwrap();
+        let b = actl.run(&w).unwrap();
+        assert_eq!(a.threshold_index, b.threshold_index);
+        assert_eq!(a.human_labels_used, b.human_labels_used);
+    }
+}

@@ -1,0 +1,31 @@
+//! Error type for the machine-learning substrate.
+
+/// Errors raised by the `er-ml` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training data was empty, single-class, or otherwise unusable.
+    InvalidTrainingData(String),
+    /// A configuration parameter was outside of its valid domain.
+    InvalidConfig(String),
+    /// Feature vectors of inconsistent dimensionality were supplied.
+    DimensionMismatch {
+        /// Expected feature dimensionality.
+        expected: usize,
+        /// Dimensionality that was actually provided.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for MlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlError::InvalidTrainingData(msg) => write!(f, "invalid training data: {msg}"),
+            MlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            MlError::DimensionMismatch { expected, actual } => {
+                write!(f, "feature dimension mismatch: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MlError {}

@@ -1,0 +1,152 @@
+//! Feature extraction and dataset splitting for the machine classifiers.
+
+use crate::{MlError, Result};
+use er_core::aggregate::PairScorer;
+use er_core::record::Record;
+use er_core::workload::Workload;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A labeled training/evaluation example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    /// Numeric features, typically attribute similarities in `[0, 1]`.
+    pub features: Vec<f64>,
+    /// Ground-truth label: `true` for a matching pair.
+    pub label: bool,
+}
+
+impl LabeledExample {
+    /// Creates an example.
+    pub fn new(features: Vec<f64>, label: bool) -> Self {
+        Self { features, label }
+    }
+}
+
+/// Extracts the attribute-similarity feature vector of a record pair.
+///
+/// Missing attribute comparisons are encoded as `0.0` similarity plus a trailing
+/// companion feature counting the fraction of missing attributes, so classifiers
+/// can distinguish "dissimilar" from "unknown".
+pub fn pair_features(scorer: &PairScorer, a: &Record, b: &Record) -> Vec<f64> {
+    let raw = scorer.attribute_scores(a, b);
+    let missing = raw.iter().filter(|s| s.is_none()).count();
+    let mut features: Vec<f64> = raw.into_iter().map(|s| s.unwrap_or(0.0)).collect();
+    let denom = features.len().max(1) as f64;
+    features.push(missing as f64 / denom);
+    features
+}
+
+/// Builds single-feature examples (the pair similarity) from a pair-level workload.
+///
+/// This is how the SVM quality-reference experiment (Table I) is driven on the
+/// calibrated DS/AB workloads, where the aggregated similarity is the only
+/// machine metric available.
+pub fn workload_examples(workload: &Workload) -> Vec<LabeledExample> {
+    workload
+        .pairs()
+        .iter()
+        .map(|p| LabeledExample::new(vec![p.similarity()], p.is_match()))
+        .collect()
+}
+
+/// A shuffled train/test split of labeled examples.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Training examples.
+    pub train: Vec<LabeledExample>,
+    /// Held-out evaluation examples.
+    pub test: Vec<LabeledExample>,
+}
+
+impl TrainTestSplit {
+    /// Splits `examples` into a training fraction and a test remainder after a
+    /// seeded shuffle.
+    ///
+    /// Returns an error if `train_fraction` is outside `(0, 1)` or either side of
+    /// the split would be empty.
+    pub fn new(examples: &[LabeledExample], train_fraction: f64, seed: u64) -> Result<Self> {
+        if !(0.0..1.0).contains(&train_fraction) || train_fraction == 0.0 {
+            return Err(MlError::InvalidConfig(format!(
+                "train fraction must be in (0,1), got {train_fraction}"
+            )));
+        }
+        if examples.len() < 2 {
+            return Err(MlError::InvalidTrainingData(
+                "need at least two examples to split".to_string(),
+            ));
+        }
+        let mut shuffled: Vec<LabeledExample> = examples.to_vec();
+        let mut rng = StdRng::seed_from_u64(seed);
+        shuffled.shuffle(&mut rng);
+        let cut = ((examples.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.clamp(1, examples.len() - 1);
+        let test = shuffled.split_off(cut);
+        Ok(Self { train: shuffled, test })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
+    use er_core::record::{Record, RecordId};
+    use er_core::similarity::StringMeasure;
+    use er_core::text::Tokenizer;
+
+    fn scorer() -> PairScorer {
+        let config = ScoringConfig::new(
+            [
+                ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+                ("venue", AttributeMeasure::Text(StringMeasure::JaroWinkler)),
+            ],
+            AttributeWeighting::Uniform,
+        );
+        PairScorer::new(&config, &[]).unwrap()
+    }
+
+    #[test]
+    fn pair_features_include_missing_indicator() {
+        let s = scorer();
+        let a = Record::new(RecordId(1)).with("title", "entity resolution").with("venue", "icde");
+        let b = Record::new(RecordId(2)).with("title", "entity resolution");
+        let f = pair_features(&s, &a, &b);
+        assert_eq!(f.len(), 3); // two attributes + missing fraction
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert_eq!(f[1], 0.0); // missing venue encoded as zero similarity
+        assert!((f[2] - 0.5).abs() < 1e-12); // one of two attributes missing
+    }
+
+    #[test]
+    fn workload_examples_copy_similarity_and_label() {
+        let w = Workload::from_scores(vec![(0.2, false), (0.9, true)]).unwrap();
+        let ex = workload_examples(&w);
+        assert_eq!(ex.len(), 2);
+        assert_eq!(ex[0].features, vec![0.2]);
+        assert!(!ex[0].label);
+        assert!(ex[1].label);
+    }
+
+    #[test]
+    fn split_sizes_and_determinism() {
+        let examples: Vec<LabeledExample> =
+            (0..100).map(|i| LabeledExample::new(vec![i as f64], i % 2 == 0)).collect();
+        let s1 = TrainTestSplit::new(&examples, 0.7, 5).unwrap();
+        let s2 = TrainTestSplit::new(&examples, 0.7, 5).unwrap();
+        assert_eq!(s1.train.len(), 70);
+        assert_eq!(s1.test.len(), 30);
+        assert_eq!(s1.train, s2.train);
+        // All examples preserved.
+        assert_eq!(s1.train.len() + s1.test.len(), examples.len());
+    }
+
+    #[test]
+    fn split_rejects_bad_input() {
+        let examples: Vec<LabeledExample> =
+            (0..10).map(|i| LabeledExample::new(vec![i as f64], true)).collect();
+        assert!(TrainTestSplit::new(&examples, 0.0, 1).is_err());
+        assert!(TrainTestSplit::new(&examples, 1.0, 1).is_err());
+        assert!(TrainTestSplit::new(&examples[..1], 0.5, 1).is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! Machine-learning substrate for entity resolution.
+//!
+//! The HUMO paper compares against two machine-side baselines and this crate
+//! provides both, plus the plumbing to feed them:
+//!
+//! * [`features`] — turning record pairs (or pair-level workloads) into numeric
+//!   feature vectors, and splitting labeled examples into train/test sets;
+//! * [`svm`] — a linear SVM trained with the Pegasos stochastic sub-gradient
+//!   algorithm; its signed decision value is one of the "machine metrics" the
+//!   paper mentions (SVM distance) and its precision/recall/F1 reproduce the
+//!   quality-reference numbers of Table I;
+//! * [`logistic`] — logistic regression, providing the "match probability"
+//!   machine metric;
+//! * [`active`] — the ACTL baseline: an active-learning threshold classifier that
+//!   maximizes recall subject to a user-specified precision level, estimating
+//!   precision by sampling manually labeled pairs (Arasu et al. SIGMOD'10 /
+//!   Bellare et al. KDD'12 style). Tables V, VI and Figure 11 compare HUMO
+//!   against it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod active;
+pub mod error;
+pub mod features;
+pub mod logistic;
+pub mod svm;
+
+pub use active::{ActiveLearningClassifier, ActlConfig, ActlResult};
+pub use error::MlError;
+pub use features::{pair_features, LabeledExample, TrainTestSplit};
+pub use logistic::{LogisticConfig, LogisticRegression};
+pub use svm::{LinearSvm, SvmConfig};
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, MlError>;

@@ -1,0 +1,192 @@
+//! Logistic regression trained by stochastic gradient descent.
+//!
+//! Provides the "match probability" machine metric the paper lists as an
+//! alternative to raw pair similarity: HUMO only requires a metric under which
+//! precision is (statistically) monotone, and a calibrated match probability is
+//! exactly that.
+
+use crate::features::LabeledExample;
+use crate::svm::validate_training_set;
+use crate::{MlError, Result};
+use er_core::workload::QualityMetrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the logistic-regression trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// Learning rate of the SGD updates.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+    /// RNG seed for example sampling.
+    pub seed: u64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self { learning_rate: 0.5, l2: 1e-6, epochs: 40, seed: 1 }
+    }
+}
+
+/// A trained logistic-regression model: `P(match | x) = σ(w · x + b)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Trains the model on the given examples.
+    pub fn train(examples: &[LabeledExample], config: LogisticConfig) -> Result<Self> {
+        validate_training_set(examples)?;
+        if config.learning_rate <= 0.0 || !config.learning_rate.is_finite() {
+            return Err(MlError::InvalidConfig("learning rate must be positive".to_string()));
+        }
+        if config.epochs == 0 {
+            return Err(MlError::InvalidConfig("epochs must be at least 1".to_string()));
+        }
+        let dim = examples[0].features.len();
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = examples.len();
+        for epoch in 0..config.epochs {
+            // Simple inverse-scaling learning-rate schedule.
+            let lr = config.learning_rate / (1.0 + epoch as f64 * 0.1);
+            for _ in 0..n {
+                let e = &examples[rng.gen_range(0..n)];
+                let y = if e.label { 1.0 } else { 0.0 };
+                let p = sigmoid(dot(&weights, &e.features) + bias);
+                let error = p - y;
+                for (w, &x) in weights.iter_mut().zip(&e.features) {
+                    *w -= lr * (error * x + config.l2 * *w);
+                }
+                bias -= lr * error;
+            }
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Predicted match probability in `[0, 1]` — the "match probability" machine metric.
+    pub fn predict_probability(&self, features: &[f64]) -> f64 {
+        sigmoid(dot(&self.weights, features) + self.bias)
+    }
+
+    /// Predicted label using the 0.5 probability threshold.
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.predict_probability(features) >= 0.5
+    }
+
+    /// Evaluates the classifier on labeled examples.
+    pub fn evaluate(&self, examples: &[LabeledExample]) -> QualityMetrics {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        let mut tn = 0;
+        for e in examples {
+            match (e.label, self.predict(&e.features)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        QualityMetrics::from_counts(tp, fp, fn_, tn)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_threshold_examples(n: usize) -> Vec<LabeledExample> {
+        // Probability of a match rises with the single feature; mimics an ER
+        // similarity feature.
+        let mut rng = StdRng::seed_from_u64(9);
+        (0..n)
+            .map(|_| {
+                let x: f64 = rng.gen_range(0.0..1.0);
+                let p = 1.0 / (1.0 + (-12.0 * (x - 0.5)).exp());
+                LabeledExample::new(vec![x], rng.gen_range(0.0..1.0) < p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sigmoid_is_stable_and_bounded() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) <= 1.0);
+        assert!(sigmoid(-100.0) >= 0.0);
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn learns_monotone_probability() {
+        let examples = noisy_threshold_examples(4_000);
+        let model = LogisticRegression::train(&examples, LogisticConfig::default()).unwrap();
+        let low = model.predict_probability(&[0.1]);
+        let mid = model.predict_probability(&[0.5]);
+        let high = model.predict_probability(&[0.9]);
+        assert!(low < mid && mid < high, "probabilities should increase: {low} {mid} {high}");
+        assert!(low < 0.3, "low-similarity pairs should get low probability, got {low}");
+        assert!(high > 0.7, "high-similarity pairs should get high probability, got {high}");
+    }
+
+    #[test]
+    fn evaluation_beats_chance_on_learnable_data() {
+        let examples = noisy_threshold_examples(4_000);
+        let model = LogisticRegression::train(&examples, LogisticConfig::default()).unwrap();
+        let metrics = model.evaluate(&examples);
+        assert!(metrics.f1() > 0.8, "expected decent fit, got F1 {}", metrics.f1());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let examples = noisy_threshold_examples(100);
+        assert!(LogisticRegression::train(&[], LogisticConfig::default()).is_err());
+        assert!(LogisticRegression::train(
+            &examples,
+            LogisticConfig { learning_rate: 0.0, ..Default::default() }
+        )
+        .is_err());
+        assert!(LogisticRegression::train(
+            &examples,
+            LogisticConfig { epochs: 0, ..Default::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let examples = noisy_threshold_examples(500);
+        let a = LogisticRegression::train(&examples, LogisticConfig::default()).unwrap();
+        let b = LogisticRegression::train(&examples, LogisticConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

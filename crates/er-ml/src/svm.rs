@@ -1,0 +1,231 @@
+//! Linear support-vector machine trained with Pegasos.
+//!
+//! The paper uses an SVM-based classifier (Köpcke et al.'s evaluation setup) as a
+//! quality reference point (Table I) and mentions "SVM distance" — the signed
+//! distance to the separating hyperplane — as one of the machine metrics HUMO can
+//! be driven by. This implementation trains a linear SVM with the Pegasos
+//! stochastic sub-gradient solver (Shalev-Shwartz et al.), which is simple,
+//! dependency-free and plenty accurate for similarity-feature spaces.
+
+use crate::features::LabeledExample;
+use crate::{MlError, Result};
+use er_core::workload::QualityMetrics;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the Pegasos SVM trainer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SvmConfig {
+    /// Regularization strength `λ` (larger → simpler model).
+    pub lambda: f64,
+    /// Number of stochastic epochs over the training set.
+    pub epochs: usize,
+    /// RNG seed for example sampling.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self { lambda: 1e-4, epochs: 30, seed: 1 }
+    }
+}
+
+/// A trained linear SVM: `f(x) = w · x + b`, predicted match when `f(x) ≥ 0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearSvm {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearSvm {
+    /// Trains a linear SVM on the given examples.
+    ///
+    /// Returns an error if the training set is empty, contains a single class
+    /// only, or mixes feature dimensionalities.
+    pub fn train(examples: &[LabeledExample], config: SvmConfig) -> Result<Self> {
+        validate_training_set(examples)?;
+        if config.lambda <= 0.0 || !config.lambda.is_finite() {
+            return Err(MlError::InvalidConfig(format!(
+                "lambda must be positive, got {}",
+                config.lambda
+            )));
+        }
+        if config.epochs == 0 {
+            return Err(MlError::InvalidConfig("epochs must be at least 1".to_string()));
+        }
+        let dim = examples[0].features.len();
+        let mut weights = vec![0.0; dim];
+        let mut bias = 0.0;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n = examples.len();
+        let total_steps = config.epochs * n;
+        for t in 1..=total_steps {
+            let example = &examples[rng.gen_range(0..n)];
+            let y = if example.label { 1.0 } else { -1.0 };
+            let eta = 1.0 / (config.lambda * t as f64);
+            let margin = y * (dot(&weights, &example.features) + bias);
+            // Sub-gradient step on the regularizer...
+            for w in weights.iter_mut() {
+                *w *= 1.0 - eta * config.lambda;
+            }
+            // ...plus the hinge-loss term when the margin is violated.
+            if margin < 1.0 {
+                for (w, &x) in weights.iter_mut().zip(&example.features) {
+                    *w += eta * y * x;
+                }
+                bias += eta * y;
+            }
+        }
+        Ok(Self { weights, bias })
+    }
+
+    /// The learned weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The learned bias term.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Signed decision value `w · x + b` — the "SVM distance" machine metric.
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        dot(&self.weights, features) + self.bias
+    }
+
+    /// Predicted label (`true` = match).
+    pub fn predict(&self, features: &[f64]) -> bool {
+        self.decision_value(features) >= 0.0
+    }
+
+    /// Maps the decision value through a logistic link into `[0, 1]`, usable as a
+    /// normalized machine metric for HUMO.
+    pub fn normalized_score(&self, features: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.decision_value(features)).exp())
+    }
+
+    /// Evaluates the classifier on labeled examples.
+    pub fn evaluate(&self, examples: &[LabeledExample]) -> QualityMetrics {
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        let mut tn = 0;
+        for e in examples {
+            match (e.label, self.predict(&e.features)) {
+                (true, true) => tp += 1,
+                (false, true) => fp += 1,
+                (true, false) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        QualityMetrics::from_counts(tp, fp, fn_, tn)
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub(crate) fn validate_training_set(examples: &[LabeledExample]) -> Result<()> {
+    if examples.is_empty() {
+        return Err(MlError::InvalidTrainingData("empty training set".to_string()));
+    }
+    let dim = examples[0].features.len();
+    if dim == 0 {
+        return Err(MlError::InvalidTrainingData("zero-dimensional features".to_string()));
+    }
+    for e in examples {
+        if e.features.len() != dim {
+            return Err(MlError::DimensionMismatch { expected: dim, actual: e.features.len() });
+        }
+        if e.features.iter().any(|f| !f.is_finite()) {
+            return Err(MlError::InvalidTrainingData("non-finite feature value".to_string()));
+        }
+    }
+    let positives = examples.iter().filter(|e| e.label).count();
+    if positives == 0 || positives == examples.len() {
+        return Err(MlError::InvalidTrainingData(
+            "training set must contain both classes".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable two-feature data: match iff x0 + x1 > 1.
+    fn separable_examples(n: usize) -> Vec<LabeledExample> {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..n)
+            .map(|_| {
+                let x0: f64 = rng.gen_range(0.0..1.0);
+                let x1: f64 = rng.gen_range(0.0..1.0);
+                LabeledExample::new(vec![x0, x1], x0 + x1 > 1.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let examples = separable_examples(2_000);
+        let svm = LinearSvm::train(&examples, SvmConfig::default()).unwrap();
+        let metrics = svm.evaluate(&examples);
+        assert!(metrics.f1() > 0.95, "expected near-perfect fit, got F1 {}", metrics.f1());
+    }
+
+    #[test]
+    fn decision_value_orders_examples_by_confidence() {
+        let examples = separable_examples(2_000);
+        let svm = LinearSvm::train(&examples, SvmConfig::default()).unwrap();
+        // A clearly-positive point should have a larger decision value than a
+        // borderline one, which in turn exceeds a clearly-negative one.
+        let strong = svm.decision_value(&[1.0, 1.0]);
+        let weak = svm.decision_value(&[0.55, 0.5]);
+        let negative = svm.decision_value(&[0.0, 0.0]);
+        assert!(strong > weak);
+        assert!(weak > negative);
+    }
+
+    #[test]
+    fn normalized_score_is_a_probability() {
+        let examples = separable_examples(500);
+        let svm = LinearSvm::train(&examples, SvmConfig::default()).unwrap();
+        for e in &examples {
+            let s = svm.normalized_score(&e.features);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_training_sets() {
+        assert!(LinearSvm::train(&[], SvmConfig::default()).is_err());
+        let single_class: Vec<LabeledExample> =
+            (0..10).map(|i| LabeledExample::new(vec![i as f64], true)).collect();
+        assert!(LinearSvm::train(&single_class, SvmConfig::default()).is_err());
+        let ragged = vec![
+            LabeledExample::new(vec![1.0], true),
+            LabeledExample::new(vec![1.0, 2.0], false),
+        ];
+        assert!(LinearSvm::train(&ragged, SvmConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let examples = separable_examples(50);
+        assert!(LinearSvm::train(&examples, SvmConfig { lambda: 0.0, ..Default::default() })
+            .is_err());
+        assert!(LinearSvm::train(&examples, SvmConfig { epochs: 0, ..Default::default() })
+            .is_err());
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let examples = separable_examples(300);
+        let a = LinearSvm::train(&examples, SvmConfig::default()).unwrap();
+        let b = LinearSvm::train(&examples, SvmConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,100 @@
+//! Descriptive statistics helpers shared across the workspace.
+
+/// Arithmetic mean of a slice. Returns `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased sample variance (denominator `n - 1`). Returns `0.0` when fewer
+/// than two values are provided.
+pub fn sample_variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64
+}
+
+/// Population variance (denominator `n`). Returns `0.0` for an empty slice.
+pub fn population_variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64
+}
+
+/// Sample standard deviation (square root of [`sample_variance`]).
+pub fn standard_deviation(values: &[f64]) -> f64 {
+    sample_variance(values).sqrt()
+}
+
+/// Median of a slice (averaging the two central elements for even lengths).
+/// Returns `0.0` for an empty slice.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("median requires non-NaN values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Minimum of a slice, ignoring NaNs. Returns `None` for an empty slice.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values.iter().copied().filter(|v| !v.is_nan()).reduce(f64::min)
+}
+
+/// Maximum of a slice, ignoring NaNs. Returns `None` for an empty slice.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values.iter().copied().filter(|v| !v.is_nan()).reduce(f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_simple() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(sample_variance(&[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(population_variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn sample_vs_population_variance() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((population_variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn min_max() {
+        assert_eq!(min(&[3.0, -1.0, 2.0]), Some(-1.0));
+        assert_eq!(max(&[3.0, -1.0, 2.0]), Some(3.0));
+        assert_eq!(min(&[]), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! Univariate probability distributions: Normal and Student's t.
+//!
+//! HUMO needs two things from these distributions:
+//!
+//! * the two-sided critical value `t_(1-θ, d.f.)` of Student's t distribution
+//!   used in the stratified-sampling confidence interval of Eq. 12;
+//! * the two-sided critical value `Z_(1-θ)` of the standard normal distribution
+//!   used in the Gaussian-process confidence interval of Eq. 21.
+//!
+//! Both are exposed via [`Normal::two_sided_critical_value`] and
+//! [`StudentT::two_sided_critical_value`].
+
+use crate::special::{erfc, ln_gamma, regularized_incomplete_beta};
+use crate::{Result, StatsError};
+
+/// A normal (Gaussian) distribution parameterized by mean and standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard deviation.
+    ///
+    /// Returns an error if `std_dev` is not strictly positive or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self> {
+        if !mean.is_finite() || !std_dev.is_finite() {
+            return Err(StatsError::InvalidArgument(
+                "normal parameters must be finite".to_string(),
+            ));
+        }
+        if std_dev <= 0.0 {
+            return Err(StatsError::InvalidArgument(format!(
+                "standard deviation must be positive, got {std_dev}"
+            )));
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The standard normal distribution `N(0, 1)`.
+    pub fn standard() -> Self {
+        Self { mean: 0.0, std_dev: 1.0 }
+    }
+
+    /// The distribution mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The distribution standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        0.5 * erfc(-z / std::f64::consts::SQRT_2)
+    }
+
+    /// Inverse CDF (quantile function) for `p ∈ (0, 1)`.
+    ///
+    /// Uses Acklam's rational approximation refined by one Halley iteration,
+    /// giving close to machine-precision results.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidArgument(format!(
+                "quantile probability must be in [0,1], got {p}"
+            )));
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        let z = standard_normal_quantile(p);
+        Ok(self.mean + self.std_dev * z)
+    }
+
+    /// Two-sided critical value `z` such that `P(-z < Z < z) = confidence`
+    /// for the standard form of this distribution.
+    ///
+    /// This is the `Z_(1-θ)` of Eq. 21 in the paper, i.e. the
+    /// `(1 - (1-θ)/2)` quantile of the standard normal distribution.
+    pub fn two_sided_critical_value(confidence: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&confidence) {
+            return Err(StatsError::InvalidArgument(format!(
+                "confidence must be in [0,1), got {confidence}"
+            )));
+        }
+        let p = 1.0 - (1.0 - confidence) / 2.0;
+        Normal::standard().inverse_cdf(p)
+    }
+}
+
+/// Acklam's inverse normal CDF approximation with one step of Halley refinement.
+fn standard_normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_690e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+    const P_HIGH: f64 = 1.0 - P_LOW;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= P_HIGH {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement using the exact CDF.
+    let e = 0.5 * erfc(-x / std::f64::consts::SQRT_2) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Student's t distribution with `ν` degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudentT {
+    degrees_of_freedom: f64,
+}
+
+impl StudentT {
+    /// Creates a Student's t distribution with the given degrees of freedom.
+    pub fn new(degrees_of_freedom: f64) -> Result<Self> {
+        if !degrees_of_freedom.is_finite() || degrees_of_freedom <= 0.0 {
+            return Err(StatsError::InvalidArgument(format!(
+                "degrees of freedom must be positive and finite, got {degrees_of_freedom}"
+            )));
+        }
+        Ok(Self { degrees_of_freedom })
+    }
+
+    /// The degrees of freedom `ν`.
+    pub fn degrees_of_freedom(&self) -> f64 {
+        self.degrees_of_freedom
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let nu = self.degrees_of_freedom;
+        let ln_coef = ln_gamma((nu + 1.0) / 2.0)
+            - ln_gamma(nu / 2.0)
+            - 0.5 * (nu * std::f64::consts::PI).ln();
+        (ln_coef - (nu + 1.0) / 2.0 * (1.0 + x * x / nu).ln()).exp()
+    }
+
+    /// Cumulative distribution function, via the regularized incomplete beta function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let nu = self.degrees_of_freedom;
+        if x == 0.0 {
+            return 0.5;
+        }
+        let t2 = x * x;
+        let ib = regularized_incomplete_beta(nu / 2.0, 0.5, nu / (nu + t2));
+        if x > 0.0 {
+            1.0 - 0.5 * ib
+        } else {
+            0.5 * ib
+        }
+    }
+
+    /// Inverse CDF (quantile function) for `p ∈ (0, 1)`.
+    ///
+    /// Computed by a bracketing bisection/Newton hybrid on the CDF; the CDF is
+    /// smooth and strictly increasing so this converges to ~1e-12.
+    pub fn inverse_cdf(&self, p: f64) -> Result<f64> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidArgument(format!(
+                "quantile probability must be in [0,1], got {p}"
+            )));
+        }
+        if p == 0.0 {
+            return Ok(f64::NEG_INFINITY);
+        }
+        if p == 1.0 {
+            return Ok(f64::INFINITY);
+        }
+        if (p - 0.5).abs() < 1e-15 {
+            return Ok(0.0);
+        }
+        // Initial guess from the normal quantile, then expand a bracket.
+        let guess = standard_normal_quantile(p);
+        let mut lo = guess - 1.0;
+        let mut hi = guess + 1.0;
+        for _ in 0..200 {
+            if self.cdf(lo) <= p {
+                break;
+            }
+            lo = lo * 2.0 - 1.0;
+        }
+        for _ in 0..200 {
+            if self.cdf(hi) >= p {
+                break;
+            }
+            hi = hi * 2.0 + 1.0;
+        }
+        let mut x = guess.clamp(lo, hi);
+        for _ in 0..200 {
+            let f = self.cdf(x) - p;
+            if f.abs() < 1e-14 {
+                return Ok(x);
+            }
+            if f > 0.0 {
+                hi = x;
+            } else {
+                lo = x;
+            }
+            // Newton step with bisection fallback.
+            let dfdx = self.pdf(x);
+            let newton = if dfdx > 1e-300 { x - f / dfdx } else { f64::NAN };
+            x = if newton.is_finite() && newton > lo && newton < hi {
+                newton
+            } else {
+                0.5 * (lo + hi)
+            };
+            if (hi - lo).abs() < 1e-13 * (1.0 + x.abs()) {
+                return Ok(x);
+            }
+        }
+        Ok(x)
+    }
+
+    /// Two-sided critical value `t` such that `P(-t < T < t) = confidence`.
+    ///
+    /// This is the `t_(1-θ, d.f.)` used in Eq. 12 of the paper.
+    pub fn two_sided_critical_value(&self, confidence: f64) -> Result<f64> {
+        if !(0.0..1.0).contains(&confidence) {
+            return Err(StatsError::InvalidArgument(format!(
+                "confidence must be in [0,1), got {confidence}"
+            )));
+        }
+        self.inverse_cdf(1.0 - (1.0 - confidence) / 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn normal_rejects_bad_parameters() {
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(3.0, 2.0).is_ok());
+    }
+
+    #[test]
+    fn standard_normal_cdf_known_values() {
+        let n = Normal::standard();
+        assert_close(n.cdf(0.0), 0.5, 2e-7);
+        assert_close(n.cdf(1.0), 0.841_344_746_068_543, 1e-6);
+        assert_close(n.cdf(-1.0), 0.158_655_253_931_457, 1e-6);
+        assert_close(n.cdf(1.96), 0.975_002_104_851_780, 1e-6);
+    }
+
+    #[test]
+    fn normal_quantile_round_trip() {
+        let n = Normal::new(2.0, 3.0).unwrap();
+        for p in [0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.975, 0.999] {
+            let x = n.inverse_cdf(p).unwrap();
+            assert_close(n.cdf(x), p, 1e-7);
+        }
+    }
+
+    #[test]
+    fn normal_two_sided_critical_values() {
+        // Classical z critical values.
+        assert_close(Normal::two_sided_critical_value(0.95).unwrap(), 1.959_963_985, 1e-4);
+        assert_close(Normal::two_sided_critical_value(0.90).unwrap(), 1.644_853_627, 1e-4);
+        assert_close(Normal::two_sided_critical_value(0.99).unwrap(), 2.575_829_304, 1e-4);
+    }
+
+    #[test]
+    fn student_t_pdf_symmetry_and_cdf_center() {
+        let t = StudentT::new(7.0).unwrap();
+        assert_close(t.pdf(1.3), t.pdf(-1.3), 1e-12);
+        assert_close(t.cdf(0.0), 0.5, 1e-12);
+    }
+
+    #[test]
+    fn student_t_known_critical_values() {
+        // Textbook two-sided 95% critical values.
+        let t5 = StudentT::new(5.0).unwrap();
+        assert_close(t5.two_sided_critical_value(0.95).unwrap(), 2.570_58, 1e-3);
+        let t10 = StudentT::new(10.0).unwrap();
+        assert_close(t10.two_sided_critical_value(0.95).unwrap(), 2.228_14, 1e-3);
+        let t30 = StudentT::new(30.0).unwrap();
+        assert_close(t30.two_sided_critical_value(0.95).unwrap(), 2.042_27, 1e-3);
+    }
+
+    #[test]
+    fn student_t_cdf_quantile_round_trip() {
+        let t = StudentT::new(4.0).unwrap();
+        for p in [0.01, 0.05, 0.2, 0.5, 0.8, 0.95, 0.99] {
+            let x = t.inverse_cdf(p).unwrap();
+            assert_close(t.cdf(x), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn student_t_approaches_normal_for_large_df() {
+        let t = StudentT::new(10_000.0).unwrap();
+        let n = Normal::standard();
+        for x in [-2.0, -1.0, 0.5, 1.5, 2.5] {
+            assert_close(t.cdf(x), n.cdf(x), 1e-3);
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_are_infinite() {
+        let n = Normal::standard();
+        assert_eq!(n.inverse_cdf(0.0).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(n.inverse_cdf(1.0).unwrap(), f64::INFINITY);
+        let t = StudentT::new(3.0).unwrap();
+        assert_eq!(t.inverse_cdf(0.0).unwrap(), f64::NEG_INFINITY);
+        assert_eq!(t.inverse_cdf(1.0).unwrap(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,566 @@
+//! Gaussian-process regression over a one-dimensional input (pair similarity).
+//!
+//! The HUMO partial-sampling optimizer (paper Section VI-B, Algorithm 1)
+//! approximates the *match-proportion function* — the probability that an
+//! instance pair with a given similarity value is a true match — from a small
+//! number of sampled workload subsets. The approximation must provide both a
+//! posterior mean and a posterior **covariance** between predictions, because
+//! Eq. 20 of the paper aggregates the match-count estimate of many unsampled
+//! subsets and needs the full covariance matrix
+//! `K(V*,V*) − K(V*,V) K(V,V)⁻¹ K(V,V*)` to derive the standard deviation of
+//! the aggregate.
+//!
+//! The implementation uses a squared-exponential (RBF) kernel plus a noise
+//! (nugget) term, and a Cholesky factorization of the training covariance.
+
+use crate::linalg::{dot, Cholesky, Matrix};
+use crate::{Result, StatsError};
+
+/// A covariance kernel over scalar inputs.
+pub trait Kernel {
+    /// Covariance between two inputs.
+    fn eval(&self, a: f64, b: f64) -> f64;
+
+    /// Builds the covariance matrix between two sets of inputs.
+    fn matrix(&self, xs: &[f64], ys: &[f64]) -> Matrix {
+        Matrix::from_fn(xs.len(), ys.len(), |i, j| self.eval(xs[i], ys[j]))
+    }
+}
+
+/// Squared-exponential (RBF) kernel
+/// `k(a, b) = σ² · exp(−(a−b)² / (2ℓ²))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RbfKernel {
+    /// Signal variance `σ²` (the kernel value at zero distance).
+    pub signal_variance: f64,
+    /// Length scale `ℓ` controlling how quickly correlation decays with distance.
+    pub length_scale: f64,
+}
+
+impl RbfKernel {
+    /// Creates an RBF kernel, validating that both parameters are positive.
+    pub fn new(signal_variance: f64, length_scale: f64) -> Result<Self> {
+        if signal_variance <= 0.0 || !signal_variance.is_finite() {
+            return Err(StatsError::InvalidArgument(format!(
+                "signal variance must be positive, got {signal_variance}"
+            )));
+        }
+        if length_scale <= 0.0 || !length_scale.is_finite() {
+            return Err(StatsError::InvalidArgument(format!(
+                "length scale must be positive, got {length_scale}"
+            )));
+        }
+        Ok(Self { signal_variance, length_scale })
+    }
+}
+
+impl Kernel for RbfKernel {
+    fn eval(&self, a: f64, b: f64) -> f64 {
+        let d = a - b;
+        self.signal_variance * (-(d * d) / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+}
+
+/// How the length scale is chosen when [`GpConfig::length_scale`] is `None` and
+/// optimization is enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LengthScaleSelection {
+    /// Maximize the log marginal likelihood over the candidate grid (the
+    /// textbook criterion).
+    #[default]
+    MarginalLikelihood,
+    /// Minimize the held-out squared prediction error of a two-fold
+    /// (alternating-point) split over the candidate grid. More robust than the
+    /// marginal likelihood when the per-point noise model is approximate — e.g.
+    /// sampled proportions whose observed value is exactly 0 or 1.
+    HeldOutError,
+}
+
+/// Configuration for fitting a [`GaussianProcess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpConfig {
+    /// Signal variance of the RBF kernel. Defaults to `0.05` which suits
+    /// match-proportion curves living in `[0, 1]`.
+    pub signal_variance: f64,
+    /// Length scale of the RBF kernel. When `None`, a heuristic based on the
+    /// spread of the training inputs is used (one quarter of the input range).
+    pub length_scale: Option<f64>,
+    /// Observation-noise variance added to the diagonal of the training
+    /// covariance (the "nugget"); models sampling error of the observed match
+    /// proportions.
+    pub noise_variance: f64,
+    /// Whether to select the length scale over a small grid around the heuristic
+    /// value.
+    pub optimize_length_scale: bool,
+    /// The criterion used when selecting the length scale.
+    pub selection: LengthScaleSelection,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        Self {
+            signal_variance: 0.05,
+            length_scale: None,
+            noise_variance: 1e-4,
+            optimize_length_scale: true,
+            selection: LengthScaleSelection::MarginalLikelihood,
+        }
+    }
+}
+
+/// The posterior of a Gaussian process at a set of query points.
+#[derive(Debug, Clone)]
+pub struct GpPosterior {
+    /// Posterior means, one per query point.
+    pub mean: Vec<f64>,
+    /// Posterior covariance matrix between the query points.
+    pub covariance: Matrix,
+}
+
+impl GpPosterior {
+    /// Posterior variance at each query point (diagonal of the covariance,
+    /// clamped at zero to absorb numerical round-off).
+    pub fn variances(&self) -> Vec<f64> {
+        (0..self.mean.len()).map(|i| self.covariance[(i, i)].max(0.0)).collect()
+    }
+
+    /// Posterior standard deviation at each query point.
+    pub fn std_devs(&self) -> Vec<f64> {
+        self.variances().into_iter().map(f64::sqrt).collect()
+    }
+}
+
+/// A fitted Gaussian-process regression model over scalar inputs.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    kernel: RbfKernel,
+    train_x: Vec<f64>,
+    /// Mean of the training targets; the GP is fit on centred targets and the
+    /// mean is added back at prediction time (a constant-mean GP).
+    target_mean: f64,
+    /// `K(V,V) + σ_n² I` factored.
+    factor: Cholesky,
+    /// `(K + σ_n² I)⁻¹ (y − mean)`.
+    alpha: Vec<f64>,
+    noise_variance: f64,
+    log_marginal_likelihood: f64,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to the observations `(xs[i], ys[i])` with the given configuration.
+    ///
+    /// Returns an error if fewer than two observations are provided, the slices
+    /// differ in length, or the covariance matrix cannot be factored.
+    pub fn fit(xs: &[f64], ys: &[f64], config: GpConfig) -> Result<Self> {
+        let noise = vec![config.noise_variance; xs.len()];
+        Self::fit_with_noise(xs, ys, &noise, config)
+    }
+
+    /// Fits a GP with a per-observation noise variance (a heteroscedastic nugget).
+    ///
+    /// This matters when the observations are sampled proportions: a proportion
+    /// near 0 or 1 carries far less sampling error than one near 0.5, and treating
+    /// them alike makes the posterior either overconfident in the middle or far
+    /// too loose at the extremes.
+    pub fn fit_with_noise(
+        xs: &[f64],
+        ys: &[f64],
+        noise_variances: &[f64],
+        config: GpConfig,
+    ) -> Result<Self> {
+        if xs.len() != ys.len() || xs.len() != noise_variances.len() {
+            return Err(StatsError::InvalidArgument(format!(
+                "input/target/noise length mismatch: {} vs {} vs {}",
+                xs.len(),
+                ys.len(),
+                noise_variances.len()
+            )));
+        }
+        if xs.len() < 2 {
+            return Err(StatsError::InvalidArgument(
+                "Gaussian process requires at least two observations".to_string(),
+            ));
+        }
+        if xs
+            .iter()
+            .chain(ys.iter())
+            .chain(noise_variances.iter())
+            .any(|v| !v.is_finite())
+        {
+            return Err(StatsError::InvalidArgument(
+                "Gaussian process inputs must be finite".to_string(),
+            ));
+        }
+        if noise_variances.iter().any(|v| *v < 0.0) {
+            return Err(StatsError::InvalidArgument(
+                "noise variances must be non-negative".to_string(),
+            ));
+        }
+        let heuristic = Self::heuristic_length_scale(xs);
+        let base_scale = config.length_scale.unwrap_or(heuristic);
+
+        if config.optimize_length_scale && config.length_scale.is_none() {
+            // Small log-spaced grid around the heuristic.
+            let candidates = [0.125, 0.25, 0.5, 1.0, 2.0, 4.0].map(|f| base_scale * f);
+            match config.selection {
+                LengthScaleSelection::MarginalLikelihood => {
+                    let mut best: Option<GaussianProcess> = None;
+                    for ls in candidates {
+                        if let Ok(gp) = Self::fit_with_scale(xs, ys, noise_variances, &config, ls) {
+                            let better = best
+                                .as_ref()
+                                .map(|b| gp.log_marginal_likelihood > b.log_marginal_likelihood)
+                                .unwrap_or(true);
+                            if better {
+                                best = Some(gp);
+                            }
+                        }
+                    }
+                    best.ok_or_else(|| {
+                        StatsError::Linalg(
+                            "failed to fit GP for any candidate length scale".to_string(),
+                        )
+                    })
+                }
+                LengthScaleSelection::HeldOutError => {
+                    let mut best: Option<(f64, f64)> = None; // (error, length scale)
+                    for ls in candidates {
+                        if let Some(error) =
+                            Self::held_out_error(xs, ys, noise_variances, &config, ls)
+                        {
+                            let better = best.map(|(e, _)| error < e).unwrap_or(true);
+                            if better {
+                                best = Some((error, ls));
+                            }
+                        }
+                    }
+                    let (_, ls) = best.ok_or_else(|| {
+                        StatsError::Linalg(
+                            "failed to fit GP for any candidate length scale".to_string(),
+                        )
+                    })?;
+                    Self::fit_with_scale(xs, ys, noise_variances, &config, ls)
+                }
+            }
+        } else {
+            Self::fit_with_scale(xs, ys, noise_variances, &config, base_scale)
+        }
+    }
+
+    /// Two-fold (alternating points in input order) held-out squared prediction
+    /// error of a candidate length scale. Returns `None` when either fold cannot
+    /// be fitted.
+    fn held_out_error(
+        xs: &[f64],
+        ys: &[f64],
+        noise_variances: &[f64],
+        config: &GpConfig,
+        length_scale: f64,
+    ) -> Option<f64> {
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite inputs"));
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for parity in 0..2usize {
+            let mut fit_idx: Vec<usize> = Vec::with_capacity(xs.len() / 2 + 1);
+            let mut held_idx: Vec<usize> = Vec::with_capacity(xs.len() / 2 + 1);
+            for (position, &i) in order.iter().enumerate() {
+                if position % 2 == parity {
+                    fit_idx.push(i);
+                } else {
+                    held_idx.push(i);
+                }
+            }
+            if fit_idx.len() < 2 || held_idx.is_empty() {
+                return None;
+            }
+            let fx: Vec<f64> = fit_idx.iter().map(|&i| xs[i]).collect();
+            let fy: Vec<f64> = fit_idx.iter().map(|&i| ys[i]).collect();
+            let fn_: Vec<f64> = fit_idx.iter().map(|&i| noise_variances[i]).collect();
+            let gp = Self::fit_with_scale(&fx, &fy, &fn_, config, length_scale).ok()?;
+            for &i in &held_idx {
+                let err = ys[i] - gp.predict_mean(xs[i]);
+                total += err * err;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(total / count as f64)
+        }
+    }
+
+    fn fit_with_scale(
+        xs: &[f64],
+        ys: &[f64],
+        noise_variances: &[f64],
+        config: &GpConfig,
+        length_scale: f64,
+    ) -> Result<Self> {
+        let kernel = RbfKernel::new(config.signal_variance, length_scale)?;
+        let n = xs.len();
+        let target_mean = crate::descriptive::mean(ys);
+        let centred: Vec<f64> = ys.iter().map(|y| y - target_mean).collect();
+
+        let mut k = kernel.matrix(xs, xs);
+        // Per-observation noise plus a tiny jitter for numerical stability.
+        for (i, noise) in noise_variances.iter().enumerate() {
+            k[(i, i)] += noise.max(0.0) + 1e-10;
+        }
+        let factor = k
+            .cholesky()
+            .map_err(|e| StatsError::Linalg(format!("training covariance not SPD: {e}")))?;
+        let alpha = factor.solve(&centred);
+
+        // log p(y|X) = -1/2 yᵀ α - 1/2 log|K| - n/2 log 2π.
+        let log_marginal_likelihood = -0.5 * dot(&centred, &alpha)
+            - 0.5 * factor.log_determinant()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+
+        Ok(Self {
+            kernel,
+            train_x: xs.to_vec(),
+            target_mean,
+            factor,
+            alpha,
+            noise_variance: crate::descriptive::mean(noise_variances),
+            log_marginal_likelihood,
+        })
+    }
+
+    /// Heuristic length scale: a quarter of the input range (with a small floor).
+    fn heuristic_length_scale(xs: &[f64]) -> f64 {
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        ((max - min) / 4.0).max(1e-3)
+    }
+
+    /// The kernel used by this model.
+    pub fn kernel(&self) -> &RbfKernel {
+        &self.kernel
+    }
+
+    /// The (average) observation-noise variance used when fitting.
+    pub fn noise_variance(&self) -> f64 {
+        self.noise_variance
+    }
+
+    /// Number of training observations.
+    pub fn training_size(&self) -> usize {
+        self.train_x.len()
+    }
+
+    /// Log marginal likelihood of the training data under the fitted model.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        self.log_marginal_likelihood
+    }
+
+    /// Posterior mean at a single query point (Eq. 16 of the paper).
+    pub fn predict_mean(&self, x: f64) -> f64 {
+        let k_star: Vec<f64> = self.train_x.iter().map(|&t| self.kernel.eval(x, t)).collect();
+        self.target_mean + dot(&k_star, &self.alpha)
+    }
+
+    /// Posterior variance at a single query point (Eq. 17 of the paper),
+    /// clamped at zero.
+    pub fn predict_variance(&self, x: f64) -> f64 {
+        let k_star: Vec<f64> = self.train_x.iter().map(|&t| self.kernel.eval(x, t)).collect();
+        let v = self.factor.forward_substitute(&k_star);
+        (self.kernel.eval(x, x) - dot(&v, &v)).max(0.0)
+    }
+
+    /// Full posterior (means and joint covariance) at a set of query points
+    /// (Eq. 15–20 of the paper).
+    pub fn predict_joint(&self, query: &[f64]) -> GpPosterior {
+        let m = query.len();
+        let mean: Vec<f64> = query.iter().map(|&x| self.predict_mean(x)).collect();
+
+        // Covariance: K(X*,X*) − K(X*,X) (K+σ²I)⁻¹ K(X,X*)
+        // computed as K** − Vᵀ V with V = L⁻¹ K(X,X*).
+        let k_star = self.kernel.matrix(&self.train_x, query); // n × m
+        let mut v_cols: Vec<Vec<f64>> = Vec::with_capacity(m);
+        for j in 0..m {
+            let col: Vec<f64> = (0..self.train_x.len()).map(|i| k_star[(i, j)]).collect();
+            v_cols.push(self.factor.forward_substitute(&col));
+        }
+        let covariance = Matrix::from_fn(m, m, |i, j| {
+            let prior = self.kernel.eval(query[i], query[j]);
+            let reduction = dot(&v_cols[i], &v_cols[j]);
+            let value = prior - reduction;
+            if i == j {
+                value.max(0.0)
+            } else {
+                value
+            }
+        });
+        GpPosterior { mean, covariance }
+    }
+
+    /// Convenience wrapper returning `(mean, std_dev)` at a single point.
+    pub fn predict(&self, x: f64) -> (f64, f64) {
+        (self.predict_mean(x), self.predict_variance(x).sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!(
+            (actual - expected).abs() <= tol,
+            "expected {expected}, got {actual} (tol {tol})"
+        );
+    }
+
+    fn config_no_opt() -> GpConfig {
+        GpConfig { optimize_length_scale: false, ..GpConfig::default() }
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let k = RbfKernel::new(2.0, 0.5).unwrap();
+        // Maximal at zero distance.
+        assert_close(k.eval(0.3, 0.3), 2.0, 1e-12);
+        // Symmetric.
+        assert_close(k.eval(0.1, 0.7), k.eval(0.7, 0.1), 1e-15);
+        // Decays with distance.
+        assert!(k.eval(0.0, 0.1) > k.eval(0.0, 0.5));
+        assert!(k.eval(0.0, 0.5) > k.eval(0.0, 2.0));
+    }
+
+    #[test]
+    fn rbf_kernel_rejects_invalid_parameters() {
+        assert!(RbfKernel::new(0.0, 1.0).is_err());
+        assert!(RbfKernel::new(1.0, 0.0).is_err());
+        assert!(RbfKernel::new(-1.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn gp_requires_two_points() {
+        assert!(GaussianProcess::fit(&[0.5], &[0.5], GpConfig::default()).is_err());
+        assert!(GaussianProcess::fit(&[0.1, 0.9], &[0.0, 1.0], GpConfig::default()).is_ok());
+    }
+
+    #[test]
+    fn gp_rejects_mismatched_lengths() {
+        assert!(GaussianProcess::fit(&[0.1, 0.2, 0.3], &[0.0, 1.0], GpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn gp_interpolates_training_points_with_small_noise() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.05, 0.2, 0.5, 0.8, 0.95];
+        let config = GpConfig { noise_variance: 1e-8, ..config_no_opt() };
+        let gp = GaussianProcess::fit(&xs, &ys, config).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert_close(gp.predict_mean(*x), *y, 1e-2);
+        }
+    }
+
+    #[test]
+    fn gp_posterior_variance_smaller_near_training_points() {
+        let xs = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+        let ys = [0.1, 0.2, 0.4, 0.6, 0.8, 0.9];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        // Variance at a training point should be below variance far outside the data.
+        assert!(gp.predict_variance(0.4) < gp.predict_variance(3.0));
+    }
+
+    #[test]
+    fn gp_variance_nonnegative_everywhere() {
+        let xs = [0.0, 0.1, 0.3, 0.55, 0.8, 1.0];
+        let ys = [0.02, 0.05, 0.2, 0.5, 0.85, 0.97];
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        for i in 0..=50 {
+            let x = i as f64 / 50.0;
+            assert!(gp.predict_variance(x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn gp_predicts_monotone_trend_between_points() {
+        // A smooth increasing curve should stay roughly increasing between samples.
+        let xs: Vec<f64> = (0..11).map(|i| i as f64 / 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 / (1.0 + (-10.0 * (x - 0.5)).exp())).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        let y_low = gp.predict_mean(0.25);
+        let y_mid = gp.predict_mean(0.5);
+        let y_high = gp.predict_mean(0.75);
+        assert!(y_low < y_mid && y_mid < y_high);
+    }
+
+    #[test]
+    fn gp_joint_covariance_is_symmetric_and_psd_on_diagonal() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        let query = [0.1, 0.4, 0.6, 0.9];
+        let post = gp.predict_joint(&query);
+        assert_eq!(post.mean.len(), 4);
+        for i in 0..4 {
+            assert!(post.covariance[(i, i)] >= 0.0);
+            for j in 0..4 {
+                assert_close(post.covariance[(i, j)], post.covariance[(j, i)], 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gp_joint_mean_matches_pointwise_mean() {
+        let xs = [0.0, 0.3, 0.6, 1.0];
+        let ys = [0.0, 0.25, 0.65, 1.0];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        let query = [0.15, 0.45, 0.85];
+        let post = gp.predict_joint(&query);
+        for (i, &q) in query.iter().enumerate() {
+            assert_close(post.mean[i], gp.predict_mean(q), 1e-12);
+        }
+    }
+
+    #[test]
+    fn gp_length_scale_optimization_picks_reasonable_fit() {
+        // Data from a smooth sigmoid; the optimized fit should track it closely.
+        let xs: Vec<f64> = (0..21).map(|i| i as f64 / 20.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.95 / (1.0 + (-14.0 * (x - 0.55)).exp())).collect();
+        let gp = GaussianProcess::fit(&xs, &ys, GpConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((gp.predict_mean(*x) - y).abs() < 0.08, "poor fit at {x}");
+        }
+    }
+
+    #[test]
+    fn heteroscedastic_fit_trusts_low_noise_points_more() {
+        // Two conflicting observations at nearly the same input: the one with the
+        // smaller noise should pull the posterior mean towards itself.
+        let xs = [0.0, 0.5, 0.5001, 1.0];
+        let ys = [0.0, 0.2, 0.8, 1.0];
+        let config = GpConfig { optimize_length_scale: false, ..GpConfig::default() };
+        let noisy_first = [1e-6, 1.0, 1e-6, 1e-6];
+        let gp = GaussianProcess::fit_with_noise(&xs, &ys, &noisy_first, config).unwrap();
+        assert!(gp.predict_mean(0.5) > 0.6, "posterior should side with the precise 0.8");
+        let noisy_second = [1e-6, 1e-6, 1.0, 1e-6];
+        let gp = GaussianProcess::fit_with_noise(&xs, &ys, &noisy_second, config).unwrap();
+        assert!(gp.predict_mean(0.5) < 0.4, "posterior should side with the precise 0.2");
+    }
+
+    #[test]
+    fn heteroscedastic_fit_validates_inputs() {
+        let config = GpConfig::default();
+        assert!(GaussianProcess::fit_with_noise(&[0.0, 1.0], &[0.0, 1.0], &[0.1], config).is_err());
+        assert!(GaussianProcess::fit_with_noise(&[0.0, 1.0], &[0.0, 1.0], &[0.1, -0.1], config)
+            .is_err());
+        assert!(
+            GaussianProcess::fit_with_noise(&[0.0, 1.0], &[0.0, 1.0], &[0.1, 0.1], config).is_ok()
+        );
+    }
+
+    #[test]
+    fn gp_log_marginal_likelihood_is_finite() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.1, 0.5, 0.9];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        assert!(gp.log_marginal_likelihood().is_finite());
+    }
+}

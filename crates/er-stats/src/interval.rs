@@ -1,0 +1,78 @@
+//! Confidence-interval value type shared by the sampling and GP estimators.
+
+/// A two-sided confidence interval `[lower, upper]` at a given confidence level.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower endpoint.
+    pub lower: f64,
+    /// Upper endpoint.
+    pub upper: f64,
+    /// Confidence level in `[0, 1)` at which the interval was constructed.
+    pub confidence: f64,
+}
+
+impl ConfidenceInterval {
+    /// Creates an interval, swapping the endpoints if they were given out of order.
+    pub fn new(lower: f64, upper: f64, confidence: f64) -> Self {
+        if lower <= upper {
+            Self { lower, upper, confidence }
+        } else {
+            Self { lower: upper, upper: lower, confidence }
+        }
+    }
+
+    /// Interval width (`upper - lower`).
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Midpoint of the interval.
+    pub fn midpoint(&self) -> f64 {
+        0.5 * (self.lower + self.upper)
+    }
+
+    /// Whether the interval contains `value` (inclusive on both ends).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+
+    /// Clamps both endpoints to the given range (useful for proportions in `[0,1]`
+    /// or counts in `[0, N]`).
+    pub fn clamp(&self, min: f64, max: f64) -> Self {
+        Self {
+            lower: self.lower.clamp(min, max),
+            upper: self.upper.clamp(min, max),
+            confidence: self.confidence,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_orders_endpoints() {
+        let ci = ConfidenceInterval::new(3.0, 1.0, 0.9);
+        assert_eq!(ci.lower, 1.0);
+        assert_eq!(ci.upper, 3.0);
+    }
+
+    #[test]
+    fn width_midpoint_contains() {
+        let ci = ConfidenceInterval::new(2.0, 6.0, 0.95);
+        assert_eq!(ci.width(), 4.0);
+        assert_eq!(ci.midpoint(), 4.0);
+        assert!(ci.contains(2.0));
+        assert!(ci.contains(6.0));
+        assert!(ci.contains(4.2));
+        assert!(!ci.contains(6.1));
+    }
+
+    #[test]
+    fn clamp_restricts_both_ends() {
+        let ci = ConfidenceInterval::new(-1.0, 2.0, 0.9).clamp(0.0, 1.0);
+        assert_eq!(ci.lower, 0.0);
+        assert_eq!(ci.upper, 1.0);
+    }
+}

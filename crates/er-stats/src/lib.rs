@@ -1,0 +1,63 @@
+//! Statistics substrate for the HUMO entity-resolution framework.
+//!
+//! The HUMO optimizers (see the `humo` crate) need a small but complete statistical
+//! toolbox:
+//!
+//! * univariate distributions with accurate quantile functions
+//!   ([`distributions::Normal`], [`distributions::StudentT`]) — used to turn a
+//!   confidence level `θ` into critical values for the sampling-based bounds
+//!   (Eq. 12 and Eq. 21 of the paper);
+//! * stratified random sampling estimators ([`sampling`]) following Cochran's
+//!   *Sampling Techniques* — used by the all-sampling solution (Section VI-A);
+//! * dense linear algebra ([`linalg`]) with a Cholesky factorization — the only
+//!   decomposition needed by Gaussian-process regression;
+//! * Gaussian-process regression ([`gp`]) with an RBF kernel — used by the
+//!   partial-sampling solution (Section VI-B, Algorithm 1) to approximate the
+//!   match-proportion function from a handful of sampled subsets.
+//!
+//! Everything is implemented from scratch on top of `std`; no external numerical
+//! libraries are used.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod descriptive;
+pub mod distributions;
+pub mod gp;
+pub mod interval;
+pub mod linalg;
+pub mod sampling;
+pub mod special;
+
+pub use descriptive::{mean, population_variance, sample_variance, standard_deviation};
+pub use distributions::{Normal, StudentT};
+pub use gp::{GaussianProcess, GpConfig, GpPosterior, Kernel, RbfKernel};
+pub use interval::ConfidenceInterval;
+pub use linalg::{CholeskyError, Matrix, Vector};
+pub use sampling::{SampleSummary, StratifiedEstimate, Stratum};
+
+/// Error type shared by the numerical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside of the mathematically valid domain.
+    InvalidArgument(String),
+    /// A matrix operation failed (e.g. Cholesky of a non-SPD matrix).
+    Linalg(String),
+    /// An iterative routine failed to converge.
+    NoConvergence(String),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StatsError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+            StatsError::NoConvergence(msg) => write!(f, "no convergence: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias for fallible statistics routines.
+pub type Result<T> = std::result::Result<T, StatsError>;

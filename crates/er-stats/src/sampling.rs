@@ -1,0 +1,285 @@
+//! Stratified random sampling estimators (Cochran, *Sampling Techniques*, 3rd ed.).
+//!
+//! The HUMO sampling-based optimizer divides an ER workload into similarity-ordered
+//! subsets (strata), samples pairs from some strata, and needs confidence bounds on
+//! the **total number of matching pairs** inside an arbitrary union of strata
+//! (Eq. 12–14 of the paper). This module provides:
+//!
+//! * [`SampleSummary`] — the outcome of sampling one stratum (sample size and number
+//!   of observed positives), with finite-population-corrected variance;
+//! * [`Stratum`] — a stratum (its population size) together with its sample;
+//! * [`StratifiedEstimate`] — the aggregated estimate over a set of strata, exposing
+//!   the mean, standard deviation and Student-t confidence bounds used by the
+//!   all-sampling search.
+
+use crate::distributions::StudentT;
+use crate::{Result, StatsError};
+
+/// The result of drawing a simple random sample from a single stratum and counting
+/// how many sampled items are positives (matching pairs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleSummary {
+    /// Number of items drawn from the stratum.
+    pub sample_size: usize,
+    /// Number of sampled items that were positive (matches).
+    pub positives: usize,
+}
+
+impl SampleSummary {
+    /// Creates a sample summary, validating that `positives <= sample_size`.
+    pub fn new(sample_size: usize, positives: usize) -> Result<Self> {
+        if positives > sample_size {
+            return Err(StatsError::InvalidArgument(format!(
+                "positives ({positives}) cannot exceed sample size ({sample_size})"
+            )));
+        }
+        Ok(Self { sample_size, positives })
+    }
+
+    /// Observed proportion of positives. Returns `0.0` for an empty sample.
+    pub fn proportion(&self) -> f64 {
+        if self.sample_size == 0 {
+            0.0
+        } else {
+            self.positives as f64 / self.sample_size as f64
+        }
+    }
+}
+
+/// A stratum: its total population size and the sample drawn from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stratum {
+    /// Total number of items in the stratum (`n_i` in the paper).
+    pub population_size: usize,
+    /// Sample drawn from the stratum.
+    pub sample: SampleSummary,
+}
+
+impl Stratum {
+    /// Creates a stratum, validating that the sample is not larger than the population.
+    pub fn new(population_size: usize, sample: SampleSummary) -> Result<Self> {
+        if sample.sample_size > population_size {
+            return Err(StatsError::InvalidArgument(format!(
+                "sample size ({}) cannot exceed population size ({population_size})",
+                sample.sample_size
+            )));
+        }
+        Ok(Self { population_size, sample })
+    }
+
+    /// Estimated proportion of positives in the stratum.
+    pub fn estimated_proportion(&self) -> f64 {
+        self.sample.proportion()
+    }
+
+    /// Estimated number of positives in the stratum (`n_i · p̂_i`).
+    pub fn estimated_positives(&self) -> f64 {
+        self.population_size as f64 * self.estimated_proportion()
+    }
+
+    /// Variance of the estimated proportion `p̂_i`, with finite population correction:
+    /// `Var(p̂) = (1 − s/N) · p̂(1−p̂) / (s − 1)` (Cochran Eq. 3.8 adapted to proportions).
+    ///
+    /// Returns `0.0` when the sample has fewer than two items (no information about
+    /// spread) or when the whole stratum was sampled.
+    pub fn proportion_variance(&self) -> f64 {
+        let s = self.sample.sample_size;
+        if s < 2 || self.population_size == 0 {
+            return 0.0;
+        }
+        let p = self.estimated_proportion();
+        let fpc = 1.0 - s as f64 / self.population_size as f64;
+        (fpc.max(0.0)) * p * (1.0 - p) / (s as f64 - 1.0)
+    }
+
+    /// Variance of the estimated number of positives in the stratum
+    /// (`n_i² · Var(p̂_i)`).
+    pub fn positives_variance(&self) -> f64 {
+        let n = self.population_size as f64;
+        n * n * self.proportion_variance()
+    }
+
+    /// Degrees of freedom contributed by this stratum (`s_i − 1`, floored at 0).
+    pub fn degrees_of_freedom(&self) -> usize {
+        self.sample.sample_size.saturating_sub(1)
+    }
+}
+
+/// Aggregated stratified estimate of the number of positives in a union of strata.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratifiedEstimate {
+    /// Total population size of the aggregated strata.
+    pub population_size: usize,
+    /// Point estimate of the total number of positives.
+    pub estimated_positives: f64,
+    /// Standard deviation of the estimate.
+    pub std_dev: f64,
+    /// Pooled degrees of freedom (`Σ (s_i − 1)`).
+    pub degrees_of_freedom: usize,
+}
+
+impl StratifiedEstimate {
+    /// Aggregates an iterator of strata into a single estimate.
+    pub fn from_strata<'a>(strata: impl IntoIterator<Item = &'a Stratum>) -> Self {
+        let mut population_size = 0usize;
+        let mut estimated_positives = 0.0;
+        let mut variance = 0.0;
+        let mut degrees_of_freedom = 0usize;
+        for stratum in strata {
+            population_size += stratum.population_size;
+            estimated_positives += stratum.estimated_positives();
+            variance += stratum.positives_variance();
+            degrees_of_freedom += stratum.degrees_of_freedom();
+        }
+        Self {
+            population_size,
+            estimated_positives,
+            std_dev: variance.sqrt(),
+            degrees_of_freedom,
+        }
+    }
+
+    /// An estimate representing an empty union of strata.
+    pub fn empty() -> Self {
+        Self { population_size: 0, estimated_positives: 0.0, std_dev: 0.0, degrees_of_freedom: 0 }
+    }
+
+    /// Estimated proportion of positives in the aggregated population.
+    pub fn estimated_proportion(&self) -> f64 {
+        if self.population_size == 0 {
+            0.0
+        } else {
+            self.estimated_positives / self.population_size as f64
+        }
+    }
+
+    /// Student-t critical value for the requested two-sided confidence level.
+    ///
+    /// Falls back to the normal critical value when the degrees of freedom are
+    /// very large, and to a conservative `t` with 1 d.f. when no degrees of
+    /// freedom are available.
+    fn critical_value(&self, confidence: f64) -> Result<f64> {
+        if confidence <= 0.0 {
+            return Ok(0.0);
+        }
+        let df = self.degrees_of_freedom.max(1) as f64;
+        StudentT::new(df)?.two_sided_critical_value(confidence)
+    }
+
+    /// Lower confidence bound on the number of positives
+    /// (`lb(n⁺, confidence)` in Eq. 13–14 of the paper), clamped at zero.
+    pub fn lower_bound(&self, confidence: f64) -> Result<f64> {
+        let t = self.critical_value(confidence)?;
+        Ok((self.estimated_positives - t * self.std_dev).max(0.0))
+    }
+
+    /// Upper confidence bound on the number of positives
+    /// (`ub(n⁺, confidence)`), clamped at the population size.
+    pub fn upper_bound(&self, confidence: f64) -> Result<f64> {
+        let t = self.critical_value(confidence)?;
+        Ok((self.estimated_positives + t * self.std_dev).min(self.population_size as f64))
+    }
+
+    /// The symmetric two-sided confidence interval on the number of positives
+    /// (Eq. 12 of the paper).
+    pub fn confidence_interval(&self, confidence: f64) -> Result<crate::ConfidenceInterval> {
+        Ok(crate::ConfidenceInterval {
+            lower: self.lower_bound(confidence)?,
+            upper: self.upper_bound(confidence)?,
+            confidence,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_summary_validation() {
+        assert!(SampleSummary::new(10, 11).is_err());
+        assert!(SampleSummary::new(10, 10).is_ok());
+        assert_eq!(SampleSummary::new(0, 0).unwrap().proportion(), 0.0);
+        assert_eq!(SampleSummary::new(20, 5).unwrap().proportion(), 0.25);
+    }
+
+    #[test]
+    fn stratum_validation_and_estimates() {
+        let s = Stratum::new(200, SampleSummary::new(20, 10).unwrap()).unwrap();
+        assert_eq!(s.estimated_proportion(), 0.5);
+        assert_eq!(s.estimated_positives(), 100.0);
+        assert!(Stratum::new(10, SampleSummary::new(20, 5).unwrap()).is_err());
+    }
+
+    #[test]
+    fn fully_sampled_stratum_has_zero_variance() {
+        let s = Stratum::new(50, SampleSummary::new(50, 25).unwrap()).unwrap();
+        assert_eq!(s.proportion_variance(), 0.0);
+    }
+
+    #[test]
+    fn pure_stratum_has_zero_variance() {
+        // All sampled items positive → p̂(1-p̂) = 0.
+        let s = Stratum::new(500, SampleSummary::new(30, 30).unwrap()).unwrap();
+        assert_eq!(s.proportion_variance(), 0.0);
+    }
+
+    #[test]
+    fn variance_decreases_with_sample_size() {
+        let small = Stratum::new(1000, SampleSummary::new(10, 5).unwrap()).unwrap();
+        let large = Stratum::new(1000, SampleSummary::new(100, 50).unwrap()).unwrap();
+        assert!(large.proportion_variance() < small.proportion_variance());
+    }
+
+    #[test]
+    fn aggregate_point_estimate_is_sum_of_strata() {
+        let strata = vec![
+            Stratum::new(100, SampleSummary::new(10, 2).unwrap()).unwrap(),
+            Stratum::new(300, SampleSummary::new(30, 15).unwrap()).unwrap(),
+        ];
+        let est = StratifiedEstimate::from_strata(&strata);
+        assert_eq!(est.population_size, 400);
+        assert!((est.estimated_positives - (20.0 + 150.0)).abs() < 1e-12);
+        assert_eq!(est.degrees_of_freedom, 9 + 29);
+    }
+
+    #[test]
+    fn bounds_bracket_the_point_estimate_and_are_clamped() {
+        let strata =
+            vec![Stratum::new(1000, SampleSummary::new(50, 10).unwrap()).unwrap()];
+        let est = StratifiedEstimate::from_strata(&strata);
+        let lb = est.lower_bound(0.95).unwrap();
+        let ub = est.upper_bound(0.95).unwrap();
+        assert!(lb <= est.estimated_positives);
+        assert!(ub >= est.estimated_positives);
+        assert!(lb >= 0.0);
+        assert!(ub <= 1000.0);
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_interval() {
+        let strata =
+            vec![Stratum::new(1000, SampleSummary::new(40, 12).unwrap()).unwrap()];
+        let est = StratifiedEstimate::from_strata(&strata);
+        let narrow = est.confidence_interval(0.8).unwrap();
+        let wide = est.confidence_interval(0.99).unwrap();
+        assert!(wide.width() > narrow.width());
+    }
+
+    #[test]
+    fn empty_estimate_is_all_zero() {
+        let est = StratifiedEstimate::empty();
+        assert_eq!(est.estimated_positives, 0.0);
+        assert_eq!(est.lower_bound(0.9).unwrap(), 0.0);
+        assert_eq!(est.upper_bound(0.9).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn zero_confidence_collapses_to_point_estimate() {
+        let strata =
+            vec![Stratum::new(500, SampleSummary::new(25, 5).unwrap()).unwrap()];
+        let est = StratifiedEstimate::from_strata(&strata);
+        assert_eq!(est.lower_bound(0.0).unwrap(), est.estimated_positives);
+        assert_eq!(est.upper_bound(0.0).unwrap(), est.estimated_positives);
+    }
+}

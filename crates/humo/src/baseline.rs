@@ -1,0 +1,397 @@
+//! The conservative baseline optimizer (Section V of the paper, "BASE").
+//!
+//! BASE relies purely on the *monotonicity of precision* assumption. Starting
+//! from an initial medium boundary it alternately extends the human region `DH`
+//! upwards (to secure precision) and downwards (to secure recall). The match
+//! proportion observed in the just-verified border region of `DH` is used as a
+//! bound on the unexplored tail:
+//!
+//! * the top of `DH` lies *below* every pair of `D⁺`, so its observed match
+//!   proportion is a lower bound on `D⁺`'s match proportion (Eq. 6/7);
+//! * the bottom of `DH` lies *above* every pair of `D⁻`, so its observed match
+//!   proportion is an upper bound on `D⁻`'s match proportion (Eq. 8/9).
+//!
+//! Because the bounds hold whenever monotonicity holds, the returned solution
+//! satisfies the precision and recall requirements with 100 % confidence under
+//! that assumption (Theorem 1) — at the price of a conservative, usually
+//! larger-than-necessary `DH`.
+//!
+//! Following the paper's implementation notes, the border match proportions are
+//! averaged over a handful of consecutive movement units (3–10) rather than a
+//! single one, to smooth out the distribution irregularity of matching pairs.
+
+use crate::optimizer::Optimizer;
+use crate::oracle::Oracle;
+use crate::requirement::QualityRequirement;
+use crate::solution::{HumoSolution, OptimizationOutcome};
+use crate::{HumoError, Result};
+use er_core::workload::Workload;
+
+/// Where the BASE search places its initial (empty) human region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitialBoundary {
+    /// Start at the first pair whose similarity is at least this value
+    /// (the paper's "boundary value of a classifier").
+    Similarity(f64),
+    /// Start at the median pair of the workload.
+    MedianIndex,
+    /// Start at an explicit workload index.
+    Index(usize),
+}
+
+impl InitialBoundary {
+    fn resolve(&self, workload: &Workload) -> usize {
+        match self {
+            InitialBoundary::Similarity(v) => workload.lower_bound_index(*v),
+            InitialBoundary::MedianIndex => workload.len() / 2,
+            InitialBoundary::Index(i) => (*i).min(workload.len()),
+        }
+    }
+}
+
+/// Configuration of the BASE optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineConfig {
+    /// The quality requirement to enforce.
+    pub requirement: QualityRequirement,
+    /// Number of pairs per boundary movement (the paper uses equal-pair-count
+    /// movements; its experiments use 200-pair subsets).
+    pub unit_size: usize,
+    /// Number of consecutive units whose observed match proportion is averaged
+    /// when bounding the unexplored tails (the paper recommends 3–10).
+    pub estimation_units: usize,
+    /// Where to start the search.
+    pub initial_boundary: InitialBoundary,
+}
+
+impl BaselineConfig {
+    /// Creates a configuration with the paper's defaults (200-pair units, a
+    /// 5-unit estimation window, starting at similarity 0.5).
+    pub fn new(requirement: QualityRequirement) -> Self {
+        Self {
+            requirement,
+            unit_size: 200,
+            estimation_units: 5,
+            initial_boundary: InitialBoundary::Similarity(0.5),
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.unit_size == 0 {
+            return Err(HumoError::InvalidConfig("unit size must be positive".to_string()));
+        }
+        if self.estimation_units == 0 {
+            return Err(HumoError::InvalidConfig(
+                "estimation window must cover at least one unit".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The BASE optimizer.
+#[derive(Debug, Clone)]
+pub struct BaselineOptimizer {
+    config: BaselineConfig,
+}
+
+impl BaselineOptimizer {
+    /// Creates a BASE optimizer, validating the configuration.
+    pub fn new(config: BaselineConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &BaselineConfig {
+        &self.config
+    }
+}
+
+/// Mutable state of a running BASE search.
+struct SearchState<'a> {
+    workload: &'a Workload,
+    /// Oracle labels of workload pairs gathered so far (indexed by workload position).
+    labels: Vec<Option<bool>>,
+    lower: usize,
+    upper: usize,
+    /// Matches observed so far inside `DH`.
+    matches_in_dh: usize,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(workload: &'a Workload, start: usize) -> Self {
+        Self {
+            workload,
+            labels: vec![None; workload.len()],
+            lower: start,
+            upper: start,
+            matches_in_dh: 0,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.workload.len()
+    }
+
+    fn dh_size(&self) -> usize {
+        self.upper - self.lower
+    }
+
+    /// Labels a range through the oracle, recording results and updating the
+    /// in-DH match counter.
+    fn label_range(&mut self, range: std::ops::Range<usize>, oracle: &mut dyn Oracle) {
+        for idx in range {
+            if self.labels[idx].is_none() {
+                let is_match = oracle.label(self.workload.pair(idx)).is_match();
+                self.labels[idx] = Some(is_match);
+            }
+            if self.labels[idx] == Some(true) {
+                self.matches_in_dh += 1;
+            }
+        }
+    }
+
+    fn observed_matches(&self, range: std::ops::Range<usize>) -> usize {
+        range.filter(|&i| self.labels[i] == Some(true)).count()
+    }
+
+    /// Match proportion of the top `window` pairs of `DH` (adjacent to `v⁺`).
+    fn border_proportion_upper(&self, window: usize) -> f64 {
+        let dh = self.dh_size();
+        if dh == 0 {
+            return 0.0;
+        }
+        let w = window.min(dh);
+        self.observed_matches(self.upper - w..self.upper) as f64 / w as f64
+    }
+
+    /// Match proportion of the bottom `window` pairs of `DH` (adjacent to `v⁻`).
+    fn border_proportion_lower(&self, window: usize) -> f64 {
+        let dh = self.dh_size();
+        if dh == 0 {
+            return 1.0;
+        }
+        let w = window.min(dh);
+        self.observed_matches(self.lower..self.lower + w) as f64 / w as f64
+    }
+}
+
+impl BaselineOptimizer {
+    /// Lower bound on the achieved precision with the current boundaries (Eq. 6).
+    fn precision_lower_bound(&self, state: &SearchState<'_>, window: usize) -> f64 {
+        let d_plus = state.n() - state.upper;
+        if d_plus == 0 {
+            return 1.0;
+        }
+        if state.dh_size() == 0 {
+            // Nothing verified yet: no evidence about D⁺.
+            return 0.0;
+        }
+        let r_plus = state.border_proportion_upper(window);
+        let m_h = state.matches_in_dh as f64;
+        (m_h + d_plus as f64 * r_plus) / (m_h + d_plus as f64)
+    }
+
+    /// Lower bound on the achieved recall with the current boundaries (Eq. 8).
+    fn recall_lower_bound(&self, state: &SearchState<'_>, window: usize) -> f64 {
+        let d_minus = state.lower;
+        if d_minus == 0 {
+            return 1.0;
+        }
+        if state.dh_size() == 0 {
+            return 0.0;
+        }
+        let d_plus = state.n() - state.upper;
+        let r_plus =
+            if d_plus == 0 { 0.0 } else { state.border_proportion_upper(window) };
+        let r_minus = state.border_proportion_lower(window);
+        let found = state.matches_in_dh as f64 + d_plus as f64 * r_plus;
+        let missed_upper_bound = d_minus as f64 * r_minus;
+        if found + missed_upper_bound == 0.0 {
+            return 1.0;
+        }
+        found / (found + missed_upper_bound)
+    }
+
+    fn search(&self, workload: &Workload, oracle: &mut dyn Oracle) -> HumoSolution {
+        let cfg = &self.config;
+        let n = workload.len();
+        let start = cfg.initial_boundary.resolve(workload);
+        let mut state = SearchState::new(workload, start);
+        let window = cfg.estimation_units * cfg.unit_size;
+        let alpha = cfg.requirement.precision();
+        let beta = cfg.requirement.recall();
+
+        loop {
+            let precision_ok = self.precision_lower_bound(&state, window) >= alpha;
+            let recall_ok = self.recall_lower_bound(&state, window) >= beta;
+            if precision_ok && recall_ok {
+                break;
+            }
+            let mut progressed = false;
+            // Alternate: extend v⁺ right for precision, then v⁻ left for recall.
+            if !precision_ok && state.upper < n {
+                let new_upper = (state.upper + cfg.unit_size).min(n);
+                state.label_range(state.upper..new_upper, oracle);
+                state.upper = new_upper;
+                progressed = true;
+            }
+            if !recall_ok && state.lower > 0 {
+                let new_lower = state.lower.saturating_sub(cfg.unit_size);
+                state.label_range(new_lower..state.lower, oracle);
+                state.lower = new_lower;
+                progressed = true;
+            }
+            if !progressed {
+                // Both unsatisfied boundaries are already at the workload edges;
+                // their requirements are vacuously met (empty D⁻ / D⁺).
+                break;
+            }
+        }
+        HumoSolution::new(state.lower, state.upper, n)
+    }
+}
+
+impl Optimizer for BaselineOptimizer {
+    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+        if workload.is_empty() {
+            return Err(HumoError::InvalidWorkload(
+                "cannot optimize an empty workload".to_string(),
+            ));
+        }
+        let solution = self.search(workload, oracle);
+        OptimizationOutcome::from_solution(solution, workload, oracle)
+    }
+
+    fn name(&self) -> &'static str {
+        "BASE"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn monotone_workload(n: usize) -> Workload {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_pairs: n,
+            tau: 14.0,
+            sigma: 0.05,
+            subset_size: 200,
+            seed: 3,
+        })
+        .generate()
+    }
+
+    fn run_base(workload: &Workload, level: f64) -> OptimizationOutcome {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+        let mut config = BaselineConfig::new(requirement);
+        config.unit_size = 100;
+        let optimizer = BaselineOptimizer::new(config).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        optimizer.optimize(workload, &mut oracle).unwrap()
+    }
+
+    #[test]
+    fn meets_requirements_on_a_monotone_workload() {
+        let w = monotone_workload(20_000);
+        for level in [0.8, 0.9, 0.95] {
+            let outcome = run_base(&w, level);
+            assert!(
+                outcome.metrics.precision() >= level,
+                "precision {} below requirement {level}",
+                outcome.metrics.precision()
+            );
+            assert!(
+                outcome.metrics.recall() >= level,
+                "recall {} below requirement {level}",
+                outcome.metrics.recall()
+            );
+        }
+    }
+
+    #[test]
+    fn human_cost_is_partial_and_grows_with_requirement() {
+        let w = monotone_workload(20_000);
+        let low = run_base(&w, 0.75);
+        let high = run_base(&w, 0.95);
+        assert!(low.total_human_cost > 0);
+        assert!(low.total_human_cost < w.len());
+        assert!(
+            high.total_human_cost >= low.total_human_cost,
+            "stricter requirements should not need less human work ({} vs {})",
+            high.total_human_cost,
+            low.total_human_cost
+        );
+    }
+
+    #[test]
+    fn base_has_no_sampling_overhead() {
+        // Every pair BASE labels ends up inside DH.
+        let w = monotone_workload(10_000);
+        let outcome = run_base(&w, 0.9);
+        assert_eq!(outcome.sampling_cost, 0);
+        assert_eq!(outcome.total_human_cost, outcome.verification_cost);
+    }
+
+    #[test]
+    fn trivial_requirement_needs_little_work() {
+        let w = monotone_workload(10_000);
+        let outcome = run_base(&w, 0.05);
+        // With a near-zero requirement almost nothing needs verification.
+        assert!(outcome.total_human_cost <= w.len() / 10);
+    }
+
+    #[test]
+    fn all_boundary_variants_resolve() {
+        let w = monotone_workload(5_000);
+        for boundary in [
+            InitialBoundary::Similarity(0.5),
+            InitialBoundary::MedianIndex,
+            InitialBoundary::Index(1_000),
+            InitialBoundary::Index(usize::MAX),
+        ] {
+            let mut config = BaselineConfig::new(QualityRequirement::symmetric(0.85).unwrap());
+            config.initial_boundary = boundary;
+            config.unit_size = 100;
+            let optimizer = BaselineOptimizer::new(config).unwrap();
+            let mut oracle = GroundTruthOracle::new();
+            let outcome = optimizer.optimize(&w, &mut oracle).unwrap();
+            assert!(outcome.metrics.precision() >= 0.85);
+            assert!(outcome.metrics.recall() >= 0.85);
+        }
+    }
+
+    #[test]
+    fn degenerate_workloads_are_handled() {
+        // All matches.
+        let w = Workload::from_scores((0..500).map(|i| (i as f64 / 500.0, true))).unwrap();
+        let outcome = run_base(&w, 0.9);
+        assert!(outcome.metrics.recall() >= 0.9);
+        // All non-matches.
+        let w = Workload::from_scores((0..500).map(|i| (i as f64 / 500.0, false))).unwrap();
+        let outcome = run_base(&w, 0.9);
+        assert!(outcome.metrics.precision() >= 0.9);
+        // Empty workload is rejected.
+        let empty = Workload::from_pairs(vec![]).unwrap();
+        let optimizer =
+            BaselineOptimizer::new(BaselineConfig::new(QualityRequirement::symmetric(0.9).unwrap()))
+                .unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        assert!(optimizer.optimize(&empty, &mut oracle).is_err());
+    }
+
+    #[test]
+    fn invalid_configuration_is_rejected() {
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let mut config = BaselineConfig::new(requirement);
+        config.unit_size = 0;
+        assert!(BaselineOptimizer::new(config).is_err());
+        let mut config = BaselineConfig::new(requirement);
+        config.estimation_units = 0;
+        assert!(BaselineOptimizer::new(config).is_err());
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for the HUMO framework.
+
+/// Errors raised by the `humo` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HumoError {
+    /// A quality requirement or optimizer configuration was invalid.
+    InvalidConfig(String),
+    /// The supplied workload cannot be optimized (e.g. it is empty).
+    InvalidWorkload(String),
+    /// An internal statistical computation failed.
+    Stats(String),
+    /// An error bubbled up from the `er-core` substrate.
+    Core(String),
+}
+
+impl std::fmt::Display for HumoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HumoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HumoError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            HumoError::Stats(msg) => write!(f, "statistics error: {msg}"),
+            HumoError::Core(msg) => write!(f, "core error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HumoError {}
+
+impl From<er_stats::StatsError> for HumoError {
+    fn from(e: er_stats::StatsError) -> Self {
+        HumoError::Stats(e.to_string())
+    }
+}
+
+impl From<er_core::ErError> for HumoError {
+    fn from(e: er_core::ErError) -> Self {
+        HumoError::Core(e.to_string())
+    }
+}

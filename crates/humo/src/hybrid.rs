@@ -1,0 +1,409 @@
+//! The hybrid optimizer — the paper's "HYBR" (Section VII).
+//!
+//! The baseline bounds (monotonicity) and the sampling bounds (GP posterior) each
+//! have regimes where they are the tighter one: BASE wins when the match
+//! proportion curve is flat near the boundaries (sampling margins stay wide),
+//! SAMP wins when it is steep (the monotonicity bound is far too conservative).
+//! HYBR therefore:
+//!
+//! 1. runs the SAMP estimation phase and takes its solution `S0 = [D_i, D_j]` as a
+//!    fallback that is already certified at confidence θ;
+//! 2. restarts the human region from the single median subset of `S0` and grows it
+//!    outwards like BASE, but at every step certifies precision/recall using the
+//!    **better** of the baseline estimate and the GP estimate;
+//! 3. never grows beyond `S0`, so the result costs at most as much as SAMP's.
+
+use crate::optimizer::Optimizer;
+use crate::oracle::Oracle;
+use crate::requirement::QualityRequirement;
+use crate::sampling::{MatchCountEstimator, PartialSamplingConfig, PartialSamplingOptimizer};
+use crate::solution::{HumoSolution, OptimizationOutcome};
+use crate::{HumoError, Result};
+use er_core::workload::{SubsetPartition, Workload};
+
+/// Configuration of the HYBR optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// Configuration of the embedded SAMP estimation phase.
+    pub sampling: PartialSamplingConfig,
+    /// Number of consecutive subsets averaged for the baseline-style boundary
+    /// estimates (the paper recommends 3–10).
+    pub estimation_units: usize,
+}
+
+impl HybridConfig {
+    /// Creates a configuration with the paper's defaults.
+    pub fn new(requirement: QualityRequirement) -> Self {
+        Self { sampling: PartialSamplingConfig::new(requirement), estimation_units: 5 }
+    }
+
+    /// Returns a copy with a different seed (used to average over runs).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.sampling.seed = seed;
+        self
+    }
+
+    /// The quality requirement being enforced.
+    pub fn requirement(&self) -> &QualityRequirement {
+        &self.sampling.requirement
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.estimation_units == 0 {
+            return Err(HumoError::InvalidConfig(
+                "estimation window must cover at least one subset".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The HYBR optimizer.
+#[derive(Debug, Clone)]
+pub struct HybridOptimizer {
+    config: HybridConfig,
+    sampler: PartialSamplingOptimizer,
+}
+
+impl HybridOptimizer {
+    /// Creates a HYBR optimizer, validating the configuration.
+    pub fn new(config: HybridConfig) -> Result<Self> {
+        config.validate()?;
+        let sampler = PartialSamplingOptimizer::new(config.sampling)?;
+        Ok(Self { config, sampler })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HybridConfig {
+        &self.config
+    }
+}
+
+/// Mutable state of the HYBR refinement loop. The human region spans the subsets
+/// `[lower_subset, upper_subset)` of the partition; all of its pairs have been
+/// labeled through the oracle.
+struct RefineState<'a> {
+    workload: &'a Workload,
+    partition: &'a SubsetPartition,
+    labels: Vec<Option<bool>>,
+    lower_subset: usize,
+    upper_subset: usize,
+    matches_in_dh: usize,
+}
+
+impl<'a> RefineState<'a> {
+    fn new(workload: &'a Workload, partition: &'a SubsetPartition, start_subset: usize) -> Self {
+        Self {
+            workload,
+            partition,
+            labels: vec![None; workload.len()],
+            lower_subset: start_subset,
+            upper_subset: start_subset,
+            matches_in_dh: 0,
+        }
+    }
+
+    fn dh_subsets(&self) -> usize {
+        self.upper_subset - self.lower_subset
+    }
+
+    fn label_subset(&mut self, subset: usize, oracle: &mut dyn Oracle) {
+        for idx in self.partition.subset(subset).range() {
+            if self.labels[idx].is_none() {
+                let is_match = oracle.label(self.workload.pair(idx)).is_match();
+                self.labels[idx] = Some(is_match);
+            }
+            if self.labels[idx] == Some(true) {
+                self.matches_in_dh += 1;
+            }
+        }
+    }
+
+    fn observed_matches(&self, subsets: std::ops::Range<usize>) -> usize {
+        if subsets.is_empty() {
+            return 0;
+        }
+        let range = self.partition.range_of(subsets.start, subsets.end - 1);
+        range.filter(|&i| self.labels[i] == Some(true)).count()
+    }
+
+    fn pairs_in(&self, subsets: std::ops::Range<usize>) -> usize {
+        if subsets.is_empty() {
+            return 0;
+        }
+        self.partition.range_of(subsets.start, subsets.end - 1).len()
+    }
+
+    /// Observed match proportion of the `window` DH subsets adjacent to `v⁺`.
+    fn border_proportion_upper(&self, window: usize) -> f64 {
+        if self.dh_subsets() == 0 {
+            return 0.0;
+        }
+        let w = window.min(self.dh_subsets());
+        let range = (self.upper_subset - w)..self.upper_subset;
+        let pairs = self.pairs_in(range.clone());
+        if pairs == 0 {
+            0.0
+        } else {
+            self.observed_matches(range) as f64 / pairs as f64
+        }
+    }
+
+    /// Observed match proportion of the `window` DH subsets adjacent to `v⁻`.
+    fn border_proportion_lower(&self, window: usize) -> f64 {
+        if self.dh_subsets() == 0 {
+            return 1.0;
+        }
+        let w = window.min(self.dh_subsets());
+        let range = self.lower_subset..(self.lower_subset + w);
+        let pairs = self.pairs_in(range.clone());
+        if pairs == 0 {
+            1.0
+        } else {
+            self.observed_matches(range) as f64 / pairs as f64
+        }
+    }
+}
+
+impl HybridOptimizer {
+    /// Lower bound on the number of matches in `D⁺`, taking the better (larger) of
+    /// the monotonicity-based and GP-based estimates.
+    fn plus_matches_lower_bound(
+        &self,
+        state: &RefineState<'_>,
+        estimator: &dyn MatchCountEstimator,
+        num_subsets: usize,
+        confidence: f64,
+    ) -> f64 {
+        let d_plus = state.pairs_in(state.upper_subset..num_subsets) as f64;
+        if d_plus == 0.0 {
+            return 0.0;
+        }
+        let base = d_plus * state.border_proportion_upper(self.config.estimation_units);
+        let samp = estimator.lower_bound(state.upper_subset..num_subsets, confidence);
+        base.max(samp).min(d_plus)
+    }
+
+    /// Upper bound on the number of matches in `D⁻`, taking the better (smaller) of
+    /// the monotonicity-based and GP-based estimates.
+    fn minus_matches_upper_bound(
+        &self,
+        state: &RefineState<'_>,
+        estimator: &dyn MatchCountEstimator,
+        confidence: f64,
+    ) -> f64 {
+        let d_minus = state.pairs_in(0..state.lower_subset) as f64;
+        if d_minus == 0.0 {
+            return 0.0;
+        }
+        let base = d_minus * state.border_proportion_lower(self.config.estimation_units);
+        let samp = estimator.upper_bound(0..state.lower_subset, confidence);
+        base.min(samp).max(0.0)
+    }
+
+    fn precision_satisfied(
+        &self,
+        state: &RefineState<'_>,
+        estimator: &dyn MatchCountEstimator,
+        num_subsets: usize,
+        confidence: f64,
+    ) -> bool {
+        let alpha = self.config.requirement().precision();
+        let d_plus = state.pairs_in(state.upper_subset..num_subsets) as f64;
+        if d_plus == 0.0 {
+            return true;
+        }
+        if state.dh_subsets() == 0 {
+            return false;
+        }
+        let m_h = state.matches_in_dh as f64;
+        let lb_plus = self.plus_matches_lower_bound(state, estimator, num_subsets, confidence);
+        (m_h + lb_plus) / (m_h + d_plus) >= alpha
+    }
+
+    fn recall_satisfied(
+        &self,
+        state: &RefineState<'_>,
+        estimator: &dyn MatchCountEstimator,
+        num_subsets: usize,
+        confidence: f64,
+    ) -> bool {
+        let beta = self.config.requirement().recall();
+        let d_minus = state.pairs_in(0..state.lower_subset) as f64;
+        if d_minus == 0.0 {
+            return true;
+        }
+        if state.dh_subsets() == 0 {
+            return false;
+        }
+        let m_h = state.matches_in_dh as f64;
+        let lb_plus = self.plus_matches_lower_bound(state, estimator, num_subsets, confidence);
+        let ub_minus = self.minus_matches_upper_bound(state, estimator, confidence);
+        let found = m_h + lb_plus;
+        if found + ub_minus == 0.0 {
+            return true;
+        }
+        found / (found + ub_minus) >= beta
+    }
+}
+
+impl Optimizer for HybridOptimizer {
+    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+        // Phase 1: SAMP estimation gives the certified fallback solution S0.
+        let plan = self.sampler.plan(workload, oracle)?;
+        let (s0_lo, s0_hi) = plan.subset_bounds;
+        let num_subsets = plan.partition.len();
+        if s0_hi <= s0_lo {
+            // SAMP already proved that no human region is needed.
+            let solution = plan.solution(workload);
+            return OptimizationOutcome::from_solution(solution, workload, oracle);
+        }
+
+        // Phase 2: restart from the median subset of S0 and grow outwards using
+        // the better of both estimates, never exceeding S0.
+        let confidence = self.config.requirement().split_confidence();
+        let start = s0_lo + (s0_hi - s0_lo) / 2;
+        let mut state = RefineState::new(workload, &plan.partition, start);
+        state.label_subset(start, oracle);
+        state.upper_subset = start + 1;
+
+        loop {
+            let precision_ok =
+                self.precision_satisfied(&state, &plan.estimator, num_subsets, confidence);
+            let recall_ok = self.recall_satisfied(&state, &plan.estimator, num_subsets, confidence);
+            if precision_ok && recall_ok {
+                break;
+            }
+            let mut progressed = false;
+            if !precision_ok && state.upper_subset < s0_hi {
+                state.label_subset(state.upper_subset, oracle);
+                state.upper_subset += 1;
+                progressed = true;
+            }
+            if !recall_ok && state.lower_subset > s0_lo {
+                state.label_subset(state.lower_subset - 1, oracle);
+                state.lower_subset -= 1;
+                progressed = true;
+            }
+            if !progressed {
+                // Both boundaries have hit S0's edges: fall back to S0, which the
+                // sampling phase already certified.
+                break;
+            }
+        }
+
+        let lower_index = plan.partition.subset(state.lower_subset).range().start;
+        let upper_index = if state.upper_subset == 0 {
+            lower_index
+        } else {
+            plan.partition.subset(state.upper_subset - 1).range().end
+        };
+        let solution = HumoSolution::new(lower_index, upper_index, workload.len());
+        OptimizationOutcome::from_solution(solution, workload, oracle)
+    }
+
+    fn name(&self) -> &'static str {
+        "HYBR"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use crate::sampling::PartialSamplingOptimizer;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn workload(n: usize, tau: f64, sigma: f64, seed: u64) -> Workload {
+        SyntheticGenerator::new(SyntheticConfig { num_pairs: n, tau, sigma, subset_size: 200, seed })
+            .generate()
+    }
+
+    fn run_hybrid(w: &Workload, level: f64, seed: u64) -> OptimizationOutcome {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+        let optimizer = HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed)).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        optimizer.optimize(w, &mut oracle).unwrap()
+    }
+
+    fn run_samp(w: &Workload, level: f64, seed: u64) -> OptimizationOutcome {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+        let optimizer =
+            PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement).with_seed(seed))
+                .unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        optimizer.optimize(w, &mut oracle).unwrap()
+    }
+
+    #[test]
+    fn meets_the_requirement_with_high_success_rate() {
+        let w = workload(40_000, 14.0, 0.1, 29);
+        let runs = 10;
+        let mut successes = 0;
+        for seed in 0..runs {
+            let outcome = run_hybrid(&w, 0.9, seed);
+            if outcome.metrics.precision() >= 0.9 && outcome.metrics.recall() >= 0.9 {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= runs - 1,
+            "HYBR met the requirement only {successes}/{runs} times"
+        );
+    }
+
+    #[test]
+    fn never_costs_more_than_samp_with_the_same_seed() {
+        let w = workload(40_000, 14.0, 0.1, 31);
+        for seed in 0..5 {
+            let hybr = run_hybrid(&w, 0.9, seed);
+            let samp = run_samp(&w, 0.9, seed);
+            assert!(
+                hybr.total_human_cost <= samp.total_human_cost,
+                "seed {seed}: HYBR cost {} exceeds SAMP cost {}",
+                hybr.total_human_cost,
+                samp.total_human_cost
+            );
+        }
+    }
+
+    #[test]
+    fn handles_flat_and_steep_curves() {
+        // Flat curve (τ = 8, harder) and steep curve (τ = 18, easier); HYBR should
+        // meet the requirement on both and need less work on the steep one.
+        let flat = workload(30_000, 8.0, 0.1, 37);
+        let steep = workload(30_000, 18.0, 0.1, 37);
+        let flat_outcome = run_hybrid(&flat, 0.9, 1);
+        let steep_outcome = run_hybrid(&steep, 0.9, 1);
+        assert!(flat_outcome.metrics.precision() >= 0.9);
+        assert!(flat_outcome.metrics.recall() >= 0.9);
+        assert!(steep_outcome.metrics.precision() >= 0.9);
+        assert!(steep_outcome.metrics.recall() >= 0.9);
+        assert!(
+            steep_outcome.total_human_cost < flat_outcome.total_human_cost,
+            "steep workload should need less human work ({} vs {})",
+            steep_outcome.total_human_cost,
+            flat_outcome.total_human_cost
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let mut config = HybridConfig::new(requirement);
+        config.estimation_units = 0;
+        assert!(HybridOptimizer::new(config).is_err());
+        let mut config = HybridConfig::new(requirement);
+        config.sampling.unit_size = 0;
+        assert!(HybridOptimizer::new(config).is_err());
+    }
+
+    #[test]
+    fn empty_workload_is_rejected() {
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let optimizer = HybridOptimizer::new(HybridConfig::new(requirement)).unwrap();
+        let empty = Workload::from_pairs(vec![]).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        assert!(optimizer.optimize(&empty, &mut oracle).is_err());
+    }
+}

@@ -1,0 +1,83 @@
+//! HUMO — a HUman and Machine cOoperation framework for entity resolution with
+//! quality guarantees.
+//!
+//! This crate is a from-scratch implementation of the framework described in
+//! *"Enabling Quality Control for Entity Resolution: A Human and Machine
+//! Cooperation Framework"* (Chen et al., ICDE 2018). Given an ER workload of
+//! instance pairs scored by a machine metric (pair similarity, SVM distance,
+//! match probability, …), HUMO divides the metric axis into three zones:
+//!
+//! ```text
+//!     0 ──────────── v⁻ ═════════════ v⁺ ──────────── 1
+//!        D⁻ (machine:          DH             D⁺ (machine:
+//!        label unmatch)   (human verifies)    label match)
+//! ```
+//!
+//! and chooses `v⁻`/`v⁺` so that user-specified **precision** (α), **recall** (β)
+//! and **confidence** (θ) requirements are met while the number of manually
+//! verified pairs — the human cost — is minimized.
+//!
+//! Three optimizers are provided, mirroring the paper:
+//!
+//! * [`BaselineOptimizer`] (Section V) — conservative, relies only on the
+//!   monotonicity-of-precision assumption, guarantees the requirement with 100 %
+//!   confidence when monotonicity holds;
+//! * [`PartialSamplingOptimizer`] (Section VI-B, "SAMP") — samples a small
+//!   fraction of similarity-ordered subsets, fits a Gaussian-process regression
+//!   of the match-proportion function, and derives confidence bounds from the GP
+//!   posterior; [`AllSamplingOptimizer`] (Section VI-A) is the simpler variant
+//!   that samples every subset;
+//! * [`HybridOptimizer`] (Section VII, "HYBR") — starts from a SAMP solution and
+//!   shrinks the human region using the better of the baseline and sampling
+//!   estimates at every step.
+//!
+//! # Quick example
+//!
+//! ```
+//! use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+//! use humo::{GroundTruthOracle, HybridConfig, HybridOptimizer, Optimizer, QualityRequirement};
+//!
+//! // A 20k-pair workload whose match proportion follows the paper's logistic curve.
+//! let workload = SyntheticGenerator::new(SyntheticConfig::new(20_000, 14.0, 0.1)).generate();
+//!
+//! // Require precision >= 0.9 and recall >= 0.9 with 90% confidence.
+//! let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+//! let optimizer = HybridOptimizer::new(HybridConfig::new(requirement)).unwrap();
+//!
+//! let mut oracle = GroundTruthOracle::new();
+//! let outcome = optimizer.optimize(&workload, &mut oracle).unwrap();
+//!
+//! assert!(outcome.metrics.precision() >= 0.9);
+//! assert!(outcome.metrics.recall() >= 0.9);
+//! println!(
+//!     "human cost: {} pairs ({:.1}% of the workload)",
+//!     outcome.total_human_cost,
+//!     100.0 * outcome.human_cost_fraction(workload.len())
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod error;
+pub mod hybrid;
+pub mod optimizer;
+pub mod oracle;
+pub mod requirement;
+pub mod sampling;
+pub mod solution;
+
+pub use baseline::{BaselineConfig, BaselineOptimizer, InitialBoundary};
+pub use error::HumoError;
+pub use hybrid::{HybridConfig, HybridOptimizer};
+pub use optimizer::{Optimizer, OptimizerKind};
+pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
+pub use requirement::QualityRequirement;
+pub use sampling::{
+    AllSamplingConfig, AllSamplingOptimizer, PartialSamplingConfig, PartialSamplingOptimizer,
+};
+pub use solution::{HumoSolution, OptimizationOutcome};
+
+/// Convenience result alias for fallible operations in this crate.
+pub type Result<T> = std::result::Result<T, HumoError>;

@@ -1,0 +1,166 @@
+//! The human oracle: the source of manual labels, with cost accounting.
+//!
+//! The paper quantifies human cost as "the number of manually inspected instance
+//! pairs". Every optimizer in this crate therefore routes all of its manual
+//! labelling — interval verification in BASE/HYBR, subset sampling in SAMP, and
+//! the final verification of the human region `DH` — through an [`Oracle`], which
+//! deduplicates repeated requests for the same pair and reports the number of
+//! distinct pairs inspected.
+//!
+//! Two oracles are provided:
+//!
+//! * [`GroundTruthOracle`] — the paper's operating assumption (Section IV-A):
+//!   manual labels are 100 % accurate;
+//! * [`NoisyOracle`] — flips each label with a configurable probability (but
+//!   answers consistently when asked about the same pair twice), used by the
+//!   failure-injection tests to study what happens when the human is imperfect.
+
+use er_core::workload::{InstancePair, Label, PairId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A source of manual labels with cost accounting.
+pub trait Oracle {
+    /// Manually labels an instance pair. Asking about the same pair twice must
+    /// not increase the reported cost.
+    fn label(&mut self, pair: &InstancePair) -> Label;
+
+    /// Number of *distinct* pairs labeled so far — the human cost.
+    fn labels_issued(&self) -> usize;
+}
+
+/// A perfect human: returns the ground-truth label of every pair.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruthOracle {
+    labeled: BTreeMap<PairId, Label>,
+}
+
+impl GroundTruthOracle {
+    /// Creates a fresh oracle with zero cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Oracle for GroundTruthOracle {
+    fn label(&mut self, pair: &InstancePair) -> Label {
+        *self.labeled.entry(pair.id()).or_insert_with(|| pair.ground_truth())
+    }
+
+    fn labels_issued(&self) -> usize {
+        self.labeled.len()
+    }
+}
+
+/// An imperfect human: flips the ground-truth label with probability `error_rate`,
+/// but always answers consistently for the same pair.
+#[derive(Debug, Clone)]
+pub struct NoisyOracle {
+    error_rate: f64,
+    rng: StdRng,
+    labeled: BTreeMap<PairId, Label>,
+}
+
+impl NoisyOracle {
+    /// Creates a noisy oracle with the given per-pair error probability.
+    ///
+    /// # Panics
+    /// Panics if `error_rate` is not in `[0, 1]`.
+    pub fn new(error_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&error_rate),
+            "error rate must be in [0,1], got {error_rate}"
+        );
+        Self { error_rate, rng: StdRng::seed_from_u64(seed), labeled: BTreeMap::new() }
+    }
+
+    /// The configured error rate.
+    pub fn error_rate(&self) -> f64 {
+        self.error_rate
+    }
+}
+
+impl Oracle for NoisyOracle {
+    fn label(&mut self, pair: &InstancePair) -> Label {
+        let error_rate = self.error_rate;
+        let rng = &mut self.rng;
+        *self.labeled.entry(pair.id()).or_insert_with(|| {
+            let truth = pair.ground_truth();
+            if rng.gen_range(0.0..1.0) < error_rate {
+                match truth {
+                    Label::Match => Label::Unmatch,
+                    Label::Unmatch => Label::Match,
+                }
+            } else {
+                truth
+            }
+        })
+    }
+
+    fn labels_issued(&self) -> usize {
+        self.labeled.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::workload::{InstancePair, PairId};
+
+    fn pair(id: u64, sim: f64, is_match: bool) -> InstancePair {
+        InstancePair::new(PairId(id), sim, Label::from_bool(is_match))
+    }
+
+    #[test]
+    fn ground_truth_oracle_returns_truth_and_counts_distinct_pairs() {
+        let mut oracle = GroundTruthOracle::new();
+        let a = pair(1, 0.9, true);
+        let b = pair(2, 0.1, false);
+        assert_eq!(oracle.label(&a), Label::Match);
+        assert_eq!(oracle.label(&b), Label::Unmatch);
+        assert_eq!(oracle.label(&a), Label::Match);
+        assert_eq!(oracle.labels_issued(), 2);
+    }
+
+    #[test]
+    fn noisy_oracle_is_consistent_per_pair() {
+        let mut oracle = NoisyOracle::new(0.5, 3);
+        let a = pair(7, 0.5, true);
+        let first = oracle.label(&a);
+        for _ in 0..10 {
+            assert_eq!(oracle.label(&a), first);
+        }
+        assert_eq!(oracle.labels_issued(), 1);
+    }
+
+    #[test]
+    fn noisy_oracle_with_zero_error_matches_ground_truth() {
+        let mut oracle = NoisyOracle::new(0.0, 3);
+        for i in 0..100 {
+            let p = pair(i, 0.5, i % 3 == 0);
+            assert_eq!(oracle.label(&p), p.ground_truth());
+        }
+    }
+
+    #[test]
+    fn noisy_oracle_error_rate_is_roughly_respected() {
+        let mut oracle = NoisyOracle::new(0.2, 5);
+        let mut errors = 0;
+        let n = 5_000;
+        for i in 0..n {
+            let p = pair(i, 0.5, i % 2 == 0);
+            if oracle.label(&p) != p.ground_truth() {
+                errors += 1;
+            }
+        }
+        let rate = errors as f64 / n as f64;
+        assert!((rate - 0.2).abs() < 0.03, "observed error rate {rate}");
+    }
+
+    #[test]
+    #[should_panic(expected = "error rate")]
+    fn noisy_oracle_rejects_invalid_error_rate() {
+        let _ = NoisyOracle::new(1.5, 1);
+    }
+}

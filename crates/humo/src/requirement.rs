@@ -1,0 +1,123 @@
+//! User-specified quality requirements.
+
+use crate::{HumoError, Result};
+
+/// A comprehensive ER quality requirement: precision ≥ α and recall ≥ β, each to
+/// be met with confidence ≥ θ (Definition 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityRequirement {
+    precision: f64,
+    recall: f64,
+    confidence: f64,
+}
+
+impl QualityRequirement {
+    /// Creates a requirement, validating that `precision` and `recall` lie in
+    /// `[0, 1]` and `confidence` in `[0, 1)`.
+    pub fn new(precision: f64, recall: f64, confidence: f64) -> Result<Self> {
+        for (name, value) in [("precision", precision), ("recall", recall)] {
+            if !(0.0..=1.0).contains(&value) || !value.is_finite() {
+                return Err(HumoError::InvalidConfig(format!(
+                    "{name} requirement must be in [0,1], got {value}"
+                )));
+            }
+        }
+        if !(0.0..1.0).contains(&confidence) {
+            return Err(HumoError::InvalidConfig(format!(
+                "confidence must be in [0,1), got {confidence}"
+            )));
+        }
+        Ok(Self { precision, recall, confidence })
+    }
+
+    /// A symmetric requirement with equal precision and recall levels and the
+    /// paper's default confidence of 0.9.
+    pub fn symmetric(level: f64) -> Result<Self> {
+        Self::new(level, level, 0.9)
+    }
+
+    /// The required precision level α.
+    pub fn precision(&self) -> f64 {
+        self.precision
+    }
+
+    /// The required recall level β.
+    pub fn recall(&self) -> f64 {
+        self.recall
+    }
+
+    /// The required confidence level θ.
+    pub fn confidence(&self) -> f64 {
+        self.confidence
+    }
+
+    /// The per-bound confidence `√θ` used when two independent bound estimates are
+    /// combined (Eq. 13 and Eq. 14 of the paper).
+    pub fn split_confidence(&self) -> f64 {
+        self.confidence.sqrt()
+    }
+
+    /// Whether a set of achieved quality metrics satisfies this requirement.
+    pub fn is_satisfied_by(&self, metrics: &er_core::workload::QualityMetrics) -> bool {
+        metrics.precision() >= self.precision && metrics.recall() >= self.recall
+    }
+}
+
+impl std::fmt::Display for QualityRequirement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "precision >= {:.2}, recall >= {:.2} @ confidence {:.2}",
+            self.precision, self.recall, self.confidence
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::workload::QualityMetrics;
+
+    #[test]
+    fn valid_requirements_are_accepted() {
+        let r = QualityRequirement::new(0.9, 0.85, 0.95).unwrap();
+        assert_eq!(r.precision(), 0.9);
+        assert_eq!(r.recall(), 0.85);
+        assert_eq!(r.confidence(), 0.95);
+        assert!((r.split_confidence() - 0.95_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_requirements_are_rejected() {
+        assert!(QualityRequirement::new(1.5, 0.9, 0.9).is_err());
+        assert!(QualityRequirement::new(0.9, -0.1, 0.9).is_err());
+        assert!(QualityRequirement::new(0.9, 0.9, 1.0).is_err());
+        assert!(QualityRequirement::new(f64::NAN, 0.9, 0.9).is_err());
+    }
+
+    #[test]
+    fn symmetric_constructor() {
+        let r = QualityRequirement::symmetric(0.8).unwrap();
+        assert_eq!(r.precision(), 0.8);
+        assert_eq!(r.recall(), 0.8);
+        assert_eq!(r.confidence(), 0.9);
+    }
+
+    #[test]
+    fn satisfaction_check() {
+        let r = QualityRequirement::new(0.8, 0.7, 0.9).unwrap();
+        // precision 0.9, recall 0.75
+        let good = QualityMetrics::from_counts(9, 1, 3, 10);
+        assert!(r.is_satisfied_by(&good));
+        // precision 0.5 fails
+        let bad = QualityMetrics::from_counts(5, 5, 0, 10);
+        assert!(!r.is_satisfied_by(&bad));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = QualityRequirement::symmetric(0.9).unwrap();
+        let s = format!("{r}");
+        assert!(s.contains("0.90"));
+    }
+}

@@ -1,0 +1,173 @@
+//! The all-sampling optimizer (Section VI-A).
+//!
+//! Samples a fixed number of pairs from *every* subset, aggregates the per-subset
+//! estimates with stratified-sampling theory, and searches for the smallest human
+//! region whose recall (Eq. 13) and precision (Eq. 14) bounds clear the
+//! requirement at confidence `θ` (using `√θ` per bound). Sampling every subset is
+//! what makes the approach expensive: the paper proposes the partial-sampling
+//! variant (`SAMP`) to cut that cost, and keeps this one as an internal baseline.
+
+use super::estimator::{search_subset_bounds, StratifiedCountEstimator};
+use super::sampler::SubsetSampler;
+use crate::optimizer::Optimizer;
+use crate::oracle::Oracle;
+use crate::requirement::QualityRequirement;
+use crate::solution::{HumoSolution, OptimizationOutcome};
+use crate::{HumoError, Result};
+use er_core::workload::Workload;
+
+/// Configuration of the all-sampling optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AllSamplingConfig {
+    /// The quality requirement to enforce.
+    pub requirement: QualityRequirement,
+    /// Number of pairs per similarity-ordered subset (the paper uses 200).
+    pub unit_size: usize,
+    /// Number of pairs sampled (and manually labeled) from each subset.
+    pub samples_per_subset: usize,
+    /// RNG seed for within-subset sampling.
+    pub seed: u64,
+}
+
+impl AllSamplingConfig {
+    /// Creates a configuration with the paper's defaults.
+    pub fn new(requirement: QualityRequirement) -> Self {
+        Self { requirement, unit_size: 200, samples_per_subset: 20, seed: 1 }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.unit_size == 0 {
+            return Err(HumoError::InvalidConfig("unit size must be positive".to_string()));
+        }
+        if self.samples_per_subset == 0 {
+            return Err(HumoError::InvalidConfig(
+                "samples per subset must be positive".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The all-sampling optimizer.
+#[derive(Debug, Clone)]
+pub struct AllSamplingOptimizer {
+    config: AllSamplingConfig,
+}
+
+impl AllSamplingOptimizer {
+    /// Creates an all-sampling optimizer, validating the configuration.
+    pub fn new(config: AllSamplingConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &AllSamplingConfig {
+        &self.config
+    }
+}
+
+impl Optimizer for AllSamplingOptimizer {
+    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+        if workload.is_empty() {
+            return Err(HumoError::InvalidWorkload(
+                "cannot optimize an empty workload".to_string(),
+            ));
+        }
+        let cfg = &self.config;
+        let partition = workload.partition(cfg.unit_size)?;
+        let mut sampler =
+            SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
+        let samples = sampler.sample_all(oracle);
+        let estimator = StratifiedCountEstimator::new(&partition, &samples);
+        let (lo, hi) = search_subset_bounds(&estimator, partition.len(), &cfg.requirement);
+
+        let lower_index =
+            if lo >= partition.len() { workload.len() } else { partition.subset(lo).range().start };
+        let upper_index =
+            if hi == 0 { 0 } else { partition.subset(hi - 1).range().end.max(lower_index) };
+        let solution = HumoSolution::new(lower_index, upper_index.max(lower_index), workload.len());
+        OptimizationOutcome::from_solution(solution, workload, oracle)
+    }
+
+    fn name(&self) -> &'static str {
+        "ALL-SAMP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn workload(n: usize, seed: u64) -> Workload {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_pairs: n,
+            tau: 14.0,
+            sigma: 0.1,
+            subset_size: 200,
+            seed,
+        })
+        .generate()
+    }
+
+    fn run(workload: &Workload, level: f64, seed: u64) -> OptimizationOutcome {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+        let mut config = AllSamplingConfig::new(requirement);
+        config.unit_size = 200;
+        config.samples_per_subset = 30;
+        config.seed = seed;
+        let optimizer = AllSamplingOptimizer::new(config).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        optimizer.optimize(workload, &mut oracle).unwrap()
+    }
+
+    #[test]
+    fn usually_meets_the_requirement_on_synthetic_workloads() {
+        let w = workload(30_000, 5);
+        let mut successes = 0;
+        let runs = 10;
+        for seed in 0..runs {
+            let outcome = run(&w, 0.9, seed);
+            if outcome.metrics.precision() >= 0.9 && outcome.metrics.recall() >= 0.9 {
+                successes += 1;
+            }
+        }
+        assert!(
+            successes >= runs - 2,
+            "all-sampling met the requirement only {successes}/{runs} times"
+        );
+    }
+
+    #[test]
+    fn sampling_cost_covers_every_subset() {
+        let w = workload(20_000, 7);
+        let outcome = run(&w, 0.9, 1);
+        let num_subsets = 20_000 / 200;
+        // At least one sampled pair per subset must be paid for (those outside DH
+        // count as sampling cost; those inside are folded into verification cost).
+        assert!(outcome.total_human_cost >= outcome.verification_cost);
+        assert!(outcome.sampling_cost > 0);
+        assert!(outcome.sampling_cost <= num_subsets * 30);
+    }
+
+    #[test]
+    fn rejects_invalid_configuration_and_empty_workloads() {
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        assert!(AllSamplingOptimizer::new(AllSamplingConfig {
+            unit_size: 0,
+            ..AllSamplingConfig::new(requirement)
+        })
+        .is_err());
+        assert!(AllSamplingOptimizer::new(AllSamplingConfig {
+            samples_per_subset: 0,
+            ..AllSamplingConfig::new(requirement)
+        })
+        .is_err());
+        let optimizer = AllSamplingOptimizer::new(AllSamplingConfig::new(requirement)).unwrap();
+        let empty = Workload::from_pairs(vec![]).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        assert!(optimizer.optimize(&empty, &mut oracle).is_err());
+    }
+}

@@ -1,0 +1,285 @@
+//! Gaussian-process match-count estimator over subset unions (Eq. 15–21).
+
+use super::estimator::MatchCountEstimator;
+use crate::{HumoError, Result};
+use er_core::workload::SubsetPartition;
+use er_stats::{GaussianProcess, GpConfig, Normal, SampleSummary};
+use std::collections::BTreeMap;
+
+/// Match-count estimator backed by a Gaussian-process regression of the
+/// match-proportion function.
+///
+/// The GP is trained on `(mean similarity, sampled match proportion)` points of
+/// the sampled subsets, then evaluated jointly at *every* subset's mean
+/// similarity. For a union of subsets `D*` the estimated number of matches is
+/// `n̄* = Σ nᵢ R̄ᵢ` (Eq. 19) with standard deviation
+/// `σ* = sqrt(Σᵢⱼ nᵢ nⱼ cov(vᵢ, vⱼ))` (Eq. 20), and the confidence interval uses
+/// the normal critical value `Z₁₋θ` (Eq. 21).
+///
+/// Range queries are O(1) thanks to precomputed prefix sums of the weighted
+/// means and a 2-D prefix table of the weighted posterior covariance.
+#[derive(Debug, Clone)]
+pub struct GpCountEstimator {
+    /// Prefix sums of subset sizes.
+    size_prefix: Vec<usize>,
+    /// Prefix sums of `nᵢ · R̄ᵢ` (clamped means).
+    mean_prefix: Vec<f64>,
+    /// 2-D prefix table of `nᵢ nⱼ cov(vᵢ, vⱼ)`, dimension `(m+1)²`, row-major.
+    cov_prefix: Vec<f64>,
+    /// Number of subsets `m`.
+    m: usize,
+}
+
+impl GpCountEstimator {
+    /// Fits a GP to the sampled subsets and precomputes the range-query tables.
+    ///
+    /// `samples` maps subset index → sample summary; at least two subsets must be
+    /// sampled.
+    pub fn fit(
+        partition: &SubsetPartition,
+        samples: &BTreeMap<usize, SampleSummary>,
+        gp_config: GpConfig,
+    ) -> Result<Self> {
+        if samples.len() < 2 {
+            return Err(HumoError::Stats(
+                "Gaussian-process estimation needs at least two sampled subsets".to_string(),
+            ));
+        }
+        let train_x: Vec<f64> =
+            samples.keys().map(|&i| partition.subset(i).mean_similarity()).collect();
+        let train_y: Vec<f64> = samples.values().map(|s| s.proportion()).collect();
+        let gp = GaussianProcess::fit(&train_x, &train_y, gp_config)?;
+        Ok(Self::from_gp(partition, &gp))
+    }
+
+    /// Builds the estimator from an already-fitted GP (used by Algorithm 1, which
+    /// refits the GP several times before the final bound search).
+    ///
+    /// The per-subset prediction variance combines the GP posterior covariance
+    /// (uncertainty about the smooth match-proportion *curve*) with the GP's
+    /// observation-noise variance (per-subset idiosyncratic deviation from that
+    /// curve plus within-subset sampling error), added independently on the
+    /// diagonal. Without the noise term the count bounds become overconfident on
+    /// workloads with irregular per-subset proportions (the paper's large-σ
+    /// regime, Figure 10).
+    pub fn from_gp(partition: &SubsetPartition, gp: &GaussianProcess) -> Self {
+        let noise = gp.noise_variance().max(0.0);
+        let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
+        Self::with_noise_model(partition, gp, &query, move |_| noise)
+    }
+
+    /// Builds the estimator with explicit per-subset GP inputs and an explicit
+    /// per-subset noise model.
+    ///
+    /// `query_inputs[i]` is the GP input coordinate of subset `i` (the partial
+    /// sampling optimizer regresses over the subset-rank coordinate so that
+    /// workloads whose pairs bunch up in a narrow similarity band are still well
+    /// conditioned). `noise_for(p)` returns the independent per-subset deviation
+    /// variance for a subset whose predicted match proportion is `p`; the
+    /// partial-sampling optimizer uses the binomial-style model `c · p(1−p)`
+    /// (with a small floor on `p`).
+    pub fn with_noise_model(
+        partition: &SubsetPartition,
+        gp: &GaussianProcess,
+        query_inputs: &[f64],
+        noise_for: impl Fn(f64) -> f64,
+    ) -> Self {
+        let m = partition.len();
+        assert_eq!(query_inputs.len(), m, "one GP input per subset is required");
+        let posterior = gp.predict_joint(query_inputs);
+        let sizes: Vec<usize> = partition.subsets().iter().map(|s| s.len()).collect();
+
+        let mut size_prefix = vec![0usize; m + 1];
+        let mut mean_prefix = vec![0.0f64; m + 1];
+        for i in 0..m {
+            size_prefix[i + 1] = size_prefix[i] + sizes[i];
+            let clamped_mean = posterior.mean[i].clamp(0.0, 1.0);
+            mean_prefix[i + 1] = mean_prefix[i] + sizes[i] as f64 * clamped_mean;
+        }
+
+        // cov_prefix[a * (m+1) + b] = Σ_{i<a, j<b} nᵢ nⱼ cov(vᵢ, vⱼ).
+        let stride = m + 1;
+        let mut cov_prefix = vec![0.0f64; stride * stride];
+        for a in 1..=m {
+            let wa = sizes[a - 1] as f64;
+            for b in 1..=m {
+                let wb = sizes[b - 1] as f64;
+                let mut cell = posterior.covariance[(a - 1, b - 1)];
+                if a == b {
+                    cell += noise_for(posterior.mean[a - 1].clamp(0.0, 1.0)).max(0.0);
+                }
+                let weighted = wa * wb * cell;
+                cov_prefix[a * stride + b] = cov_prefix[(a - 1) * stride + b]
+                    + cov_prefix[a * stride + (b - 1)]
+                    - cov_prefix[(a - 1) * stride + (b - 1)]
+                    + weighted;
+            }
+        }
+
+        Self { size_prefix, mean_prefix, cov_prefix, m }
+    }
+
+    /// Number of subsets covered by the estimator.
+    pub fn num_subsets(&self) -> usize {
+        self.m
+    }
+
+    /// Standard deviation of the match-count estimate for a subset range (Eq. 20).
+    pub fn std_dev(&self, range: std::ops::Range<usize>) -> f64 {
+        let (lo, hi) = (range.start.min(self.m), range.end.min(self.m));
+        if lo >= hi {
+            return 0.0;
+        }
+        let stride = self.m + 1;
+        let at = |a: usize, b: usize| self.cov_prefix[a * stride + b];
+        let variance = at(hi, hi) - 2.0 * at(lo, hi) + at(lo, lo);
+        variance.max(0.0).sqrt()
+    }
+
+    fn critical_value(confidence: f64) -> f64 {
+        if confidence <= 0.0 {
+            0.0
+        } else {
+            Normal::two_sided_critical_value(confidence).unwrap_or(0.0)
+        }
+    }
+}
+
+impl MatchCountEstimator for GpCountEstimator {
+    fn pair_count(&self, range: std::ops::Range<usize>) -> usize {
+        let (lo, hi) = (range.start.min(self.m), range.end.min(self.m));
+        if lo >= hi {
+            0
+        } else {
+            self.size_prefix[hi] - self.size_prefix[lo]
+        }
+    }
+
+    fn estimate(&self, range: std::ops::Range<usize>) -> f64 {
+        let (lo, hi) = (range.start.min(self.m), range.end.min(self.m));
+        if lo >= hi {
+            0.0
+        } else {
+            self.mean_prefix[hi] - self.mean_prefix[lo]
+        }
+    }
+
+    fn lower_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
+        let z = Self::critical_value(confidence);
+        (self.estimate(range.clone()) - z * self.std_dev(range)).max(0.0)
+    }
+
+    fn upper_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
+        let z = Self::critical_value(confidence);
+        let count = self.pair_count(range.clone()) as f64;
+        (self.estimate(range.clone()) + z * self.std_dev(range)).min(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::workload::Workload;
+    use er_stats::SampleSummary;
+
+    /// Workload whose match proportion rises linearly with similarity.
+    fn linear_workload(n: usize) -> Workload {
+        Workload::from_scores((0..n).map(|i| {
+            let sim = i as f64 / n as f64;
+            // Deterministic "pseudo random" labelling with proportion ≈ sim.
+            let is_match = (i * 7919 % 1000) as f64 / 1000.0 < sim;
+            (sim, is_match)
+        }))
+        .unwrap()
+    }
+
+    fn sample_exact(w: &Workload, partition: &SubsetPartition, every: usize) -> BTreeMap<usize, SampleSummary> {
+        let mut samples = BTreeMap::new();
+        for (i, s) in partition.subsets().iter().enumerate() {
+            if i % every == 0 || i + 1 == partition.len() {
+                let positives = w.matches_in_range(s.range());
+                samples.insert(i, SampleSummary::new(s.len(), positives).unwrap());
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn estimates_track_the_true_match_counts() {
+        let w = linear_workload(10_000);
+        let partition = w.partition(200).unwrap();
+        let samples = sample_exact(&w, &partition, 5);
+        let est = GpCountEstimator::fit(&partition, &samples, GpConfig::default()).unwrap();
+        let m = partition.len();
+        let truth = w.total_matches() as f64;
+        let predicted = est.estimate(0..m);
+        assert!(
+            (predicted - truth).abs() / truth < 0.1,
+            "GP estimate {predicted} too far from truth {truth}"
+        );
+        // Bounds bracket the estimate and respect physical limits.
+        assert!(est.lower_bound(0..m, 0.9) <= predicted);
+        assert!(est.upper_bound(0..m, 0.9) >= predicted);
+        assert!(est.lower_bound(0..m, 0.9) >= 0.0);
+        assert!(est.upper_bound(0..m, 0.9) <= w.len() as f64);
+    }
+
+    #[test]
+    fn range_queries_are_additive_in_the_mean() {
+        let w = linear_workload(6_000);
+        let partition = w.partition(200).unwrap();
+        let samples = sample_exact(&w, &partition, 4);
+        let est = GpCountEstimator::fit(&partition, &samples, GpConfig::default()).unwrap();
+        let m = partition.len();
+        let whole = est.estimate(0..m);
+        let split = est.estimate(0..m / 2) + est.estimate(m / 2..m);
+        assert!((whole - split).abs() < 1e-6);
+        assert_eq!(est.pair_count(0..m), 6_000);
+        assert_eq!(est.pair_count(3..3), 0);
+        assert_eq!(est.estimate(5..2), 0.0);
+    }
+
+    #[test]
+    fn wider_confidence_gives_wider_bounds() {
+        let w = linear_workload(6_000);
+        let partition = w.partition(200).unwrap();
+        let samples = sample_exact(&w, &partition, 6);
+        let est = GpCountEstimator::fit(&partition, &samples, GpConfig::default()).unwrap();
+        let m = partition.len();
+        let narrow = est.upper_bound(0..m, 0.6) - est.lower_bound(0..m, 0.6);
+        let wide = est.upper_bound(0..m, 0.99) - est.lower_bound(0..m, 0.99);
+        assert!(wide >= narrow);
+    }
+
+    #[test]
+    fn zero_confidence_collapses_to_the_point_estimate() {
+        let w = linear_workload(4_000);
+        let partition = w.partition(200).unwrap();
+        let samples = sample_exact(&w, &partition, 4);
+        let est = GpCountEstimator::fit(&partition, &samples, GpConfig::default()).unwrap();
+        let m = partition.len();
+        assert!((est.lower_bound(0..m, 0.0) - est.estimate(0..m)).abs() < 1e-9);
+        assert!((est.upper_bound(0..m, 0.0) - est.estimate(0..m)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn needs_at_least_two_sampled_subsets() {
+        let w = linear_workload(2_000);
+        let partition = w.partition(200).unwrap();
+        let mut samples = BTreeMap::new();
+        samples.insert(0usize, SampleSummary::new(10, 1).unwrap());
+        assert!(GpCountEstimator::fit(&partition, &samples, GpConfig::default()).is_err());
+    }
+
+    #[test]
+    fn std_dev_is_zero_for_empty_ranges_and_nonnegative_otherwise() {
+        let w = linear_workload(4_000);
+        let partition = w.partition(200).unwrap();
+        let samples = sample_exact(&w, &partition, 3);
+        let est = GpCountEstimator::fit(&partition, &samples, GpConfig::default()).unwrap();
+        assert_eq!(est.std_dev(7..7), 0.0);
+        for lo in 0..partition.len() {
+            assert!(est.std_dev(lo..partition.len()) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sampling pairs from workload subsets through the human oracle.
+
+use crate::oracle::Oracle;
+use er_core::workload::{SubsetPartition, Workload};
+use er_stats::SampleSummary;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Draws simple random samples from workload subsets, labels them through the
+/// oracle, and caches the per-subset summaries so a subset is never re-sampled.
+#[derive(Debug)]
+pub struct SubsetSampler<'a> {
+    workload: &'a Workload,
+    partition: &'a SubsetPartition,
+    samples_per_subset: usize,
+    rng: StdRng,
+    cache: BTreeMap<usize, SampleSummary>,
+}
+
+impl<'a> SubsetSampler<'a> {
+    /// Creates a sampler drawing `samples_per_subset` pairs from each sampled subset.
+    pub fn new(
+        workload: &'a Workload,
+        partition: &'a SubsetPartition,
+        samples_per_subset: usize,
+        seed: u64,
+    ) -> Self {
+        Self {
+            workload,
+            partition,
+            samples_per_subset: samples_per_subset.max(1),
+            rng: StdRng::seed_from_u64(seed),
+            cache: BTreeMap::new(),
+        }
+    }
+
+    /// Number of distinct subsets sampled so far.
+    pub fn sampled_subset_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The cached sample summaries, keyed by subset index.
+    pub fn samples(&self) -> &BTreeMap<usize, SampleSummary> {
+        &self.cache
+    }
+
+    /// Whether a subset has already been sampled.
+    pub fn is_sampled(&self, subset_index: usize) -> bool {
+        self.cache.contains_key(&subset_index)
+    }
+
+    /// Samples a subset (or returns the cached summary), labelling the drawn pairs
+    /// through the oracle.
+    pub fn sample(&mut self, subset_index: usize, oracle: &mut dyn Oracle) -> SampleSummary {
+        if let Some(summary) = self.cache.get(&subset_index) {
+            return *summary;
+        }
+        let range = self.partition.subset(subset_index).range();
+        let size = range.len();
+        let take = self.samples_per_subset.min(size);
+        let indices: BTreeSet<usize> = if take >= size {
+            range.clone().collect()
+        } else {
+            let mut drawn = BTreeSet::new();
+            while drawn.len() < take {
+                drawn.insert(self.rng.gen_range(range.start..range.end));
+            }
+            drawn
+        };
+        let mut positives = 0usize;
+        for idx in &indices {
+            if oracle.label(self.workload.pair(*idx)).is_match() {
+                positives += 1;
+            }
+        }
+        let summary = SampleSummary::new(indices.len(), positives)
+            .expect("positives cannot exceed the sample size by construction");
+        self.cache.insert(subset_index, summary);
+        summary
+    }
+
+    /// Samples every subset of the partition (the all-sampling regime).
+    pub fn sample_all(&mut self, oracle: &mut dyn Oracle) -> Vec<SampleSummary> {
+        (0..self.partition.len()).map(|i| self.sample(i, oracle)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::{GroundTruthOracle, Oracle};
+
+    fn workload(n: usize) -> Workload {
+        // Top half of the similarity range is all matches.
+        Workload::from_scores((0..n).map(|i| (i as f64 / n as f64, i >= n / 2))).unwrap()
+    }
+
+    #[test]
+    fn sampling_respects_budget_and_caches() {
+        let w = workload(1_000);
+        let partition = w.partition(100).unwrap();
+        let mut sampler = SubsetSampler::new(&w, &partition, 10, 1);
+        let mut oracle = GroundTruthOracle::new();
+        let first = sampler.sample(3, &mut oracle);
+        assert_eq!(first.sample_size, 10);
+        let cost_after_first = oracle.labels_issued();
+        assert_eq!(cost_after_first, 10);
+        // Re-sampling the same subset is free and returns the cached summary.
+        let second = sampler.sample(3, &mut oracle);
+        assert_eq!(first, second);
+        assert_eq!(oracle.labels_issued(), cost_after_first);
+        assert_eq!(sampler.sampled_subset_count(), 1);
+    }
+
+    #[test]
+    fn small_subsets_are_fully_sampled() {
+        let w = workload(100);
+        let partition = w.partition(20).unwrap();
+        let mut sampler = SubsetSampler::new(&w, &partition, 50, 1);
+        let mut oracle = GroundTruthOracle::new();
+        let summary = sampler.sample(0, &mut oracle);
+        assert_eq!(summary.sample_size, 20);
+    }
+
+    #[test]
+    fn sampled_proportions_reflect_the_ground_truth() {
+        let w = workload(2_000);
+        let partition = w.partition(200).unwrap();
+        let mut sampler = SubsetSampler::new(&w, &partition, 200, 1);
+        let mut oracle = GroundTruthOracle::new();
+        let summaries = sampler.sample_all(&mut oracle);
+        // First subsets are pure non-matches, last ones pure matches.
+        assert_eq!(summaries.first().unwrap().proportion(), 0.0);
+        assert_eq!(summaries.last().unwrap().proportion(), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = workload(1_000);
+        let partition = w.partition(100).unwrap();
+        let mut a = SubsetSampler::new(&w, &partition, 15, 9);
+        let mut b = SubsetSampler::new(&w, &partition, 15, 9);
+        let mut oracle_a = GroundTruthOracle::new();
+        let mut oracle_b = GroundTruthOracle::new();
+        assert_eq!(a.sample(5, &mut oracle_a), b.sample(5, &mut oracle_b));
+    }
+}

@@ -1,0 +1,74 @@
+//! Quality-vs-cost sweep: how much manual work does each additional "nine" cost?
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p humo-integration --example quality_cost_sweep
+//! ```
+//!
+//! Sweeps the symmetric quality requirement from 0.70 to 0.95 on a DS-like
+//! workload (calibrated to the DBLP-Scholar statistics reported in the paper) and
+//! prints the human cost of each optimizer — a scaled-down interactive version of
+//! the paper's Figure 6.
+
+use er_datagen::calibrated::CalibratedConfig;
+use humo::{
+    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer,
+    Optimizer, PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement,
+};
+
+fn main() {
+    // A 20%-scale DS-like workload keeps the sweep fast while preserving the
+    // match-proportion shape.
+    let workload = CalibratedConfig::ds(11).scaled(0.2).generate();
+    println!(
+        "DS-like workload: {} pairs, {} matches\n",
+        workload.len(),
+        workload.total_matches()
+    );
+
+    println!(
+        "{:>12} | {:>26} | {:>26} | {:>26}",
+        "requirement", "BASE", "SAMP", "HYBR"
+    );
+    println!("{}", "-".repeat(100));
+    for level in [0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
+        let requirement = QualityRequirement::symmetric(level).unwrap();
+
+        let base = {
+            let optimizer = BaselineOptimizer::new(BaselineConfig::new(requirement)).unwrap();
+            let mut oracle = GroundTruthOracle::new();
+            optimizer.optimize(&workload, &mut oracle).unwrap()
+        };
+        let samp = {
+            let optimizer =
+                PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement)).unwrap();
+            let mut oracle = GroundTruthOracle::new();
+            optimizer.optimize(&workload, &mut oracle).unwrap()
+        };
+        let hybr = {
+            let optimizer = HybridOptimizer::new(HybridConfig::new(requirement)).unwrap();
+            let mut oracle = GroundTruthOracle::new();
+            optimizer.optimize(&workload, &mut oracle).unwrap()
+        };
+
+        let cell = |outcome: &humo::OptimizationOutcome| {
+            format!(
+                "{:6.2}% (P {:.2} R {:.2})",
+                100.0 * outcome.human_cost_fraction(workload.len()),
+                outcome.metrics.precision(),
+                outcome.metrics.recall()
+            )
+        };
+        println!(
+            "({level:.2}, {level:.2}) | {:>26} | {:>26} | {:>26}",
+            cell(&base),
+            cell(&samp),
+            cell(&hybr),
+        );
+    }
+
+    println!(
+        "\nHuman cost rises only modestly with the requirement, and the hybrid optimizer \
+         tracks the cheaper of the other two — the qualitative behaviour of Figure 6 in the paper."
+    );
+}
