@@ -13,7 +13,8 @@ fn ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("samp_ablations");
     group.sample_size(10);
     for unit in [100usize, 200, 400] {
-        let config = PartialSamplingConfig { unit_size: unit, ..PartialSamplingConfig::new(requirement) };
+        let config =
+            PartialSamplingConfig { unit_size: unit, ..PartialSamplingConfig::new(requirement) };
         group.bench_with_input(BenchmarkId::new("unit_size", unit), &config, |b, cfg| {
             b.iter(|| {
                 let optimizer = PartialSamplingOptimizer::new(*cfg).unwrap();

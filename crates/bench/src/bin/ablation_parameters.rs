@@ -33,16 +33,16 @@ fn main() {
         show(format!("unit size {unit}"), PartialSamplingConfig { unit_size: unit, ..base });
     }
     for k in [25, 50, 200] {
-        show(format!("samples per subset {k}"), PartialSamplingConfig {
-            samples_per_subset: k,
-            ..base
-        });
+        show(
+            format!("samples per subset {k}"),
+            PartialSamplingConfig { samples_per_subset: k, ..base },
+        );
     }
     for range in [(0.02, 0.10), (0.005, 0.02)] {
-        show(format!("sampling range {range:?}"), PartialSamplingConfig {
-            sampling_range: range,
-            ..base
-        });
+        show(
+            format!("sampling range {range:?}"),
+            PartialSamplingConfig { sampling_range: range, ..base },
+        );
     }
     println!(
         "\nexpectation: cost is fairly flat in the subset size, shrinks slightly with larger \

@@ -14,8 +14,7 @@ fn main() {
     for level in [0.80, 0.85, 0.90, 0.95] {
         let requirement = QualityRequirement::symmetric(level).unwrap();
         let all = {
-            let optimizer =
-                AllSamplingOptimizer::new(AllSamplingConfig::new(requirement)).unwrap();
+            let optimizer = AllSamplingOptimizer::new(AllSamplingConfig::new(requirement)).unwrap();
             let mut oracle = GroundTruthOracle::new();
             optimizer.optimize(&workload, &mut oracle).unwrap()
         };

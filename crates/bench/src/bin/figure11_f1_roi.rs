@@ -24,8 +24,8 @@ fn main() {
             .unwrap()
             .run(workload)
             .unwrap();
-            let delta_cost = 100.0
-                * (humo_summary.cost_fraction - actl.human_cost_fraction(workload.len()));
+            let delta_cost =
+                100.0 * (humo_summary.cost_fraction - actl.human_cost_fraction(workload.len()));
             let delta_f1 = humo_summary.f1 - actl.metrics.f1();
             let roi =
                 if delta_f1.abs() > 1e-9 { delta_cost / (100.0 * delta_f1) } else { f64::NAN };

@@ -5,7 +5,11 @@ use humo_bench::{ab_workload, ds_workload, header};
 fn main() {
     header("Figure 4", "number of matching pairs per similarity bin (DS and AB)");
     for (name, workload) in [("DS", ds_workload(1)), ("AB", ab_workload(1))] {
-        println!("\n{name} dataset ({} pairs, {} matches):", workload.len(), workload.total_matches());
+        println!(
+            "\n{name} dataset ({} pairs, {} matches):",
+            workload.len(),
+            workload.total_matches()
+        );
         println!("{:>12} {:>10}", "similarity", "# matches");
         let bins = 20usize;
         for b in 0..bins {

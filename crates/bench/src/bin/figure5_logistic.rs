@@ -15,5 +15,7 @@ fn main() {
             logistic_match_proportion(v, 18.0)
         );
     }
-    println!("\npaper: curves cross 0.475 at similarity 0.55 and plateau at 0.95; larger τ is steeper");
+    println!(
+        "\npaper: curves cross 0.475 at similarity 0.55 and plateau at 0.95; larger τ is steeper"
+    );
 }

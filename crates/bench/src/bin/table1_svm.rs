@@ -7,8 +7,7 @@ use humo_bench::{ab_workload, ds_workload, header};
 /// class-balanced subsample (all positives plus an equal number of negatives) and
 /// evaluate on the untouched held-out split, as ER evaluation setups typically do.
 fn balance(examples: &[LabeledExample]) -> Vec<LabeledExample> {
-    let positives: Vec<LabeledExample> =
-        examples.iter().filter(|e| e.label).cloned().collect();
+    let positives: Vec<LabeledExample> = examples.iter().filter(|e| e.label).cloned().collect();
     let negatives: Vec<LabeledExample> =
         examples.iter().filter(|e| !e.label).take(positives.len().max(1)).cloned().collect();
     positives.into_iter().chain(negatives).collect()

@@ -25,5 +25,7 @@ fn main() {
             100.0 * a.success_rate
         );
     }
-    println!("\npaper: SAMP meets the requirement in ≈96-100% of runs with margins above the target");
+    println!(
+        "\npaper: SAMP meets the requirement in ≈96-100% of runs with margins above the target"
+    );
 }

@@ -21,13 +21,7 @@ fn main() {
         let t0 = Instant::now();
         let _ = run_hybr(&workload, requirement, 0);
         let hybr = t0.elapsed().as_secs_f64();
-        println!(
-            "{name:<8} {:>10} {:>10.3} {:>10.3} {:>10.3}",
-            workload.len(),
-            base,
-            samp,
-            hybr
-        );
+        println!("{name:<8} {:>10} {:>10.3} {:>10.3} {:>10.3}", workload.len(), base, samp, hybr);
     }
     println!(
         "\npaper (full-size workloads, 2017 hardware): DS 0.97 / 6.5 / 7.6 s and AB 3.1 / 20.9 / 53.5 s; \

@@ -47,7 +47,11 @@ pub fn synthetic_workload(num_pairs: usize, tau: f64, sigma: f64, seed: u64) -> 
 }
 
 /// Runs the BASE optimizer once.
-pub fn run_base(workload: &Workload, requirement: QualityRequirement, _seed: u64) -> OptimizationOutcome {
+pub fn run_base(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    _seed: u64,
+) -> OptimizationOutcome {
     let optimizer = BaselineOptimizer::new(BaselineConfig::new(requirement)).expect("valid config");
     let mut oracle = GroundTruthOracle::new();
     optimizer.optimize(workload, &mut oracle).expect("BASE optimization succeeds")
@@ -72,8 +76,8 @@ pub fn run_hybr(
     requirement: QualityRequirement,
     seed: u64,
 ) -> OptimizationOutcome {
-    let optimizer = HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed))
-        .expect("valid config");
+    let optimizer =
+        HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed)).expect("valid config");
     let mut oracle = GroundTruthOracle::new();
     optimizer.optimize(workload, &mut oracle).expect("HYBR optimization succeeds")
 }

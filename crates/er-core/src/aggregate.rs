@@ -44,11 +44,14 @@ impl AttributeMeasure {
                 (Some(ta), Some(tb)) => Some(measure.eval(ta, tb)),
                 _ => None,
             },
-            AttributeMeasure::NumberAbsolute { tolerance } => match (a.as_number(), b.as_number())
-            {
-                (Some(na), Some(nb)) => Some(absolute_difference_similarity(na, nb, *tolerance)),
-                _ => None,
-            },
+            AttributeMeasure::NumberAbsolute { tolerance } => {
+                match (a.as_number(), b.as_number()) {
+                    (Some(na), Some(nb)) => {
+                        Some(absolute_difference_similarity(na, nb, *tolerance))
+                    }
+                    _ => None,
+                }
+            }
             AttributeMeasure::NumberRelative => match (a.as_number(), b.as_number()) {
                 (Some(na), Some(nb)) => Some(relative_difference_similarity(na, nb)),
                 _ => None,
@@ -72,10 +75,7 @@ impl ScoringConfig {
         attributes: impl IntoIterator<Item = (impl Into<String>, AttributeMeasure)>,
         weighting: AttributeWeighting,
     ) -> Self {
-        Self {
-            attributes: attributes.into_iter().map(|(n, m)| (n.into(), m)).collect(),
-            weighting,
-        }
+        Self { attributes: attributes.into_iter().map(|(n, m)| (n.into(), m)).collect(), weighting }
     }
 }
 
@@ -109,8 +109,7 @@ impl PairScorer {
             let weight = match config.weighting {
                 AttributeWeighting::Uniform => 1.0,
                 AttributeWeighting::DistinctValues => {
-                    let count: usize =
-                        datasets.iter().map(|d| d.distinct_value_count(name)).sum();
+                    let count: usize = datasets.iter().map(|d| d.distinct_value_count(name)).sum();
                     // An attribute absent from every dataset still participates with a
                     // minimal weight so the scorer never divides by zero.
                     (count as f64).max(1.0)
@@ -198,10 +197,7 @@ mod tests {
     fn title_venue_config() -> ScoringConfig {
         ScoringConfig::new(
             [
-                (
-                    "title",
-                    AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)),
-                ),
+                ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
                 ("venue", AttributeMeasure::Text(StringMeasure::JaroWinkler)),
             ],
             AttributeWeighting::DistinctValues,

@@ -171,10 +171,7 @@ mod tests {
 
     fn title_scorer(datasets: &[&Dataset]) -> PairScorer {
         let config = ScoringConfig::new(
-            [(
-                "title",
-                AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)),
-            )],
+            [("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)))],
             AttributeWeighting::Uniform,
         );
         PairScorer::new(&config, datasets).unwrap()
@@ -192,7 +189,11 @@ mod tests {
         let a = dataset("a", &[(1, "entity resolution survey"), (2, "graph neural networks")]);
         let b = dataset(
             "b",
-            &[(10, "a survey of entity resolution"), (11, "convolutional networks"), (12, "databases")],
+            &[
+                (10, "a survey of entity resolution"),
+                (11, "convolutional networks"),
+                (12, "databases"),
+            ],
         );
         let blocker = TokenBlocker::new("title", Tokenizer::Words);
         let candidates = blocker.candidates(&a, &b);

@@ -51,12 +51,7 @@ pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
 pub fn jaro_winkler_with_scale(a: &str, b: &str, prefix_scale: f64) -> f64 {
     let p = prefix_scale.clamp(0.0, 0.25);
     let jaro = jaro_similarity(a, b);
-    let prefix_len = a
-        .chars()
-        .zip(b.chars())
-        .take(4)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
+    let prefix_len = a.chars().zip(b.chars()).take(4).take_while(|(x, y)| x == y).count() as f64;
     jaro + prefix_len * p * (1.0 - jaro)
 }
 
@@ -66,10 +61,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn assert_close(actual: f64, expected: f64, tol: f64) {
-        assert!(
-            (actual - expected).abs() <= tol,
-            "expected {expected}, got {actual} (tol {tol})"
-        );
+        assert!((actual - expected).abs() <= tol, "expected {expected}, got {actual} (tol {tol})");
     }
 
     #[test]

@@ -14,12 +14,7 @@ fn directed(a_tokens: &[String], b_tokens: &[String]) -> f64 {
     }
     let total: f64 = a_tokens
         .iter()
-        .map(|ta| {
-            b_tokens
-                .iter()
-                .map(|tb| jaro_winkler_similarity(ta, tb))
-                .fold(0.0, f64::max)
-        })
+        .map(|ta| b_tokens.iter().map(|tb| jaro_winkler_similarity(ta, tb)).fold(0.0, f64::max))
         .sum();
     total / a_tokens.len() as f64
 }

@@ -6,10 +6,7 @@
 use std::collections::BTreeSet;
 
 fn token_sets<'a, S: AsRef<str>>(a: &'a [S], b: &'a [S]) -> (BTreeSet<&'a str>, BTreeSet<&'a str>) {
-    (
-        a.iter().map(|t| t.as_ref()).collect(),
-        b.iter().map(|t| t.as_ref()).collect(),
-    )
+    (a.iter().map(|t| t.as_ref()).collect(), b.iter().map(|t| t.as_ref()).collect())
 }
 
 /// Jaccard similarity `|A ∩ B| / |A ∪ B|` over token *sets*.

@@ -51,9 +51,9 @@ pub fn qgrams(input: &str, q: usize) -> Vec<String> {
         return Vec::new();
     }
     let mut padded: Vec<char> = Vec::with_capacity(normalized.len() + 2 * (q - 1));
-    padded.extend(std::iter::repeat('#').take(q - 1));
+    padded.extend(std::iter::repeat_n('#', q - 1));
     padded.extend(normalized.chars());
-    padded.extend(std::iter::repeat('$').take(q - 1));
+    padded.extend(std::iter::repeat_n('$', q - 1));
     if padded.len() < q {
         return vec![padded.iter().collect()];
     }

@@ -400,9 +400,7 @@ impl SubsetPartition {
             return Err(ErError::InvalidArgument("subset unit size must be positive".to_string()));
         }
         if workload.is_empty() {
-            return Err(ErError::InvalidWorkload(
-                "cannot partition an empty workload".to_string(),
-            ));
+            return Err(ErError::InvalidWorkload("cannot partition an empty workload".to_string()));
         }
         let n = workload.len();
         let full_subsets = (n / unit_size).max(1);
@@ -411,11 +409,9 @@ impl SubsetPartition {
             let start = i * unit_size;
             let end = if i + 1 == full_subsets { n } else { (i + 1) * unit_size };
             let range = start..end;
-            let mean_similarity = workload.pairs[range.clone()]
-                .iter()
-                .map(|p| p.similarity())
-                .sum::<f64>()
-                / range.len() as f64;
+            let mean_similarity =
+                workload.pairs[range.clone()].iter().map(|p| p.similarity()).sum::<f64>()
+                    / range.len() as f64;
             subsets.push(WorkloadSubset { index: i, range, mean_similarity });
         }
         Ok(Self { unit_size, subsets, workload_len: n })

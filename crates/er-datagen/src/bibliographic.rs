@@ -13,12 +13,46 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 const TITLE_WORDS: &[&str] = &[
-    "entity", "resolution", "quality", "control", "record", "linkage", "query", "optimization",
-    "distributed", "database", "systems", "learning", "active", "crowdsourcing", "framework",
-    "adaptive", "indexing", "transaction", "processing", "graph", "stream", "approximate",
-    "sampling", "probabilistic", "scalable", "efficient", "incremental", "parallel", "semantic",
-    "integration", "cleaning", "deduplication", "matching", "similarity", "blocking", "schema",
-    "provenance", "analytics", "workload", "partitioning",
+    "entity",
+    "resolution",
+    "quality",
+    "control",
+    "record",
+    "linkage",
+    "query",
+    "optimization",
+    "distributed",
+    "database",
+    "systems",
+    "learning",
+    "active",
+    "crowdsourcing",
+    "framework",
+    "adaptive",
+    "indexing",
+    "transaction",
+    "processing",
+    "graph",
+    "stream",
+    "approximate",
+    "sampling",
+    "probabilistic",
+    "scalable",
+    "efficient",
+    "incremental",
+    "parallel",
+    "semantic",
+    "integration",
+    "cleaning",
+    "deduplication",
+    "matching",
+    "similarity",
+    "blocking",
+    "schema",
+    "provenance",
+    "analytics",
+    "workload",
+    "partitioning",
 ];
 
 const FIRST_NAMES: &[&str] = &[
@@ -27,9 +61,26 @@ const FIRST_NAMES: &[&str] = &[
 ];
 
 const LAST_NAMES: &[&str] = &[
-    "chen", "li", "wang", "zhang", "liu", "christen", "naumann", "garcia-molina", "widom",
-    "chaudhuri", "srivastava", "halevy", "doan", "stonebraker", "dewitt", "abadi", "kraska",
-    "franklin", "madden", "fan",
+    "chen",
+    "li",
+    "wang",
+    "zhang",
+    "liu",
+    "christen",
+    "naumann",
+    "garcia-molina",
+    "widom",
+    "chaudhuri",
+    "srivastava",
+    "halevy",
+    "doan",
+    "stonebraker",
+    "dewitt",
+    "abadi",
+    "kraska",
+    "franklin",
+    "madden",
+    "fan",
 ];
 
 const VENUES: &[&str] = &[

@@ -258,8 +258,7 @@ mod tests {
             let n = w.len();
             let mut best: f64 = 0.0;
             for idx in (0..n).step_by((n / 200).max(1)) {
-                let assignment =
-                    er_core::workload::LabelAssignment::from_threshold_index(n, idx);
+                let assignment = er_core::workload::LabelAssignment::from_threshold_index(n, idx);
                 let m = w.evaluate(&assignment).unwrap();
                 best = best.max(m.f1());
             }

@@ -123,7 +123,7 @@ pub fn corrupt<R: Rng + ?Sized>(rng: &mut R, input: &str, severity: f64) -> Stri
 /// Picks a random word from a pool — a convenience helper used by the corpus
 /// generators when composing titles and descriptions.
 pub fn random_word<'a, R: Rng + ?Sized>(rng: &mut R, pool: &'a [&'a str]) -> &'a str {
-    *choice(rng, pool)
+    choice::<_, &str>(rng, pool)
 }
 
 #[cfg(test)]
@@ -190,7 +190,8 @@ mod tests {
             )
         };
         let mild: f64 = (0..30).map(|_| sim(&corrupt(&mut rng, original, 0.2))).sum::<f64>() / 30.0;
-        let harsh: f64 = (0..30).map(|_| sim(&corrupt(&mut rng, original, 1.0))).sum::<f64>() / 30.0;
+        let harsh: f64 =
+            (0..30).map(|_| sim(&corrupt(&mut rng, original, 1.0))).sum::<f64>() / 30.0;
         assert!(mild > harsh, "mild corruption ({mild}) should preserve more similarity ({harsh})");
     }
 }

@@ -14,21 +14,70 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 const BRANDS: &[&str] = &[
-    "sony", "panasonic", "samsung", "canon", "nikon", "bose", "yamaha", "logitech", "philips",
-    "toshiba", "garmin", "netgear", "linksys", "olympus", "sanus", "denon",
+    "sony",
+    "panasonic",
+    "samsung",
+    "canon",
+    "nikon",
+    "bose",
+    "yamaha",
+    "logitech",
+    "philips",
+    "toshiba",
+    "garmin",
+    "netgear",
+    "linksys",
+    "olympus",
+    "sanus",
+    "denon",
 ];
 
 const CATEGORIES: &[&str] = &[
-    "digital camera", "wireless router", "home theater system", "noise cancelling headphones",
-    "portable speaker", "lcd television", "camcorder", "gps navigator", "blu ray player",
-    "surround sound receiver", "wall mount bracket", "cordless phone",
+    "digital camera",
+    "wireless router",
+    "home theater system",
+    "noise cancelling headphones",
+    "portable speaker",
+    "lcd television",
+    "camcorder",
+    "gps navigator",
+    "blu ray player",
+    "surround sound receiver",
+    "wall mount bracket",
+    "cordless phone",
 ];
 
 const DESCRIPTION_WORDS: &[&str] = &[
-    "black", "silver", "compact", "megapixel", "optical", "zoom", "wireless", "bluetooth",
-    "rechargeable", "battery", "remote", "control", "hdmi", "input", "output", "warranty",
-    "digital", "stereo", "channel", "watt", "inch", "display", "widescreen", "portable",
-    "energy", "efficient", "premium", "professional", "series", "edition",
+    "black",
+    "silver",
+    "compact",
+    "megapixel",
+    "optical",
+    "zoom",
+    "wireless",
+    "bluetooth",
+    "rechargeable",
+    "battery",
+    "remote",
+    "control",
+    "hdmi",
+    "input",
+    "output",
+    "warranty",
+    "digital",
+    "stereo",
+    "channel",
+    "watt",
+    "inch",
+    "display",
+    "widescreen",
+    "portable",
+    "energy",
+    "efficient",
+    "premium",
+    "professional",
+    "series",
+    "edition",
 ];
 
 /// Configuration of the product corpus generator.
@@ -89,8 +138,7 @@ impl ProductGenerator {
 
     fn random_description<R: Rng + ?Sized>(rng: &mut R, name: &str) -> String {
         let extra_len = rng.gen_range(6..=14);
-        let extras: Vec<&str> =
-            (0..extra_len).map(|_| *choice(rng, DESCRIPTION_WORDS)).collect();
+        let extras: Vec<&str> = (0..extra_len).map(|_| *choice(rng, DESCRIPTION_WORDS)).collect();
         format!("{name} {}", extras.join(" "))
     }
 
@@ -180,10 +228,7 @@ mod tests {
         let config = ScoringConfig::new(
             [
                 ("name", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
-                (
-                    "description",
-                    AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)),
-                ),
+                ("description", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
             ],
             AttributeWeighting::DistinctValues,
         );

@@ -192,8 +192,8 @@ mod tests {
             props.windows(2).filter(|w| w[1] + 1e-9 < w[0]).count()
         }
         let smooth = SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.0)).generate();
-        let rough =
-            SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.5).with_seed(7)).generate();
+        let rough = SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.5).with_seed(7))
+            .generate();
         assert!(inversions(&rough) > inversions(&smooth));
     }
 }

@@ -187,8 +187,7 @@ impl ActiveLearningClassifier {
         }
         let mut positives = 0usize;
         for &idx in &drawn {
-            let is_match =
-                *labeled.entry(idx).or_insert_with(|| workload.pair(idx).is_match());
+            let is_match = *labeled.entry(idx).or_insert_with(|| workload.pair(idx).is_match());
             if is_match {
                 positives += 1;
             }

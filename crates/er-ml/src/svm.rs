@@ -205,20 +205,18 @@ mod tests {
         let single_class: Vec<LabeledExample> =
             (0..10).map(|i| LabeledExample::new(vec![i as f64], true)).collect();
         assert!(LinearSvm::train(&single_class, SvmConfig::default()).is_err());
-        let ragged = vec![
-            LabeledExample::new(vec![1.0], true),
-            LabeledExample::new(vec![1.0, 2.0], false),
-        ];
+        let ragged =
+            vec![LabeledExample::new(vec![1.0], true), LabeledExample::new(vec![1.0, 2.0], false)];
         assert!(LinearSvm::train(&ragged, SvmConfig::default()).is_err());
     }
 
     #[test]
     fn rejects_bad_config() {
         let examples = separable_examples(50);
-        assert!(LinearSvm::train(&examples, SvmConfig { lambda: 0.0, ..Default::default() })
-            .is_err());
-        assert!(LinearSvm::train(&examples, SvmConfig { epochs: 0, ..Default::default() })
-            .is_err());
+        assert!(
+            LinearSvm::train(&examples, SvmConfig { lambda: 0.0, ..Default::default() }).is_err()
+        );
+        assert!(LinearSvm::train(&examples, SvmConfig { epochs: 0, ..Default::default() }).is_err());
     }
 
     #[test]

@@ -181,12 +181,7 @@ impl GaussianProcess {
                 "Gaussian process requires at least two observations".to_string(),
             ));
         }
-        if xs
-            .iter()
-            .chain(ys.iter())
-            .chain(noise_variances.iter())
-            .any(|v| !v.is_finite())
-        {
+        if xs.iter().chain(ys.iter()).chain(noise_variances.iter()).any(|v| !v.is_finite()) {
             return Err(StatsError::InvalidArgument(
                 "Gaussian process inputs must be finite".to_string(),
             ));
@@ -408,10 +403,7 @@ mod tests {
     use super::*;
 
     fn assert_close(actual: f64, expected: f64, tol: f64) {
-        assert!(
-            (actual - expected).abs() <= tol,
-            "expected {expected}, got {actual} (tol {tol})"
-        );
+        assert!((actual - expected).abs() <= tol, "expected {expected}, got {actual} (tol {tol})");
     }
 
     fn config_no_opt() -> GpConfig {

@@ -23,11 +23,7 @@ pub struct CholeskyError {
 
 impl std::fmt::Display for CholeskyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "matrix is not positive definite: pivot {} has value {}",
-            self.pivot, self.value
-        )
+        write!(f, "matrix is not positive definite: pivot {} has value {}", self.pivot, self.value)
     }
 }
 
@@ -218,6 +214,7 @@ impl Cholesky {
     }
 
     /// Solves `L y = b` (forward substitution).
+    #[allow(clippy::needless_range_loop)] // triangular solve reads clearest with indices
     pub fn forward_substitute(&self, b: &[f64]) -> Vector {
         let n = self.order();
         assert_eq!(b.len(), n, "solve dimension mismatch");
@@ -233,6 +230,7 @@ impl Cholesky {
     }
 
     /// Solves `Lᵀ x = y` (backward substitution).
+    #[allow(clippy::needless_range_loop)]
     pub fn backward_substitute(&self, y: &[f64]) -> Vector {
         let n = self.order();
         assert_eq!(y.len(), n, "solve dimension mismatch");
@@ -282,10 +280,7 @@ mod tests {
     use super::*;
 
     fn assert_close(actual: f64, expected: f64, tol: f64) {
-        assert!(
-            (actual - expected).abs() <= tol,
-            "expected {expected}, got {actual} (tol {tol})"
-        );
+        assert!((actual - expected).abs() <= tol, "expected {expected}, got {actual} (tol {tol})");
     }
 
     fn spd_example() -> Matrix {

@@ -131,12 +131,7 @@ impl StratifiedEstimate {
             variance += stratum.positives_variance();
             degrees_of_freedom += stratum.degrees_of_freedom();
         }
-        Self {
-            population_size,
-            estimated_positives,
-            std_dev: variance.sqrt(),
-            degrees_of_freedom,
-        }
+        Self { population_size, estimated_positives, std_dev: variance.sqrt(), degrees_of_freedom }
     }
 
     /// An estimate representing an empty union of strata.
@@ -245,8 +240,7 @@ mod tests {
 
     #[test]
     fn bounds_bracket_the_point_estimate_and_are_clamped() {
-        let strata =
-            vec![Stratum::new(1000, SampleSummary::new(50, 10).unwrap()).unwrap()];
+        let strata = vec![Stratum::new(1000, SampleSummary::new(50, 10).unwrap()).unwrap()];
         let est = StratifiedEstimate::from_strata(&strata);
         let lb = est.lower_bound(0.95).unwrap();
         let ub = est.upper_bound(0.95).unwrap();
@@ -258,8 +252,7 @@ mod tests {
 
     #[test]
     fn higher_confidence_widens_the_interval() {
-        let strata =
-            vec![Stratum::new(1000, SampleSummary::new(40, 12).unwrap()).unwrap()];
+        let strata = vec![Stratum::new(1000, SampleSummary::new(40, 12).unwrap()).unwrap()];
         let est = StratifiedEstimate::from_strata(&strata);
         let narrow = est.confidence_interval(0.8).unwrap();
         let wide = est.confidence_interval(0.99).unwrap();
@@ -276,8 +269,7 @@ mod tests {
 
     #[test]
     fn zero_confidence_collapses_to_point_estimate() {
-        let strata =
-            vec![Stratum::new(500, SampleSummary::new(25, 5).unwrap()).unwrap()];
+        let strata = vec![Stratum::new(500, SampleSummary::new(25, 5).unwrap()).unwrap()];
         let est = StratifiedEstimate::from_strata(&strata);
         assert_eq!(est.lower_bound(0.0).unwrap(), est.estimated_positives);
         assert_eq!(est.upper_bound(0.0).unwrap(), est.estimated_positives);

@@ -203,8 +203,7 @@ impl BaselineOptimizer {
             return 0.0;
         }
         let d_plus = state.n() - state.upper;
-        let r_plus =
-            if d_plus == 0 { 0.0 } else { state.border_proportion_upper(window) };
+        let r_plus = if d_plus == 0 { 0.0 } else { state.border_proportion_upper(window) };
         let r_minus = state.border_proportion_lower(window);
         let found = state.matches_in_dh as f64 + d_plus as f64 * r_plus;
         let missed_upper_bound = d_minus as f64 * r_minus;
@@ -254,7 +253,11 @@ impl BaselineOptimizer {
 }
 
 impl Optimizer for BaselineOptimizer {
-    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+    fn optimize(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+    ) -> Result<OptimizationOutcome> {
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),
@@ -377,9 +380,10 @@ mod tests {
         assert!(outcome.metrics.precision() >= 0.9);
         // Empty workload is rejected.
         let empty = Workload::from_pairs(vec![]).unwrap();
-        let optimizer =
-            BaselineOptimizer::new(BaselineConfig::new(QualityRequirement::symmetric(0.9).unwrap()))
-                .unwrap();
+        let optimizer = BaselineOptimizer::new(BaselineConfig::new(
+            QualityRequirement::symmetric(0.9).unwrap(),
+        ))
+        .unwrap();
         let mut oracle = GroundTruthOracle::new();
         assert!(optimizer.optimize(&empty, &mut oracle).is_err());
     }

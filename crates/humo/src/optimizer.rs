@@ -10,7 +10,8 @@ use er_core::workload::Workload;
 pub trait Optimizer {
     /// Runs the optimization, drawing all manual labels from `oracle`, and returns
     /// the resolved outcome (partition, labels, achieved quality and human cost).
-    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome>;
+    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle)
+        -> Result<OptimizationOutcome>;
 
     /// A short human-readable name (used by the experiment harness and logs).
     fn name(&self) -> &'static str;

@@ -68,10 +68,7 @@ impl NoisyOracle {
     /// # Panics
     /// Panics if `error_rate` is not in `[0, 1]`.
     pub fn new(error_rate: f64, seed: u64) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&error_rate),
-            "error rate must be in [0,1], got {error_rate}"
-        );
+        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0,1], got {error_rate}");
         Self { error_rate, rng: StdRng::seed_from_u64(seed), labeled: BTreeMap::new() }
     }
 

@@ -68,7 +68,11 @@ impl AllSamplingOptimizer {
 }
 
 impl Optimizer for AllSamplingOptimizer {
-    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+    fn optimize(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+    ) -> Result<OptimizationOutcome> {
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),

@@ -37,11 +37,7 @@ impl StratifiedCountEstimator {
     /// # Panics
     /// Panics if the number of summaries differs from the number of subsets.
     pub fn new(partition: &SubsetPartition, samples: &[er_stats::SampleSummary]) -> Self {
-        assert_eq!(
-            partition.len(),
-            samples.len(),
-            "one sample summary per subset is required"
-        );
+        assert_eq!(partition.len(), samples.len(), "one sample summary per subset is required");
         let strata = partition
             .subsets()
             .iter()
@@ -143,7 +139,11 @@ mod tests {
 
     /// A workload of `n` pairs where the top `match_fraction` of the similarity
     /// range is all matches and the rest all non-matches, fully sampled.
-    fn fully_sampled(n: usize, unit: usize, match_fraction: f64) -> (SubsetPartition, Vec<SampleSummary>, Workload) {
+    fn fully_sampled(
+        n: usize,
+        unit: usize,
+        match_fraction: f64,
+    ) -> (SubsetPartition, Vec<SampleSummary>, Workload) {
         let cut = ((1.0 - match_fraction) * n as f64) as usize;
         let w = Workload::from_scores((0..n).map(|i| (i as f64 / n as f64, i >= cut))).unwrap();
         let partition = w.partition(unit).unwrap();

@@ -193,7 +193,11 @@ mod tests {
         .unwrap()
     }
 
-    fn sample_exact(w: &Workload, partition: &SubsetPartition, every: usize) -> BTreeMap<usize, SampleSummary> {
+    fn sample_exact(
+        w: &Workload,
+        partition: &SubsetPartition,
+        every: usize,
+    ) -> BTreeMap<usize, SampleSummary> {
         let mut samples = BTreeMap::new();
         for (i, s) in partition.subsets().iter().enumerate() {
             if i % every == 0 || i + 1 == partition.len() {
@@ -225,6 +229,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::reversed_empty_ranges)] // degenerate ranges are part of the contract
     fn range_queries_are_additive_in_the_mean() {
         let w = linear_workload(6_000);
         let partition = w.partition(200).unwrap();

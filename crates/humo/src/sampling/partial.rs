@@ -158,11 +158,7 @@ impl SamplingPlan {
         } else {
             self.partition.subset(lo).range().start
         };
-        let upper_index = if hi == 0 {
-            0
-        } else {
-            self.partition.subset(hi - 1).range().end
-        };
+        let upper_index = if hi == 0 { 0 } else { self.partition.subset(hi - 1).range().end };
         HumoSolution::new(lower_index, upper_index.max(lower_index), workload.len())
     }
 }
@@ -196,12 +192,12 @@ impl PartialSamplingOptimizer {
         let cfg = &self.config;
         let partition = workload.partition(cfg.unit_size)?;
         let m = partition.len();
-        let mut sampler = SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
+        let mut sampler =
+            SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
 
         let (gp, diagonal_scale) =
             self.train_match_proportion_gp(&partition, &mut sampler, oracle)?;
-        let query: Vec<f64> =
-            partition.subsets().iter().map(|s| s.mean_similarity()).collect();
+        let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
         // Independent per-subset variance: the calibrated scatter term (when the
         // workload exhibits scatter) plus a Poisson-style floor — the number of
         // matches in a subset predicted to have proportion p is at least as
@@ -241,14 +237,11 @@ impl PartialSamplingOptimizer {
         // well-constrained on small workloads where 1–5 % of the subsets would be
         // just a handful of points.
         let min_subsets = ((m as f64 * pl).ceil() as usize).max(5).min(m);
-        let max_subsets =
-            ((m as f64 * pu).ceil() as usize).max(20).clamp(min_subsets, m);
+        let max_subsets = ((m as f64 * pu).ceil() as usize).max(20).clamp(min_subsets, m);
 
         // Initial equidistant subsets, always including the first and last.
         let mut initial: Vec<usize> = (0..min_subsets)
-            .map(|k| {
-                ((k as f64) * (m as f64 - 1.0) / (min_subsets as f64 - 1.0)).round() as usize
-            })
+            .map(|k| ((k as f64) * (m as f64 - 1.0) / (min_subsets as f64 - 1.0)).round() as usize)
             .collect();
         initial.dedup();
 
@@ -296,11 +289,8 @@ impl PartialSamplingOptimizer {
         // endpoints first: a gap whose two sampled endpoints differ a lot hides
         // most of the curve's movement (and most of the matching pairs), even if
         // its midpoint happened to look fine.
-        let mut observed: std::collections::BTreeMap<usize, f64> = initial
-            .iter()
-            .enumerate()
-            .map(|(pos, &idx)| (idx, train_y[pos]))
-            .collect();
+        let mut observed: std::collections::BTreeMap<usize, f64> =
+            initial.iter().enumerate().map(|(pos, &idx)| (idx, train_y[pos])).collect();
         let mut queue: VecDeque<(usize, usize)> =
             initial.windows(2).map(|w| (w[0], w[1])).collect();
         let mut well_approximated: Vec<(usize, usize)> = Vec::new();
@@ -311,9 +301,9 @@ impl PartialSamplingOptimizer {
                 return None;
             }
             let score = |(a, b): &(usize, usize)| {
-                let disagreement =
-                    (observed.get(a).copied().unwrap_or(0.0) - observed.get(b).copied().unwrap_or(0.0))
-                        .abs();
+                let disagreement = (observed.get(a).copied().unwrap_or(0.0)
+                    - observed.get(b).copied().unwrap_or(0.0))
+                .abs();
                 // Disagreement dominates; width breaks ties so large unexplored
                 // gaps are still preferred over tiny ones.
                 (disagreement * 1_000_000.0) as u64 * 10_000 + (b - a) as u64
@@ -369,15 +359,12 @@ impl PartialSamplingOptimizer {
         // overconfident; on smooth workloads (the DS/AB shapes) the calibration
         // detects nothing and leaves the paper-faithful tight bounds untouched.
         let binomial_scale = 1.0 / cfg.samples_per_subset as f64;
-        let mut noise_scale =
-            Self::local_noise_scale(&train_x, &train_y).unwrap_or(binomial_scale);
+        let mut noise_scale = Self::local_noise_scale(&train_x, &train_y).unwrap_or(binomial_scale);
         noise_scale = noise_scale.max(binomial_scale);
         let scatter_detected = noise_scale > 2.0 * binomial_scale;
         if scatter_detected {
-            let recalibrated_noise: Vec<f64> = train_y
-                .iter()
-                .map(|&p| noise_scale * Self::stabilized_spread(p))
-                .collect();
+            let recalibrated_noise: Vec<f64> =
+                train_y.iter().map(|&p| noise_scale * Self::stabilized_spread(p)).collect();
             gp = GaussianProcess::fit_with_noise(
                 &train_x,
                 &train_y,
@@ -476,7 +463,11 @@ impl PartialSamplingOptimizer {
 }
 
 impl Optimizer for PartialSamplingOptimizer {
-    fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+    fn optimize(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+    ) -> Result<OptimizationOutcome> {
         let plan = self.plan(workload, oracle)?;
         let solution = plan.solution(workload);
         OptimizationOutcome::from_solution(solution, workload, oracle)
@@ -523,10 +514,7 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(
-            successes >= runs - 1,
-            "SAMP met the requirement only {successes}/{runs} times"
-        );
+        assert!(successes >= runs - 1, "SAMP met the requirement only {successes}/{runs} times");
     }
 
     #[test]
@@ -542,7 +530,8 @@ mod tests {
         // small workloads); the oracle cost before resolution is bounded by that
         // subset budget times the per-subset sample size.
         let subset_budget = ((m as f64 * 0.05).ceil() as usize).max(20) + 1;
-        let max_sampled_pairs = subset_budget * PartialSamplingConfig::new(requirement).samples_per_subset;
+        let max_sampled_pairs =
+            subset_budget * PartialSamplingConfig::new(requirement).samples_per_subset;
         assert!(
             oracle.labels_issued() <= max_sampled_pairs,
             "sampling cost {} exceeds the budget {max_sampled_pairs}",
@@ -587,7 +576,11 @@ mod tests {
         .unwrap();
         let mut oracle = crate::oracle::GroundTruthOracle::new();
         let safe = conservative.optimize(&w, &mut oracle).unwrap();
-        assert!(safe.metrics.precision() >= 0.85, "conservative precision {}", safe.metrics.precision());
+        assert!(
+            safe.metrics.precision() >= 0.85,
+            "conservative precision {}",
+            safe.metrics.precision()
+        );
         assert!(safe.metrics.recall() >= 0.85, "conservative recall {}", safe.metrics.recall());
         assert!(safe.total_human_cost >= outcome.total_human_cost);
     }
@@ -596,8 +589,9 @@ mod tests {
     fn rejects_invalid_configurations() {
         let requirement = QualityRequirement::symmetric(0.9).unwrap();
         let base = PartialSamplingConfig::new(requirement);
-        assert!(PartialSamplingOptimizer::new(PartialSamplingConfig { unit_size: 0, ..base })
-            .is_err());
+        assert!(
+            PartialSamplingOptimizer::new(PartialSamplingConfig { unit_size: 0, ..base }).is_err()
+        );
         assert!(PartialSamplingOptimizer::new(PartialSamplingConfig {
             samples_per_subset: 0,
             ..base
@@ -619,15 +613,15 @@ mod tests {
     fn plan_solution_translates_subset_bounds() {
         let w = workload(10_000, 0.1, 23);
         let requirement = QualityRequirement::symmetric(0.85).unwrap();
-        let optimizer = PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement))
-            .unwrap();
+        let optimizer =
+            PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement)).unwrap();
         let mut oracle = GroundTruthOracle::new();
         let plan = optimizer.plan(&w, &mut oracle).unwrap();
         let solution = plan.solution(&w);
         let (lo, hi) = plan.subset_bounds;
         assert!(lo <= hi);
         assert!(solution.lower_index <= solution.upper_index);
-        assert_eq!(solution.human_region_size() % 1, 0);
+        assert!(solution.human_region_size() <= w.len());
         // The human region covers exactly the chosen subsets.
         if hi > lo {
             assert_eq!(solution.lower_index, plan.partition.subset(lo).range().start);

@@ -206,7 +206,8 @@ mod tests {
         let assignment = s.resolve(&w, &mut oracle);
         // D-: indices 0..3 unmatch.
         assert!(!assignment.labels()[0].is_match());
-        assert!(!assignment.labels()[1].is_match()); // a missed low-similarity match
+        // a missed low-similarity match
+        assert!(!assignment.labels()[1].is_match());
         // DH: oracle labels match the ground truth.
         assert!(assignment.labels()[5].is_match());
         assert!(!assignment.labels()[6].is_match());
@@ -253,12 +254,9 @@ mod tests {
         // Simulate a search that sampled two pairs outside the final DH.
         oracle.label(w.pair(0));
         oracle.label(w.pair(9));
-        let outcome = OptimizationOutcome::from_solution(
-            HumoSolution::new(4, 7, w.len()),
-            &w,
-            &mut oracle,
-        )
-        .unwrap();
+        let outcome =
+            OptimizationOutcome::from_solution(HumoSolution::new(4, 7, w.len()), &w, &mut oracle)
+                .unwrap();
         assert_eq!(outcome.verification_cost, 3);
         assert_eq!(outcome.sampling_cost, 2);
         assert_eq!(outcome.total_human_cost, 5);

@@ -12,24 +12,17 @@
 
 use er_datagen::calibrated::CalibratedConfig;
 use humo::{
-    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer,
-    Optimizer, PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement,
+    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer, Optimizer,
+    PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement,
 };
 
 fn main() {
     // A 20%-scale DS-like workload keeps the sweep fast while preserving the
     // match-proportion shape.
     let workload = CalibratedConfig::ds(11).scaled(0.2).generate();
-    println!(
-        "DS-like workload: {} pairs, {} matches\n",
-        workload.len(),
-        workload.total_matches()
-    );
+    println!("DS-like workload: {} pairs, {} matches\n", workload.len(), workload.total_matches());
 
-    println!(
-        "{:>12} | {:>26} | {:>26} | {:>26}",
-        "requirement", "BASE", "SAMP", "HYBR"
-    );
+    println!("{:>12} | {:>26} | {:>26} | {:>26}", "requirement", "BASE", "SAMP", "HYBR");
     println!("{}", "-".repeat(100));
     for level in [0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
         let requirement = QualityRequirement::symmetric(level).unwrap();

@@ -13,10 +13,7 @@ fn ab_workload() -> er_core::workload::Workload {
     CalibratedConfig::ab(13).scaled(0.05).generate()
 }
 
-fn run_humo(
-    workload: &er_core::workload::Workload,
-    precision: f64,
-) -> humo::OptimizationOutcome {
+fn run_humo(workload: &er_core::workload::Workload, precision: f64) -> humo::OptimizationOutcome {
     let requirement = QualityRequirement::new(precision, precision, 0.9).unwrap();
     let optimizer = HybridOptimizer::new(HybridConfig::new(requirement)).unwrap();
     let mut oracle = GroundTruthOracle::new();

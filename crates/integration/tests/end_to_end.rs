@@ -19,8 +19,7 @@ fn optimizers(requirement: QualityRequirement) -> Vec<Box<dyn Optimizer>> {
 
 #[test]
 fn every_optimizer_meets_the_requirement_on_a_regular_synthetic_workload() {
-    let workload =
-        SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.1)).generate();
+    let workload = SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.1)).generate();
     let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
     // The guarantee is probabilistic (confidence θ = 0.9), so a single seeded run
     // is allowed a small shortfall; large violations would still fail the test.
@@ -96,8 +95,7 @@ fn hybrid_meets_the_requirement_on_an_ab_like_workload() {
 fn the_human_cost_ordering_matches_the_paper_on_an_easy_workload() {
     // On a steep, regular workload the sampling-based optimizers should beat the
     // conservative baseline, and HYBR should not exceed SAMP (Figure 6 / 9).
-    let workload =
-        SyntheticGenerator::new(SyntheticConfig::new(40_000, 16.0, 0.1)).generate();
+    let workload = SyntheticGenerator::new(SyntheticConfig::new(40_000, 16.0, 0.1)).generate();
     let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
 
     let cost = |optimizer: &dyn Optimizer| {
@@ -118,8 +116,7 @@ fn a_noisy_oracle_degrades_quality_gracefully() {
     // The paper assumes perfect manual labels; with a 5% error rate the achieved
     // quality drops but stays in the vicinity of the requirement, because DH is
     // bounded and machine-labeled regions are unaffected.
-    let workload =
-        SyntheticGenerator::new(SyntheticConfig::new(20_000, 14.0, 0.1)).generate();
+    let workload = SyntheticGenerator::new(SyntheticConfig::new(20_000, 14.0, 0.1)).generate();
     let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
     let optimizer = HybridOptimizer::new(HybridConfig::new(requirement)).unwrap();
 
@@ -147,8 +144,7 @@ fn a_noisy_oracle_degrades_quality_gracefully() {
 
 #[test]
 fn stricter_confidence_does_not_reduce_human_cost() {
-    let workload =
-        SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.1)).generate();
+    let workload = SyntheticGenerator::new(SyntheticConfig::new(30_000, 14.0, 0.1)).generate();
     let cost_at = |confidence: f64| {
         let requirement = QualityRequirement::new(0.9, 0.9, confidence).unwrap();
         let optimizer =

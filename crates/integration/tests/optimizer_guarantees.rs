@@ -5,8 +5,8 @@
 
 use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
 use humo::{
-    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer,
-    Optimizer, PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement,
+    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer, Optimizer,
+    PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement,
 };
 use proptest::prelude::*;
 

@@ -49,13 +49,9 @@ fn token_blocking_keeps_nearly_all_true_matches() {
     let blocker = TokenBlocker::new("title", Tokenizer::Words);
     let candidates: BTreeSet<(RecordId, RecordId)> =
         blocker.candidates(&corpus.left, &corpus.right).into_iter().collect();
-    let retained =
-        corpus.ground_truth.iter().filter(|pair| candidates.contains(pair)).count();
+    let retained = corpus.ground_truth.iter().filter(|pair| candidates.contains(pair)).count();
     let retention = retained as f64 / corpus.match_count() as f64;
-    assert!(
-        retention >= 0.95,
-        "blocking must retain nearly all true matches, got {retention:.3}"
-    );
+    assert!(retention >= 0.95, "blocking must retain nearly all true matches, got {retention:.3}");
     // And it must prune at least part of the cartesian product. (The generated
     // titles draw from a compact vocabulary, so token blocking is deliberately
     // recall-oriented rather than aggressive here.)
@@ -75,12 +71,8 @@ fn workload_construction_preserves_ground_truth_labels() {
     }
     // Matching record pairs concentrate at higher similarity than non-matching ones.
     let avg = |m: bool| {
-        let sims: Vec<f64> = workload
-            .pairs()
-            .iter()
-            .filter(|p| p.is_match() == m)
-            .map(|p| p.similarity())
-            .collect();
+        let sims: Vec<f64> =
+            workload.pairs().iter().filter(|p| p.is_match() == m).map(|p| p.similarity()).collect();
         sims.iter().sum::<f64>() / sims.len().max(1) as f64
     };
     assert!(avg(true) > avg(false) + 0.2);
@@ -169,8 +161,7 @@ fn product_workloads_need_more_human_work_than_bibliographic_ones() {
         ],
         AttributeWeighting::DistinctValues,
     );
-    let scorer =
-        PairScorer::new(&scoring, &[&product_corpus.left, &product_corpus.right]).unwrap();
+    let scorer = PairScorer::new(&scoring, &[&product_corpus.left, &product_corpus.right]).unwrap();
     let product_workload = build_workload(
         &product_corpus.left,
         &product_corpus.right,

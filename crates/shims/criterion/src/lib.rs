@@ -1,0 +1,269 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so this shim provides the subset of the criterion API the
+//! workspace's benches use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `throughput`, `BenchmarkId`,
+//! `Throughput`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up, then
+//! measures `sample_size` timed samples and reports the median per-iteration
+//! time (plus throughput when configured) on stdout. That is deliberately
+//! lightweight: it keeps the 5 bench targets compiling, runnable and useful
+//! for coarse comparisons without any registry dependency. Passing `--test`
+//! to a bench binary (e.g. `cargo bench -- --test`) runs every benchmark body
+//! exactly once. Note the workspace sets `test = false` on its bench targets,
+//! so plain `cargo test` skips them — the heavier benches would dominate the
+//! suite's runtime in the unoptimized test profile.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered into the reported label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id labelled `{function_name}/{parameter}`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { label: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { label: name }
+    }
+}
+
+/// Units processed per iteration, used to derive a rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Entry point handed to each benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, |bencher| routine(bencher));
+        self
+    }
+
+    /// Benchmarks a closure over a borrowed input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.label, |bencher| routine(bencher, input));
+        self
+    }
+
+    /// Finishes the group. (All reporting happens eagerly; this exists for
+    /// API compatibility.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut routine: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            samples: if self.criterion.test_mode { 1 } else { self.sample_size },
+            test_mode: self.criterion.test_mode,
+            median: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        let full_label = format!("{}/{}", self.name, label);
+        if self.criterion.test_mode {
+            println!("test {full_label} ... ok (ran once)");
+            return;
+        }
+        let per_iter = bencher.median.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("{full_label:<48} {}{rate}", format_duration(bencher.median));
+    }
+}
+
+/// Timer handed to each benchmark routine.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    median: Duration,
+}
+
+impl Bencher {
+    /// Times the closure, recording the median of the configured number of
+    /// samples. The closure's output is passed through [`black_box`] so the
+    /// optimizer cannot elide the benchmarked work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up: one untimed run.
+        black_box(routine());
+        let mut samples = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort_unstable();
+        self.median = samples[samples.len() / 2];
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs/iter", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms/iter", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a single runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_and_runs() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut group = criterion.benchmark_group("unit");
+        let mut runs = 0usize;
+        group.sample_size(5).bench_function("counter", |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut criterion = Criterion { test_mode: false };
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(4));
+        let data = vec![1u64, 2, 3, 4];
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| d.iter().sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats_parameter() {
+        let id = BenchmarkId::new("BASE", 10_000);
+        assert_eq!(id.label, "BASE/10000");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns/iter"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("µs/iter"));
+        assert!(format_duration(Duration::from_millis(50)).ends_with("ms/iter"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with("s/iter"));
+    }
+}

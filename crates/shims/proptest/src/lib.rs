@@ -1,0 +1,448 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so this shim implements the subset of proptest the workspace's
+//! property tests rely on:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`) turning
+//!   `fn name(arg in strategy, ..) { body }` items into `#[test]` functions
+//!   that run the body over many generated inputs;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`];
+//! * [`Strategy`] implementations for integer/float ranges and for string
+//!   regex literals of the shapes used here (`"[a-d ]{0,20}"`, `"\\PC{0,15}"`).
+//!
+//! Differences from the real crate: failing cases are reported but **not
+//! shrunk**, and generation is deterministic per test (seeded from the test's
+//! module path) so CI runs are reproducible. The number of cases defaults to
+//! 64 and can be overridden with the `PROPTEST_CASES` environment variable or
+//! `ProptestConfig { cases, .. }`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Runtime configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each property must pass.
+    pub cases: u32,
+    /// Maximum number of `prop_assume!` rejections before the test aborts.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64);
+        ProptestConfig { cases, max_global_rejects: 4096 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the property is falsified.
+    Fail(String),
+    /// The case was rejected by `prop_assume!`; another case is drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection (filtered input) with the given message.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+/// Deterministic generator used to produce test inputs (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`, so a
+    /// given property test sees the same inputs on every run.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a over the test's full path.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of generated values for one property argument.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let sample = self.start + rng.unit_f64() * (self.end - self.start);
+        if sample >= self.end {
+            self.start
+        } else {
+            sample
+        }
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        (start + rng.unit_f64() * (end - start)).clamp(start, end)
+    }
+}
+
+/// String strategies are written as regex literals. Only the shapes used in
+/// this workspace are supported: a sequence of atoms, where an atom is a
+/// character class `[...]` (literal characters and `a-z` ranges), the escape
+/// `\PC` (any printable character), or a literal character; each atom may
+/// carry a `{n}` or `{m,n}` repetition.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                let idx = rng.below(atom.pool.len() as u64) as usize;
+                out.push(atom.pool[idx]);
+            }
+        }
+        out
+    }
+}
+
+struct RegexAtom {
+    pool: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Printable pool for `\PC`: full ASCII printable range plus a few multi-byte
+/// scalars so char-based algorithms see non-ASCII input.
+fn printable_pool() -> Vec<char> {
+    let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+    pool.extend(['é', 'ß', 'λ', 'Ω', '中', '文', '🦀']);
+    pool
+}
+
+fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let pool = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unterminated class in regex {pattern:?}"))
+                    + i;
+                let mut pool = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        assert!(lo <= hi, "bad class range in regex {pattern:?}");
+                        pool.extend((lo..=hi).filter_map(char::from_u32));
+                        j += 3;
+                    } else {
+                        pool.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                pool
+            }
+            '\\' => {
+                assert!(
+                    i + 2 < chars.len() && chars[i + 1] == 'P' && chars[i + 2] == 'C',
+                    "unsupported escape in regex {pattern:?}; this shim only knows \\PC"
+                );
+                i += 3;
+                printable_pool()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        assert!(!pool.is_empty(), "empty character class in regex {pattern:?}");
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated repetition in regex {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in regex {pattern:?}");
+        atoms.push(RegexAtom { pool, min, max });
+    }
+    atoms
+}
+
+/// Everything a property-test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares property tests. See the crate docs for the supported subset.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let case = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg),+
+                );
+                let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                    (move || { $body ::core::result::Result::Ok(()) })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => passed += 1,
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= config.max_global_rejects,
+                            "proptest: too many prop_assume! rejections ({rejected}); last: {why}"
+                        );
+                    }
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "proptest case failed after {passed} passing case(s)\n\
+                             input: {case}\n{message}"
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::{parse_regex_subset, TestRng};
+
+    #[test]
+    fn regex_class_with_repetition() {
+        let mut rng = TestRng::deterministic("regex_class");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-c ]{0,5}", &mut rng);
+            assert!(s.len() <= 5);
+            assert!(s.chars().all(|c| matches!(c, 'a'..='c' | ' ')));
+        }
+    }
+
+    #[test]
+    fn regex_printable_escape() {
+        let mut rng = TestRng::deterministic("regex_pc");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"\\PC{0,15}", &mut rng);
+            assert!(s.chars().count() <= 15);
+            assert!(s.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn regex_exact_count_and_literal() {
+        let atoms = parse_regex_subset("x[ab]{3}");
+        assert_eq!(atoms.len(), 2);
+        let mut rng = TestRng::deterministic("regex_exact");
+        let s = Strategy::generate(&"x[ab]{3}", &mut rng);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('x'));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same");
+        let mut b = TestRng::deterministic("same");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(n in 3usize..17, x in -1.0..1.0f64, k in 0u64..=5) {
+            prop_assert!((3..17).contains(&n));
+            prop_assert!((-1.0..1.0).contains(&x));
+            prop_assert!(k <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+        #[test]
+        fn assume_filters_cases(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+}

@@ -1,0 +1,316 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment for this repository has no access to a crates.io
+//! registry, so this shim provides the exact subset of the `rand` API the
+//! workspace uses:
+//!
+//! * the [`Rng`] extension trait with `gen_range` over integer and float
+//!   ranges (half-open and inclusive);
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::StdRng`], a deterministic 64-bit PRNG (xoshiro256++ seeded via
+//!   SplitMix64);
+//! * [`seq::SliceRandom::shuffle`] (Fisher-Yates).
+//!
+//! The generator is of high statistical quality (xoshiro256++ passes BigCrush)
+//! and fully deterministic for a given seed, which is all the workspace needs:
+//! every consumer seeds explicitly via `StdRng::seed_from_u64`. Replace the
+//! `rand` entry in the workspace `Cargo.toml` with a registry version to use
+//! the real crate; no call sites need to change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A source of uniformly distributed 64-bit random words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Extension trait with the value-level sampling helpers used by the
+/// workspace. Blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniformly distributed value from the given range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample a uniform value of type `T` from itself.
+///
+/// Implemented via a single blanket impl per range shape (mirroring the real
+/// `rand` crate) so type inference can flow from the use site into untyped
+/// range literals, e.g. `b'a' + rng.gen_range(0..26)` sampling a `u8`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[low, high)` or `[low, high]` depending on
+    /// `inclusive`. The range must be non-empty.
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "gen_range called with empty range");
+        T::sample_between(rng, start, end, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                let offset = uniform_u128_below(rng, span);
+                (low as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform draw from `[0, span)` using rejection sampling to avoid modulo bias.
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // All spans produced by the integer impls fit in 65 bits; two words cover
+    // the full width. The zone rejection keeps the draw exactly uniform.
+    let zone = u128::MAX - (u128::MAX - span + 1) % span;
+    loop {
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if wide <= zone {
+            return wide % span;
+        }
+    }
+}
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        if inclusive {
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+            (low + unit * (high - low)).clamp(low, high)
+        } else {
+            let sample = low + unit_f64(rng) * (high - low);
+            // Guard against floating-point rounding landing exactly on `high`.
+            if sample >= high {
+                low
+            } else {
+                sample
+            }
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_between(rng, f64::from(low), f64::from(high), inclusive) as f32
+    }
+}
+
+/// A PRNG that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it into the full
+    /// internal state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ with SplitMix64
+    /// seed expansion.
+    ///
+    /// Unlike the real `rand::rngs::StdRng` (ChaCha-based), this generator is
+    /// not cryptographically secure — the workspace only uses it for
+    /// reproducible simulation and sampling.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = state;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait providing random operations on slices.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher-Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..u64::MAX), b.gen_range(0u64..u64::MAX));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..u64::MAX)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..u64::MAX)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..10);
+            assert!((3..10).contains(&x));
+            let y = rng.gen_range(-5i32..=5);
+            assert!((-5..=5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "bucket count {c} far from uniform");
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let y: f64 = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn float_range_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let total: f64 = (0..100_000).map(|_| rng.gen_range(0.0..1.0)).sum();
+        let mean = total / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50-element shuffle left the slice sorted");
+    }
+}
