@@ -15,9 +15,9 @@ use er_core::workload::Workload;
 use er_datagen::calibrated::CalibratedConfig;
 use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
 use humo::{
-    BaselineConfig, BaselineOptimizer, GroundTruthOracle, HybridConfig, HybridOptimizer,
-    OptimizationOutcome, Optimizer, PartialSamplingConfig, PartialSamplingOptimizer,
-    QualityRequirement,
+    AllSamplingConfig, AllSamplingOptimizer, BaselineConfig, BaselineOptimizer, GroundTruthOracle,
+    HybridConfig, HybridOptimizer, OptimizationOutcome, Optimizer, PartialSamplingConfig,
+    PartialSamplingOptimizer, QualityRequirement, TailCalibration,
 };
 
 /// Fraction of the full DS/AB sizes used by the harness (env `HUMO_SCALE`, default 0.2).
@@ -63,11 +63,7 @@ pub fn run_samp(
     requirement: QualityRequirement,
     seed: u64,
 ) -> OptimizationOutcome {
-    let optimizer =
-        PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement).with_seed(seed))
-            .expect("valid config");
-    let mut oracle = GroundTruthOracle::new();
-    optimizer.optimize(workload, &mut oracle).expect("SAMP optimization succeeds")
+    run_samp_with_tail(workload, requirement, seed, TailCalibration::default())
 }
 
 /// Runs the HYBR optimizer with the given seed.
@@ -76,10 +72,78 @@ pub fn run_hybr(
     requirement: QualityRequirement,
     seed: u64,
 ) -> OptimizationOutcome {
-    let optimizer =
-        HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed)).expect("valid config");
+    run_hybr_with_tail(workload, requirement, seed, TailCalibration::default())
+}
+
+/// Runs the SAMP optimizer with an explicit tail-calibration configuration.
+pub fn run_samp_with_tail(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+    tail: TailCalibration,
+) -> OptimizationOutcome {
+    let config = PartialSamplingConfig {
+        tail_calibration: tail,
+        ..PartialSamplingConfig::new(requirement).with_seed(seed)
+    };
+    let optimizer = PartialSamplingOptimizer::new(config).expect("valid config");
+    let mut oracle = GroundTruthOracle::new();
+    optimizer.optimize(workload, &mut oracle).expect("SAMP optimization succeeds")
+}
+
+/// Runs the HYBR optimizer with an explicit tail-calibration configuration.
+pub fn run_hybr_with_tail(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+    tail: TailCalibration,
+) -> OptimizationOutcome {
+    let mut config = HybridConfig::new(requirement).with_seed(seed);
+    config.sampling.tail_calibration = tail;
+    let optimizer = HybridOptimizer::new(config).expect("valid config");
     let mut oracle = GroundTruthOracle::new();
     optimizer.optimize(workload, &mut oracle).expect("HYBR optimization succeeds")
+}
+
+/// Runs the all-sampling optimizer with an explicit tail-calibration
+/// configuration.
+///
+/// Only the `enabled`/`distance_strength`/`calibrate_lower` knobs of `tail`
+/// are applied; the ALL-specific `shortfall_baseline` and `quiet_fraction`
+/// defaults are preserved (they are tuned to the stratified estimator's
+/// 20-draw strata, and overriding them here would silently change what the
+/// harness compares).
+pub fn run_all_sampling_with_tail(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+    tail: TailCalibration,
+) -> OptimizationOutcome {
+    let defaults = AllSamplingConfig::new(requirement);
+    let config = AllSamplingConfig {
+        tail_calibration: TailCalibration {
+            shortfall_baseline: defaults.tail_calibration.shortfall_baseline,
+            quiet_fraction: defaults.tail_calibration.quiet_fraction,
+            ..tail
+        },
+        seed,
+        ..defaults
+    };
+    let optimizer = AllSamplingOptimizer::new(config).expect("valid config");
+    let mut oracle = GroundTruthOracle::new();
+    optimizer.optimize(workload, &mut oracle).expect("ALL optimization succeeds")
+}
+
+/// One-sided 95% Clopper–Pearson band on an observed failure rate: returns
+/// `(lower, upper)` limits on the true failure probability given `failures`
+/// out of `runs`. Used to separate "statistically above the nominal rate"
+/// from small-sample noise.
+pub fn failure_rate_band(failures: usize, runs: usize) -> (f64, f64) {
+    let n = runs.max(1) as f64;
+    let k = failures.min(runs) as f64;
+    let lower = er_stats::clopper_pearson_lower(n, k, 0.95).unwrap_or(0.0);
+    let upper = er_stats::clopper_pearson_upper(n, k, 0.95).unwrap_or(1.0);
+    (lower, upper)
 }
 
 /// Aggregate of repeated randomized runs.

@@ -42,11 +42,19 @@ impl TokenBlocker {
 
     /// Generates candidate pairs between two datasets.
     pub fn candidates(&self, a: &Dataset, b: &Dataset) -> Vec<(RecordId, RecordId)> {
+        // Tokens are deduplicated per record before indexing and probing: a
+        // record repeating a token ("new york, new york") must not push its id
+        // into a posting list twice, nor probe the same posting list twice —
+        // the output set would hide it, but every duplicate re-scans a whole
+        // posting list.
+        let record_tokens = |text: &str| -> BTreeSet<String> {
+            self.tokenizer.tokenize(text).into_iter().collect()
+        };
         // Invert dataset b: token → record ids.
         let mut index: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
         for rb in b.iter() {
             if let Some(text) = rb.text(&self.attribute) {
-                for token in self.tokenizer.tokenize(text) {
+                for token in record_tokens(text) {
                     index.entry(token).or_default().push(rb.id());
                 }
             }
@@ -54,7 +62,7 @@ impl TokenBlocker {
         let mut seen: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
         for ra in a.iter() {
             if let Some(text) = ra.text(&self.attribute) {
-                for token in self.tokenizer.tokenize(text) {
+                for token in record_tokens(text) {
                     if let Some(ids) = index.get(&token) {
                         for &rb_id in ids {
                             seen.insert((ra.id(), rb_id));
@@ -201,6 +209,26 @@ mod tests {
         assert!(candidates.contains(&(RecordId(2), RecordId(11)))); // shares "networks"
         assert!(!candidates.contains(&(RecordId(1), RecordId(12))));
         // No duplicates even though multiple tokens are shared.
+        let unique: BTreeSet<_> = candidates.iter().collect();
+        assert_eq!(unique.len(), candidates.len());
+    }
+
+    #[test]
+    fn repeated_tokens_do_not_duplicate_index_postings() {
+        // Records that repeat a token ("new york new york") must behave exactly
+        // like their deduplicated counterparts: same candidates, no duplicate
+        // posting-list entries blowing up the probe work.
+        let a = dataset("a", &[(1, "york york york new new"), (2, "boston")]);
+        let b = dataset("b", &[(10, "new york"), (11, "york york minster"), (12, "chicago")]);
+        let blocker = TokenBlocker::new("title", Tokenizer::Words);
+        let candidates = blocker.candidates(&a, &b);
+        let dedup_a = dataset("a", &[(1, "york new"), (2, "boston")]);
+        let dedup_b = dataset("b", &[(10, "new york"), (11, "york minster"), (12, "chicago")]);
+        let dedup_candidates = blocker.candidates(&dedup_a, &dedup_b);
+        assert_eq!(candidates, dedup_candidates);
+        assert!(candidates.contains(&(RecordId(1), RecordId(10))));
+        assert!(candidates.contains(&(RecordId(1), RecordId(11))));
+        assert!(!candidates.contains(&(RecordId(2), RecordId(12))));
         let unique: BTreeSet<_> = candidates.iter().collect();
         assert_eq!(unique.len(), candidates.len());
     }

@@ -1,0 +1,250 @@
+//! One-sided binomial confidence limits (Clopper–Pearson) and the
+//! detection-limit arithmetic behind HUMO's tail-calibrated match estimation.
+//!
+//! # Why this module exists
+//!
+//! A sampled workload subset whose `k` drawn pairs are *all* non-matches
+//! (`positives = 0`) carries an observed match proportion of exactly zero — and
+//! a naive binomial variance `p̂(1−p̂)/k` of exactly zero as well. Plugging that
+//! into a Gaussian-process fit makes the posterior overconfident in the very
+//! regions the sample says nothing about: a `0/k` sample is perfectly
+//! compatible with any true proportion up to the *detection limit* of the
+//! sample size (about `3/k` at 95% one-sided confidence, the classical "rule of
+//! three"). On flat match-proportion curves this overconfidence translated
+//! directly into recall under-coverage (see the `humo` crate's
+//! `CalibratedEstimator`).
+//!
+//! The exact frequentist answer is the Clopper–Pearson interval: the one-sided
+//! upper limit for `k` positives out of `n` draws at confidence `c` is the
+//! `c`-quantile of a `Beta(k + 1, n − k)` distribution, and the lower limit is
+//! the `(1 − c)`-quantile of `Beta(k, n − k + 1)`. Both are exposed here over
+//! *real-valued* `n` and `k` so callers can deflate the effective sample size
+//! of a bound that is being extrapolated away from where the sample was drawn
+//! (see [`effective_sample_size`]).
+
+use crate::special::{ln_gamma, regularized_incomplete_beta};
+use crate::{Result, StatsError};
+
+/// Quantile function (inverse CDF) of the `Beta(a, b)` distribution.
+///
+/// Inverts the regularized incomplete beta function `I_x(a, b)` with a
+/// bracketed Newton iteration (bisection fallback), accurate to ~1e-12 over the
+/// shape parameters used by the confidence limits below.
+pub fn beta_quantile(a: f64, b: f64, p: f64) -> Result<f64> {
+    if !(a > 0.0 && a.is_finite() && b > 0.0 && b.is_finite()) {
+        return Err(StatsError::InvalidArgument(format!(
+            "beta quantile requires positive finite shapes, got a={a}, b={b}"
+        )));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(StatsError::InvalidArgument(format!(
+            "beta quantile requires p in [0,1], got {p}"
+        )));
+    }
+    if p == 0.0 {
+        return Ok(0.0);
+    }
+    if p == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_beta = ln_gamma(a) + ln_gamma(b) - ln_gamma(a + b);
+    let pdf = |x: f64| -> f64 {
+        if x <= 0.0 || x >= 1.0 {
+            return 0.0;
+        }
+        ((a - 1.0) * x.ln() + (b - 1.0) * (1.0 - x).ln() - ln_beta).exp()
+    };
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // Mean of Beta(a, b) as the starting point.
+    let mut x = (a / (a + b)).clamp(1e-12, 1.0 - 1e-12);
+    for _ in 0..200 {
+        let f = regularized_incomplete_beta(a, b, x) - p;
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        if f.abs() < 1e-14 || (hi - lo) < 1e-14 {
+            return Ok(x);
+        }
+        let d = pdf(x);
+        let newton = if d > 1e-300 { x - f / d } else { f64::NAN };
+        x = if newton.is_finite() && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
+    }
+    Ok(x)
+}
+
+fn validate_limit_args(sample_size: f64, positives: f64, confidence: f64) -> Result<()> {
+    if !(sample_size > 0.0 && sample_size.is_finite()) {
+        return Err(StatsError::InvalidArgument(format!(
+            "sample size must be positive and finite, got {sample_size}"
+        )));
+    }
+    if !(0.0..=sample_size).contains(&positives) {
+        return Err(StatsError::InvalidArgument(format!(
+            "positives must lie in [0, sample size], got {positives} of {sample_size}"
+        )));
+    }
+    if !(0.0..1.0).contains(&confidence) {
+        return Err(StatsError::InvalidArgument(format!(
+            "confidence must be in [0,1), got {confidence}"
+        )));
+    }
+    Ok(())
+}
+
+/// One-sided Clopper–Pearson **upper** confidence limit on a binomial
+/// proportion: the smallest `u` such that `P(p ≤ u) ≥ confidence` when
+/// `positives` successes were observed in `sample_size` draws.
+///
+/// Accepts real-valued `sample_size`/`positives` so callers can use a deflated
+/// *effective* sample size when extrapolating a sample to a region it was not
+/// drawn from; with `positives = 0` this is the sample's detection limit
+/// `1 − (1 − confidence)^(1/n)` (the "rule of three" for `confidence = 0.95`).
+pub fn clopper_pearson_upper(sample_size: f64, positives: f64, confidence: f64) -> Result<f64> {
+    validate_limit_args(sample_size, positives, confidence)?;
+    if confidence == 0.0 {
+        return Ok(positives / sample_size);
+    }
+    if positives >= sample_size {
+        return Ok(1.0);
+    }
+    beta_quantile(positives + 1.0, sample_size - positives, confidence)
+}
+
+/// One-sided Clopper–Pearson **lower** confidence limit on a binomial
+/// proportion: the largest `l` such that `P(p ≥ l) ≥ confidence`.
+///
+/// Returns `0` for all-zero samples (they carry no lower-tail information).
+pub fn clopper_pearson_lower(sample_size: f64, positives: f64, confidence: f64) -> Result<f64> {
+    validate_limit_args(sample_size, positives, confidence)?;
+    if confidence == 0.0 {
+        return Ok(positives / sample_size);
+    }
+    if positives <= 0.0 {
+        return Ok(0.0);
+    }
+    beta_quantile(positives, sample_size - positives + 1.0, 1.0 - confidence)
+}
+
+/// Detection limit of an all-negative sample: the largest true proportion that
+/// still has at least `1 − confidence` probability of producing `0/n`
+/// positives. Shorthand for [`clopper_pearson_upper`] with `positives = 0`.
+pub fn detection_limit(sample_size: f64, confidence: f64) -> Result<f64> {
+    clopper_pearson_upper(sample_size, 0.0, confidence)
+}
+
+/// Deflates a sample size for use at a distance from where the sample was
+/// drawn.
+///
+/// A sample of `n` pairs pins down the match proportion *where it was taken*;
+/// extrapolated `distance` length-scales away it is worth fewer observations.
+/// The effective size decays as `n / (1 + strength · d²)` with
+/// `d = distance / length_scale`, so Clopper–Pearson limits computed from it
+/// widen smoothly (and monotonically) with distance: at `d = 0` the full
+/// sample counts, far away the limits open toward the uninformative `[0, 1]`.
+///
+/// The result is floored at `1.0` so downstream Beta quantiles stay well
+/// conditioned.
+pub fn effective_sample_size(
+    sample_size: f64,
+    distance: f64,
+    length_scale: f64,
+    strength: f64,
+) -> f64 {
+    debug_assert!(sample_size > 0.0);
+    let ls = length_scale.max(1e-12);
+    let d = (distance / ls).abs();
+    (sample_size / (1.0 + strength.max(0.0) * d * d)).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(actual: f64, expected: f64, tol: f64) {
+        assert!((actual - expected).abs() <= tol, "expected {expected}, got {actual} (tol {tol})");
+    }
+
+    #[test]
+    fn beta_quantile_round_trips_through_the_cdf() {
+        for &(a, b) in &[(1.0, 100.0), (3.0, 7.0), (0.5, 0.5), (101.0, 1.0), (2.5, 40.0)] {
+            for p in [0.01, 0.1, 0.5, 0.9, 0.949, 0.999] {
+                let x = beta_quantile(a, b, p).unwrap();
+                assert_close(regularized_incomplete_beta(a, b, x), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_quantile_boundaries_and_validation() {
+        assert_eq!(beta_quantile(2.0, 3.0, 0.0).unwrap(), 0.0);
+        assert_eq!(beta_quantile(2.0, 3.0, 1.0).unwrap(), 1.0);
+        assert!(beta_quantile(0.0, 1.0, 0.5).is_err());
+        assert!(beta_quantile(1.0, -1.0, 0.5).is_err());
+        assert!(beta_quantile(1.0, 1.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn rule_of_three_for_all_zero_samples() {
+        // Classical rule of three: CP upper limit of 0/n at 95% ≈ 3/n.
+        let u = clopper_pearson_upper(100.0, 0.0, 0.95).unwrap();
+        assert_close(u, 1.0 - 0.05f64.powf(0.01), 1e-10);
+        assert!((0.028..0.032).contains(&u), "rule of three violated: {u}");
+        assert_eq!(u, detection_limit(100.0, 0.95).unwrap());
+    }
+
+    #[test]
+    fn limits_bracket_the_observed_proportion() {
+        for &(n, k) in &[(20.0, 0.0), (20.0, 5.0), (20.0, 20.0), (100.0, 37.0), (7.0, 3.0)] {
+            let u = clopper_pearson_upper(n, k, 0.9).unwrap();
+            let l = clopper_pearson_lower(n, k, 0.9).unwrap();
+            let p_hat = k / n;
+            assert!(l <= p_hat + 1e-12, "lower {l} above observed {p_hat}");
+            assert!(u >= p_hat - 1e-12, "upper {u} below observed {p_hat}");
+            assert!((0.0..=1.0).contains(&u) && (0.0..=1.0).contains(&l));
+        }
+    }
+
+    #[test]
+    fn degenerate_samples_hit_the_interval_ends() {
+        assert_eq!(clopper_pearson_upper(50.0, 50.0, 0.9).unwrap(), 1.0);
+        assert_eq!(clopper_pearson_lower(50.0, 0.0, 0.9).unwrap(), 0.0);
+        // Zero confidence collapses to the point estimate.
+        assert_close(clopper_pearson_upper(50.0, 10.0, 0.0).unwrap(), 0.2, 1e-12);
+        assert_close(clopper_pearson_lower(50.0, 10.0, 0.0).unwrap(), 0.2, 1e-12);
+    }
+
+    #[test]
+    fn higher_confidence_widens_one_sided_limits() {
+        let u_low = clopper_pearson_upper(60.0, 6.0, 0.8).unwrap();
+        let u_high = clopper_pearson_upper(60.0, 6.0, 0.99).unwrap();
+        assert!(u_high > u_low);
+        let l_low = clopper_pearson_lower(60.0, 6.0, 0.8).unwrap();
+        let l_high = clopper_pearson_lower(60.0, 6.0, 0.99).unwrap();
+        assert!(l_high < l_low);
+    }
+
+    #[test]
+    fn invalid_limit_arguments_are_rejected() {
+        assert!(clopper_pearson_upper(0.0, 0.0, 0.9).is_err());
+        assert!(clopper_pearson_upper(10.0, 11.0, 0.9).is_err());
+        assert!(clopper_pearson_upper(10.0, 5.0, 1.0).is_err());
+        assert!(clopper_pearson_lower(10.0, -1.0, 0.9).is_err());
+    }
+
+    #[test]
+    fn effective_sample_size_decays_with_distance() {
+        let full = effective_sample_size(100.0, 0.0, 0.1, 1.0);
+        assert_close(full, 100.0, 1e-12);
+        let near = effective_sample_size(100.0, 0.05, 0.1, 1.0);
+        let far = effective_sample_size(100.0, 0.5, 0.1, 1.0);
+        assert!(near < full && far < near, "sizes must decay: {full} {near} {far}");
+        // Floored at one observation so Beta shapes stay valid.
+        assert_close(effective_sample_size(2.0, 100.0, 0.1, 1.0), 1.0, 1e-12);
+        // Distance widens the detection limit through the deflated size.
+        let dl_near = detection_limit(near, 0.95).unwrap();
+        let dl_far = detection_limit(far, 0.95).unwrap();
+        assert!(dl_far > dl_near);
+    }
+}

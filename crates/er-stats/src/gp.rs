@@ -128,6 +128,44 @@ impl GpPosterior {
     pub fn std_devs(&self) -> Vec<f64> {
         self.variances().into_iter().map(f64::sqrt).collect()
     }
+
+    /// Inflates the per-point posterior variance by the given multiplicative
+    /// factors (one per query point), e.g. the output of
+    /// [`posterior_inflation_factor`] for points far from any observation.
+    ///
+    /// Factors are clamped at `1.0` from below, so inflation can only *widen*
+    /// downstream confidence intervals, never shrink them. Only the diagonal is
+    /// touched — adding a non-negative diagonal term keeps the covariance
+    /// positive semi-definite.
+    ///
+    /// This is the library form of the operation for consumers holding a
+    /// [`GpPosterior`] directly. The HUMO partial-sampling optimizer applies
+    /// the equivalent inflation inside its count-estimator construction (the
+    /// noise-model closure of `GpCountEstimator::with_noise_model` adds
+    /// `(factor − 1) · var` to the diagonal), not through this method.
+    pub fn inflate_variances(&mut self, factors: &[f64]) {
+        assert_eq!(factors.len(), self.mean.len(), "one inflation factor per query point");
+        for (i, &factor) in factors.iter().enumerate() {
+            let var = self.covariance[(i, i)].max(0.0);
+            self.covariance[(i, i)] = var * factor.max(1.0);
+        }
+    }
+}
+
+/// Multiplicative posterior-variance inflation for a query point at `distance`
+/// from the nearest observed input, relative to the kernel length scale.
+///
+/// The GP posterior variance already reverts to the prior far from all
+/// observations, but *between* observations it can be arbitrarily small even
+/// when the observations themselves are uninformative (e.g. sampled proportions
+/// of exactly `0/k`, whose naive binomial noise vanishes). This factor
+/// `1 + strength · (distance / length_scale)²` re-widens the posterior
+/// smoothly with distance from the nearest sample; it is `1` at distance zero,
+/// strictly increasing in `distance`, and never below `1`.
+pub fn posterior_inflation_factor(distance: f64, length_scale: f64, strength: f64) -> f64 {
+    let ls = length_scale.max(1e-12);
+    let d = (distance / ls).abs();
+    1.0 + strength.max(0.0) * d * d
 }
 
 /// A fitted Gaussian-process regression model over scalar inputs.
@@ -334,6 +372,14 @@ impl GaussianProcess {
     /// The kernel used by this model.
     pub fn kernel(&self) -> &RbfKernel {
         &self.kernel
+    }
+
+    /// Distance from `x` to the nearest training input.
+    ///
+    /// Used by the tail-calibrated estimators to decide how far a query point
+    /// is from any actual sample (and hence how much to widen its bounds).
+    pub fn distance_to_nearest_observation(&self, x: f64) -> f64 {
+        self.train_x.iter().map(|&t| (x - t).abs()).fold(f64::INFINITY, f64::min)
     }
 
     /// The (average) observation-noise variance used when fitting.
@@ -546,6 +592,48 @@ mod tests {
         assert!(
             GaussianProcess::fit_with_noise(&[0.0, 1.0], &[0.0, 1.0], &[0.1, 0.1], config).is_ok()
         );
+    }
+
+    #[test]
+    fn inflation_factor_is_monotone_and_at_least_one() {
+        assert_close(posterior_inflation_factor(0.0, 0.1, 2.0), 1.0, 1e-12);
+        let mut last = 1.0;
+        for step in 1..=20 {
+            let f = posterior_inflation_factor(step as f64 * 0.05, 0.1, 2.0);
+            assert!(f >= last, "factor must not decrease with distance");
+            last = f;
+        }
+        // Zero or negative strength degrades gracefully to no inflation.
+        assert_close(posterior_inflation_factor(1.0, 0.1, 0.0), 1.0, 1e-12);
+        assert_close(posterior_inflation_factor(1.0, 0.1, -3.0), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn inflating_variances_never_shrinks_them() {
+        let xs = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let ys = [0.1, 0.3, 0.5, 0.7, 0.9];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        let query = [0.1, 0.4, 0.6, 0.9];
+        let mut post = gp.predict_joint(&query);
+        let before = post.variances();
+        // Factors below one are clamped, factors above one multiply.
+        post.inflate_variances(&[0.2, 1.0, 2.0, 10.0]);
+        let after = post.variances();
+        for (b, a) in before.iter().zip(&after) {
+            assert!(a >= b, "inflation shrank a variance: {b} -> {a}");
+        }
+        assert_close(after[2], before[2] * 2.0, 1e-12);
+        assert_close(after[0], before[0], 1e-12);
+    }
+
+    #[test]
+    fn distance_to_nearest_observation_is_zero_at_training_points() {
+        let xs = [0.1, 0.4, 0.9];
+        let ys = [0.0, 0.5, 1.0];
+        let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
+        assert_close(gp.distance_to_nearest_observation(0.4), 0.0, 1e-12);
+        assert_close(gp.distance_to_nearest_observation(0.25), 0.15, 1e-12);
+        assert_close(gp.distance_to_nearest_observation(1.0), 0.1, 1e-12);
     }
 
     #[test]

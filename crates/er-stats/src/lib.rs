@@ -13,7 +13,11 @@
 //!   decomposition needed by Gaussian-process regression;
 //! * Gaussian-process regression ([`gp`]) with an RBF kernel — used by the
 //!   partial-sampling solution (Section VI-B, Algorithm 1) to approximate the
-//!   match-proportion function from a handful of sampled subsets.
+//!   match-proportion function from a handful of sampled subsets;
+//! * one-sided binomial Clopper–Pearson limits ([`binomial`]) and
+//!   distance-dependent posterior inflation ([`gp::posterior_inflation_factor`])
+//!   — the detection-limit machinery behind the tail-calibrated estimator that
+//!   keeps the recall guarantee honest on flat match-proportion curves.
 //!
 //! Everything is implemented from scratch on top of `std`; no external numerical
 //! libraries are used.
@@ -21,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binomial;
 pub mod descriptive;
 pub mod distributions;
 pub mod gp;
@@ -29,9 +34,15 @@ pub mod linalg;
 pub mod sampling;
 pub mod special;
 
+pub use binomial::{
+    beta_quantile, clopper_pearson_lower, clopper_pearson_upper, detection_limit,
+    effective_sample_size,
+};
 pub use descriptive::{mean, population_variance, sample_variance, standard_deviation};
 pub use distributions::{Normal, StudentT};
-pub use gp::{GaussianProcess, GpConfig, GpPosterior, Kernel, RbfKernel};
+pub use gp::{
+    posterior_inflation_factor, GaussianProcess, GpConfig, GpPosterior, Kernel, RbfKernel,
+};
 pub use interval::ConfidenceInterval;
 pub use linalg::{CholeskyError, Matrix, Vector};
 pub use sampling::{SampleSummary, StratifiedEstimate, Stratum};

@@ -31,6 +31,13 @@
 //!   shrinks the human region using the better of the baseline and sampling
 //!   estimates at every step.
 //!
+//! All three sampling-based optimizers route their count bounds through the
+//! tail-calibrated estimator ([`sampling::CalibratedEstimator`]): one-sided
+//! binomial detection limits keep the recall guarantee honest on flat
+//! match-proportion curves, where the raw GP/stratified bounds are
+//! overconfident (see the module docs of [`sampling`] and the
+//! `calibration_coverage` harness in the bench crate).
+//!
 //! # Quick example
 //!
 //! ```
@@ -75,7 +82,8 @@ pub use optimizer::{Optimizer, OptimizerKind};
 pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use requirement::QualityRequirement;
 pub use sampling::{
-    AllSamplingConfig, AllSamplingOptimizer, PartialSamplingConfig, PartialSamplingOptimizer,
+    AllSamplingConfig, AllSamplingOptimizer, CalibratedEstimator, PartialSamplingConfig,
+    PartialSamplingOptimizer, ShortfallBaseline, TailCalibration,
 };
 pub use solution::{HumoSolution, OptimizationOutcome};
 

@@ -7,6 +7,7 @@
 //! what makes the approach expensive: the paper proposes the partial-sampling
 //! variant (`SAMP`) to cut that cost, and keeps this one as an internal baseline.
 
+use super::calibrated::{CalibratedEstimator, ShortfallBaseline, TailCalibration};
 use super::estimator::{search_subset_bounds, StratifiedCountEstimator};
 use super::sampler::SubsetSampler;
 use crate::optimizer::Optimizer;
@@ -25,6 +26,10 @@ pub struct AllSamplingConfig {
     pub unit_size: usize,
     /// Number of pairs sampled (and manually labeled) from each subset.
     pub samples_per_subset: usize,
+    /// Tail calibration of the count bounds: pure `0/k` (or `k/k`) strata carry
+    /// zero naive variance, so the Student-t bounds are overconfident exactly
+    /// where the Clopper–Pearson detection limit still allows matches.
+    pub tail_calibration: TailCalibration,
     /// RNG seed for within-subset sampling.
     pub seed: u64,
 }
@@ -32,7 +37,22 @@ pub struct AllSamplingConfig {
 impl AllSamplingConfig {
     /// Creates a configuration with the paper's defaults.
     pub fn new(requirement: QualityRequirement) -> Self {
-        Self { requirement, unit_size: 200, samples_per_subset: 20, seed: 1 }
+        Self {
+            requirement,
+            unit_size: 200,
+            samples_per_subset: 20,
+            // Every stratum carries its own sample, so the Student-t slack and
+            // the pooled detection limit describe the same draws: top up only
+            // what the base bound does not already grant. The looser quiet
+            // threshold keeps the small per-stratum samples (20 draws) from
+            // fragmenting quiet runs on single lucky positives.
+            tail_calibration: TailCalibration {
+                shortfall_baseline: ShortfallBaseline::UpperBound,
+                quiet_fraction: 0.1,
+                ..TailCalibration::default()
+            },
+            seed: 1,
+        }
     }
 
     fn validate(&self) -> Result<()> {
@@ -83,7 +103,20 @@ impl Optimizer for AllSamplingOptimizer {
         let mut sampler =
             SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
         let samples = sampler.sample_all(oracle);
-        let estimator = StratifiedCountEstimator::new(&partition, &samples);
+        let base = StratifiedCountEstimator::new(&partition, &samples);
+        // Every subset carries its own sample (distance zero), so the tail
+        // bound reduces to each stratum's own Clopper–Pearson limits; the
+        // length scale only matters for unsampled subsets and is arbitrary here.
+        let sizes: Vec<usize> = partition.subsets().iter().map(|s| s.len()).collect();
+        let inputs: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
+        let estimator = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            sampler.samples(),
+            1.0,
+            cfg.tail_calibration,
+        );
         let (lo, hi) = search_subset_bounds(&estimator, partition.len(), &cfg.requirement);
 
         let lower_index =

@@ -1,0 +1,706 @@
+//! Tail-calibrated match-count estimation.
+//!
+//! # The flat-curve under-coverage bug this fixes
+//!
+//! The GP (and stratified) count estimators derive their bounds from the
+//! *observed* sampling variability. A sampled subset whose `k` drawn pairs are
+//! all (or almost all) non-matches reports a proportion near `0` with a naive
+//! binomial variance near zero, so the fitted posterior treats the whole
+//! unsampled low-similarity region as essentially match-free with near-zero
+//! uncertainty. Worse, the GP aggregates per-subset uncertainty as if the
+//! deviations were independent, while the real failure mode in that region is a
+//! *systematic* bias of the fitted curve: every subset hides a little match
+//! mass below the samples' detection limit, and the errors add up coherently.
+//! On flat match-proportion curves (the paper's τ ≈ 8 synthetic regime) the
+//! discarded region silently loses enough matches that the recall requirement
+//! fails in roughly half the runs — far above the nominal `1 − θ = 10%`
+//! failure rate the paper guarantees (Section VI).
+//!
+//! # The fix
+//!
+//! An all-negative sample of size `k` does not say "no matches here"; it says
+//! the local proportion is below the sample's *detection limit* — the one-sided
+//! Clopper–Pearson upper bound `1 − (1 − c)^(1/k)` (≈ `3/k` at 95%). This
+//! module wraps any [`MatchCountEstimator`] and adds a binomial tail bound on
+//! top of it:
+//!
+//! * sampled subsets whose observed proportion is below a small *quiet*
+//!   threshold delimit maximal **quiet runs** — contiguous subset ranges whose
+//!   every informing sample is quiet; these are exactly the regions where the
+//!   base estimator's interval can collapse while matches hide below the
+//!   detection limit;
+//! * each run's quiet samples are pooled into one binomial observation (the
+//!   per-subset sampling fractions are equal, so the pooled sample is a simple
+//!   random sample of the sampled-subsets union) and the pooled one-sided
+//!   Clopper–Pearson upper limit bounds the run's *mean* match proportion; the
+//!   pooled sample size is deflated by how far the run's subsets sit from
+//!   their nearest sample (see [`er_stats::effective_sample_size`]), so runs
+//!   extrapolated far beyond the samples get wider limits;
+//! * an upper bound over a subset range is then
+//!   `base_ub + Σ_runs max(0, pairs_in_run_overlap · run_limit − base_estimate)`:
+//!   wherever the base estimator already allocates at least the
+//!   detection-limit mass nothing changes, and where it claims near-certain
+//!   emptiness the bound is floored at what the pooled samples can actually
+//!   rule out.
+//!
+//! Outside quiet runs (the steep "foot" of the curve and the match-rich top)
+//! the samples carry real binomial noise, the base interval is honest, and the
+//! calibration adds nothing — which is what keeps the human cost on steep
+//! curves within a few percent of the uncalibrated estimator. Both properties
+//! (restored coverage on flat curves, near-zero cost overhead on steep ones)
+//! are measured by the `calibration_coverage` harness in `crates/bench`.
+
+use super::estimator::MatchCountEstimator;
+use er_stats::{
+    clopper_pearson_lower, clopper_pearson_upper, effective_sample_size, SampleSummary,
+};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Absolute floor on the quiet-positives threshold, so tiny samples are not
+/// classified by a single lucky draw.
+const QUIET_MIN_POSITIVES: f64 = 1.0;
+
+/// What the pooled detection-limit allowance of a quiet run is compared
+/// against before topping up the base estimator's upper bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShortfallBaseline {
+    /// Compare against the base *point estimate*: the detection-limit slack
+    /// stacks on top of the base interval. Right for curve-fitting estimators
+    /// (SAMP's GP): their slack models interpolation uncertainty under
+    /// independence, which is orthogonal to the systematic tail bias the
+    /// pooled limit guards against.
+    #[default]
+    Estimate,
+    /// Compare against the base *upper bound*: the detection limit only tops
+    /// up what the base interval does not already grant. Right when the base
+    /// slack is computed from the very same draws as the pooled limit (the
+    /// all-sampling stratified estimator), where stacking would double-count
+    /// one source of sampling uncertainty.
+    UpperBound,
+}
+
+/// Tuning knobs of the tail calibration, shared by the SAMP/ALL/HYBR paths.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TailCalibration {
+    /// Master switch. Disabled reproduces the uncalibrated (paper-faithful but
+    /// flat-curve-unsafe) bounds.
+    pub enabled: bool,
+    /// How fast a sample's effective size decays with the distance (in GP
+    /// length scales) between the sample and the subsets it is extrapolated
+    /// to; see [`er_stats::effective_sample_size`]. `0` trusts samples at any
+    /// distance, larger values widen the tail limits away from samples.
+    pub distance_strength: f64,
+    /// Whether the *lower* bounds are calibrated too, by `min`-ing the base
+    /// bound with per-subset Clopper–Pearson lower limits.
+    ///
+    /// Off by default: the per-subset limits ignore the smoothness information
+    /// the GP aggregates across subsets, so they are far weaker than the GP
+    /// joint bound and inflate the human region severalfold on steep curves.
+    /// The recall under-coverage this module exists to fix is driven entirely
+    /// by the *upper* bound on the discarded region; enable this only when the
+    /// match-proportion curve is so irregular that the GP lower bounds
+    /// themselves are suspect.
+    pub calibrate_lower: bool,
+    /// What the quiet-run allowance is compared against (see
+    /// [`ShortfallBaseline`]).
+    pub shortfall_baseline: ShortfallBaseline,
+    /// A sampled subset is *quiet* when it observed at most this fraction of
+    /// positives (with an absolute floor of one positive). Quiet samples
+    /// delimit the runs the detection-limit bound applies to; larger values
+    /// reach further into the foot of the match-proportion curve at a higher
+    /// human cost. Per-sample granularity matters: with large per-subset
+    /// samples (SAMP's 100) a tight threshold suffices, while coarse samples
+    /// (ALL's 20 per stratum) need a looser one to avoid fragmenting runs on
+    /// single lucky draws.
+    pub quiet_fraction: f64,
+}
+
+impl Default for TailCalibration {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            distance_strength: 1.0,
+            calibrate_lower: false,
+            shortfall_baseline: ShortfallBaseline::Estimate,
+            quiet_fraction: 0.05,
+        }
+    }
+}
+
+impl TailCalibration {
+    /// A configuration with the calibration switched off entirely.
+    pub fn disabled() -> Self {
+        Self { enabled: false, ..Self::default() }
+    }
+}
+
+/// The nearest sampled subset on one side of a subset, and how far away its
+/// input coordinate is.
+#[derive(Debug, Clone, Copy)]
+struct Neighbour {
+    /// Index into the deduplicated summary table.
+    summary: usize,
+    /// `|input_i − input_sample|`, the extrapolation distance.
+    distance: f64,
+}
+
+/// Per-subset tail information.
+#[derive(Debug, Clone, Copy)]
+struct SubsetTail {
+    /// Number of pairs in the subset.
+    size: f64,
+    /// Nearest sampled subset at or below this one (in subset order).
+    left: Option<Neighbour>,
+    /// Nearest sampled subset at or above this one.
+    right: Option<Neighbour>,
+}
+
+/// A maximal contiguous range of subsets informed exclusively by quiet samples.
+#[derive(Debug, Clone)]
+struct QuietRun {
+    /// Half-open subset range `[start, end)`.
+    start: usize,
+    end: usize,
+    /// Pooled sample size and positives over the run's distinct quiet samples.
+    pooled_size: f64,
+    pooled_positives: f64,
+    /// Largest distance from any member subset to its nearest informing
+    /// sample; deflates the pooled size.
+    max_distance: f64,
+}
+
+/// A [`MatchCountEstimator`] decorator that widens intervals to respect the
+/// binomial detection limits of the underlying samples. See the module docs
+/// for the construction.
+#[derive(Debug, Clone)]
+pub struct CalibratedEstimator<E> {
+    base: E,
+    config: TailCalibration,
+    summaries: Vec<SampleSummary>,
+    subsets: Vec<SubsetTail>,
+    /// Prefix sums of subset sizes, for O(1) run-overlap pair counts.
+    size_prefix: Vec<f64>,
+    runs: Vec<QuietRun>,
+    /// Length scale used to normalize extrapolation distances.
+    length_scale: f64,
+    /// Cache of per-subset `(p_lb, p_ub)` keyed by `(subset, confidence bits)`.
+    limits: RefCell<HashMap<(usize, u64), (f64, f64)>>,
+    /// Cache of per-run pooled upper limits keyed by `(run, confidence bits)`.
+    run_limits: RefCell<HashMap<(usize, u64), f64>>,
+}
+
+fn is_quiet(summary: &SampleSummary, quiet_fraction: f64) -> bool {
+    let threshold = QUIET_MIN_POSITIVES.max(quiet_fraction * summary.sample_size as f64);
+    (summary.positives as f64) <= threshold
+}
+
+impl<E: MatchCountEstimator> CalibratedEstimator<E> {
+    /// Wraps `base` with tail calibration.
+    ///
+    /// * `subset_sizes[i]` — pair count of subset `i`;
+    /// * `inputs[i]` — the GP input coordinate of subset `i` (any monotone
+    ///   coordinate works; distances are measured in this space);
+    /// * `samples` — subset index → sample summary for every sampled subset;
+    /// * `length_scale` — the fitted GP length scale (or any positive scale of
+    ///   "how far a sample generalizes" in the input coordinate).
+    pub fn new(
+        base: E,
+        subset_sizes: &[usize],
+        inputs: &[f64],
+        samples: &BTreeMap<usize, SampleSummary>,
+        length_scale: f64,
+        config: TailCalibration,
+    ) -> Self {
+        assert_eq!(subset_sizes.len(), inputs.len(), "one input coordinate per subset");
+        let mut summaries = Vec::with_capacity(samples.len());
+        let mut sampled: Vec<(usize, usize)> = Vec::with_capacity(samples.len()); // (subset, summary idx)
+        for (&subset, &summary) in samples {
+            sampled.push((subset, summaries.len()));
+            summaries.push(summary);
+        }
+
+        let m = subset_sizes.len();
+        // `sampled` is sorted by subset index (BTreeMap iteration order); two
+        // sweeps find, for every subset, the nearest sampled subset on each side.
+        let neighbour = |i: usize, entry: Option<(usize, usize)>| {
+            entry.map(|(subset, summary)| Neighbour {
+                summary,
+                distance: (inputs[i] - inputs[subset]).abs(),
+            })
+        };
+        let mut left_of: Vec<Option<Neighbour>> = vec![None; m];
+        let mut cursor = 0usize;
+        let mut last: Option<(usize, usize)> = None;
+        for (i, slot) in left_of.iter_mut().enumerate() {
+            while cursor < sampled.len() && sampled[cursor].0 <= i {
+                last = Some(sampled[cursor]);
+                cursor += 1;
+            }
+            *slot = neighbour(i, last);
+        }
+        let mut right_of: Vec<Option<Neighbour>> = vec![None; m];
+        let mut cursor = sampled.len();
+        let mut next: Option<(usize, usize)> = None;
+        for i in (0..m).rev() {
+            while cursor > 0 && sampled[cursor - 1].0 >= i {
+                cursor -= 1;
+                next = Some(sampled[cursor]);
+            }
+            right_of[i] = neighbour(i, next);
+        }
+        let subsets: Vec<SubsetTail> = (0..m)
+            .map(|i| SubsetTail {
+                size: subset_sizes[i] as f64,
+                left: left_of[i],
+                right: right_of[i],
+            })
+            .collect();
+
+        let mut size_prefix = vec![0.0f64; m + 1];
+        for i in 0..m {
+            size_prefix[i + 1] = size_prefix[i] + subsets[i].size;
+        }
+
+        let quiet_flags: Vec<bool> =
+            summaries.iter().map(|s| is_quiet(s, config.quiet_fraction)).collect();
+        let runs = Self::quiet_runs(&subsets, &summaries, &quiet_flags);
+
+        Self {
+            base,
+            config,
+            summaries,
+            subsets,
+            size_prefix,
+            runs,
+            length_scale: length_scale.max(1e-9),
+            limits: RefCell::new(HashMap::new()),
+            run_limits: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// Builds the maximal quiet runs: consecutive subsets whose every existing
+    /// informing neighbour is a quiet sample.
+    fn quiet_runs(
+        subsets: &[SubsetTail],
+        summaries: &[SampleSummary],
+        quiet_flags: &[bool],
+    ) -> Vec<QuietRun> {
+        let member = |tail: &SubsetTail| -> bool {
+            let mut any = false;
+            for n in [tail.left, tail.right].into_iter().flatten() {
+                if !quiet_flags[n.summary] {
+                    return false;
+                }
+                any = true;
+            }
+            any
+        };
+        let mut runs = Vec::new();
+        let mut i = 0usize;
+        while i < subsets.len() {
+            if !member(&subsets[i]) {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut informing: BTreeSet<usize> = BTreeSet::new();
+            let mut max_distance = 0.0f64;
+            while i < subsets.len() && member(&subsets[i]) {
+                let mut nearest = f64::INFINITY;
+                for n in [subsets[i].left, subsets[i].right].into_iter().flatten() {
+                    informing.insert(n.summary);
+                    nearest = nearest.min(n.distance);
+                }
+                if nearest.is_finite() {
+                    max_distance = max_distance.max(nearest);
+                }
+                i += 1;
+            }
+            let mut pooled_size = 0.0;
+            let mut pooled_positives = 0.0;
+            for &s in &informing {
+                pooled_size += summaries[s].sample_size as f64;
+                pooled_positives += summaries[s].positives as f64;
+            }
+            if pooled_size > 0.0 {
+                runs.push(QuietRun { start, end: i, pooled_size, pooled_positives, max_distance });
+            }
+        }
+        runs
+    }
+
+    /// The wrapped base estimator.
+    pub fn base(&self) -> &E {
+        &self.base
+    }
+
+    /// The calibration configuration in force.
+    pub fn calibration(&self) -> &TailCalibration {
+        &self.config
+    }
+
+    /// One-sided Clopper–Pearson confidence used for the tail limits so they
+    /// match the one-sided use of the base estimator's two-sided interval.
+    fn one_sided(confidence: f64) -> f64 {
+        if confidence <= 0.0 {
+            0.0
+        } else {
+            ((1.0 + confidence) / 2.0).min(1.0 - 1e-9)
+        }
+    }
+
+    /// Pooled upper limit on the mean match proportion of one quiet run.
+    fn run_upper_limit(&self, run_index: usize, confidence: f64) -> f64 {
+        let key = (run_index, confidence.to_bits());
+        if let Some(&cached) = self.run_limits.borrow().get(&key) {
+            return cached;
+        }
+        let run = &self.runs[run_index];
+        let eff = effective_sample_size(
+            run.pooled_size,
+            run.max_distance,
+            self.length_scale,
+            self.config.distance_strength,
+        );
+        let positives = run.pooled_positives * eff / run.pooled_size;
+        let limit =
+            clopper_pearson_upper(eff, positives, Self::one_sided(confidence)).unwrap_or(1.0);
+        self.run_limits.borrow_mut().insert(key, limit);
+        limit
+    }
+
+    /// The detection-limit shortfall of a range: for every quiet run
+    /// overlapping it, how much match mass the pooled binomial limit allows
+    /// beyond what the base estimator already grants there (the point estimate
+    /// or the base upper bound, per [`ShortfallBaseline`]).
+    fn quiet_shortfall(&self, range: &std::ops::Range<usize>, confidence: f64) -> f64 {
+        let mut total = 0.0;
+        for (index, run) in self.runs.iter().enumerate() {
+            let lo = range.start.max(run.start);
+            let hi = range.end.min(run.end);
+            if lo >= hi {
+                continue;
+            }
+            let pairs = self.size_prefix[hi] - self.size_prefix[lo];
+            let allowed = pairs * self.run_upper_limit(index, confidence);
+            let granted = match self.config.shortfall_baseline {
+                ShortfallBaseline::Estimate => self.base.estimate(lo..hi),
+                ShortfallBaseline::UpperBound => self.base.upper_bound(lo..hi, confidence),
+            };
+            total += (allowed - granted).max(0.0);
+        }
+        total
+    }
+
+    /// Distance-deflated Clopper–Pearson limits of one neighbouring sample
+    /// (used by the opt-in lower-bound calibration).
+    fn neighbour_limits(&self, n: Neighbour, cp_confidence: f64) -> (f64, f64) {
+        let summary = self.summaries[n.summary];
+        let size = summary.sample_size.max(1) as f64;
+        let eff = effective_sample_size(
+            size,
+            n.distance,
+            self.length_scale,
+            self.config.distance_strength,
+        );
+        let positives = summary.positives as f64 * eff / size;
+        let ub = clopper_pearson_upper(eff, positives, cp_confidence).unwrap_or(1.0);
+        let lb = clopper_pearson_lower(eff, positives, cp_confidence).unwrap_or(0.0);
+        (lb, ub)
+    }
+
+    /// The tail proportion interval `[p_lb, p_ub]` of one subset: the widest
+    /// combination of its two neighbouring samples' deflated limits. A missing
+    /// neighbour contributes the uninformative end (`0` below, `1` above).
+    fn subset_limits(&self, subset: usize, confidence: f64) -> (f64, f64) {
+        let key = (subset, confidence.to_bits());
+        if let Some(&cached) = self.limits.borrow().get(&key) {
+            return cached;
+        }
+        let cp_confidence = Self::one_sided(confidence);
+        let tail = self.subsets[subset];
+        let (mut lb, mut ub) = (f64::INFINITY, f64::NEG_INFINITY);
+        for neighbour in [tail.left, tail.right].into_iter().flatten() {
+            let (l, u) = self.neighbour_limits(neighbour, cp_confidence);
+            lb = lb.min(l);
+            ub = ub.max(u);
+        }
+        if !lb.is_finite() {
+            lb = 0.0;
+        }
+        if !ub.is_finite() {
+            ub = 1.0;
+        }
+        let result = (lb, ub);
+        self.limits.borrow_mut().insert(key, result);
+        result
+    }
+}
+
+impl<E: MatchCountEstimator> MatchCountEstimator for CalibratedEstimator<E> {
+    fn pair_count(&self, range: std::ops::Range<usize>) -> usize {
+        self.base.pair_count(range)
+    }
+
+    fn estimate(&self, range: std::ops::Range<usize>) -> f64 {
+        self.base.estimate(range)
+    }
+
+    fn lower_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
+        let base = self.base.lower_bound(range.clone(), confidence);
+        if !self.config.enabled || !self.config.calibrate_lower {
+            return base;
+        }
+        let m = self.subsets.len();
+        let (lo, hi) = (range.start.min(m), range.end.min(m));
+        let mut tail = 0.0;
+        for i in lo..hi {
+            let (p_lb, _) = self.subset_limits(i, confidence);
+            tail += self.subsets[i].size * p_lb;
+        }
+        base.min(tail).max(0.0)
+    }
+
+    fn upper_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
+        let base = self.base.upper_bound(range.clone(), confidence);
+        if !self.config.enabled {
+            return base;
+        }
+        let count = self.pair_count(range.clone()) as f64;
+        (base + self.quiet_shortfall(&range, confidence)).min(count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy base estimator with a fixed per-subset proportion and a
+    /// zero-width interval — the worst case the calibration must widen.
+    #[derive(Debug, Clone)]
+    struct PointEstimator {
+        sizes: Vec<usize>,
+        proportions: Vec<f64>,
+    }
+
+    impl MatchCountEstimator for PointEstimator {
+        fn pair_count(&self, range: std::ops::Range<usize>) -> usize {
+            self.sizes[range].iter().sum()
+        }
+        fn estimate(&self, range: std::ops::Range<usize>) -> f64 {
+            range.map(|i| self.sizes[i] as f64 * self.proportions[i]).sum()
+        }
+        fn lower_bound(&self, range: std::ops::Range<usize>, _c: f64) -> f64 {
+            self.estimate(range)
+        }
+        fn upper_bound(&self, range: std::ops::Range<usize>, _c: f64) -> f64 {
+            self.estimate(range)
+        }
+    }
+
+    fn all_zero_setup(
+        m: usize,
+    ) -> (PointEstimator, Vec<usize>, Vec<f64>, BTreeMap<usize, SampleSummary>) {
+        let sizes = vec![200usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![0.0; m] };
+        // Sample every fourth subset, all observations negative.
+        let mut samples = BTreeMap::new();
+        for i in (0..m).step_by(4) {
+            samples.insert(i, SampleSummary::new(100, 0).unwrap());
+        }
+        (base, sizes, inputs, samples)
+    }
+
+    #[test]
+    fn all_zero_samples_still_produce_a_detection_limit_upper_bound() {
+        let (base, sizes, inputs, samples) = all_zero_setup(40);
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        // The uncalibrated upper bound is exactly zero; the calibrated one must
+        // allow at least the pooled detection limit of the 10 × 100 quiet
+        // draws, yet stay far below "everything matches".
+        let ub = est.upper_bound(0..40, 0.95);
+        assert!(ub > 10.0, "detection-limit upper bound missing: {ub}");
+        assert!(ub < 0.05 * est.pair_count(0..40) as f64, "tail bound absurdly wide: {ub}");
+        // Lower bounds stay at zero (no positives anywhere).
+        assert_eq!(est.lower_bound(0..40, 0.95), 0.0);
+    }
+
+    #[test]
+    fn shortfall_only_tops_up_what_the_base_already_allows() {
+        let (mut base, sizes, inputs, samples) = all_zero_setup(40);
+        // A base estimator that already assigns generous mass to the quiet
+        // region must not be widened further.
+        base.proportions = vec![0.1; 40];
+        let generous = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        let expected = base.upper_bound(0..40, 0.95);
+        assert!((generous.upper_bound(0..40, 0.95) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_never_narrows_the_base_interval() {
+        let (mut base, sizes, inputs, mut samples) = all_zero_setup(32);
+        // Mix in some positives so non-quiet samples and lower limits are
+        // exercised too.
+        for (i, p) in base.proportions.iter_mut().enumerate() {
+            *p = i as f64 / 32.0;
+        }
+        for (i, s) in samples.iter_mut() {
+            *s = SampleSummary::new(100, (100 * i) / 32).unwrap();
+        }
+        let est = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration { calibrate_lower: true, ..TailCalibration::default() },
+        );
+        for lo in [0usize, 5, 16] {
+            for hi in [17usize, 25, 32] {
+                for conf in [0.5, 0.9, 0.949] {
+                    let b_lb = base.lower_bound(lo..hi, conf);
+                    let b_ub = base.upper_bound(lo..hi, conf);
+                    assert!(est.lower_bound(lo..hi, conf) <= b_lb + 1e-9);
+                    assert!(
+                        est.upper_bound(lo..hi, conf)
+                            >= b_ub.min(est.pair_count(lo..hi) as f64) - 1e-9
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_calibration_is_transparent() {
+        let (base, sizes, inputs, samples) = all_zero_setup(24);
+        let est = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::disabled(),
+        );
+        for range in [0..24usize, 3..9, 12..24] {
+            assert_eq!(est.upper_bound(range.clone(), 0.9), base.upper_bound(range.clone(), 0.9));
+            assert_eq!(est.lower_bound(range.clone(), 0.9), base.lower_bound(range, 0.9));
+        }
+    }
+
+    #[test]
+    fn sparser_samples_widen_the_tail_bound() {
+        let m = 20usize;
+        let sizes = vec![200usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![0.0; m] };
+        let config = TailCalibration { distance_strength: 2.0, ..TailCalibration::default() };
+        // Dense: a quiet sample every other subset. Sparse: only the two ends,
+        // so the same pooled evidence sits much further from the middle.
+        let mut dense = BTreeMap::new();
+        for i in (0..m).step_by(2) {
+            dense.insert(i, SampleSummary::new(100, 0).unwrap());
+        }
+        let mut sparse = BTreeMap::new();
+        sparse.insert(0usize, SampleSummary::new(100, 0).unwrap());
+        sparse.insert(m - 1, SampleSummary::new(100, 0).unwrap());
+        let dense_est =
+            CalibratedEstimator::new(base.clone(), &sizes, &inputs, &dense, 0.05, config);
+        let sparse_est = CalibratedEstimator::new(base, &sizes, &inputs, &sparse, 0.05, config);
+        let dense_ub = dense_est.upper_bound(0..m, 0.95);
+        let sparse_ub = sparse_est.upper_bound(0..m, 0.95);
+        // The sparse configuration pools fewer draws *and* extrapolates them
+        // further, so per pair its limit must be wider. (Dense pools 10× the
+        // draws; compare per-draw to isolate the distance effect.)
+        assert!(
+            sparse_ub > dense_ub,
+            "sparser, further samples must yield a wider bound ({sparse_ub} vs {dense_ub})"
+        );
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_calibrated_upper_bound() {
+        let (base, sizes, inputs, samples) = all_zero_setup(40);
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        let narrow = est.upper_bound(0..40, 0.5);
+        let wide = est.upper_bound(0..40, 0.99);
+        assert!(wide > narrow);
+    }
+
+    #[test]
+    fn loud_samples_break_quiet_runs() {
+        let m = 30usize;
+        let sizes = vec![100usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![0.0; m] };
+        let mut samples = BTreeMap::new();
+        for i in (0..m).step_by(3) {
+            samples.insert(i, SampleSummary::new(100, 0).unwrap());
+        }
+        // A decidedly non-quiet sample in the middle.
+        samples.insert(15usize, SampleSummary::new(100, 60).unwrap());
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.1,
+            TailCalibration::default(),
+        );
+        // Subsets informed by the loud sample get no quiet-run shortfall: the
+        // base estimator (zero-width here) is left alone.
+        let near_loud = est.upper_bound(15..16, 0.95);
+        assert_eq!(near_loud, 0.0, "loud-informed subsets must not be topped up");
+        // Far from the loud sample the quiet run still applies.
+        assert!(est.upper_bound(0..6, 0.95) > 0.0);
+    }
+
+    #[test]
+    fn fully_sampled_subsets_use_their_own_limits() {
+        let sizes = vec![100usize; 4];
+        let inputs = vec![0.0, 0.33, 0.66, 1.0];
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![0.5; 4] };
+        let mut samples = BTreeMap::new();
+        for i in 0..4usize {
+            samples.insert(i, SampleSummary::new(50, 25).unwrap());
+        }
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.3,
+            TailCalibration { calibrate_lower: true, ..TailCalibration::default() },
+        );
+        // Every subset sampled at distance zero with mixed outcomes: no quiet
+        // runs, so the upper bound is the base one; the opt-in lower
+        // calibration applies the stratum's own CP lower limit.
+        let ub = est.upper_bound(1..2, 0.9);
+        let lb = est.lower_bound(1..2, 0.9);
+        assert_eq!(ub, 50.0);
+        assert!(lb < 50.0, "CP lower limit must fall below the estimate ({lb})");
+        assert!(lb > 25.0, "own-sample CP lower limit far too wide ({lb})");
+    }
+}

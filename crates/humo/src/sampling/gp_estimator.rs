@@ -65,24 +65,25 @@ impl GpCountEstimator {
     pub fn from_gp(partition: &SubsetPartition, gp: &GaussianProcess) -> Self {
         let noise = gp.noise_variance().max(0.0);
         let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
-        Self::with_noise_model(partition, gp, &query, move |_| noise)
+        Self::with_noise_model(partition, gp, &query, move |_, _, _| noise)
     }
 
     /// Builds the estimator with explicit per-subset GP inputs and an explicit
     /// per-subset noise model.
     ///
     /// `query_inputs[i]` is the GP input coordinate of subset `i` (the partial
-    /// sampling optimizer regresses over the subset-rank coordinate so that
-    /// workloads whose pairs bunch up in a narrow similarity band are still well
-    /// conditioned). `noise_for(p)` returns the independent per-subset deviation
-    /// variance for a subset whose predicted match proportion is `p`; the
-    /// partial-sampling optimizer uses the binomial-style model `c · p(1−p)`
-    /// (with a small floor on `p`).
+    /// sampling optimizer uses the subset's mean similarity, so distances and
+    /// the GP length scale live in similarity space `[0, 1]`).
+    /// `noise_for(i, p, var)` returns the independent per-subset
+    /// deviation variance for subset `i` whose predicted match proportion is `p`
+    /// and whose GP posterior variance is `var`; the partial-sampling optimizer
+    /// uses the binomial-style model `c · p(1−p)` (with a small floor on `p`)
+    /// plus a distance-dependent posterior inflation term derived from `var`.
     pub fn with_noise_model(
         partition: &SubsetPartition,
         gp: &GaussianProcess,
         query_inputs: &[f64],
-        noise_for: impl Fn(f64) -> f64,
+        noise_for: impl Fn(usize, f64, f64) -> f64,
     ) -> Self {
         let m = partition.len();
         assert_eq!(query_inputs.len(), m, "one GP input per subset is required");
@@ -106,7 +107,9 @@ impl GpCountEstimator {
                 let wb = sizes[b - 1] as f64;
                 let mut cell = posterior.covariance[(a - 1, b - 1)];
                 if a == b {
-                    cell += noise_for(posterior.mean[a - 1].clamp(0.0, 1.0)).max(0.0);
+                    let variance = cell.max(0.0);
+                    cell +=
+                        noise_for(a - 1, posterior.mean[a - 1].clamp(0.0, 1.0), variance).max(0.0);
                 }
                 let weighted = wa * wb * cell;
                 cov_prefix[a * stride + b] = cov_prefix[(a - 1) * stride + b]

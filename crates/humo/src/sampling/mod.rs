@@ -15,12 +15,14 @@
 //! over a [`MatchCountEstimator`] so the same search drives both estimators.
 
 mod all;
+mod calibrated;
 mod estimator;
 mod gp_estimator;
 mod partial;
 mod sampler;
 
 pub use all::{AllSamplingConfig, AllSamplingOptimizer};
+pub use calibrated::{CalibratedEstimator, ShortfallBaseline, TailCalibration};
 pub use estimator::{search_subset_bounds, MatchCountEstimator, StratifiedCountEstimator};
 pub use gp_estimator::GpCountEstimator;
 pub use partial::{PartialSamplingConfig, PartialSamplingOptimizer, SamplingPlan};

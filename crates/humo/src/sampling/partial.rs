@@ -12,6 +12,7 @@
 //!    every gap is well approximated;
 //! 3. run the bound search of Section VI over the GP posterior (Eq. 19–21).
 
+use super::calibrated::{CalibratedEstimator, TailCalibration};
 use super::estimator::search_subset_bounds;
 use super::gp_estimator::GpCountEstimator;
 use super::sampler::SubsetSampler;
@@ -50,6 +51,11 @@ pub struct PartialSamplingConfig {
     ///   to the count variance. Bounds become statistically safer but noticeably
     ///   wider, so the human region grows (see the `ablation_noise_model` bench).
     pub conservative_noise: bool,
+    /// Tail calibration of the count bounds (binomial detection limits plus
+    /// distance-dependent posterior inflation). Enabled by default; disabling it
+    /// reproduces the pre-calibration bounds that under-cover recall on flat
+    /// match-proportion curves.
+    pub tail_calibration: TailCalibration,
     /// RNG seed for within-subset sampling.
     pub seed: u64,
 }
@@ -64,6 +70,7 @@ impl PartialSamplingConfig {
             sampling_range: (0.01, 0.05),
             gp_error_threshold: 0.05,
             conservative_noise: false,
+            tail_calibration: TailCalibration::default(),
             seed: 1,
         }
     }
@@ -142,8 +149,9 @@ impl PartialSamplingConfig {
 pub struct SamplingPlan {
     /// The equal-count subset partition of the workload.
     pub partition: SubsetPartition,
-    /// The GP-backed match-count estimator fitted by Algorithm 1.
-    pub estimator: GpCountEstimator,
+    /// The GP-backed match-count estimator fitted by Algorithm 1, wrapped in
+    /// the binomial tail calibration.
+    pub estimator: CalibratedEstimator<GpCountEstimator>,
     /// The subset-index bounds `(lo, hi)` of the human region chosen by the bound
     /// search (half-open range over subsets).
     pub subset_bounds: (usize, usize),
@@ -204,12 +212,32 @@ impl PartialSamplingOptimizer {
         // uncertain as a Poisson count with mean n·p. The floor is what keeps the
         // recall bound honest in heavily diluted regions (match proportions below
         // the per-subset sampling detection limit) without widening the bounds in
-        // the near-pure regions that dominate skewed workloads.
+        // the near-pure regions that dominate skewed workloads. On top of that,
+        // subsets far from any sampled subset get their GP posterior variance
+        // inflated with distance, so interpolation between sparse samples cannot
+        // claim near-certainty.
         let unit = cfg.unit_size as f64;
         let detection_floor = 0.5 / cfg.samples_per_subset as f64;
-        let estimator = GpCountEstimator::with_noise_model(&partition, &gp, &query, move |p| {
-            diagonal_scale * Self::stabilized_spread(p) + p.max(detection_floor) / unit
+        let tail = cfg.tail_calibration;
+        let length_scale = gp.kernel().length_scale;
+        let distances: Vec<f64> =
+            query.iter().map(|&x| gp.distance_to_nearest_observation(x)).collect();
+        let base = GpCountEstimator::with_noise_model(&partition, &gp, &query, |i, p, var| {
+            let inflation = if tail.enabled {
+                let factor = er_stats::posterior_inflation_factor(
+                    distances[i],
+                    length_scale,
+                    tail.distance_strength,
+                );
+                (factor - 1.0) * var
+            } else {
+                0.0
+            };
+            diagonal_scale * Self::stabilized_spread(p) + p.max(detection_floor) / unit + inflation
         });
+        let sizes: Vec<usize> = partition.subsets().iter().map(|s| s.len()).collect();
+        let estimator =
+            CalibratedEstimator::new(base, &sizes, &query, sampler.samples(), length_scale, tail);
         let subset_bounds = search_subset_bounds(&estimator, m, &cfg.requirement);
         Ok(SamplingPlan { partition, estimator, subset_bounds })
     }
