@@ -1,0 +1,257 @@
+//! Streaming pipeline throughput: batch ingest → delta scoring → warm-started
+//! re-resolution → entity clustering, end to end.
+//!
+//! The harness generates a bibliographic corpus, streams it into the
+//! [`er_pipeline::ResolutionEngine`] in batches, and reports:
+//!
+//! 1. per-batch **ingest throughput** (delta candidates scored and merged per
+//!    second);
+//! 2. per-epoch **resolution cost and quality** (oracle queries, pair-level and
+//!    cluster-level precision/recall);
+//! 3. **incremental vs from-scratch**: oracle queries of the final warm
+//!    re-resolution vs a cold from-scratch run over the same records;
+//! 4. **warm vs cold planning** on the identical final workload with fresh
+//!    oracles (isolates the warm-start sampling reuse);
+//! 5. **parallel scoring speedup**: the worker pool vs a single thread over the
+//!    full candidate set.
+//!
+//! Environment knobs:
+//!
+//! * `HUMO_PIPE_ENTITIES` — corpus size in left-dataset entities (default 1500);
+//! * `HUMO_PIPE_BATCHES`  — number of ingest batches (default 4);
+//! * `HUMO_PIPE_THREADS`  — worker threads (default 0 = available parallelism);
+//! * `HUMO_PIPE_ASSERT`   — when set to `1`, fail the process unless the
+//!   pipeline meets its contract: warm planning issues fewer oracle queries
+//!   than cold, incremental re-resolution is cheaper than from-scratch, the
+//!   final epoch meets the quality requirement, and (on machines with ≥ 2
+//!   cores) parallel scoring is at least 1.5× the single-thread rate.
+
+use er_core::aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig};
+use er_core::blocking::TokenBlocker;
+use er_core::record::{Record, RecordId};
+use er_core::similarity::StringMeasure;
+use er_core::text::Tokenizer;
+use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
+use er_pipeline::{PipelineConfig, ResolutionEngine, WorkerPool};
+use humo::{GroundTruthOracle, Oracle, PartialSamplingOptimizer, QualityRequirement};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn chunks<T: Clone>(items: &[T], batches: usize) -> Vec<Vec<T>> {
+    let size = items.len().div_ceil(batches.max(1)).max(1);
+    items.chunks(size).map(<[T]>::to_vec).collect()
+}
+
+fn scoring_config() -> ScoringConfig {
+    ScoringConfig::new(
+        [
+            ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+            ("authors", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+            ("venue", AttributeMeasure::Text(StringMeasure::JaroWinkler)),
+        ],
+        AttributeWeighting::Uniform,
+    )
+}
+
+fn pipeline_config(threads: usize, warm_start: bool) -> PipelineConfig {
+    let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
+    let mut config = PipelineConfig::new(scoring_config(), "title", requirement);
+    // With uniform weights over three attributes, unrelated pairs score ~0.25
+    // (venue Jaro-Winkler alone contributes ~0.5): 0.4 is the threshold that
+    // actually separates candidate junk from plausible matches on this corpus.
+    config.similarity_threshold = 0.4;
+    config.optimizer.unit_size = 100;
+    config.threads = threads;
+    config.warm_start = warm_start;
+    config
+}
+
+fn main() {
+    let entities = env_usize("HUMO_PIPE_ENTITIES", 1_500);
+    let batches = env_usize("HUMO_PIPE_BATCHES", 4);
+    let threads = env_usize("HUMO_PIPE_THREADS", 0);
+    let assert_mode = std::env::var("HUMO_PIPE_ASSERT").is_ok_and(|v| v == "1");
+
+    println!("================================================================");
+    println!("pipeline_throughput: streaming ingest -> resolve -> cluster");
+    println!("entities = {entities}, batches = {batches}, threads = {threads} (0 = auto)");
+    println!("================================================================");
+
+    let corpus = BibliographicGenerator::new(BibliographicConfig {
+        num_entities: entities,
+        duplicate_probability: 0.6,
+        extra_right_entities: entities / 2,
+        corruption: 0.35,
+        seed: 42,
+    })
+    .generate();
+    let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+    println!(
+        "corpus: {} left records, {} right records, {} true duplicates\n",
+        corpus.left.len(),
+        corpus.right.len(),
+        truth.len()
+    );
+
+    let schema = BibliographicGenerator::schema();
+    let mut engine =
+        ResolutionEngine::new(pipeline_config(threads, true), schema.clone(), schema.clone())
+            .expect("valid pipeline config");
+    let mut oracle = GroundTruthOracle::new();
+    let left_batches: Vec<Vec<Record>> = chunks(corpus.left.records(), batches);
+    let right_batches: Vec<Vec<Record>> = chunks(corpus.right.records(), batches);
+
+    println!("-- streaming epochs (persistent oracle) --");
+    println!(
+        "{:<6} {:>10} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "epoch",
+        "delta",
+        "kept",
+        "workload",
+        "pairs/s",
+        "queries",
+        "pairP",
+        "pairR",
+        "cluP",
+        "cluR"
+    );
+    let mut final_report = None;
+    for epoch in 0..left_batches.len().max(right_batches.len()) {
+        let l = left_batches.get(epoch).cloned().unwrap_or_default();
+        let r = right_batches.get(epoch).cloned().unwrap_or_default();
+        let edges = if epoch == 0 { truth.as_slice() } else { &[] };
+        let start = Instant::now();
+        let ingest = engine.ingest(l, r, edges).expect("ingest succeeds");
+        let ingest_secs = start.elapsed().as_secs_f64();
+        let rate =
+            if ingest_secs > 0.0 { ingest.delta_candidates as f64 / ingest_secs } else { 0.0 };
+        let report = engine.resolve(&mut oracle).expect("resolve succeeds");
+        println!(
+            "{:<6} {:>10} {:>9} {:>9} {:>10.3e} {:>8} {:>7.3} {:>7.3} {:>7.3} {:>7.3}{}",
+            epoch,
+            ingest.delta_candidates,
+            ingest.retained_pairs,
+            ingest.workload_len,
+            rate,
+            report.oracle_queries,
+            report.outcome.metrics.precision(),
+            report.outcome.metrics.recall(),
+            report.cluster_metrics.precision(),
+            report.cluster_metrics.recall(),
+            if report.used_warm_start { "  (warm)" } else { "" },
+        );
+        final_report = Some(report);
+    }
+    let final_report = final_report.expect("at least one epoch ran");
+    let incremental_final_queries = final_report.oracle_queries;
+
+    // From-scratch baseline: one cold engine over all records, fresh oracle.
+    let mut scratch =
+        ResolutionEngine::new(pipeline_config(threads, false), schema.clone(), schema)
+            .expect("valid pipeline config");
+    let mut scratch_oracle = GroundTruthOracle::new();
+    scratch
+        .ingest(corpus.left.records().to_vec(), corpus.right.records().to_vec(), &truth)
+        .expect("ingest succeeds");
+    let scratch_report = scratch.resolve(&mut scratch_oracle).expect("resolve succeeds");
+    println!("\n-- incremental re-resolution vs from-scratch --");
+    println!(
+        "final warm re-resolution: {incremental_final_queries} oracle queries \
+         (entities: {} clusters, cluster F1 {:.3})",
+        final_report.entities.non_singleton_count(),
+        final_report.cluster_metrics.f1()
+    );
+    println!(
+        "from-scratch cold run:    {} oracle queries (cluster F1 {:.3})",
+        scratch_report.oracle_queries,
+        scratch_report.cluster_metrics.f1()
+    );
+
+    // Warm vs cold planning on the identical final workload, fresh oracles.
+    let optimizer = PartialSamplingOptimizer::new(pipeline_config(threads, true).optimizer)
+        .expect("valid optimizer config");
+    let workload = scratch.workload();
+    let mut cold_plan_oracle = GroundTruthOracle::new();
+    optimizer.plan(workload, &mut cold_plan_oracle).expect("cold plan succeeds");
+    let cold_plan_queries = cold_plan_oracle.labels_issued();
+    let warm_state = engine.warm_state().cloned().unwrap_or_default();
+    let mut warm_plan_oracle = GroundTruthOracle::new();
+    optimizer
+        .plan_with_warm_start(workload, &mut warm_plan_oracle, Some(&warm_state))
+        .expect("warm plan succeeds");
+    let warm_plan_queries = warm_plan_oracle.labels_issued();
+    let saving = if cold_plan_queries > 0 {
+        100.0 * (cold_plan_queries as f64 - warm_plan_queries as f64) / cold_plan_queries as f64
+    } else {
+        0.0
+    };
+    println!("\n-- warm-started vs cold re-optimization (plan phase, fresh oracles) --");
+    println!("cold plan:  {cold_plan_queries} oracle queries");
+    println!("warm plan:  {warm_plan_queries} oracle queries ({saving:.1}% saved)");
+
+    // Parallel scoring speedup over the full candidate set.
+    let blocker = TokenBlocker::new("title", Tokenizer::Words);
+    let candidates = blocker.candidates(&corpus.left, &corpus.right);
+    let scorer =
+        PairScorer::new(&scoring_config(), &[&corpus.left, &corpus.right]).expect("valid scorer");
+    let time_scoring = |pool: &WorkerPool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let sims = pool
+                .score_pairs(&corpus.left, &corpus.right, &scorer, &candidates)
+                .expect("scoring succeeds");
+            assert_eq!(sims.len(), candidates.len());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let single = WorkerPool::new(1);
+    let pool = WorkerPool::new(threads);
+    let t1 = time_scoring(&single);
+    let tn = time_scoring(&pool);
+    let speedup = if tn > 0.0 { t1 / tn } else { 1.0 };
+    println!("\n-- parallel scoring ({} candidate pairs) --", candidates.len());
+    println!("1 thread : {:.1} ms ({:.3e} pairs/s)", 1e3 * t1, candidates.len() as f64 / t1);
+    println!(
+        "{} threads: {:.1} ms ({:.3e} pairs/s)  speedup {speedup:.2}x",
+        pool.threads(),
+        1e3 * tn,
+        candidates.len() as f64 / tn
+    );
+
+    if assert_mode {
+        let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
+        assert!(
+            warm_plan_queries < cold_plan_queries,
+            "warm planning must issue fewer oracle queries than cold \
+             ({warm_plan_queries} vs {cold_plan_queries})"
+        );
+        assert!(
+            incremental_final_queries < scratch_report.oracle_queries,
+            "incremental re-resolution must be cheaper than from-scratch \
+             ({incremental_final_queries} vs {})",
+            scratch_report.oracle_queries
+        );
+        assert!(
+            requirement.is_satisfied_by(&final_report.outcome.metrics),
+            "final epoch must meet {requirement}: precision {:.3}, recall {:.3}",
+            final_report.outcome.metrics.precision(),
+            final_report.outcome.metrics.recall()
+        );
+        if pool.threads() >= 2 {
+            assert!(
+                speedup >= 1.5,
+                "parallel scoring speedup {speedup:.2}x below the 1.5x floor on \
+                 {} threads",
+                pool.threads()
+            );
+        } else {
+            println!("\n[assert] single-core machine: speedup floor not applicable");
+        }
+        println!("\n[assert] all pipeline contract checks passed");
+    }
+}

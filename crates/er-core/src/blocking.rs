@@ -7,9 +7,16 @@
 //! least a per-dataset threshold (0.2 for DBLP-Scholar, 0.05 for Abt-Buy). The
 //! [`build_workload`] helper reproduces that pipeline: candidate generation →
 //! scoring → threshold filter → similarity-sorted [`Workload`].
+//!
+//! Both blockers also come in an **incremental** flavour for streaming
+//! ingestion ([`TokenBlocker::incremental`],
+//! [`SortedNeighbourhoodBlocker::incremental`]): record batches are folded into
+//! a persistent index and each `add_records` call returns only the *delta*
+//! candidate pairs — the pairs involving at least one record of the new batch —
+//! without rescanning the pairs of previously ingested records.
 
 use crate::aggregate::PairScorer;
-use crate::record::{Dataset, RecordId};
+use crate::record::{Dataset, Record, RecordId};
 use crate::text::Tokenizer;
 use crate::workload::{InstancePair, Label, PairId, Workload};
 use crate::Result;
@@ -73,6 +80,90 @@ impl TokenBlocker {
         }
         seen.into_iter().collect()
     }
+
+    /// Creates an empty incremental index with this blocker's attribute and
+    /// tokenizer. Feed record batches through
+    /// [`IncrementalTokenIndex::add_records`] to obtain delta candidates.
+    pub fn incremental(&self) -> IncrementalTokenIndex {
+        IncrementalTokenIndex {
+            attribute: self.attribute.clone(),
+            tokenizer: self.tokenizer,
+            index_left: BTreeMap::new(),
+            index_right: BTreeMap::new(),
+            records_indexed: 0,
+        }
+    }
+}
+
+/// A persistent token-blocking index supporting incremental ingestion.
+///
+/// The index keeps one posting list per token and side. Adding a batch probes
+/// the *existing* posting lists for the new records' tokens, so the work per
+/// batch is proportional to the new records and their matching postings — old
+/// candidate pairs are never re-derived. The union of the deltas over any batch
+/// split equals [`TokenBlocker::candidates`] on the union of the records, and a
+/// pair is never emitted twice (every delta pair involves a record of the
+/// current batch).
+#[derive(Debug, Clone)]
+pub struct IncrementalTokenIndex {
+    attribute: String,
+    tokenizer: Tokenizer,
+    index_left: BTreeMap<String, Vec<RecordId>>,
+    index_right: BTreeMap<String, Vec<RecordId>>,
+    records_indexed: usize,
+}
+
+impl IncrementalTokenIndex {
+    /// Number of records folded into the index so far (both sides).
+    pub fn records_indexed(&self) -> usize {
+        self.records_indexed
+    }
+
+    /// Folds a batch of records into the index and returns the **new** candidate
+    /// pairs: every `(left, right)` pair sharing at least one token where at
+    /// least one side belongs to this batch. Pairs are deduplicated and sorted.
+    pub fn add_records(
+        &mut self,
+        left_batch: &[Record],
+        right_batch: &[Record],
+    ) -> Vec<(RecordId, RecordId)> {
+        let Self { attribute, tokenizer, index_left, index_right, records_indexed } = self;
+        // Tokens are deduplicated per record, mirroring the batch blocker: a
+        // repeated token must not duplicate postings or probes.
+        let record_tokens = |record: &Record| -> BTreeSet<String> {
+            record
+                .text(attribute)
+                .map(|text| tokenizer.tokenize(text).into_iter().collect())
+                .unwrap_or_default()
+        };
+        let mut delta: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+        // Right side first: new right records pair with the *previously indexed*
+        // left records here; pairs with the new left records are found below,
+        // after the new right postings are in place. This split is what keeps
+        // every within-batch pair emitted exactly once.
+        for record in right_batch {
+            for token in record_tokens(record) {
+                if let Some(ids) = index_left.get(&token) {
+                    for &left_id in ids {
+                        delta.insert((left_id, record.id()));
+                    }
+                }
+                index_right.entry(token).or_default().push(record.id());
+            }
+        }
+        for record in left_batch {
+            for token in record_tokens(record) {
+                if let Some(ids) = index_right.get(&token) {
+                    for &right_id in ids {
+                        delta.insert((record.id(), right_id));
+                    }
+                }
+                index_left.entry(token).or_default().push(record.id());
+            }
+        }
+        *records_indexed += left_batch.len() + right_batch.len();
+        delta.into_iter().collect()
+    }
 }
 
 /// Sorted-neighbourhood blocking: both datasets are sorted by a normalized blocking
@@ -92,41 +183,162 @@ impl SortedNeighbourhoodBlocker {
     }
 
     /// Generates candidate pairs between two datasets.
+    ///
+    /// Overlapping windows encounter the same pair repeatedly; emitted pairs are
+    /// deduplicated so every candidate appears exactly once.
     pub fn candidates(&self, a: &Dataset, b: &Dataset) -> Vec<(RecordId, RecordId)> {
-        #[derive(Clone)]
-        struct Keyed {
-            key: String,
-            id: RecordId,
-            from_a: bool,
-        }
-        let mut entries: Vec<Keyed> = Vec::with_capacity(a.len() + b.len());
+        let mut entries: Vec<SnEntry> = Vec::with_capacity(a.len() + b.len());
         for r in a.iter() {
-            let key = crate::text::normalize(r.text(&self.attribute).unwrap_or(""));
-            entries.push(Keyed { key, id: r.id(), from_a: true });
+            entries.push(SnEntry::new(&self.attribute, r, true));
         }
         for r in b.iter() {
-            let key = crate::text::normalize(r.text(&self.attribute).unwrap_or(""));
-            entries.push(Keyed { key, id: r.id(), from_a: false });
+            entries.push(SnEntry::new(&self.attribute, r, false));
         }
-        entries.sort_by(|x, y| x.key.cmp(&y.key));
+        entries.sort_by(SnEntry::cmp);
 
         let mut seen: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
         for i in 0..entries.len() {
             let hi = (i + self.window + 1).min(entries.len());
             for j in (i + 1)..hi {
-                let (x, y) = (&entries[i], &entries[j]);
-                match (x.from_a, y.from_a) {
-                    (true, false) => {
-                        seen.insert((x.id, y.id));
-                    }
-                    (false, true) => {
-                        seen.insert((y.id, x.id));
-                    }
-                    _ => {}
+                if let Some(pair) = SnEntry::cross_pair(&entries[i], &entries[j]) {
+                    seen.insert(pair);
                 }
             }
         }
         seen.into_iter().collect()
+    }
+
+    /// Creates an empty incremental index with this blocker's attribute and
+    /// window. Feed record batches through
+    /// [`IncrementalSortedNeighbourhoodIndex::add_records`] to obtain delta
+    /// candidates.
+    pub fn incremental(&self) -> IncrementalSortedNeighbourhoodIndex {
+        IncrementalSortedNeighbourhoodIndex {
+            attribute: self.attribute.clone(),
+            window: self.window,
+            entries: Vec::new(),
+        }
+    }
+}
+
+/// One key-sorted entry of a sorted-neighbourhood arrangement.
+#[derive(Debug, Clone)]
+struct SnEntry {
+    key: String,
+    id: RecordId,
+    from_left: bool,
+}
+
+impl SnEntry {
+    fn new(attribute: &str, record: &Record, from_left: bool) -> Self {
+        let key = crate::text::normalize(record.text(attribute).unwrap_or(""));
+        Self { key, id: record.id(), from_left }
+    }
+
+    /// Canonical total order: by key, then left-side entries before right-side
+    /// ones, then by record id. Because the order is total and independent of
+    /// insertion sequence, the batch and incremental arrangements agree.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key
+            .cmp(&other.key)
+            .then_with(|| other.from_left.cmp(&self.from_left))
+            .then_with(|| self.id.cmp(&other.id))
+    }
+
+    /// The normalized `(left, right)` pair when the two entries come from
+    /// different sides, `None` otherwise.
+    fn cross_pair(x: &Self, y: &Self) -> Option<(RecordId, RecordId)> {
+        match (x.from_left, y.from_left) {
+            (true, false) => Some((x.id, y.id)),
+            (false, true) => Some((y.id, x.id)),
+            _ => None,
+        }
+    }
+}
+
+/// A persistent sorted-neighbourhood arrangement supporting incremental
+/// ingestion.
+///
+/// New batches are merge-inserted into the key-sorted arrangement and each new
+/// entry is paired with the records inside its window at its final position, so
+/// the per-batch work is `O(existing + batch·window)` — old windows are never
+/// re-scanned. Every delta pair involves a record of the current batch, hence a
+/// pair is never emitted twice across batches.
+///
+/// Unlike token blocking, sorted-neighbourhood candidates are **monotone but not
+/// split-invariant**: records inserted later can push two earlier records apart,
+/// so the union of the deltas is a *superset* of the batch
+/// [`SortedNeighbourhoodBlocker::candidates`] on the union (it covers every
+/// batch pair, plus pairs that were window-neighbours at some point of the
+/// ingestion history). Once emitted, a candidate stays a candidate.
+#[derive(Debug, Clone)]
+pub struct IncrementalSortedNeighbourhoodIndex {
+    attribute: String,
+    window: usize,
+    entries: Vec<SnEntry>,
+}
+
+impl IncrementalSortedNeighbourhoodIndex {
+    /// Number of records folded into the arrangement so far (both sides).
+    pub fn records_indexed(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Folds a batch of records into the arrangement and returns the **new**
+    /// candidate pairs: every cross-source pair within the window of a record of
+    /// this batch, at its position in the updated arrangement. Pairs are
+    /// deduplicated and sorted.
+    pub fn add_records(
+        &mut self,
+        left_batch: &[Record],
+        right_batch: &[Record],
+    ) -> Vec<(RecordId, RecordId)> {
+        let mut incoming: Vec<SnEntry> = Vec::with_capacity(left_batch.len() + right_batch.len());
+        for r in left_batch {
+            incoming.push(SnEntry::new(&self.attribute, r, true));
+        }
+        for r in right_batch {
+            incoming.push(SnEntry::new(&self.attribute, r, false));
+        }
+        incoming.sort_by(SnEntry::cmp);
+
+        // Merge the sorted batch into the sorted arrangement, recording the
+        // final positions of the new entries.
+        let old = std::mem::take(&mut self.entries);
+        let mut merged = Vec::with_capacity(old.len() + incoming.len());
+        let mut new_positions = Vec::with_capacity(incoming.len());
+        let mut old_iter = old.into_iter().peekable();
+        let mut new_iter = incoming.into_iter().peekable();
+        loop {
+            let take_new = match (old_iter.peek(), new_iter.peek()) {
+                (Some(o), Some(n)) => SnEntry::cmp(n, o) == std::cmp::Ordering::Less,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            if take_new {
+                new_positions.push(merged.len());
+                merged.push(new_iter.next().expect("peeked"));
+            } else {
+                merged.push(old_iter.next().expect("peeked"));
+            }
+        }
+        self.entries = merged;
+
+        let mut delta: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+        for &p in &new_positions {
+            let lo = p.saturating_sub(self.window);
+            let hi = (p + self.window).min(self.entries.len().saturating_sub(1));
+            for j in lo..=hi {
+                if j == p {
+                    continue;
+                }
+                if let Some(pair) = SnEntry::cross_pair(&self.entries[p], &self.entries[j]) {
+                    delta.insert(pair);
+                }
+            }
+        }
+        delta.into_iter().collect()
     }
 }
 
@@ -168,6 +380,7 @@ mod tests {
     use crate::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
     use crate::record::{Record, Schema};
     use crate::similarity::StringMeasure;
+    use proptest::prelude::*;
 
     fn dataset(name: &str, titles: &[(u64, &str)]) -> Dataset {
         let mut ds = Dataset::new(name, Schema::new(["title"]));
@@ -291,5 +504,169 @@ mod tests {
         let scorer = title_scorer(&[&a, &b]);
         let bogus = vec![(RecordId(99), RecordId(10))];
         assert!(build_workload(&a, &b, &bogus, &scorer, &BTreeSet::new(), 0.0).is_err());
+    }
+
+    #[test]
+    fn sorted_neighbourhood_emits_no_duplicates_for_wide_windows() {
+        // Regression: with window > 2 every pair sits inside several overlapping
+        // windows (and equal keys maximize the overlap); each candidate must
+        // still be emitted exactly once.
+        let a = dataset("a", &[(1, "same key"), (2, "same key"), (3, "same key")]);
+        let b = dataset("b", &[(10, "same key"), (11, "same key"), (12, "same key")]);
+        for window in [3, 4, 6, 10] {
+            let blocker = SortedNeighbourhoodBlocker::new("title", window);
+            let candidates = blocker.candidates(&a, &b);
+            let unique: BTreeSet<_> = candidates.iter().collect();
+            assert_eq!(
+                unique.len(),
+                candidates.len(),
+                "window {window} emitted duplicate candidate pairs"
+            );
+        }
+        // A window spanning everything yields the full cross product exactly once.
+        let all = SortedNeighbourhoodBlocker::new("title", 10).candidates(&a, &b);
+        assert_eq!(all.len(), 9);
+    }
+
+    fn batched(records: &[Record], batches: usize) -> Vec<&[Record]> {
+        let size = records.len().div_ceil(batches.max(1)).max(1);
+        records.chunks(size).collect()
+    }
+
+    #[test]
+    fn incremental_token_index_matches_batch_for_any_split() {
+        let a = dataset(
+            "a",
+            &[(1, "entity resolution survey"), (2, "graph neural networks"), (3, "databases")],
+        );
+        let b = dataset(
+            "b",
+            &[
+                (10, "a survey of entity resolution"),
+                (11, "convolutional networks"),
+                (12, "databases and networks"),
+                (13, "quantum computing"),
+            ],
+        );
+        let blocker = TokenBlocker::new("title", Tokenizer::Words);
+        let expected: BTreeSet<_> = blocker.candidates(&a, &b).into_iter().collect();
+        for (left_batches, right_batches) in [(1, 1), (2, 3), (3, 2), (3, 4)] {
+            let mut index = blocker.incremental();
+            let mut union: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+            let left_chunks = batched(a.records(), left_batches);
+            let right_chunks = batched(b.records(), right_batches);
+            for i in 0..left_chunks.len().max(right_chunks.len()) {
+                let l = left_chunks.get(i).copied().unwrap_or(&[]);
+                let r = right_chunks.get(i).copied().unwrap_or(&[]);
+                for pair in index.add_records(l, r) {
+                    assert!(union.insert(pair), "pair {pair:?} emitted twice");
+                }
+            }
+            assert_eq!(union, expected, "split ({left_batches},{right_batches}) diverged");
+            assert_eq!(index.records_indexed(), a.len() + b.len());
+        }
+    }
+
+    #[test]
+    fn incremental_sorted_neighbourhood_covers_batch_and_never_repeats() {
+        let a = dataset("a", &[(1, "aaa"), (2, "ccc"), (3, "mmm"), (4, "zzz")]);
+        let b = dataset("b", &[(10, "aab"), (11, "cce"), (12, "mmn"), (13, "zzy")]);
+        let blocker = SortedNeighbourhoodBlocker::new("title", 2);
+        let batch: BTreeSet<_> = blocker.candidates(&a, &b).into_iter().collect();
+        // Single-batch ingestion reproduces the batch candidates exactly.
+        let mut index = blocker.incremental();
+        let single: BTreeSet<_> = index.add_records(a.records(), b.records()).into_iter().collect();
+        assert_eq!(single, batch);
+        // Any split covers the batch candidates (superset) without repeats.
+        let mut index = blocker.incremental();
+        let mut union: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+        for i in 0..a.len().max(b.len()) {
+            let l = a.records().get(i..i + 1).unwrap_or(&[]);
+            let r = b.records().get(i..i + 1).unwrap_or(&[]);
+            for pair in index.add_records(l, r) {
+                assert!(union.insert(pair), "pair {pair:?} emitted twice");
+            }
+        }
+        assert!(union.is_superset(&batch), "incremental deltas miss batch candidates");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+        #[test]
+        fn incremental_token_deltas_union_to_batch_candidates(
+            n_left in 1usize..12,
+            n_right in 1usize..12,
+            split in 1usize..5,
+            salt in 0u64..1_000,
+        ) {
+            // Tiny vocabulary so records share tokens often.
+            let vocab = ["ant", "bee", "cat", "dog", "elk"];
+            let title = |id: u64| -> String {
+                let mut words = Vec::new();
+                for k in 0..(1 + (id.wrapping_mul(2654435761).wrapping_add(salt) % 3)) {
+                    let h = id.wrapping_mul(31).wrapping_add(k).wrapping_add(salt);
+                    words.push(vocab[(h % vocab.len() as u64) as usize]);
+                }
+                words.join(" ")
+            };
+            let mut a = Dataset::new("a", Schema::new(["title"]));
+            for i in 0..n_left as u64 {
+                a.push(Record::new(RecordId(i)).with("title", title(i))).unwrap();
+            }
+            let mut b = Dataset::new("b", Schema::new(["title"]));
+            for i in 0..n_right as u64 {
+                b.push(Record::new(RecordId(1_000 + i)).with("title", title(77 + i))).unwrap();
+            }
+            let blocker = TokenBlocker::new("title", Tokenizer::Words);
+            let expected: BTreeSet<_> = blocker.candidates(&a, &b).into_iter().collect();
+            let mut index = blocker.incremental();
+            let mut union: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+            let left_chunks = batched(a.records(), split);
+            let right_chunks = batched(b.records(), split);
+            for i in 0..left_chunks.len().max(right_chunks.len()) {
+                let l = left_chunks.get(i).copied().unwrap_or(&[]);
+                let r = right_chunks.get(i).copied().unwrap_or(&[]);
+                for pair in index.add_records(l, r) {
+                    prop_assert!(union.insert(pair), "pair emitted twice: {:?}", pair);
+                }
+            }
+            prop_assert_eq!(union, expected);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..Default::default() })]
+        #[test]
+        fn incremental_sorted_neighbourhood_is_monotone_superset(
+            n_left in 1usize..10,
+            n_right in 1usize..10,
+            window in 1usize..5,
+            salt in 0u64..1_000,
+        ) {
+            let key = |id: u64| -> String {
+                let h = id.wrapping_mul(6364136223846793005).wrapping_add(salt);
+                format!("{:03}", h % 50)
+            };
+            let mut a = Dataset::new("a", Schema::new(["title"]));
+            for i in 0..n_left as u64 {
+                a.push(Record::new(RecordId(i)).with("title", key(i))).unwrap();
+            }
+            let mut b = Dataset::new("b", Schema::new(["title"]));
+            for i in 0..n_right as u64 {
+                b.push(Record::new(RecordId(1_000 + i)).with("title", key(31 + i))).unwrap();
+            }
+            let blocker = SortedNeighbourhoodBlocker::new("title", window);
+            let batch: BTreeSet<_> = blocker.candidates(&a, &b).into_iter().collect();
+            let mut index = blocker.incremental();
+            let mut union: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+            for i in 0..a.len().max(b.len()) {
+                let l = a.records().get(i..i + 1).unwrap_or(&[]);
+                let r = b.records().get(i..i + 1).unwrap_or(&[]);
+                for pair in index.add_records(l, r) {
+                    prop_assert!(union.insert(pair), "pair emitted twice: {:?}", pair);
+                }
+            }
+            prop_assert!(union.is_superset(&batch));
+        }
     }
 }

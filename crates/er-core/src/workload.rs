@@ -117,11 +117,11 @@ pub struct Workload {
 }
 
 impl Workload {
-    /// Builds a workload from pairs, sorting them by ascending similarity.
-    ///
-    /// Returns an error if any similarity is not a finite number in `[0, 1]`.
-    pub fn from_pairs(mut pairs: Vec<InstancePair>) -> Result<Self> {
-        for p in &pairs {
+    /// Rejects similarities that are NaN, infinite or outside `[0, 1]` — letting
+    /// a non-finite value reach the similarity sort or `lower_bound_index` would
+    /// silently break the ordering invariant every optimizer relies on.
+    fn validate_pairs(pairs: &[InstancePair]) -> Result<()> {
+        for p in pairs {
             if !p.similarity.is_finite() || !(0.0..=1.0).contains(&p.similarity) {
                 return Err(ErError::InvalidWorkload(format!(
                     "pair {} has similarity {} outside [0,1]",
@@ -129,13 +129,69 @@ impl Workload {
                 )));
             }
         }
-        pairs.sort_by(|a, b| {
-            a.similarity
-                .partial_cmp(&b.similarity)
-                .expect("similarities are finite")
-                .then(a.id.cmp(&b.id))
-        });
+        Ok(())
+    }
+
+    /// The canonical workload order: ascending similarity, ties broken by the
+    /// underlying record ids and finally the pair id. Keying ties on record ids
+    /// makes the order of record-backed workloads independent of the order in
+    /// which pairs were scored (batch vs incremental ingestion assign different
+    /// pair ids); record-less pairs fall back to the pair id as before.
+    fn canonical_order(a: &InstancePair, b: &InstancePair) -> std::cmp::Ordering {
+        a.similarity
+            .partial_cmp(&b.similarity)
+            .expect("similarities are validated finite")
+            .then_with(|| a.left.cmp(&b.left))
+            .then_with(|| a.right.cmp(&b.right))
+            .then_with(|| a.id.cmp(&b.id))
+    }
+
+    /// Builds a workload from pairs, sorting them by ascending similarity.
+    ///
+    /// Returns an error if any similarity is not a finite number in `[0, 1]`.
+    pub fn from_pairs(mut pairs: Vec<InstancePair>) -> Result<Self> {
+        Self::validate_pairs(&pairs)?;
+        pairs.sort_by(Self::canonical_order);
         Ok(Self { pairs })
+    }
+
+    /// Merges new pairs into the workload, preserving the similarity order
+    /// without re-sorting the existing pairs (`O(existing + new·log new)`).
+    ///
+    /// This is the insertion path of the streaming resolution engine: a batch of
+    /// freshly scored delta pairs is sorted on its own and then merged with the
+    /// already-sorted workload, so ingesting records in any batch split yields
+    /// exactly the same workload as one batch rebuild over the union.
+    ///
+    /// Returns an error (leaving the workload untouched) if any new similarity
+    /// is not a finite number in `[0, 1]`.
+    pub fn insert_sorted(&mut self, pairs: Vec<InstancePair>) -> Result<()> {
+        Self::validate_pairs(&pairs)?;
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut incoming = pairs;
+        incoming.sort_by(Self::canonical_order);
+        if self.pairs.is_empty() {
+            self.pairs = incoming;
+            return Ok(());
+        }
+        let existing = std::mem::take(&mut self.pairs);
+        let mut merged = Vec::with_capacity(existing.len() + incoming.len());
+        let mut a = existing.into_iter().peekable();
+        let mut b = incoming.into_iter().peekable();
+        loop {
+            let take_b = match (a.peek(), b.peek()) {
+                (Some(x), Some(y)) => Self::canonical_order(y, x) == std::cmp::Ordering::Less,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (None, None) => break,
+            };
+            let next = if take_b { b.next() } else { a.next() };
+            merged.push(next.expect("peeked element exists"));
+        }
+        self.pairs = merged;
+        Ok(())
     }
 
     /// Builds a workload from `(similarity, is_match)` tuples, assigning dense pair ids.
@@ -489,6 +545,53 @@ mod tests {
     }
 
     #[test]
+    fn workload_rejects_non_finite_similarities_with_proper_error() {
+        // NaN and the two infinities must all be rejected with an InvalidWorkload
+        // error on every construction path — none of them may reach the
+        // similarity sort, where NaN breaks the ordering invariant silently.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let err = Workload::from_scores(vec![(0.5, true), (bad, false)]).unwrap_err();
+            assert!(matches!(err, crate::ErError::InvalidWorkload(_)), "from_scores: {err}");
+            let pairs = vec![InstancePair::new(PairId(0), bad, Label::Unmatch)];
+            let err = Workload::from_pairs(pairs).unwrap_err();
+            assert!(matches!(err, crate::ErError::InvalidWorkload(_)), "from_pairs: {err}");
+        }
+    }
+
+    #[test]
+    fn insert_sorted_rejects_non_finite_and_leaves_workload_untouched() {
+        let mut w = simple_workload();
+        let before: Vec<f64> = w.pairs().iter().map(|p| p.similarity()).collect();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.5, -0.2] {
+            let err = w
+                .insert_sorted(vec![InstancePair::new(PairId(99), bad, Label::Match)])
+                .unwrap_err();
+            assert!(matches!(err, crate::ErError::InvalidWorkload(_)), "insert_sorted: {err}");
+            let after: Vec<f64> = w.pairs().iter().map(|p| p.similarity()).collect();
+            assert_eq!(before, after, "rejected insert must not modify the workload");
+        }
+    }
+
+    #[test]
+    fn insert_sorted_merges_into_similarity_order() {
+        let mut w = Workload::from_scores(vec![(0.2, false), (0.6, true)]).unwrap();
+        w.insert_sorted(vec![
+            InstancePair::new(PairId(10), 0.4, Label::Unmatch),
+            InstancePair::new(PairId(11), 0.1, Label::Unmatch),
+            InstancePair::new(PairId(12), 0.9, Label::Match),
+        ])
+        .unwrap();
+        let sims: Vec<f64> = w.pairs().iter().map(|p| p.similarity()).collect();
+        assert_eq!(sims, vec![0.1, 0.2, 0.4, 0.6, 0.9]);
+        // Inserting into an empty workload also works.
+        let mut empty = Workload::from_pairs(vec![]).unwrap();
+        empty.insert_sorted(vec![InstancePair::new(PairId(0), 0.5, Label::Match)]).unwrap();
+        assert_eq!(empty.len(), 1);
+        empty.insert_sorted(vec![]).unwrap();
+        assert_eq!(empty.len(), 1);
+    }
+
+    #[test]
     fn match_counting_and_proportion() {
         let w = simple_workload();
         assert_eq!(w.total_matches(), 4);
@@ -596,6 +699,43 @@ mod tests {
                 cursor = s.range().end;
             }
             prop_assert_eq!(cursor, n);
+        }
+
+        #[test]
+        fn insert_sorted_any_split_equals_batch_sort(
+            n in 1usize..200,
+            split in 1usize..6,
+            salt in 0u64..1_000,
+        ) {
+            // Identical pairs (ids included) arriving in any chunking must
+            // produce a workload identical to the one-shot batch sort. A coarse
+            // similarity grid forces plenty of ties so the tie-break matters.
+            let all: Vec<InstancePair> = (0..n)
+                .map(|i| {
+                    let h = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                    let sim = (h % 11) as f64 / 10.0;
+                    let left = RecordId(h % 13);
+                    let right = RecordId(1_000 + (h % 7));
+                    InstancePair::with_records(
+                        PairId(i as u64),
+                        left,
+                        right,
+                        sim,
+                        Label::from_bool(h % 3 == 0),
+                    )
+                })
+                .collect();
+            let batch = Workload::from_pairs(all.clone()).unwrap();
+            let mut incremental = Workload::from_pairs(vec![]).unwrap();
+            let chunk = n.div_ceil(split).max(1);
+            for part in all.chunks(chunk) {
+                incremental.insert_sorted(part.to_vec()).unwrap();
+            }
+            prop_assert_eq!(incremental.pairs(), batch.pairs());
+            // The merge preserves the sort invariant.
+            for w in incremental.pairs().windows(2) {
+                prop_assert!(w[0].similarity() <= w[1].similarity());
+            }
         }
 
         #[test]

@@ -1,0 +1,488 @@
+//! The streaming resolution engine: ingest record batches, maintain the
+//! workload incrementally, re-optimize with HUMO, and emit entities.
+//!
+//! Each [`ResolutionEngine::ingest`] call folds a batch of records into the
+//! incremental blocking index, scores only the *delta* candidate pairs on the
+//! worker pool, filters them by the blocking threshold and merges them into the
+//! similarity-sorted workload without re-sorting. [`ResolutionEngine::resolve`]
+//! then re-optimizes the HUMO partition — warm-started from the previous
+//! epoch's samples when enabled — resolves pair labels through the oracle, and
+//! clusters match-labeled pairs into entities via union-find transitive
+//! closure.
+//!
+//! **Equivalence guarantee:** with warm-starting disabled and a
+//! dataset-independent attribute weighting (such as
+//! [`AttributeWeighting::Uniform`](er_core::aggregate::AttributeWeighting)),
+//! ingesting records in any batch split produces exactly the same workload,
+//! thresholds, labels and entity clusters as ingesting everything in one batch
+//! — pinned by the `incremental_equivalence` proptest suite. Warm-starting
+//! trades that bit-exact reproducibility for a large saving in oracle queries
+//! while keeping the statistical quality guarantee (measured by the
+//! `pipeline_throughput` harness). With the paper's
+//! `DistinctValues` weighting, attribute weights are recomputed from the
+//! records seen so far, so earlier epochs score with earlier weights.
+
+use crate::cluster::{EntityClusters, RecordKey, Side};
+use crate::pool::WorkerPool;
+use crate::{PipelineError, Result};
+use er_core::aggregate::{PairScorer, ScoringConfig};
+use er_core::blocking::{IncrementalTokenIndex, TokenBlocker};
+use er_core::record::{Dataset, Record, RecordId, Schema};
+use er_core::text::Tokenizer;
+use er_core::workload::{InstancePair, Label, PairId, QualityMetrics, Workload};
+use humo::sampling::WarmStart;
+use humo::{
+    HumoSolution, OptimizationOutcome, Oracle, PartialSamplingConfig, PartialSamplingOptimizer,
+    QualityRequirement,
+};
+use std::collections::BTreeSet;
+
+/// Configuration of the streaming resolution pipeline.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// How candidate pairs are scored.
+    pub scoring: ScoringConfig,
+    /// Attribute the incremental token blocker indexes.
+    pub blocking_attribute: String,
+    /// Tokenizer of the blocking attribute.
+    pub tokenizer: Tokenizer,
+    /// Pairs scoring below this aggregated similarity are dropped at ingest
+    /// (the paper's per-dataset blocking threshold).
+    pub similarity_threshold: f64,
+    /// Configuration of the SAMP optimizer driving each resolution epoch.
+    pub optimizer: PartialSamplingConfig,
+    /// Worker threads for delta-pair scoring; `0` selects the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Whether re-resolutions seed the optimizer from the previous epoch's
+    /// samples (fewer oracle queries) instead of running cold (bit-exact
+    /// equivalence with a from-scratch run).
+    pub warm_start: bool,
+}
+
+impl PipelineConfig {
+    /// Creates a configuration with streaming-friendly defaults: word
+    /// tokenization, a 0.2 blocking threshold, warm-started re-optimization and
+    /// auto-sized scoring parallelism.
+    pub fn new(
+        scoring: ScoringConfig,
+        blocking_attribute: impl Into<String>,
+        requirement: QualityRequirement,
+    ) -> Self {
+        Self {
+            scoring,
+            blocking_attribute: blocking_attribute.into(),
+            tokenizer: Tokenizer::Words,
+            similarity_threshold: 0.2,
+            optimizer: PartialSamplingConfig::new(requirement),
+            threads: 0,
+            warm_start: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !self.similarity_threshold.is_finite()
+            || !(0.0..=1.0).contains(&self.similarity_threshold)
+        {
+            return Err(PipelineError::InvalidConfig(format!(
+                "similarity threshold must be in [0,1], got {}",
+                self.similarity_threshold
+            )));
+        }
+        // Surface optimizer misconfiguration at engine construction, not at the
+        // first resolve.
+        PartialSamplingOptimizer::new(self.optimizer)?;
+        Ok(())
+    }
+}
+
+/// What one [`ResolutionEngine::ingest`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Records added to the left dataset by this batch.
+    pub left_records: usize,
+    /// Records added to the right dataset by this batch.
+    pub right_records: usize,
+    /// Delta candidate pairs produced by the incremental blocking index.
+    pub delta_candidates: usize,
+    /// Delta pairs that survived the similarity threshold and entered the
+    /// workload.
+    pub retained_pairs: usize,
+    /// Workload size after the merge.
+    pub workload_len: usize,
+    /// Worker threads used for scoring the delta.
+    pub scoring_threads: usize,
+}
+
+/// What one [`ResolutionEngine::resolve`] call produced.
+#[derive(Debug, Clone)]
+pub struct ResolutionReport {
+    /// The HUMO outcome: partition, pair labels, pair-level metrics and human
+    /// cost counters (cumulative over the engine's oracle).
+    pub outcome: OptimizationOutcome,
+    /// The resolved entities (transitive closure of match-labeled pairs over
+    /// all ingested records).
+    pub entities: EntityClusters,
+    /// Cluster-level pairwise precision/recall against the ground-truth
+    /// entities.
+    pub cluster_metrics: QualityMetrics,
+    /// Oracle queries issued by *this* resolution (delta of the oracle's
+    /// distinct-label counter).
+    pub oracle_queries: usize,
+    /// Whether the optimizer was seeded from a previous epoch's warm start.
+    pub used_warm_start: bool,
+    /// Whether the workload was too small for the sampling optimizer and was
+    /// resolved entirely by the human instead.
+    pub fallback_all_human: bool,
+}
+
+/// The streaming resolution engine.
+#[derive(Debug, Clone)]
+pub struct ResolutionEngine {
+    config: PipelineConfig,
+    left: Dataset,
+    right: Dataset,
+    index: IncrementalTokenIndex,
+    truth: BTreeSet<(RecordId, RecordId)>,
+    workload: Workload,
+    next_pair_id: u64,
+    pool: WorkerPool,
+    warm: Option<WarmStart>,
+    candidate_count: usize,
+}
+
+impl ResolutionEngine {
+    /// Creates an empty engine for the two source schemas.
+    pub fn new(config: PipelineConfig, left_schema: Schema, right_schema: Schema) -> Result<Self> {
+        config.validate()?;
+        let blocker = TokenBlocker::new(config.blocking_attribute.clone(), config.tokenizer);
+        let pool = WorkerPool::new(config.threads);
+        Ok(Self {
+            index: blocker.incremental(),
+            left: Dataset::new("left", left_schema),
+            right: Dataset::new("right", right_schema),
+            truth: BTreeSet::new(),
+            workload: Workload::from_pairs(Vec::new())?,
+            next_pair_id: 0,
+            pool,
+            warm: None,
+            candidate_count: 0,
+            config,
+        })
+    }
+
+    /// The current similarity-sorted workload.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The accumulated left dataset.
+    pub fn left(&self) -> &Dataset {
+        &self.left
+    }
+
+    /// The accumulated right dataset.
+    pub fn right(&self) -> &Dataset {
+        &self.right
+    }
+
+    /// Total delta candidates produced so far (before threshold filtering).
+    pub fn candidate_count(&self) -> usize {
+        self.candidate_count
+    }
+
+    /// The warm-start state captured by the latest resolution, if any.
+    pub fn warm_state(&self) -> Option<&WarmStart> {
+        self.warm.as_ref()
+    }
+
+    /// Ingests a batch of records: updates the blocking index, scores the delta
+    /// candidates in parallel, and merges the surviving pairs into the
+    /// workload.
+    ///
+    /// `truth_delta` carries the ground-truth match edges involving records of
+    /// this batch (edges may reference records from earlier batches); it labels
+    /// the new pairs and feeds the cluster-level evaluation.
+    ///
+    /// Ingestion is atomic with respect to validation: a batch with a
+    /// schema-invalid record or a duplicate record id is rejected as a whole,
+    /// leaving the engine untouched.
+    pub fn ingest(
+        &mut self,
+        left_batch: Vec<Record>,
+        right_batch: Vec<Record>,
+        truth_delta: &[(RecordId, RecordId)],
+    ) -> Result<IngestReport> {
+        // Pre-flight validation before any state is committed: a record that
+        // entered the dataset but not the blocking index would silently miss
+        // every future candidate pair involving it.
+        for (dataset, batch) in [(&self.left, &left_batch), (&self.right, &right_batch)] {
+            let mut batch_ids: BTreeSet<RecordId> = BTreeSet::new();
+            for record in batch {
+                record.validate(dataset.schema())?;
+                if dataset.get(record.id()).is_some() || !batch_ids.insert(record.id()) {
+                    return Err(PipelineError::Core(er_core::ErError::InvalidArgument(format!(
+                        "duplicate record id {} in ingest batch for dataset '{}'",
+                        record.id(),
+                        dataset.name()
+                    ))));
+                }
+            }
+        }
+        self.truth.extend(truth_delta.iter().copied());
+        let delta = self.index.add_records(&left_batch, &right_batch);
+        let (left_records, right_records) = (left_batch.len(), right_batch.len());
+        for record in left_batch {
+            self.left.push(record)?;
+        }
+        for record in right_batch {
+            self.right.push(record)?;
+        }
+        let scorer = PairScorer::new(&self.config.scoring, &[&self.left, &self.right])?;
+        let similarities = self.pool.score_pairs(&self.left, &self.right, &scorer, &delta)?;
+        let mut new_pairs = Vec::new();
+        for (&(l, r), similarity) in delta.iter().zip(similarities) {
+            if similarity < self.config.similarity_threshold {
+                continue;
+            }
+            let label = Label::from_bool(self.truth.contains(&(l, r)));
+            new_pairs.push(InstancePair::with_records(
+                PairId(self.next_pair_id),
+                l,
+                r,
+                similarity,
+                label,
+            ));
+            self.next_pair_id += 1;
+        }
+        let retained = new_pairs.len();
+        self.workload.insert_sorted(new_pairs)?;
+        self.candidate_count += delta.len();
+        Ok(IngestReport {
+            left_records,
+            right_records,
+            delta_candidates: delta.len(),
+            retained_pairs: retained,
+            workload_len: self.workload.len(),
+            scoring_threads: self.pool.threads(),
+        })
+    }
+
+    /// Re-resolves the current workload: optimizes the HUMO partition (warm or
+    /// cold), draws the human labels for `DH` from `oracle`, and clusters the
+    /// match-labeled pairs into entities.
+    ///
+    /// Passing the *same* oracle across epochs models the streaming deployment:
+    /// pairs labeled in earlier epochs are cached, so a re-resolution only pays
+    /// for genuinely new questions.
+    pub fn resolve(&mut self, oracle: &mut dyn Oracle) -> Result<ResolutionReport> {
+        let queries_before = oracle.labels_issued();
+        // Workloads with fewer than two subsets cannot drive the sampling
+        // optimizer; resolving them entirely by hand is exact, deterministic
+        // and — at this size — cheap.
+        let too_small = self.workload.len() < 2 * self.config.optimizer.unit_size;
+        let all_human = |oracle: &mut dyn Oracle, workload: &Workload| {
+            let solution = HumoSolution::all_human(workload.len());
+            OptimizationOutcome::from_solution(solution, workload, oracle)
+        };
+        let (outcome, used_warm, fallback) = if too_small {
+            (all_human(oracle, &self.workload)?, false, true)
+        } else {
+            let optimizer = PartialSamplingOptimizer::new(self.config.optimizer)?;
+            let warm = if self.config.warm_start { self.warm.as_ref() } else { None };
+            let used_warm = warm.is_some_and(|w| !w.is_empty());
+            match optimizer.optimize_with_warm_start(&self.workload, oracle, warm) {
+                Ok((outcome, next)) => {
+                    self.warm = Some(next);
+                    (outcome, used_warm, false)
+                }
+                // Statistical degeneracy (e.g. a workload whose subsets collapse
+                // onto duplicate similarity coordinates and break the GP fit) is
+                // a property of the data, so both an incremental and a
+                // from-scratch run hit it identically; resolving by hand is the
+                // exact, deterministic way out. Real errors still propagate.
+                Err(humo::HumoError::Stats(_)) => (all_human(oracle, &self.workload)?, false, true),
+                Err(e) => return Err(e.into()),
+            }
+        };
+        let entities = self.entities_of(&outcome);
+        let cluster_metrics = entities.pairwise_metrics(&self.truth_entities());
+        Ok(ResolutionReport {
+            oracle_queries: oracle.labels_issued() - queries_before,
+            outcome,
+            entities,
+            cluster_metrics,
+            used_warm_start: used_warm,
+            fallback_all_human: fallback,
+        })
+    }
+
+    /// All ingested records as cluster nodes (so unmatched records appear as
+    /// singleton entities).
+    fn all_nodes(&self) -> impl Iterator<Item = RecordKey> + '_ {
+        self.left
+            .iter()
+            .map(|r| (Side::Left, r.id()))
+            .chain(self.right.iter().map(|r| (Side::Right, r.id())))
+    }
+
+    /// The entities induced by an outcome's label assignment.
+    fn entities_of(&self, outcome: &OptimizationOutcome) -> EntityClusters {
+        let edges = self
+            .workload
+            .pairs()
+            .iter()
+            .zip(outcome.assignment.labels())
+            .filter(|(_, label)| label.is_match())
+            .filter_map(|(pair, _)| {
+                Some(((Side::Left, pair.left()?), (Side::Right, pair.right()?)))
+            });
+        EntityClusters::from_edges(self.all_nodes(), edges)
+    }
+
+    /// The ground-truth entities over all ingested records.
+    fn truth_entities(&self) -> EntityClusters {
+        let edges = self.truth.iter().map(|&(l, r)| ((Side::Left, l), (Side::Right, r)));
+        EntityClusters::from_edges(self.all_nodes(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::aggregate::{AttributeMeasure, AttributeWeighting};
+    use er_core::similarity::StringMeasure;
+    use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
+    use humo::GroundTruthOracle;
+
+    fn config(unit_size: usize, warm_start: bool) -> PipelineConfig {
+        let scoring = ScoringConfig::new(
+            [
+                ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+                ("authors", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+            ],
+            AttributeWeighting::Uniform,
+        );
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let mut config = PipelineConfig::new(scoring, "title", requirement);
+        config.similarity_threshold = 0.15;
+        config.optimizer.unit_size = unit_size;
+        config.warm_start = warm_start;
+        config
+    }
+
+    fn corpus(entities: usize, seed: u64) -> er_datagen::bibliographic::GeneratedCorpus {
+        BibliographicGenerator::new(BibliographicConfig {
+            num_entities: entities,
+            duplicate_probability: 0.6,
+            extra_right_entities: entities / 2,
+            corruption: 0.3,
+            seed,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn rejects_invalid_configuration() {
+        let mut bad = config(25, true);
+        bad.similarity_threshold = f64::NAN;
+        let schema = BibliographicGenerator::schema();
+        assert!(ResolutionEngine::new(bad, schema.clone(), schema.clone()).is_err());
+        let mut bad = config(0, true);
+        bad.similarity_threshold = 0.2;
+        assert!(ResolutionEngine::new(bad, schema.clone(), schema).is_err());
+    }
+
+    #[test]
+    fn invalid_batches_are_rejected_atomically() {
+        let schema = BibliographicGenerator::schema();
+        let mut engine = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        let good = Record::new(RecordId(1)).with("title", "entity resolution");
+        // A batch whose second record duplicates the first's id is rejected as a
+        // whole: no record may enter the dataset without entering the index.
+        let duplicate_within_batch =
+            vec![good.clone(), Record::new(RecordId(1)).with("title", "other")];
+        assert!(engine.ingest(duplicate_within_batch, Vec::new(), &[]).is_err());
+        assert_eq!(engine.left().len(), 0);
+        assert_eq!(engine.candidate_count(), 0);
+        // Same for a schema-invalid record after a valid one.
+        let bad_schema = vec![good.clone(), Record::new(RecordId(2)).with("undeclared", "x")];
+        assert!(engine.ingest(bad_schema, Vec::new(), &[]).is_err());
+        assert_eq!(engine.left().len(), 0);
+        // The engine still works afterwards, and re-ingesting an existing id
+        // fails without committing the batch.
+        engine.ingest(vec![good.clone()], Vec::new(), &[]).unwrap();
+        assert_eq!(engine.left().len(), 1);
+        assert!(engine.ingest(vec![good], Vec::new(), &[]).is_err());
+        assert_eq!(engine.left().len(), 1);
+    }
+
+    #[test]
+    fn empty_engine_resolves_to_nothing() {
+        let schema = BibliographicGenerator::schema();
+        let mut engine = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        let report = engine.resolve(&mut oracle).unwrap();
+        assert_eq!(report.oracle_queries, 0);
+        assert!(report.entities.is_empty());
+        assert!(report.fallback_all_human);
+    }
+
+    #[test]
+    fn streaming_ingest_builds_a_growing_workload_and_entities() {
+        let corpus = corpus(120, 11);
+        let schema = BibliographicGenerator::schema();
+        let mut engine = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+        let mut oracle = GroundTruthOracle::new();
+        let halves_l = corpus.left.records().split_at(corpus.left.len() / 2);
+        let halves_r = corpus.right.records().split_at(corpus.right.len() / 2);
+        let first = engine.ingest(halves_l.0.to_vec(), halves_r.0.to_vec(), &truth).unwrap();
+        assert!(first.delta_candidates > 0);
+        assert!(first.retained_pairs <= first.delta_candidates);
+        let len_after_first = engine.workload().len();
+        let second = engine.ingest(halves_l.1.to_vec(), halves_r.1.to_vec(), &[]).unwrap();
+        assert!(second.workload_len >= len_after_first);
+        assert_eq!(engine.candidate_count(), first.delta_candidates + second.delta_candidates);
+        let report = engine.resolve(&mut oracle).unwrap();
+        assert!(report.oracle_queries > 0);
+        assert!(report.entities.non_singleton_count() > 0);
+        assert!(report.cluster_metrics.precision() > 0.5);
+        assert!(report.cluster_metrics.recall() > 0.5);
+        // The pair-level metrics ride along unchanged.
+        assert!(report.outcome.metrics.f1() > 0.5);
+    }
+
+    #[test]
+    fn warm_resolutions_cost_fewer_queries_than_cold_restarts() {
+        let corpus = corpus(400, 13);
+        let schema = BibliographicGenerator::schema();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+        // Warm engine: ingest in two batches, resolving after each.
+        let mut warm_engine =
+            ResolutionEngine::new(config(25, true), schema.clone(), schema.clone()).unwrap();
+        let mut warm_oracle = GroundTruthOracle::new();
+        let (l1, l2) = corpus.left.records().split_at(corpus.left.len() * 2 / 3);
+        let (r1, r2) = corpus.right.records().split_at(corpus.right.len() * 2 / 3);
+        warm_engine.ingest(l1.to_vec(), r1.to_vec(), &truth).unwrap();
+        warm_engine.resolve(&mut warm_oracle).unwrap();
+        warm_engine.ingest(l2.to_vec(), r2.to_vec(), &[]).unwrap();
+        let warm_report = warm_engine.resolve(&mut warm_oracle).unwrap();
+        assert!(warm_report.used_warm_start);
+        // From-scratch engine over the same final records, fresh oracle.
+        let mut cold_engine =
+            ResolutionEngine::new(config(25, false), schema.clone(), schema).unwrap();
+        let mut cold_oracle = GroundTruthOracle::new();
+        cold_engine
+            .ingest(corpus.left.records().to_vec(), corpus.right.records().to_vec(), &truth)
+            .unwrap();
+        let cold_report = cold_engine.resolve(&mut cold_oracle).unwrap();
+        assert!(!cold_report.used_warm_start);
+        assert!(
+            warm_report.oracle_queries < cold_report.oracle_queries,
+            "incremental re-resolution used {} queries, from-scratch used {}",
+            warm_report.oracle_queries,
+            cold_report.oracle_queries
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type of the streaming resolution engine.
+
+use er_core::ErError;
+use humo::HumoError;
+
+/// Errors raised by the `er-pipeline` crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// An error bubbled up from the entity-resolution substrate.
+    Core(ErError),
+    /// An error bubbled up from the HUMO optimizer layer.
+    Humo(HumoError),
+    /// The pipeline configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Core(e) => write!(f, "core: {e}"),
+            PipelineError::Humo(e) => write!(f, "humo: {e}"),
+            PipelineError::InvalidConfig(msg) => write!(f, "invalid pipeline config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Core(e) => Some(e),
+            PipelineError::Humo(e) => Some(e),
+            PipelineError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ErError> for PipelineError {
+    fn from(e: ErError) -> Self {
+        PipelineError::Core(e)
+    }
+}
+
+impl From<HumoError> for PipelineError {
+    fn from(e: HumoError) -> Self {
+        PipelineError::Humo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let core: PipelineError = ErError::InvalidArgument("x".to_string()).into();
+        assert!(format!("{core}").contains("core:"));
+        let humo: PipelineError = HumoError::InvalidConfig("y".to_string()).into();
+        assert!(format!("{humo}").contains("humo:"));
+        let cfg = PipelineError::InvalidConfig("z".to_string());
+        assert!(format!("{cfg}").contains("invalid pipeline config"));
+    }
+}

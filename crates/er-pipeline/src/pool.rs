@@ -1,0 +1,162 @@
+//! A hand-rolled `std::thread` worker pool for chunk-sharded scoring.
+//!
+//! The build environment is offline (no `rayon`), so parallel pair scoring is
+//! implemented directly on scoped threads: the input slice is split into one
+//! contiguous chunk per worker, each worker maps its chunk independently, and
+//! the per-chunk outputs are concatenated in order. Results are therefore
+//! deterministic and identical to the sequential map regardless of the thread
+//! count — parallelism changes wall-clock time, never values.
+
+use crate::Result;
+use er_core::aggregate::PairScorer;
+use er_core::record::{Dataset, RecordId};
+
+/// A fixed-width pool of scoped worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given number of workers; `0` selects the
+    /// machine's available parallelism.
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        };
+        Self { threads }
+    }
+
+    /// Number of worker threads the pool uses.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` on the pool, preserving input order.
+    ///
+    /// The slice is sharded into one contiguous chunk per worker; with one
+    /// thread (or a trivially small input) the map runs inline without
+    /// spawning.
+    pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        if self.threads <= 1 || items.len() < 2 {
+            return items.iter().map(&f).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let chunk_size = items.len().div_ceil(workers);
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for shard in items.chunks(chunk_size) {
+                let f = &f;
+                handles.push(scope.spawn(move || shard.iter().map(f).collect::<Vec<U>>()));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("scoring worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Scores candidate record pairs in parallel, returning one similarity per
+    /// pair in input order.
+    pub fn score_pairs(
+        &self,
+        left: &Dataset,
+        right: &Dataset,
+        scorer: &PairScorer,
+        pairs: &[(RecordId, RecordId)],
+    ) -> Result<Vec<f64>> {
+        let scored = self.map(pairs, |&(l, r)| -> er_core::Result<f64> {
+            Ok(scorer.score(left.require(l)?, right.require(r)?))
+        });
+        let mut similarities = Vec::with_capacity(scored.len());
+        for s in scored {
+            similarities.push(s?);
+        }
+        Ok(similarities)
+    }
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use er_core::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
+    use er_core::record::{Record, Schema};
+    use er_core::similarity::StringMeasure;
+    use er_core::text::Tokenizer;
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let pool = WorkerPool::new(0);
+        assert!(pool.threads() >= 1);
+        assert_eq!(WorkerPool::new(3).threads(), 3);
+    }
+
+    #[test]
+    fn map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..1_003).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(pool.map(&items, |&x| x * x), expected, "threads = {threads}");
+        }
+        // Inputs smaller than the worker count still work.
+        assert_eq!(WorkerPool::new(16).map(&[7u64], |&x| x + 1), vec![8]);
+        assert_eq!(WorkerPool::new(4).map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+    }
+
+    fn dataset(name: &str, titles: &[(u64, &str)]) -> Dataset {
+        let mut ds = Dataset::new(name, Schema::new(["title"]));
+        for &(id, title) in titles {
+            ds.push(Record::new(RecordId(id)).with("title", title)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn parallel_scoring_matches_sequential_scoring() {
+        let left = dataset("l", &[(1, "entity resolution"), (2, "graph systems")]);
+        let right =
+            dataset("r", &[(10, "entity resolution"), (11, "stream systems"), (12, "databases")]);
+        let config = ScoringConfig::new(
+            [("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)))],
+            AttributeWeighting::Uniform,
+        );
+        let scorer = PairScorer::new(&config, &[&left, &right]).unwrap();
+        let pairs: Vec<(RecordId, RecordId)> =
+            left.iter().flat_map(|a| right.iter().map(move |b| (a.id(), b.id()))).collect();
+        let sequential = WorkerPool::new(1).score_pairs(&left, &right, &scorer, &pairs).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                WorkerPool::new(threads).score_pairs(&left, &right, &scorer, &pairs).unwrap();
+            assert_eq!(sequential, parallel);
+        }
+        assert!((sequential[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_pairs_propagates_unknown_record_errors() {
+        let left = dataset("l", &[(1, "x")]);
+        let right = dataset("r", &[(10, "x")]);
+        let config = ScoringConfig::new(
+            [("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)))],
+            AttributeWeighting::Uniform,
+        );
+        let scorer = PairScorer::new(&config, &[&left, &right]).unwrap();
+        let bogus = vec![(RecordId(1), RecordId(10)), (RecordId(99), RecordId(10))];
+        assert!(WorkerPool::new(2).score_pairs(&left, &right, &scorer, &bogus).is_err());
+    }
+}

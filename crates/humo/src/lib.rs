@@ -83,7 +83,7 @@ pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use requirement::QualityRequirement;
 pub use sampling::{
     AllSamplingConfig, AllSamplingOptimizer, CalibratedEstimator, PartialSamplingConfig,
-    PartialSamplingOptimizer, ShortfallBaseline, TailCalibration,
+    PartialSamplingOptimizer, PriorObservation, ShortfallBaseline, TailCalibration, WarmStart,
 };
 pub use solution::{HumoSolution, OptimizationOutcome};
 

@@ -20,6 +20,7 @@ mod estimator;
 mod gp_estimator;
 mod partial;
 mod sampler;
+mod warm;
 
 pub use all::{AllSamplingConfig, AllSamplingOptimizer};
 pub use calibrated::{CalibratedEstimator, ShortfallBaseline, TailCalibration};
@@ -27,3 +28,4 @@ pub use estimator::{search_subset_bounds, MatchCountEstimator, StratifiedCountEs
 pub use gp_estimator::GpCountEstimator;
 pub use partial::{PartialSamplingConfig, PartialSamplingOptimizer, SamplingPlan};
 pub use sampler::SubsetSampler;
+pub use warm::{PriorObservation, WarmStart};

@@ -16,14 +16,15 @@ use super::calibrated::{CalibratedEstimator, TailCalibration};
 use super::estimator::search_subset_bounds;
 use super::gp_estimator::GpCountEstimator;
 use super::sampler::SubsetSampler;
+use super::warm::{PriorObservation, WarmStart};
 use crate::optimizer::Optimizer;
 use crate::oracle::Oracle;
 use crate::requirement::QualityRequirement;
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
 use er_core::workload::{SubsetPartition, Workload};
-use er_stats::{GaussianProcess, GpConfig};
-use std::collections::VecDeque;
+use er_stats::{GaussianProcess, GpConfig, SampleSummary};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Configuration of the SAMP optimizer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -155,6 +156,11 @@ pub struct SamplingPlan {
     /// The subset-index bounds `(lo, hi)` of the human region chosen by the bound
     /// search (half-open range over subsets).
     pub subset_bounds: (usize, usize),
+    /// All observations the estimation phase trained on, one per covered
+    /// subset: fresh samples keyed by their subset's mean similarity, reused
+    /// priors keeping the coordinate they were originally sampled at. These
+    /// seed the next epoch's warm start.
+    pub observations: Vec<PriorObservation>,
 }
 
 impl SamplingPlan {
@@ -168,6 +174,15 @@ impl SamplingPlan {
         };
         let upper_index = if hi == 0 { 0 } else { self.partition.subset(hi - 1).range().end };
         HumoSolution::new(lower_index, upper_index.max(lower_index), workload.len())
+    }
+
+    /// Packages this plan's observations and human interval as a [`WarmStart`]
+    /// for the next optimization of (a grown version of) the workload.
+    pub fn warm_start(&self, workload: &Workload) -> WarmStart {
+        WarmStart {
+            observations: self.observations.clone(),
+            human_interval: self.solution(workload).human_similarity_interval(workload),
+        }
     }
 }
 
@@ -192,6 +207,24 @@ impl PartialSamplingOptimizer {
     /// Runs the estimation phase (Algorithm 1 plus the bound search) without
     /// resolving the workload. The hybrid optimizer builds on this.
     pub fn plan(&self, workload: &Workload, oracle: &mut dyn Oracle) -> Result<SamplingPlan> {
+        self.plan_with_warm_start(workload, oracle, None)
+    }
+
+    /// Runs the estimation phase, optionally seeded with a [`WarmStart`] from a
+    /// previous run.
+    ///
+    /// Prior observations whose similarity coordinate still falls onto a subset
+    /// of the current partition are reused as GP training points *without*
+    /// issuing oracle queries; fresh samples are only drawn for uncovered
+    /// subsets and wherever Algorithm 1's refinement detects disagreement
+    /// between the seeded GP and the data. Passing `None` (or an empty warm
+    /// start) reproduces [`PartialSamplingOptimizer::plan`] exactly.
+    pub fn plan_with_warm_start(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+        warm: Option<&WarmStart>,
+    ) -> Result<SamplingPlan> {
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),
@@ -203,8 +236,8 @@ impl PartialSamplingOptimizer {
         let mut sampler =
             SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
 
-        let (gp, diagonal_scale) =
-            self.train_match_proportion_gp(&partition, &mut sampler, oracle)?;
+        let (gp, diagonal_scale, used, prior_coords) =
+            self.train_match_proportion_gp(&partition, &mut sampler, oracle, warm)?;
         let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
         // Independent per-subset variance: the calibrated scatter term (when the
         // workload exhibits scatter) plus a Poisson-style floor — the number of
@@ -236,21 +269,53 @@ impl PartialSamplingOptimizer {
             diagonal_scale * Self::stabilized_spread(p) + p.max(detection_floor) / unit + inflation
         });
         let sizes: Vec<usize> = partition.subsets().iter().map(|s| s.len()).collect();
-        let estimator =
-            CalibratedEstimator::new(base, &sizes, &query, sampler.samples(), length_scale, tail);
+        let estimator = CalibratedEstimator::new(base, &sizes, &query, &used, length_scale, tail);
         let subset_bounds = search_subset_bounds(&estimator, m, &cfg.requirement);
-        Ok(SamplingPlan { partition, estimator, subset_bounds })
+        // Reused priors keep the coordinate they were originally sampled at;
+        // fresh samples are keyed by their subset's mean similarity.
+        let observations = used
+            .iter()
+            .map(|(&i, s)| PriorObservation {
+                similarity: prior_coords
+                    .get(&i)
+                    .copied()
+                    .unwrap_or_else(|| partition.subset(i).mean_similarity()),
+                sample_size: s.sample_size,
+                positives: s.positives,
+            })
+            .collect();
+        Ok(SamplingPlan { partition, estimator, subset_bounds, observations })
+    }
+
+    /// Optimizes the workload with an optional warm start and returns both the
+    /// outcome and the [`WarmStart`] state seeding the next epoch.
+    pub fn optimize_with_warm_start(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+        warm: Option<&WarmStart>,
+    ) -> Result<(OptimizationOutcome, WarmStart)> {
+        let plan = self.plan_with_warm_start(workload, oracle, warm)?;
+        let next = plan.warm_start(workload);
+        let solution = plan.solution(workload);
+        let outcome = OptimizationOutcome::from_solution(solution, workload, oracle)?;
+        Ok((outcome, next))
     }
 
     /// Algorithm 1: adaptive sampling plus Gaussian-process regression of the
-    /// match-proportion function. Returns the fitted GP together with the
-    /// calibrated per-subset deviation scale `c` (deviation variance ≈ `c·p(1−p)`).
+    /// match-proportion function, optionally seeded with prior observations from
+    /// a [`WarmStart`]. Returns the fitted GP, the calibrated per-subset
+    /// deviation scale `c` (deviation variance ≈ `c·p(1−p)`), the map of all
+    /// observations used (fresh and prior) keyed by subset index, and the
+    /// original similarity coordinates of the reused priors.
+    #[allow(clippy::type_complexity)]
     fn train_match_proportion_gp(
         &self,
         partition: &SubsetPartition,
         sampler: &mut SubsetSampler<'_>,
         oracle: &mut dyn Oracle,
-    ) -> Result<(GaussianProcess, f64)> {
+        warm: Option<&WarmStart>,
+    ) -> Result<(GaussianProcess, f64, BTreeMap<usize, SampleSummary>, BTreeMap<usize, f64>)> {
         let cfg = &self.config;
         let m = partition.len();
         if m < 2 {
@@ -267,11 +332,55 @@ impl PartialSamplingOptimizer {
         let min_subsets = ((m as f64 * pl).ceil() as usize).max(5).min(m);
         let max_subsets = ((m as f64 * pu).ceil() as usize).max(20).clamp(min_subsets, m);
 
+        // Map prior observations onto the current partition: a prior is reusable
+        // for the subset whose mean similarity is nearest, provided the
+        // coordinate lies within half the typical subset spacing (priors further
+        // from every subset describe a region of the curve this partition does
+        // not probe, and are dropped; malformed priors are skipped, not
+        // trusted). When several priors land on the same subset the largest
+        // sample wins. Each reused prior keeps its *original* similarity
+        // coordinate — re-keying it to the subset mean would let the coordinate
+        // drift by up to the tolerance every epoch while the sample never
+        // expires.
+        let means: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
+        let mut prior_for: BTreeMap<usize, (f64, SampleSummary)> = BTreeMap::new();
+        if let Some(warm) = warm {
+            let spacings: Vec<f64> = means.windows(2).map(|w| w[1] - w[0]).collect();
+            let tolerance = 0.5 * er_stats::descriptive::median(&spacings);
+            for obs in &warm.observations {
+                let Some(summary) = obs.summary() else { continue };
+                if !obs.similarity.is_finite() {
+                    continue;
+                }
+                let idx = nearest_index(&means, obs.similarity);
+                if (means[idx] - obs.similarity).abs() <= tolerance {
+                    let entry = prior_for.entry(idx).or_insert((obs.similarity, summary));
+                    if obs.sample_size > entry.1.sample_size {
+                        *entry = (obs.similarity, summary);
+                    }
+                }
+            }
+        }
+
         // Initial equidistant subsets, always including the first and last.
         let mut initial: Vec<usize> = (0..min_subsets)
             .map(|k| ((k as f64) * (m as f64 - 1.0) / (min_subsets as f64 - 1.0)).round() as usize)
             .collect();
         initial.dedup();
+        // A warm start with observations always re-anchors the previous
+        // human-region boundaries: the bound search is most sensitive there, so
+        // those subsets join the initial set (covered by priors when available,
+        // freshly sampled otherwise). An observation-less warm start is fully
+        // inert, matching `WarmStart::is_empty`.
+        if let Some((lo_sim, hi_sim)) =
+            warm.filter(|w| !w.is_empty()).and_then(|w| w.human_interval)
+        {
+            for sim in [lo_sim, hi_sim] {
+                initial.push(nearest_index(&means, sim));
+            }
+            initial.sort_unstable();
+            initial.dedup();
+        }
 
         let mut train_x: Vec<f64> = Vec::new();
         let mut train_y: Vec<f64> = Vec::new();
@@ -299,8 +408,24 @@ impl PartialSamplingOptimizer {
                 (p * (1.0 - p) / k).max(1e-8)
             });
         };
+        // `used` tracks every observation the GP trains on, keyed by subset
+        // index. Prior observations cover their subset without oracle cost;
+        // only uncovered subsets are sampled fresh. Reused priors still count
+        // against the subset budget below — a warm start re-certifies the same
+        // evidence density for fewer queries, it does not buy extra refinement.
+        let mut used: BTreeMap<usize, SampleSummary> = BTreeMap::new();
+        let mut prior_coords: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut priors_used = 0usize;
         for &idx in &initial {
-            let summary = sampler.sample(idx, oracle);
+            let summary = match prior_for.get(&idx) {
+                Some(&(coord, prior)) => {
+                    priors_used += 1;
+                    prior_coords.insert(idx, coord);
+                    prior
+                }
+                None => sampler.sample(idx, oracle),
+            };
+            used.insert(idx, summary);
             push_sample(&mut train_x, &mut train_y, &mut train_noise, idx, summary);
         }
         let mut gp = GaussianProcess::fit_with_noise(
@@ -317,8 +442,8 @@ impl PartialSamplingOptimizer {
         // endpoints first: a gap whose two sampled endpoints differ a lot hides
         // most of the curve's movement (and most of the matching pairs), even if
         // its midpoint happened to look fine.
-        let mut observed: std::collections::BTreeMap<usize, f64> =
-            initial.iter().enumerate().map(|(pos, &idx)| (idx, train_y[pos])).collect();
+        let mut observed: BTreeMap<usize, f64> =
+            used.iter().map(|(&idx, s)| (idx, s.proportion())).collect();
         let mut queue: VecDeque<(usize, usize)> =
             initial.windows(2).map(|w| (w[0], w[1])).collect();
         let mut well_approximated: Vec<(usize, usize)> = Vec::new();
@@ -344,7 +469,7 @@ impl PartialSamplingOptimizer {
                 .expect("non-empty gap list");
             Some(gaps.swap_remove(best))
         };
-        while sampler.sampled_subset_count() < max_subsets {
+        while sampler.sampled_subset_count() + priors_used < max_subsets {
             let Some((a, b)) = queue
                 .pop_front()
                 .or_else(|| pop_most_interesting(&mut well_approximated, &observed))
@@ -355,14 +480,25 @@ impl PartialSamplingOptimizer {
                 continue;
             }
             let x = a + (b - a) / 2;
-            if sampler.is_sampled(x) {
+            if used.contains_key(&x) {
                 continue;
             }
             let v_x = partition.subset(x).mean_similarity();
             let predicted = gp.predict_mean(v_x);
-            let summary = sampler.sample(x, oracle);
+            // A prior observation covering the midpoint substitutes for the
+            // fresh sample: the disagreement check still runs against it, so a
+            // drifted curve region is refined with fresh samples around it.
+            let summary = match prior_for.get(&x) {
+                Some(&(coord, prior)) => {
+                    priors_used += 1;
+                    prior_coords.insert(x, coord);
+                    prior
+                }
+                None => sampler.sample(x, oracle),
+            };
             let observed_proportion = summary.proportion();
             observed.insert(x, observed_proportion);
+            used.insert(x, summary);
             push_sample(&mut train_x, &mut train_y, &mut train_noise, x, summary);
             gp = GaussianProcess::fit_with_noise(
                 &train_x,
@@ -431,7 +567,7 @@ impl PartialSamplingOptimizer {
                 .collect();
             eprintln!("[humo-debug] top training points (x, observed->fit): {}", tail.join(" "));
         }
-        Ok((gp, diagonal_scale))
+        Ok((gp, diagonal_scale, used, prior_coords))
     }
 
     /// Binomial sampling variance of an observed proportion, with an
@@ -487,6 +623,21 @@ impl PartialSamplingOptimizer {
         // of σ²·χ²₁ is ≈ 0.455 σ².
         let median = er_stats::descriptive::median(&normalized_residuals);
         Some(median / (1.5 * 0.455))
+    }
+}
+
+/// Index of the value in an ascending slice nearest to `x`.
+fn nearest_index(sorted: &[f64], x: f64) -> usize {
+    debug_assert!(!sorted.is_empty());
+    let i = sorted.partition_point(|&v| v < x);
+    if i == 0 {
+        0
+    } else if i >= sorted.len() {
+        sorted.len() - 1
+    } else if (x - sorted[i - 1]).abs() <= (sorted[i] - x).abs() {
+        i - 1
+    } else {
+        i
     }
 }
 
@@ -635,6 +786,115 @@ mod tests {
             ..base
         })
         .is_err());
+    }
+
+    #[test]
+    fn warm_start_none_matches_cold_plan_exactly() {
+        let w = workload(20_000, 0.1, 41);
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let optimizer =
+            PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement)).unwrap();
+        let mut oracle_a = GroundTruthOracle::new();
+        let cold = optimizer.plan(&w, &mut oracle_a).unwrap();
+        let mut oracle_b = GroundTruthOracle::new();
+        let explicit = optimizer.plan_with_warm_start(&w, &mut oracle_b, None).unwrap();
+        assert_eq!(cold.subset_bounds, explicit.subset_bounds);
+        assert_eq!(oracle_a.labels_issued(), oracle_b.labels_issued());
+        // An *empty* warm start must also be a no-op — including one that
+        // carries a human interval but no observations.
+        let mut oracle_c = GroundTruthOracle::new();
+        let empty = WarmStart::default();
+        let seeded = optimizer.plan_with_warm_start(&w, &mut oracle_c, Some(&empty)).unwrap();
+        assert_eq!(cold.subset_bounds, seeded.subset_bounds);
+        assert_eq!(oracle_a.labels_issued(), oracle_c.labels_issued());
+        let mut oracle_d = GroundTruthOracle::new();
+        let interval_only =
+            WarmStart { observations: Vec::new(), human_interval: Some((0.4, 0.6)) };
+        let seeded =
+            optimizer.plan_with_warm_start(&w, &mut oracle_d, Some(&interval_only)).unwrap();
+        assert_eq!(cold.subset_bounds, seeded.subset_bounds);
+        assert_eq!(oracle_a.labels_issued(), oracle_d.labels_issued());
+        // Malformed priors are skipped rather than trusted or panicked on.
+        let mut oracle_e = GroundTruthOracle::new();
+        let malformed = WarmStart {
+            observations: vec![
+                PriorObservation { similarity: 0.5, sample_size: 5, positives: 9 },
+                PriorObservation { similarity: f64::NAN, sample_size: 10, positives: 1 },
+            ],
+            human_interval: None,
+        };
+        let seeded = optimizer.plan_with_warm_start(&w, &mut oracle_e, Some(&malformed)).unwrap();
+        assert_eq!(cold.subset_bounds, seeded.subset_bounds);
+        assert_eq!(oracle_a.labels_issued(), oracle_e.labels_issued());
+    }
+
+    #[test]
+    fn warm_start_saves_oracle_queries_at_unchanged_quality() {
+        let w = workload(30_000, 0.1, 43);
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let optimizer =
+            PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement)).unwrap();
+        // Epoch 1: cold plan, capture the warm state.
+        let mut epoch1_oracle = GroundTruthOracle::new();
+        let plan = optimizer.plan(&w, &mut epoch1_oracle).unwrap();
+        let warm = plan.warm_start(&w);
+        assert!(!warm.is_empty());
+        // Epoch 2 over the same workload, fresh oracles to isolate plan-phase
+        // query counts: warm must be measurably cheaper than cold.
+        let mut cold_oracle = GroundTruthOracle::new();
+        optimizer.plan(&w, &mut cold_oracle).unwrap();
+        let mut warm_oracle = GroundTruthOracle::new();
+        let warm_plan = optimizer.plan_with_warm_start(&w, &mut warm_oracle, Some(&warm)).unwrap();
+        assert!(
+            warm_oracle.labels_issued() < cold_oracle.labels_issued(),
+            "warm plan used {} oracle queries, cold used {}",
+            warm_oracle.labels_issued(),
+            cold_oracle.labels_issued()
+        );
+        // Resolving the warm plan still meets the requirement.
+        let solution = warm_plan.solution(&w);
+        let outcome = OptimizationOutcome::from_solution(solution, &w, &mut warm_oracle).unwrap();
+        assert!(outcome.metrics.precision() >= 0.9, "precision {}", outcome.metrics.precision());
+        assert!(outcome.metrics.recall() >= 0.9, "recall {}", outcome.metrics.recall());
+    }
+
+    #[test]
+    fn warm_start_transfers_to_a_grown_workload() {
+        // A representative 80% subsample stands in for the earlier epoch; the
+        // full workload is the grown one. Priors are keyed by similarity, so
+        // they transfer across the changed partition.
+        let full = workload(30_000, 0.1, 47);
+        let partial = Workload::from_scores(
+            full.pairs()
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 5 != 0)
+                .map(|(_, p)| (p.similarity(), p.is_match())),
+        )
+        .unwrap();
+        let requirement = QualityRequirement::symmetric(0.9).unwrap();
+        let optimizer =
+            PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement)).unwrap();
+        let mut epoch1_oracle = GroundTruthOracle::new();
+        let warm = optimizer.plan(&partial, &mut epoch1_oracle).unwrap().warm_start(&partial);
+        let mut cold_oracle = GroundTruthOracle::new();
+        optimizer.plan(&full, &mut cold_oracle).unwrap();
+        let mut warm_oracle = GroundTruthOracle::new();
+        let warm_plan =
+            optimizer.plan_with_warm_start(&full, &mut warm_oracle, Some(&warm)).unwrap();
+        let warm_plan_queries = warm_oracle.labels_issued();
+        assert!(
+            warm_plan_queries < cold_oracle.labels_issued(),
+            "warm plan on the grown workload used {warm_plan_queries} queries, cold used {}",
+            cold_oracle.labels_issued()
+        );
+        let next_warm = warm_plan.warm_start(&full);
+        let solution = warm_plan.solution(&full);
+        let outcome =
+            OptimizationOutcome::from_solution(solution, &full, &mut warm_oracle).unwrap();
+        assert!(outcome.metrics.precision() >= 0.85, "precision {}", outcome.metrics.precision());
+        assert!(outcome.metrics.recall() >= 0.85, "recall {}", outcome.metrics.recall());
+        assert!(!next_warm.is_empty());
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Warm-starting the sampling-based optimizers from a previous solution.
+//!
+//! In a streaming setting the same workload is re-optimized every time a batch
+//! of records arrives. Re-running SAMP from scratch re-samples the
+//! match-proportion curve through the human oracle even though the curve —
+//! a property of the data distribution, keyed by similarity — barely moves
+//! between epochs. A [`WarmStart`] captures the previous run's sampled
+//! observations (and the previous human-region interval) *in similarity space*,
+//! so the next run can seed its Gaussian process from them without issuing new
+//! oracle queries: fresh samples are only drawn where the previous run never
+//! looked or where Algorithm 1's refinement detects disagreement.
+//!
+//! The warm-started run still certifies its bounds against the current
+//! workload's partition; reusing an observation only asserts that the match
+//! proportion *at that similarity* is what the previous epoch measured. That is
+//! exact for unchanged data and a tight approximation when inserted records
+//! follow the same distribution (the `pipeline_throughput` harness measures the
+//! resulting oracle-query saving and checks that requirement compliance is
+//! unchanged).
+
+use er_stats::SampleSummary;
+
+/// One reusable observation from a previous run: a manually sampled match
+/// proportion at a similarity coordinate (the sampled subset's mean
+/// similarity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorObservation {
+    /// Similarity coordinate of the observation.
+    pub similarity: f64,
+    /// Number of manually labeled pairs behind the observation.
+    pub sample_size: usize,
+    /// Number of matches among them.
+    pub positives: usize,
+}
+
+impl PriorObservation {
+    /// The observed match proportion.
+    pub fn proportion(&self) -> f64 {
+        if self.sample_size == 0 {
+            0.0
+        } else {
+            self.positives as f64 / self.sample_size as f64
+        }
+    }
+
+    /// The observation as a sample summary, or `None` when the observation is
+    /// malformed (`positives > sample_size` — possible for hand-built or
+    /// deserialized warm-start state, which must be skipped, not trusted).
+    pub(crate) fn summary(&self) -> Option<SampleSummary> {
+        SampleSummary::new(self.sample_size, self.positives).ok()
+    }
+}
+
+/// Prior knowledge carried from a previous optimization run, used to seed the
+/// next run's estimation phase.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmStart {
+    /// The previous run's observations, one per sampled subset.
+    pub observations: Vec<PriorObservation>,
+    /// The similarity interval `[v⁻, v⁺]` of the previous human region, if it
+    /// was non-empty. The warm-started run always re-anchors fresh or prior
+    /// observations at these boundaries — they are where the bound search is
+    /// most sensitive.
+    pub human_interval: Option<(f64, f64)>,
+}
+
+impl WarmStart {
+    /// Whether the warm start carries no reusable observations.
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// Number of reusable observations.
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportion_handles_degenerate_sample_sizes() {
+        let obs = PriorObservation { similarity: 0.5, sample_size: 0, positives: 0 };
+        assert_eq!(obs.proportion(), 0.0);
+        let obs = PriorObservation { similarity: 0.5, sample_size: 20, positives: 5 };
+        assert!((obs.proportion() - 0.25).abs() < 1e-12);
+        assert_eq!(obs.summary().unwrap().sample_size, 20);
+        // Malformed observations surface as None instead of panicking.
+        let bad = PriorObservation { similarity: 0.5, sample_size: 5, positives: 9 };
+        assert!(bad.summary().is_none());
+    }
+
+    #[test]
+    fn default_warm_start_is_empty() {
+        let warm = WarmStart::default();
+        assert!(warm.is_empty());
+        assert_eq!(warm.len(), 0);
+        assert!(warm.human_interval.is_none());
+    }
+}

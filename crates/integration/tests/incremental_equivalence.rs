@@ -1,0 +1,180 @@
+//! Equivalence of incremental and batch resolution, pinned by property tests.
+//!
+//! The contract of the streaming pipeline (warm-starting disabled, uniform
+//! attribute weighting): for **any** split of the records into ingest batches,
+//! the engine ends up in exactly the state a from-scratch single-batch run
+//! reaches on the union of the records —
+//!
+//! * the same candidate count,
+//! * the same similarity-sorted workload (record pairs, similarities, labels,
+//!   position by position),
+//! * the same HUMO thresholds, label assignment and pair metrics,
+//! * the same entity clusters and cluster metrics.
+//!
+//! A second group of properties pins the clustering substrate itself:
+//! union-find transitive closure is idempotent and independent of edge order.
+
+use er_core::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
+use er_core::record::{Record, RecordId};
+use er_core::similarity::StringMeasure;
+use er_core::text::Tokenizer;
+use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator, GeneratedCorpus};
+use er_pipeline::cluster::{EntityClusters, RecordKey, Side};
+use er_pipeline::{PipelineConfig, ResolutionEngine};
+use humo::{GroundTruthOracle, QualityRequirement};
+use proptest::prelude::*;
+
+fn corpus(entities: usize, seed: u64) -> GeneratedCorpus {
+    BibliographicGenerator::new(BibliographicConfig {
+        num_entities: entities,
+        duplicate_probability: 0.5,
+        extra_right_entities: entities / 2,
+        corruption: 0.3,
+        seed,
+    })
+    .generate()
+}
+
+/// Cold (no warm start) configuration with uniform weighting — the regime the
+/// exact-equivalence guarantee covers.
+fn cold_config() -> PipelineConfig {
+    let scoring = ScoringConfig::new(
+        [
+            ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+            ("authors", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+        ],
+        AttributeWeighting::Uniform,
+    );
+    let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
+    let mut config = PipelineConfig::new(scoring, "title", requirement);
+    config.similarity_threshold = 0.25;
+    config.optimizer.unit_size = 25;
+    config.warm_start = false;
+    config
+}
+
+fn engine() -> ResolutionEngine {
+    let schema = BibliographicGenerator::schema();
+    ResolutionEngine::new(cold_config(), schema.clone(), schema).expect("valid pipeline config")
+}
+
+fn batches_of(records: &[Record], count: usize) -> Vec<Vec<Record>> {
+    let size = records.len().div_ceil(count.max(1)).max(1);
+    records.chunks(size).map(<[Record]>::to_vec).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    #[test]
+    fn any_batch_split_matches_a_from_scratch_run(
+        entities in 40usize..90,
+        split in 1usize..5,
+        seed in 0u64..1_000,
+    ) {
+        let corpus = corpus(entities, seed);
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+
+        // Incremental: ingest in `split` batches.
+        let mut incremental = engine();
+        let left_batches = batches_of(corpus.left.records(), split);
+        let right_batches = batches_of(corpus.right.records(), split);
+        for i in 0..left_batches.len().max(right_batches.len()) {
+            let l = left_batches.get(i).cloned().unwrap_or_default();
+            let r = right_batches.get(i).cloned().unwrap_or_default();
+            let edges = if i == 0 { truth.as_slice() } else { &[] };
+            incremental.ingest(l, r, edges).unwrap();
+        }
+
+        // From-scratch: everything in one batch.
+        let mut batch = engine();
+        batch
+            .ingest(corpus.left.records().to_vec(), corpus.right.records().to_vec(), &truth)
+            .unwrap();
+
+        // Same candidate set size and same workload, position by position
+        // (pair ids differ by construction order; everything observable about
+        // the workload must not).
+        prop_assert_eq!(incremental.candidate_count(), batch.candidate_count());
+        prop_assert_eq!(incremental.workload().len(), batch.workload().len());
+        for (a, b) in incremental.workload().pairs().iter().zip(batch.workload().pairs()) {
+            prop_assert_eq!(a.left(), b.left());
+            prop_assert_eq!(a.right(), b.right());
+            prop_assert_eq!(a.similarity().to_bits(), b.similarity().to_bits());
+            prop_assert_eq!(a.ground_truth(), b.ground_truth());
+        }
+
+        // Same thresholds, labels, metrics, clusters and cluster metrics under
+        // a cold resolve with fresh oracles.
+        let mut oracle_a = GroundTruthOracle::new();
+        let report_a = incremental.resolve(&mut oracle_a).unwrap();
+        let mut oracle_b = GroundTruthOracle::new();
+        let report_b = batch.resolve(&mut oracle_b).unwrap();
+        prop_assert_eq!(report_a.outcome.solution, report_b.outcome.solution);
+        prop_assert_eq!(&report_a.outcome.assignment, &report_b.outcome.assignment);
+        prop_assert_eq!(report_a.outcome.metrics, report_b.outcome.metrics);
+        prop_assert_eq!(report_a.oracle_queries, report_b.oracle_queries);
+        prop_assert_eq!(&report_a.entities, &report_b.entities);
+        prop_assert_eq!(report_a.cluster_metrics, report_b.cluster_metrics);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #[test]
+    fn union_find_clustering_is_idempotent_and_order_independent(
+        nodes in 2usize..40,
+        num_edges in 0usize..60,
+        seed in 0u64..10_000,
+        rotation in 0usize..60,
+    ) {
+        // Deterministic pseudo-random edge list over `nodes` keys.
+        let key = |i: usize| -> RecordKey {
+            if i.is_multiple_of(2) {
+                (Side::Left, RecordId(i as u64))
+            } else {
+                (Side::Right, RecordId(i as u64))
+            }
+        };
+        let all_nodes: Vec<RecordKey> = (0..nodes).map(key).collect();
+        let edges: Vec<(RecordKey, RecordKey)> = (0..num_edges)
+            .map(|e| {
+                let h = (e as u64).wrapping_mul(6364136223846793005).wrapping_add(seed);
+                let a = (h % nodes as u64) as usize;
+                let b = ((h >> 17) % nodes as u64) as usize;
+                (key(a), key(b))
+            })
+            .collect();
+
+        let base = EntityClusters::from_edges(all_nodes.clone(), edges.clone());
+
+        // Order independence: reversed and rotated edge orders agree.
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        prop_assert_eq!(&base, &EntityClusters::from_edges(all_nodes.clone(), reversed));
+        let mut rotated = edges.clone();
+        if !rotated.is_empty() {
+            let r = rotation % rotated.len();
+            rotated.rotate_left(r);
+        }
+        prop_assert_eq!(&base, &EntityClusters::from_edges(all_nodes.clone(), rotated));
+
+        // Idempotence: adding the same edges again (or the clustering's own
+        // co-membership pairs) changes nothing.
+        let doubled: Vec<_> = edges.iter().chain(edges.iter()).copied().collect();
+        prop_assert_eq!(&base, &EntityClusters::from_edges(all_nodes.clone(), doubled));
+        let closure_edges: Vec<(RecordKey, RecordKey)> = base
+            .clusters()
+            .iter()
+            .flat_map(|c| c.windows(2).map(|w| (w[0], w[1])))
+            .collect();
+        let reclustered = EntityClusters::from_edges(
+            all_nodes,
+            edges.into_iter().chain(closure_edges),
+        );
+        prop_assert_eq!(&base, &reclustered);
+
+        // The partition is consistent: every node sits in exactly one cluster.
+        let total: usize = base.clusters().iter().map(Vec::len).sum();
+        prop_assert_eq!(total, nodes);
+    }
+}
