@@ -105,29 +105,39 @@ pub fn run_hybr_with_tail(
     optimizer.optimize(workload, &mut oracle).expect("HYBR optimization succeeds")
 }
 
+/// The tail configuration [`run_all_sampling_with_tail`] actually applies for
+/// a requested `tail`: only the `enabled`/`distance_strength` knobs pass
+/// through, while the ALL-specific `shortfall_baseline`, `quiet_fraction` and
+/// `calibrate_lower` defaults are preserved (they are tuned to the stratified
+/// estimator's 20-draw strata — ALL never extrapolates, so the lower-side
+/// saturation cap stays off in its default — and overriding them would
+/// silently change what the harness compares). Exposed so harnesses can tell
+/// whether two requested configurations collapse onto the same effective one
+/// (e.g. to skip a redundant reference arm) without duplicating this mapping.
+pub fn all_sampling_effective_tail(
+    requirement: QualityRequirement,
+    tail: TailCalibration,
+) -> TailCalibration {
+    TailCalibration {
+        enabled: tail.enabled,
+        distance_strength: tail.distance_strength,
+        ..AllSamplingConfig::new(requirement).tail_calibration
+    }
+}
+
 /// Runs the all-sampling optimizer with an explicit tail-calibration
-/// configuration.
-///
-/// Only the `enabled`/`distance_strength`/`calibrate_lower` knobs of `tail`
-/// are applied; the ALL-specific `shortfall_baseline` and `quiet_fraction`
-/// defaults are preserved (they are tuned to the stratified estimator's
-/// 20-draw strata, and overriding them here would silently change what the
-/// harness compares).
+/// configuration; the effective configuration is
+/// [`all_sampling_effective_tail`] of `tail`.
 pub fn run_all_sampling_with_tail(
     workload: &Workload,
     requirement: QualityRequirement,
     seed: u64,
     tail: TailCalibration,
 ) -> OptimizationOutcome {
-    let defaults = AllSamplingConfig::new(requirement);
     let config = AllSamplingConfig {
-        tail_calibration: TailCalibration {
-            shortfall_baseline: defaults.tail_calibration.shortfall_baseline,
-            quiet_fraction: defaults.tail_calibration.quiet_fraction,
-            ..tail
-        },
+        tail_calibration: all_sampling_effective_tail(requirement, tail),
         seed,
-        ..defaults
+        ..AllSamplingConfig::new(requirement)
     };
     let optimizer = AllSamplingOptimizer::new(config).expect("valid config");
     let mut oracle = GroundTruthOracle::new();

@@ -50,6 +50,10 @@ pub struct PipelineConfig {
     /// (the paper's per-dataset blocking threshold).
     pub similarity_threshold: f64,
     /// Configuration of the SAMP optimizer driving each resolution epoch.
+    /// Inherits the two-sided tail calibration by default, so warm-started
+    /// re-optimizations certify precision through the pooled saturated-run
+    /// lower bounds too: reused near-pure priors re-enter the calibrated
+    /// estimator exactly like fresh samples.
     pub optimizer: PartialSamplingConfig,
     /// Worker threads for delta-pair scoring; `0` selects the machine's
     /// available parallelism.

@@ -134,6 +134,57 @@ pub fn detection_limit(sample_size: f64, confidence: f64) -> Result<f64> {
     clopper_pearson_upper(sample_size, 0.0, confidence)
 }
 
+/// Lower-side detection limit of an all-*positive* sample: the smallest true
+/// proportion that still has at least `1 − confidence` probability of
+/// producing `n/n` positives, `(1 − confidence)^(1/n)`. This is the mirror of
+/// [`detection_limit`]: a pure-one sample of size `n` cannot distinguish
+/// `p = 1` from `p = 1 − 3/n` (at 95%), so a lower bound trusting it beyond
+/// this limit is overconfident. Shorthand for [`clopper_pearson_lower`] with
+/// `positives = sample_size`.
+pub fn detection_limit_lower(sample_size: f64, confidence: f64) -> Result<f64> {
+    clopper_pearson_lower(sample_size, sample_size, confidence)
+}
+
+/// One-sided Clopper–Pearson **upper** limit of a pooled sample extrapolated
+/// `distance` away from where its draws were taken: the sample size is
+/// deflated through [`effective_sample_size`] (positives scaled
+/// proportionally, so the observed proportion is preserved) before the limit
+/// is computed. This is the limit the tail-calibrated estimator assigns to a
+/// pooled quiet run.
+pub fn pooled_upper_limit(
+    sample_size: f64,
+    positives: f64,
+    distance: f64,
+    length_scale: f64,
+    strength: f64,
+    confidence: f64,
+) -> Result<f64> {
+    validate_limit_args(sample_size, positives, confidence)?;
+    let eff = effective_sample_size(sample_size, distance, length_scale, strength);
+    // The proportional rescaling can overshoot `eff` by one ulp when
+    // `positives == sample_size`; clamp so the limit stays well-defined.
+    clopper_pearson_upper(eff, (positives * eff / sample_size).clamp(0.0, eff), confidence)
+}
+
+/// One-sided Clopper–Pearson **lower** limit of a pooled sample extrapolated
+/// `distance` away from where its draws were taken — the mirror of
+/// [`pooled_upper_limit`], assigned by the tail-calibrated estimator to a
+/// pooled *saturated* (near-pure) run. Deflating the effective size can only
+/// lower (widen) this limit.
+pub fn pooled_lower_limit(
+    sample_size: f64,
+    positives: f64,
+    distance: f64,
+    length_scale: f64,
+    strength: f64,
+    confidence: f64,
+) -> Result<f64> {
+    validate_limit_args(sample_size, positives, confidence)?;
+    let eff = effective_sample_size(sample_size, distance, length_scale, strength);
+    // Same one-ulp overshoot guard as in [`pooled_upper_limit`].
+    clopper_pearson_lower(eff, (positives * eff / sample_size).clamp(0.0, eff), confidence)
+}
+
 /// Deflates a sample size for use at a distance from where the sample was
 /// drawn.
 ///

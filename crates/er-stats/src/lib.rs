@@ -36,7 +36,7 @@ pub mod special;
 
 pub use binomial::{
     beta_quantile, clopper_pearson_lower, clopper_pearson_upper, detection_limit,
-    effective_sample_size,
+    detection_limit_lower, effective_sample_size, pooled_lower_limit, pooled_upper_limit,
 };
 pub use descriptive::{mean, population_variance, sample_variance, standard_deviation};
 pub use distributions::{Normal, StudentT};

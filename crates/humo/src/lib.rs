@@ -32,10 +32,12 @@
 //!   estimates at every step.
 //!
 //! All three sampling-based optimizers route their count bounds through the
-//! tail-calibrated estimator ([`sampling::CalibratedEstimator`]): one-sided
-//! binomial detection limits keep the recall guarantee honest on flat
-//! match-proportion curves, where the raw GP/stratified bounds are
-//! overconfident (see the module docs of [`sampling`] and the
+//! two-sided tail-calibrated estimator ([`sampling::CalibratedEstimator`]):
+//! one-sided binomial detection limits keep the recall guarantee honest on
+//! flat match-proportion curves (all-negative samples cannot certify
+//! emptiness) and the precision guarantee honest on mid-steep curves
+//! (near-pure samples cannot certify `p = 1`), where the raw GP/stratified
+//! bounds are overconfident (see the module docs of [`sampling`] and the
 //! `calibration_coverage` harness in the bench crate).
 //!
 //! # Quick example

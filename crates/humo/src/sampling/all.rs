@@ -45,10 +45,18 @@ impl AllSamplingConfig {
             // the pooled detection limit describe the same draws: top up only
             // what the base bound does not already grant. The looser quiet
             // threshold keeps the small per-stratum samples (20 draws) from
-            // fragmenting quiet runs on single lucky positives.
+            // fragmenting quiet runs on single lucky positives. The lower-side
+            // saturation cap stays off here (unlike the SAMP/HYBR default):
+            // the mid-steep precision gap it closes is a GP *extrapolation*
+            // artifact, and ALL never extrapolates — every kept subset is
+            // informed by its own draws, and the `calibration_coverage`
+            // harness measures ≤ 1/20 precision failures per cell across the
+            // full τ grid without the cap, while enabling it costs +11–14%
+            // extra human labeling on steep curves for no coverage gain.
             tail_calibration: TailCalibration {
                 shortfall_baseline: ShortfallBaseline::UpperBound,
                 quiet_fraction: 0.1,
+                calibrate_lower: false,
                 ..TailCalibration::default()
             },
             seed: 1,

@@ -1,6 +1,6 @@
 //! Tail-calibrated match-count estimation.
 //!
-//! # The flat-curve under-coverage bug this fixes
+//! # The flat-curve under-coverage bug the upper side fixes
 //!
 //! The GP (and stratified) count estimators derive their bounds from the
 //! *observed* sampling variability. A sampled subset whose `k` drawn pairs are
@@ -16,53 +16,69 @@
 //! fails in roughly half the runs — far above the nominal `1 − θ = 10%`
 //! failure rate the paper guarantees (Section VI).
 //!
+//! # The mid-steep precision gap the lower side fixes
+//!
+//! The precision bound (the `hi` sweep of Eq. 14) is the exact mirror: it
+//! trusts *lower* bounds over the kept region, and that region is informed by
+//! near-pure ("pure-one") samples whose `k/k` positives cannot distinguish
+//! `p = 1.0` from `p = 1 − 3/k`. The base interval collapses onto `p ≈ 1`,
+//! the sweep certifies precision a hair too early, and on mid-steep curves
+//! (τ ∈ [8, 14]) the precision requirement was missed in 20–45% of runs.
+//!
 //! # The fix
 //!
 //! An all-negative sample of size `k` does not say "no matches here"; it says
 //! the local proportion is below the sample's *detection limit* — the one-sided
-//! Clopper–Pearson upper bound `1 − (1 − c)^(1/k)` (≈ `3/k` at 95%). This
-//! module wraps any [`MatchCountEstimator`] and adds a binomial tail bound on
-//! top of it:
+//! Clopper–Pearson upper bound `1 − (1 − c)^(1/k)` (≈ `3/k` at 95%). Dually, an
+//! all-positive sample says the proportion is above the lower detection limit
+//! `(1 − c)^(1/k)`. This module wraps any [`MatchCountEstimator`] and adds a
+//! binomial tail bound on each side of it:
 //!
 //! * sampled subsets whose observed proportion is below a small *quiet*
 //!   threshold delimit maximal **quiet runs** — contiguous subset ranges whose
 //!   every informing sample is quiet; these are exactly the regions where the
-//!   base estimator's interval can collapse while matches hide below the
-//!   detection limit;
-//! * each run's quiet samples are pooled into one binomial observation (the
+//!   base estimator's upper bound can collapse while matches hide below the
+//!   detection limit. Symmetrically, subsets informed exclusively by near-pure
+//!   samples delimit **saturated runs**, where the base *lower* bound can
+//!   collapse onto `p ≈ 1` while non-matches hide above the lower detection
+//!   limit;
+//! * each run's samples are pooled into one binomial observation (the
 //!   per-subset sampling fractions are equal, so the pooled sample is a simple
 //!   random sample of the sampled-subsets union) and the pooled one-sided
-//!   Clopper–Pearson upper limit bounds the run's *mean* match proportion; the
+//!   Clopper–Pearson limit bounds the run's *mean* match proportion; the
 //!   pooled sample size is deflated by how far the run's subsets sit from
 //!   their nearest sample (see [`er_stats::effective_sample_size`]), so runs
-//!   extrapolated far beyond the samples get wider limits;
+//!   extrapolated far beyond the samples get wider limits. Pooling is what
+//!   recovers the cross-subset information the GP was providing: per-subset
+//!   limits would be severalfold weaker, pooled ones track `3/(Σk)`;
 //! * an upper bound over a subset range is then
 //!   `base_ub + Σ_runs max(0, pairs_in_run_overlap · run_limit − base_estimate)`:
 //!   wherever the base estimator already allocates at least the
 //!   detection-limit mass nothing changes, and where it claims near-certain
 //!   emptiness the bound is floored at what the pooled samples can actually
-//!   rule out.
+//!   rule out. A lower bound is the mirror:
+//!   `base_lb − Σ_runs max(0, base_estimate − pairs_in_run_overlap · run_limit)`,
+//!   capping what the base claims in saturated runs at the pooled lower limit.
 //!
-//! Outside quiet runs (the steep "foot" of the curve and the match-rich top)
-//! the samples carry real binomial noise, the base interval is honest, and the
-//! calibration adds nothing — which is what keeps the human cost on steep
-//! curves within a few percent of the uncalibrated estimator. Both properties
-//! (restored coverage on flat curves, near-zero cost overhead on steep ones)
-//! are measured by the `calibration_coverage` harness in `crates/bench`.
+//! Outside the runs (the steep "foot" of the curve and the mixed boundary
+//! region) the samples carry real binomial noise, the base interval is honest,
+//! and the calibration adds nothing — which is what keeps the human cost on
+//! steep curves within a few percent of the uncalibrated estimator. All three
+//! properties (restored recall coverage on flat curves, restored precision
+//! coverage on mid-steep curves, near-zero cost overhead on steep ones) are
+//! measured by the `calibration_coverage` harness in `crates/bench`.
 
 use super::estimator::MatchCountEstimator;
+use crate::HumoError;
 use er_stats::{
-    clopper_pearson_lower, clopper_pearson_upper, effective_sample_size, SampleSummary,
+    clopper_pearson_lower, clopper_pearson_upper, pooled_lower_limit, pooled_upper_limit,
+    SampleSummary,
 };
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-/// Absolute floor on the quiet-positives threshold, so tiny samples are not
-/// classified by a single lucky draw.
-const QUIET_MIN_POSITIVES: f64 = 1.0;
-
-/// What the pooled detection-limit allowance of a quiet run is compared
-/// against before topping up the base estimator's upper bound.
+/// What the pooled detection-limit allowance of a quiet (or saturated) run is
+/// compared against before adjusting the base estimator's bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ShortfallBaseline {
     /// Compare against the base *point estimate*: the detection-limit slack
@@ -72,8 +88,9 @@ pub enum ShortfallBaseline {
     /// pooled limit guards against.
     #[default]
     Estimate,
-    /// Compare against the base *upper bound*: the detection limit only tops
-    /// up what the base interval does not already grant. Right when the base
+    /// Compare against the base *bound itself* (the upper bound when topping
+    /// up, the lower bound when capping): the detection limit only adjusts
+    /// what the base interval does not already concede. Right when the base
     /// slack is computed from the very same draws as the pooled limit (the
     /// all-sampling stratified estimator), where stacking would double-count
     /// one source of sampling uncertainty.
@@ -91,28 +108,36 @@ pub struct TailCalibration {
     /// to; see [`er_stats::effective_sample_size`]. `0` trusts samples at any
     /// distance, larger values widen the tail limits away from samples.
     pub distance_strength: f64,
-    /// Whether the *lower* bounds are calibrated too, by `min`-ing the base
-    /// bound with per-subset Clopper–Pearson lower limits.
+    /// Whether the *lower* bounds are calibrated too: contiguous *saturated*
+    /// runs (subsets informed exclusively by near-pure samples) pool their
+    /// samples into one binomial observation, and the kept-region lower bound
+    /// is capped at the pooled one-sided Clopper–Pearson lower limit.
     ///
-    /// Off by default: the per-subset limits ignore the smoothness information
-    /// the GP aggregates across subsets, so they are far weaker than the GP
-    /// joint bound and inflate the human region severalfold on steep curves.
-    /// The recall under-coverage this module exists to fix is driven entirely
-    /// by the *upper* bound on the discarded region; enable this only when the
-    /// match-proportion curve is so irregular that the GP lower bounds
-    /// themselves are suspect.
+    /// On by default: pooling recovers the cross-subset information the GP
+    /// aggregates, so the cap tracks the `1 − 3/(Σk)` detection limit of the
+    /// *pooled* draws instead of the severalfold-weaker per-subset limits an
+    /// earlier form used. The pooled cap closes the mid-steep precision gap
+    /// (the `hi` sweep of Eq. 14 no longer trusts `p = 1` from samples that
+    /// cannot distinguish it from `p = 1 − 3/k`) at a steep-curve cost
+    /// overhead measured under 4% by the `calibration_coverage` harness.
+    /// [`TailCalibration::upper_only`] reproduces the earlier
+    /// upper-side-only behaviour; the ALL optimizer's tuned default keeps
+    /// this knob off because its stratified bounds never extrapolate (see
+    /// `AllSamplingConfig::new`).
     pub calibrate_lower: bool,
-    /// What the quiet-run allowance is compared against (see
+    /// What the run allowances are compared against (see
     /// [`ShortfallBaseline`]).
     pub shortfall_baseline: ShortfallBaseline,
     /// A sampled subset is *quiet* when it observed at most this fraction of
-    /// positives (with an absolute floor of one positive). Quiet samples
-    /// delimit the runs the detection-limit bound applies to; larger values
-    /// reach further into the foot of the match-proportion curve at a higher
-    /// human cost. Per-sample granularity matters: with large per-subset
-    /// samples (SAMP's 100) a tight threshold suffices, while coarse samples
-    /// (ALL's 20 per stratum) need a looser one to avoid fragmenting runs on
-    /// single lucky draws.
+    /// positives, and *saturated* when it observed at most this fraction of
+    /// negatives (both with a scale-aware floor of one draw, see
+    /// [`quiet_threshold`]). Quiet and saturated samples delimit the runs the
+    /// detection-limit bounds apply to; larger values reach further into the
+    /// foot (and shoulder) of the match-proportion curve at a higher human
+    /// cost. Per-sample granularity matters: with large per-subset samples
+    /// (SAMP's 100) a tight threshold suffices, while coarse samples (ALL's
+    /// 20 per stratum) need a looser one to avoid fragmenting runs on single
+    /// lucky draws.
     pub quiet_fraction: f64,
 }
 
@@ -121,7 +146,7 @@ impl Default for TailCalibration {
         Self {
             enabled: true,
             distance_strength: 1.0,
-            calibrate_lower: false,
+            calibrate_lower: true,
             shortfall_baseline: ShortfallBaseline::Estimate,
             quiet_fraction: 0.05,
         }
@@ -133,6 +158,97 @@ impl TailCalibration {
     pub fn disabled() -> Self {
         Self { enabled: false, ..Self::default() }
     }
+
+    /// The upper-side-only configuration (the pre-pooling default): recall
+    /// tails are calibrated, the kept-region lower bounds are not. Kept for
+    /// cost comparisons against the current default.
+    pub fn upper_only() -> Self {
+        Self { calibrate_lower: false, ..Self::default() }
+    }
+}
+
+/// The count-of-draws threshold below which a sample counts as quiet (on its
+/// positives) or saturated (on its negatives).
+///
+/// The nominal threshold is `quiet_fraction · n`. The floor of one draw only
+/// applies when a single draw stays within twice the quiet fraction of the
+/// sample (`1/n ≤ 2 · quiet_fraction`): for tiny samples an absolute
+/// one-draw floor would classify a stratum as quiet on a single lucky draw
+/// whose observed proportion is far above the quiet fraction, so below that
+/// size the threshold decays proportionally and only an all-negative
+/// (all-positive) sample qualifies.
+fn quiet_threshold(sample_size: usize, quiet_fraction: f64) -> f64 {
+    let nominal = quiet_fraction * sample_size as f64;
+    nominal.max((2.0 * nominal).min(1.0))
+}
+
+fn is_quiet(summary: &SampleSummary, quiet_fraction: f64) -> bool {
+    (summary.positives as f64) <= quiet_threshold(summary.sample_size, quiet_fraction)
+}
+
+fn is_saturated(summary: &SampleSummary, quiet_fraction: f64) -> bool {
+    let negatives = summary.sample_size.saturating_sub(summary.positives);
+    (negatives as f64) <= quiet_threshold(summary.sample_size, quiet_fraction)
+}
+
+/// One-sided Clopper–Pearson confidence matching the one-sided use of a base
+/// estimator's two-sided interval at `confidence`.
+pub(crate) fn one_sided_confidence(confidence: f64) -> f64 {
+    if confidence <= 0.0 {
+        0.0
+    } else {
+        ((1.0 + confidence) / 2.0).min(1.0 - 1e-9)
+    }
+}
+
+/// Lower-bounds the match proportion of a fully labeled *census* region that is
+/// about to be extrapolated beyond itself (HYBR's monotonicity step): a
+/// saturated census — `matches/pairs` at or above the saturation threshold of
+/// [`quiet_threshold`] — is capped at its one-sided Clopper–Pearson lower
+/// limit, because observing `k/k` matches only certifies `p ≥ (1 − c)^(1/k)`,
+/// not `p = 1`. A mixed census keeps its observed proportion: its non-matches
+/// already concede real slack, and capping it too would re-introduce the
+/// severalfold steep-curve cost the pooled form exists to avoid.
+pub(crate) fn censored_proportion_lower(
+    pairs: usize,
+    matches: usize,
+    quiet_fraction: f64,
+    confidence: f64,
+) -> f64 {
+    if pairs == 0 {
+        return 0.0;
+    }
+    let observed = matches as f64 / pairs as f64;
+    let negatives = pairs.saturating_sub(matches);
+    if (negatives as f64) > quiet_threshold(pairs, quiet_fraction) {
+        return observed;
+    }
+    clopper_pearson_lower(pairs as f64, matches as f64, one_sided_confidence(confidence))
+        .unwrap_or(0.0)
+        .min(observed)
+}
+
+/// The mirror of [`censored_proportion_lower`] for the recall side: a *quiet*
+/// census — `matches/pairs` at or below the quiet threshold — is floored at
+/// its one-sided Clopper–Pearson upper limit, because observing `0/k` matches
+/// only certifies `p ≤ 1 − (1 − c)^(1/k)`, not `p = 0`. A mixed census keeps
+/// its observed proportion.
+pub(crate) fn censored_proportion_upper(
+    pairs: usize,
+    matches: usize,
+    quiet_fraction: f64,
+    confidence: f64,
+) -> f64 {
+    if pairs == 0 {
+        return 1.0;
+    }
+    let observed = matches as f64 / pairs as f64;
+    if (matches as f64) > quiet_threshold(pairs, quiet_fraction) {
+        return observed;
+    }
+    clopper_pearson_upper(pairs as f64, matches as f64, one_sided_confidence(confidence))
+        .unwrap_or(1.0)
+        .max(observed)
 }
 
 /// The nearest sampled subset on one side of a subset, and how far away its
@@ -156,13 +272,15 @@ struct SubsetTail {
     right: Option<Neighbour>,
 }
 
-/// A maximal contiguous range of subsets informed exclusively by quiet samples.
+/// A maximal contiguous range of subsets informed exclusively by flagged
+/// (quiet or saturated) samples, with those samples pooled into one binomial
+/// observation.
 #[derive(Debug, Clone)]
-struct QuietRun {
+struct PooledRun {
     /// Half-open subset range `[start, end)`.
     start: usize,
     end: usize,
-    /// Pooled sample size and positives over the run's distinct quiet samples.
+    /// Pooled sample size and positives over the run's distinct samples.
     pooled_size: f64,
     pooled_positives: f64,
     /// Largest distance from any member subset to its nearest informing
@@ -177,22 +295,21 @@ struct QuietRun {
 pub struct CalibratedEstimator<E> {
     base: E,
     config: TailCalibration,
-    summaries: Vec<SampleSummary>,
-    subsets: Vec<SubsetTail>,
     /// Prefix sums of subset sizes, for O(1) run-overlap pair counts.
     size_prefix: Vec<f64>,
-    runs: Vec<QuietRun>,
+    /// Maximal runs of subsets informed only by quiet samples (upper side).
+    quiet_runs: Vec<PooledRun>,
+    /// Maximal runs of subsets informed only by near-pure samples (lower side).
+    saturated_runs: Vec<PooledRun>,
     /// Length scale used to normalize extrapolation distances.
     length_scale: f64,
-    /// Cache of per-subset `(p_lb, p_ub)` keyed by `(subset, confidence bits)`.
-    limits: RefCell<HashMap<(usize, u64), (f64, f64)>>,
-    /// Cache of per-run pooled upper limits keyed by `(run, confidence bits)`.
+    /// Cache of per-quiet-run pooled upper limits keyed by
+    /// `(run, confidence bits)`. Confidence is validated before it is
+    /// bit-keyed (a NaN key would poison the cache).
     run_limits: RefCell<HashMap<(usize, u64), f64>>,
-}
-
-fn is_quiet(summary: &SampleSummary, quiet_fraction: f64) -> bool {
-    let threshold = QUIET_MIN_POSITIVES.max(quiet_fraction * summary.sample_size as f64);
-    (summary.positives as f64) <= threshold
+    /// Cache of per-saturated-run pooled lower limits, keyed like
+    /// [`Self::run_limits`].
+    saturated_limits: RefCell<HashMap<(usize, u64), f64>>,
 }
 
 impl<E: MatchCountEstimator> CalibratedEstimator<E> {
@@ -264,32 +381,35 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
 
         let quiet_flags: Vec<bool> =
             summaries.iter().map(|s| is_quiet(s, config.quiet_fraction)).collect();
-        let runs = Self::quiet_runs(&subsets, &summaries, &quiet_flags);
+        let saturated_flags: Vec<bool> =
+            summaries.iter().map(|s| is_saturated(s, config.quiet_fraction)).collect();
+        let quiet_runs = Self::pooled_runs(&subsets, &summaries, &quiet_flags);
+        let saturated_runs = Self::pooled_runs(&subsets, &summaries, &saturated_flags);
 
         Self {
             base,
             config,
-            summaries,
-            subsets,
             size_prefix,
-            runs,
+            quiet_runs,
+            saturated_runs,
             length_scale: length_scale.max(1e-9),
-            limits: RefCell::new(HashMap::new()),
             run_limits: RefCell::new(HashMap::new()),
+            saturated_limits: RefCell::new(HashMap::new()),
         }
     }
 
-    /// Builds the maximal quiet runs: consecutive subsets whose every existing
-    /// informing neighbour is a quiet sample.
-    fn quiet_runs(
+    /// Builds the maximal runs of consecutive subsets whose every existing
+    /// informing neighbour carries a flagged (quiet or saturated) sample,
+    /// pooling the distinct flagged samples of each run.
+    fn pooled_runs(
         subsets: &[SubsetTail],
         summaries: &[SampleSummary],
-        quiet_flags: &[bool],
-    ) -> Vec<QuietRun> {
+        flags: &[bool],
+    ) -> Vec<PooledRun> {
         let member = |tail: &SubsetTail| -> bool {
             let mut any = false;
             for n in [tail.left, tail.right].into_iter().flatten() {
-                if !quiet_flags[n.summary] {
+                if !flags[n.summary] {
                     return false;
                 }
                 any = true;
@@ -324,7 +444,7 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
                 pooled_positives += summaries[s].positives as f64;
             }
             if pooled_size > 0.0 {
-                runs.push(QuietRun { start, end: i, pooled_size, pooled_positives, max_distance });
+                runs.push(PooledRun { start, end: i, pooled_size, pooled_positives, max_distance });
             }
         }
         runs
@@ -340,14 +460,20 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
         &self.config
     }
 
-    /// One-sided Clopper–Pearson confidence used for the tail limits so they
-    /// match the one-sided use of the base estimator's two-sided interval.
-    fn one_sided(confidence: f64) -> f64 {
-        if confidence <= 0.0 {
-            0.0
-        } else {
-            ((1.0 + confidence) / 2.0).min(1.0 - 1e-9)
+    /// Rejects a confidence level that cannot key the limit caches: the caches
+    /// are keyed by the confidence's bit pattern, so a NaN (or infinite, or
+    /// out-of-range) confidence would silently poison them and fall through to
+    /// unclamped bounds. The accepted domain `[0, 1)` matches
+    /// [`crate::QualityRequirement::new`] — a degenerate `0` collapses the
+    /// tail limits onto the observed proportions rather than erroring, so a
+    /// requirement that was constructible keeps producing bounds.
+    fn validate_confidence(confidence: f64) -> crate::Result<()> {
+        if !(confidence.is_finite() && (0.0..1.0).contains(&confidence)) {
+            return Err(HumoError::InvalidConfig(format!(
+                "bound confidence must lie in [0, 1), got {confidence}"
+            )));
         }
+        Ok(())
     }
 
     /// Pooled upper limit on the mean match proportion of one quiet run.
@@ -356,17 +482,37 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
         if let Some(&cached) = self.run_limits.borrow().get(&key) {
             return cached;
         }
-        let run = &self.runs[run_index];
-        let eff = effective_sample_size(
+        let run = &self.quiet_runs[run_index];
+        let limit = pooled_upper_limit(
             run.pooled_size,
+            run.pooled_positives,
             run.max_distance,
             self.length_scale,
             self.config.distance_strength,
-        );
-        let positives = run.pooled_positives * eff / run.pooled_size;
-        let limit =
-            clopper_pearson_upper(eff, positives, Self::one_sided(confidence)).unwrap_or(1.0);
+            one_sided_confidence(confidence),
+        )
+        .unwrap_or(1.0);
         self.run_limits.borrow_mut().insert(key, limit);
+        limit
+    }
+
+    /// Pooled lower limit on the mean match proportion of one saturated run.
+    fn run_lower_limit(&self, run_index: usize, confidence: f64) -> f64 {
+        let key = (run_index, confidence.to_bits());
+        if let Some(&cached) = self.saturated_limits.borrow().get(&key) {
+            return cached;
+        }
+        let run = &self.saturated_runs[run_index];
+        let limit = pooled_lower_limit(
+            run.pooled_size,
+            run.pooled_positives,
+            run.max_distance,
+            self.length_scale,
+            self.config.distance_strength,
+            one_sided_confidence(confidence),
+        )
+        .unwrap_or(0.0);
+        self.saturated_limits.borrow_mut().insert(key, limit);
         limit
     }
 
@@ -376,7 +522,7 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
     /// or the base upper bound, per [`ShortfallBaseline`]).
     fn quiet_shortfall(&self, range: &std::ops::Range<usize>, confidence: f64) -> f64 {
         let mut total = 0.0;
-        for (index, run) in self.runs.iter().enumerate() {
+        for (index, run) in self.quiet_runs.iter().enumerate() {
             let lo = range.start.max(run.start);
             let hi = range.end.min(run.end);
             if lo >= hi {
@@ -393,48 +539,62 @@ impl<E: MatchCountEstimator> CalibratedEstimator<E> {
         total
     }
 
-    /// Distance-deflated Clopper–Pearson limits of one neighbouring sample
-    /// (used by the opt-in lower-bound calibration).
-    fn neighbour_limits(&self, n: Neighbour, cp_confidence: f64) -> (f64, f64) {
-        let summary = self.summaries[n.summary];
-        let size = summary.sample_size.max(1) as f64;
-        let eff = effective_sample_size(
-            size,
-            n.distance,
-            self.length_scale,
-            self.config.distance_strength,
-        );
-        let positives = summary.positives as f64 * eff / size;
-        let ub = clopper_pearson_upper(eff, positives, cp_confidence).unwrap_or(1.0);
-        let lb = clopper_pearson_lower(eff, positives, cp_confidence).unwrap_or(0.0);
-        (lb, ub)
+    /// The saturation excess of a range — the lower-side mirror of
+    /// [`Self::quiet_shortfall`]: for every saturated run overlapping it, how
+    /// much match mass the base estimator claims beyond what the run's pooled
+    /// binomial lower limit can actually certify. The claim is the point
+    /// estimate ([`ShortfallBaseline::Estimate`]: the GP's independence-based
+    /// slack is orthogonal to the coherent pure-one bias) or the base lower
+    /// bound itself ([`ShortfallBaseline::UpperBound`]: the stratified slack
+    /// shares the pooled limit's draws, so only the actual claim is capped).
+    fn saturated_excess(&self, range: &std::ops::Range<usize>, confidence: f64) -> f64 {
+        let mut total = 0.0;
+        for (index, run) in self.saturated_runs.iter().enumerate() {
+            let lo = range.start.max(run.start);
+            let hi = range.end.min(run.end);
+            if lo >= hi {
+                continue;
+            }
+            let pairs = self.size_prefix[hi] - self.size_prefix[lo];
+            let certified = pairs * self.run_lower_limit(index, confidence);
+            let claimed = match self.config.shortfall_baseline {
+                ShortfallBaseline::Estimate => self.base.estimate(lo..hi),
+                ShortfallBaseline::UpperBound => self.base.lower_bound(lo..hi, confidence),
+            };
+            total += (claimed - certified).max(0.0);
+        }
+        total
     }
 
-    /// The tail proportion interval `[p_lb, p_ub]` of one subset: the widest
-    /// combination of its two neighbouring samples' deflated limits. A missing
-    /// neighbour contributes the uninformative end (`0` below, `1` above).
-    fn subset_limits(&self, subset: usize, confidence: f64) -> (f64, f64) {
-        let key = (subset, confidence.to_bits());
-        if let Some(&cached) = self.limits.borrow().get(&key) {
-            return cached;
+    /// Fallible lower bound: rejects a non-finite or out-of-range confidence
+    /// with [`HumoError::InvalidConfig`] instead of bit-keying it into the
+    /// limit caches. The [`MatchCountEstimator`] impl delegates here.
+    pub fn try_lower_bound(
+        &self,
+        range: std::ops::Range<usize>,
+        confidence: f64,
+    ) -> crate::Result<f64> {
+        Self::validate_confidence(confidence)?;
+        let base = self.base.lower_bound(range.clone(), confidence);
+        if !self.config.enabled || !self.config.calibrate_lower {
+            return Ok(base);
         }
-        let cp_confidence = Self::one_sided(confidence);
-        let tail = self.subsets[subset];
-        let (mut lb, mut ub) = (f64::INFINITY, f64::NEG_INFINITY);
-        for neighbour in [tail.left, tail.right].into_iter().flatten() {
-            let (l, u) = self.neighbour_limits(neighbour, cp_confidence);
-            lb = lb.min(l);
-            ub = ub.max(u);
+        Ok((base - self.saturated_excess(&range, confidence)).max(0.0))
+    }
+
+    /// Fallible upper bound; see [`Self::try_lower_bound`].
+    pub fn try_upper_bound(
+        &self,
+        range: std::ops::Range<usize>,
+        confidence: f64,
+    ) -> crate::Result<f64> {
+        Self::validate_confidence(confidence)?;
+        let base = self.base.upper_bound(range.clone(), confidence);
+        if !self.config.enabled {
+            return Ok(base);
         }
-        if !lb.is_finite() {
-            lb = 0.0;
-        }
-        if !ub.is_finite() {
-            ub = 1.0;
-        }
-        let result = (lb, ub);
-        self.limits.borrow_mut().insert(key, result);
-        result
+        let count = self.pair_count(range.clone()) as f64;
+        Ok((base + self.quiet_shortfall(&range, confidence)).min(count))
     }
 }
 
@@ -448,27 +608,11 @@ impl<E: MatchCountEstimator> MatchCountEstimator for CalibratedEstimator<E> {
     }
 
     fn lower_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
-        let base = self.base.lower_bound(range.clone(), confidence);
-        if !self.config.enabled || !self.config.calibrate_lower {
-            return base;
-        }
-        let m = self.subsets.len();
-        let (lo, hi) = (range.start.min(m), range.end.min(m));
-        let mut tail = 0.0;
-        for i in lo..hi {
-            let (p_lb, _) = self.subset_limits(i, confidence);
-            tail += self.subsets[i].size * p_lb;
-        }
-        base.min(tail).max(0.0)
+        self.try_lower_bound(range, confidence).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn upper_bound(&self, range: std::ops::Range<usize>, confidence: f64) -> f64 {
-        let base = self.base.upper_bound(range.clone(), confidence);
-        if !self.config.enabled {
-            return base;
-        }
-        let count = self.pair_count(range.clone()) as f64;
-        (base + self.quiet_shortfall(&range, confidence)).min(count)
+        self.try_upper_bound(range, confidence).unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -513,6 +657,21 @@ mod tests {
         (base, sizes, inputs, samples)
     }
 
+    /// The dual of [`all_zero_setup`]: a pure-one region whose base estimator
+    /// claims every pair matches with a zero-width interval.
+    fn all_one_setup(
+        m: usize,
+    ) -> (PointEstimator, Vec<usize>, Vec<f64>, BTreeMap<usize, SampleSummary>) {
+        let sizes = vec![200usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![1.0; m] };
+        let mut samples = BTreeMap::new();
+        for i in (0..m).step_by(4) {
+            samples.insert(i, SampleSummary::new(100, 100).unwrap());
+        }
+        (base, sizes, inputs, samples)
+    }
+
     #[test]
     fn all_zero_samples_still_produce_a_detection_limit_upper_bound() {
         let (base, sizes, inputs, samples) = all_zero_setup(40);
@@ -535,6 +694,50 @@ mod tests {
     }
 
     #[test]
+    fn all_one_samples_cap_the_lower_bound_at_the_pooled_limit() {
+        let (base, sizes, inputs, samples) = all_one_setup(40);
+        let est = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        // The uncalibrated lower bound claims all 8000 pairs match; the
+        // calibrated one must concede at least the pooled lower detection
+        // limit of the 10 × 100 pure-one draws, yet stay far above "nothing
+        // is certain" — pooling keeps the concession near 3.7/(Σk) per pair.
+        let pairs = est.pair_count(0..40) as f64;
+        let lb = est.lower_bound(0..40, 0.95);
+        assert!(lb < pairs, "pure-one lower bound not capped: {lb}");
+        assert!(lb > 0.95 * pairs, "pooled lower cap absurdly weak: {lb}");
+        // The upper bound is untouched (nothing is quiet here).
+        assert_eq!(est.upper_bound(0..40, 0.95), pairs);
+    }
+
+    #[test]
+    fn pooling_beats_per_subset_lower_limits() {
+        // The naive per-subset form mins deflated 100-draw limits; the pooled
+        // run certifies the 1000-draw limit. On a pure-one region the pooled
+        // lower bound must be strictly tighter (larger) than the per-subset
+        // one would be — that is the whole point of pooling.
+        let (base, sizes, inputs, samples) = all_one_setup(40);
+        let config = TailCalibration::default();
+        let est = CalibratedEstimator::new(base, &sizes, &inputs, &samples, 0.25, config);
+        let pairs = est.pair_count(0..40) as f64;
+        let lb = est.lower_bound(0..40, 0.95);
+        // Per-subset form: each subset capped at its own 100-draw limit
+        // (at best — distance deflation only weakens it further).
+        let per_subset =
+            pairs * er_stats::detection_limit_lower(100.0, one_sided_confidence(0.95)).unwrap();
+        assert!(
+            lb > per_subset,
+            "pooled cap {lb} not tighter than the per-subset form {per_subset}"
+        );
+    }
+
+    #[test]
     fn shortfall_only_tops_up_what_the_base_already_allows() {
         let (mut base, sizes, inputs, samples) = all_zero_setup(40);
         // A base estimator that already assigns generous mass to the quiet
@@ -553,10 +756,28 @@ mod tests {
     }
 
     #[test]
+    fn saturation_only_caps_what_the_base_actually_claims() {
+        let (mut base, sizes, inputs, samples) = all_one_setup(40);
+        // A base estimator that already concedes plenty in the saturated
+        // region must not be capped further.
+        base.proportions = vec![0.9; 40];
+        let modest = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        let expected = base.lower_bound(0..40, 0.95);
+        assert!((modest.lower_bound(0..40, 0.95) - expected).abs() < 1e-9);
+    }
+
+    #[test]
     fn calibration_never_narrows_the_base_interval() {
         let (mut base, sizes, inputs, mut samples) = all_zero_setup(32);
-        // Mix in some positives so non-quiet samples and lower limits are
-        // exercised too.
+        // Mix in some positives so non-quiet samples, saturated samples and
+        // both adjustment paths are exercised together.
         for (i, p) in base.proportions.iter_mut().enumerate() {
             *p = i as f64 / 32.0;
         }
@@ -569,7 +790,7 @@ mod tests {
             &inputs,
             &samples,
             0.25,
-            TailCalibration { calibrate_lower: true, ..TailCalibration::default() },
+            TailCalibration::default(),
         );
         for lo in [0usize, 5, 16] {
             for hi in [17usize, 25, 32] {
@@ -577,6 +798,7 @@ mod tests {
                     let b_lb = base.lower_bound(lo..hi, conf);
                     let b_ub = base.upper_bound(lo..hi, conf);
                     assert!(est.lower_bound(lo..hi, conf) <= b_lb + 1e-9);
+                    assert!(est.lower_bound(lo..hi, conf) >= 0.0);
                     assert!(
                         est.upper_bound(lo..hi, conf)
                             >= b_ub.min(est.pair_count(lo..hi) as f64) - 1e-9
@@ -599,6 +821,22 @@ mod tests {
         );
         for range in [0..24usize, 3..9, 12..24] {
             assert_eq!(est.upper_bound(range.clone(), 0.9), base.upper_bound(range.clone(), 0.9));
+            assert_eq!(est.lower_bound(range.clone(), 0.9), base.lower_bound(range, 0.9));
+        }
+    }
+
+    #[test]
+    fn upper_only_leaves_lower_bounds_alone() {
+        let (base, sizes, inputs, samples) = all_one_setup(24);
+        let est = CalibratedEstimator::new(
+            base.clone(),
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::upper_only(),
+        );
+        for range in [0..24usize, 3..9, 12..24] {
             assert_eq!(est.lower_bound(range.clone(), 0.9), base.lower_bound(range, 0.9));
         }
     }
@@ -634,7 +872,32 @@ mod tests {
     }
 
     #[test]
-    fn higher_confidence_widens_the_calibrated_upper_bound() {
+    fn sparser_samples_widen_the_lower_cap_too() {
+        let m = 20usize;
+        let sizes = vec![200usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![1.0; m] };
+        let config = TailCalibration { distance_strength: 2.0, ..TailCalibration::default() };
+        let mut dense = BTreeMap::new();
+        for i in (0..m).step_by(2) {
+            dense.insert(i, SampleSummary::new(100, 100).unwrap());
+        }
+        let mut sparse = BTreeMap::new();
+        sparse.insert(0usize, SampleSummary::new(100, 100).unwrap());
+        sparse.insert(m - 1, SampleSummary::new(100, 100).unwrap());
+        let dense_est =
+            CalibratedEstimator::new(base.clone(), &sizes, &inputs, &dense, 0.05, config);
+        let sparse_est = CalibratedEstimator::new(base, &sizes, &inputs, &sparse, 0.05, config);
+        let dense_lb = dense_est.lower_bound(0..m, 0.95);
+        let sparse_lb = sparse_est.lower_bound(0..m, 0.95);
+        assert!(
+            sparse_lb < dense_lb,
+            "sparser, further samples must yield a weaker lower cap ({sparse_lb} vs {dense_lb})"
+        );
+    }
+
+    #[test]
+    fn higher_confidence_widens_the_calibrated_bounds() {
         let (base, sizes, inputs, samples) = all_zero_setup(40);
         let est = CalibratedEstimator::new(
             base,
@@ -647,6 +910,18 @@ mod tests {
         let narrow = est.upper_bound(0..40, 0.5);
         let wide = est.upper_bound(0..40, 0.99);
         assert!(wide > narrow);
+        let (base, sizes, inputs, samples) = all_one_setup(40);
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        let narrow = est.lower_bound(0..40, 0.5);
+        let wide = est.lower_bound(0..40, 0.99);
+        assert!(wide < narrow, "higher confidence must lower the lower bound ({wide} vs {narrow})");
     }
 
     #[test]
@@ -678,13 +953,41 @@ mod tests {
     }
 
     #[test]
-    fn fully_sampled_subsets_use_their_own_limits() {
+    fn mixed_samples_break_saturated_runs() {
+        let m = 30usize;
+        let sizes = vec![100usize; m];
+        let inputs: Vec<f64> = (0..m).map(|i| i as f64 / m as f64).collect();
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![1.0; m] };
+        let mut samples = BTreeMap::new();
+        for i in (0..m).step_by(3) {
+            samples.insert(i, SampleSummary::new(100, 100).unwrap());
+        }
+        // A decidedly mixed sample in the middle.
+        samples.insert(15usize, SampleSummary::new(100, 60).unwrap());
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.1,
+            TailCalibration::default(),
+        );
+        // Subsets informed by the mixed sample get no saturation cap: the base
+        // estimator's claim stands.
+        let near_mixed = est.lower_bound(15..16, 0.95);
+        assert_eq!(near_mixed, 100.0, "mixed-informed subsets must not be capped");
+        // Far from the mixed sample the saturated run still applies.
+        assert!(est.lower_bound(0..6, 0.95) < 600.0);
+    }
+
+    #[test]
+    fn fully_sampled_pure_subsets_share_the_pooled_cap() {
         let sizes = vec![100usize; 4];
         let inputs = vec![0.0, 0.33, 0.66, 1.0];
-        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![0.5; 4] };
+        let base = PointEstimator { sizes: sizes.clone(), proportions: vec![1.0; 4] };
         let mut samples = BTreeMap::new();
         for i in 0..4usize {
-            samples.insert(i, SampleSummary::new(50, 25).unwrap());
+            samples.insert(i, SampleSummary::new(50, 50).unwrap());
         }
         let est = CalibratedEstimator::new(
             base,
@@ -692,15 +995,133 @@ mod tests {
             &inputs,
             &samples,
             0.3,
-            TailCalibration { calibrate_lower: true, ..TailCalibration::default() },
+            TailCalibration::default(),
         );
-        // Every subset sampled at distance zero with mixed outcomes: no quiet
-        // runs, so the upper bound is the base one; the opt-in lower
-        // calibration applies the stratum's own CP lower limit.
-        let ub = est.upper_bound(1..2, 0.9);
+        // Every subset sampled at distance zero, all pure-one: one saturated
+        // run pooling 200 draws. The cap must be the pooled 200-draw limit,
+        // not the far weaker per-subset 50-draw one.
         let lb = est.lower_bound(1..2, 0.9);
-        assert_eq!(ub, 50.0);
-        assert!(lb < 50.0, "CP lower limit must fall below the estimate ({lb})");
-        assert!(lb > 25.0, "own-sample CP lower limit far too wide ({lb})");
+        let pooled =
+            100.0 * er_stats::detection_limit_lower(200.0, one_sided_confidence(0.9)).unwrap();
+        assert!(lb < 100.0, "pure-one subset must concede its detection limit ({lb})");
+        assert!((lb - pooled).abs() < 1e-9, "expected the pooled cap {pooled}, got {lb}");
+    }
+
+    #[test]
+    fn quiet_threshold_is_unchanged_for_samp_scale_samples() {
+        // Regression pin for the scale-aware floor: at SAMP's granularity
+        // (100 draws, quiet fraction 0.05) the classification is byte-identical
+        // to the historical `max(1, 0.05 · n)` rule — quiet up to 5 positives,
+        // loud from 6; saturated from 95 positives.
+        for positives in 0..=100usize {
+            let s = SampleSummary::new(100, positives).unwrap();
+            assert_eq!(is_quiet(&s, 0.05), positives <= 5, "positives={positives}");
+            assert_eq!(is_saturated(&s, 0.05), positives >= 95, "positives={positives}");
+        }
+        // ALL's stratified granularity (20 draws, quiet fraction 0.1) is also
+        // unchanged: quiet up to 2 positives.
+        for positives in 0..=20usize {
+            let s = SampleSummary::new(20, positives).unwrap();
+            assert_eq!(is_quiet(&s, 0.1), positives <= 2, "positives={positives}");
+            assert_eq!(is_saturated(&s, 0.1), positives >= 18, "positives={positives}");
+        }
+    }
+
+    #[test]
+    fn tiny_strata_are_not_quiet_on_a_single_lucky_draw() {
+        // The historical absolute floor of one positive classified an 8-draw
+        // stratum with one positive (12.5% observed!) as quiet. The
+        // scale-aware floor requires an all-negative sample once a single
+        // draw exceeds twice the quiet fraction.
+        let one_of_eight = SampleSummary::new(8, 1).unwrap();
+        assert!(!is_quiet(&one_of_eight, 0.05), "1/8 positives must not count as quiet");
+        assert!(is_quiet(&SampleSummary::new(8, 0).unwrap(), 0.05));
+        // The mirror holds for saturation.
+        assert!(!is_saturated(&SampleSummary::new(8, 7).unwrap(), 0.05));
+        assert!(is_saturated(&SampleSummary::new(8, 8).unwrap(), 0.05));
+        // Where a single draw stays within 2× the quiet fraction the floor
+        // still applies (12 draws at 5%: 1/12 ≈ 8.3% ≤ 10%).
+        assert!(is_quiet(&SampleSummary::new(12, 1).unwrap(), 0.05));
+    }
+
+    #[test]
+    fn invalid_confidence_is_rejected_not_cached() {
+        let (base, sizes, inputs, samples) = all_zero_setup(16);
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 1.0, -0.5, 2.0] {
+            assert!(
+                est.try_lower_bound(0..16, bad).is_err(),
+                "lower bound accepted confidence {bad}"
+            );
+            assert!(
+                est.try_upper_bound(0..16, bad).is_err(),
+                "upper bound accepted confidence {bad}"
+            );
+        }
+        // Nothing was cached under a poisoned key.
+        assert!(est.run_limits.borrow().is_empty());
+        assert!(est.saturated_limits.borrow().is_empty());
+        // Valid confidences still work afterwards, and the degenerate zero
+        // accepted by `QualityRequirement::new` keeps producing bounds
+        // (collapsed onto the observed proportions) instead of erroring.
+        assert!(est.try_upper_bound(0..16, 0.9).unwrap() > 0.0);
+        assert!(est.try_upper_bound(0..16, 0.0).is_ok());
+        assert!(est.try_lower_bound(0..16, 0.0).is_ok());
+    }
+
+    #[test]
+    fn censored_census_proportion_caps_only_saturated_borders() {
+        // A pure 400-pair census is capped at its CP lower limit, strictly
+        // inside (0.98, 1): conceding ≈ 3.7/k, not "p = 1" and not collapse.
+        let capped = censored_proportion_lower(400, 400, 0.05, 0.9);
+        assert!(capped < 1.0, "pure census must concede its detection limit ({capped})");
+        assert!(capped > 0.98, "pure-census cap absurdly weak ({capped})");
+        // A near-pure census within the saturation threshold is capped too,
+        // and the cap never exceeds the observed proportion.
+        let near = censored_proportion_lower(400, 395, 0.05, 0.9);
+        assert!(near < 395.0 / 400.0);
+        // A decidedly mixed census keeps its observed proportion untouched.
+        assert_eq!(censored_proportion_lower(400, 300, 0.05, 0.9), 0.75);
+        // Degenerate inputs stay safe.
+        assert_eq!(censored_proportion_lower(0, 0, 0.05, 0.9), 0.0);
+    }
+
+    #[test]
+    fn censored_census_proportion_floors_only_quiet_borders() {
+        // The recall-side mirror: an all-negative 400-pair census is floored
+        // at its CP upper limit, strictly inside (0, 0.02).
+        let floored = censored_proportion_upper(400, 0, 0.05, 0.9);
+        assert!(floored > 0.0, "quiet census must concede its detection limit ({floored})");
+        assert!(floored < 0.02, "quiet-census floor absurdly weak ({floored})");
+        // A near-quiet census within the threshold is floored too, never
+        // below its observed proportion.
+        let near = censored_proportion_upper(400, 5, 0.05, 0.9);
+        assert!(near > 5.0 / 400.0);
+        // A decidedly mixed census keeps its observed proportion untouched.
+        assert_eq!(censored_proportion_upper(400, 100, 0.05, 0.9), 0.25);
+        // Degenerate inputs stay safe (an empty census certifies nothing).
+        assert_eq!(censored_proportion_upper(0, 0, 0.05, 0.9), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound confidence must lie in [0, 1)")]
+    fn nan_confidence_panics_on_the_infallible_path() {
+        let (base, sizes, inputs, samples) = all_zero_setup(8);
+        let est = CalibratedEstimator::new(
+            base,
+            &sizes,
+            &inputs,
+            &samples,
+            0.25,
+            TailCalibration::default(),
+        );
+        est.upper_bound(0..8, f64::NAN);
     }
 }

@@ -82,6 +82,14 @@ impl MatchCountEstimator for StratifiedCountEstimator {
 /// left as the precision requirement allows (Eq. 14). Each of the two bound
 /// estimates uses the per-bound confidence `√θ` so their conjunction holds with
 /// confidence `θ`.
+///
+/// Both sweeps lean on whatever calibration the estimator carries: with the
+/// default [`super::CalibratedEstimator`] the `lo` sweep's upper bounds are
+/// floored at the quiet-run detection limits (the recall fix) and the `hi`
+/// sweep's lower bounds are capped at the saturated-run pooled lower limits —
+/// without the cap, near-pure samples make `lower_bound(hi..m)` collapse onto
+/// "every pair matches" and precision is certified a hair too early on
+/// mid-steep curves.
 pub fn search_subset_bounds(
     estimator: &dyn MatchCountEstimator,
     num_subsets: usize,

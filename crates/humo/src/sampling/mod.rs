@@ -23,6 +23,7 @@ mod sampler;
 mod warm;
 
 pub use all::{AllSamplingConfig, AllSamplingOptimizer};
+pub(crate) use calibrated::{censored_proportion_lower, censored_proportion_upper};
 pub use calibrated::{CalibratedEstimator, ShortfallBaseline, TailCalibration};
 pub use estimator::{search_subset_bounds, MatchCountEstimator, StratifiedCountEstimator};
 pub use gp_estimator::GpCountEstimator;
