@@ -6,8 +6,10 @@
 //!
 //! 1. per-batch **ingest throughput** (delta candidates scored and merged per
 //!    second);
-//! 2. per-epoch **resolution cost and quality** (oracle queries, pair-level and
-//!    cluster-level precision/recall);
+//! 2. per-epoch **resolution cost and quality** (oracle queries, label
+//!    round-trips — the number of `NeedLabels` batches the sans-I/O labeling
+//!    session emitted, a latency proxy for crowdsourced dispatch — and
+//!    pair-level plus cluster-level precision/recall);
 //! 3. **incremental vs from-scratch**: oracle queries of the final warm
 //!    re-resolution vs a cold from-scratch run over the same records;
 //! 4. **warm vs cold planning** on the identical final workload with fresh
@@ -23,8 +25,10 @@
 //! * `HUMO_PIPE_ASSERT`   — when set to `1`, fail the process unless the
 //!   pipeline meets its contract: warm planning issues fewer oracle queries
 //!   than cold, incremental re-resolution is cheaper than from-scratch, the
-//!   final epoch meets the quality requirement, and (on machines with ≥ 2
-//!   cores) parallel scoring is at least 1.5× the single-thread rate.
+//!   final epoch meets the quality requirement, HYBR's label round-trips
+//!   scale with the subset count (never with the pair count), and (on
+//!   machines with ≥ 2 cores) parallel scoring is at least 1.5× the
+//!   single-thread rate.
 
 use er_core::aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig};
 use er_core::blocking::TokenBlocker;
@@ -33,7 +37,10 @@ use er_core::similarity::StringMeasure;
 use er_core::text::Tokenizer;
 use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
 use er_pipeline::{PipelineConfig, ResolutionEngine, WorkerPool};
-use humo::{GroundTruthOracle, Oracle, PartialSamplingOptimizer, QualityRequirement};
+use humo::{
+    GroundTruthOracle, HybridConfig, HybridOptimizer, Oracle, PartialSamplingOptimizer,
+    QualityRequirement,
+};
 use std::time::Instant;
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -106,13 +113,14 @@ fn main() {
 
     println!("-- streaming epochs (persistent oracle) --");
     println!(
-        "{:<6} {:>10} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7}",
+        "{:<6} {:>10} {:>9} {:>9} {:>10} {:>8} {:>7} {:>7} {:>7} {:>7} {:>7}",
         "epoch",
         "delta",
         "kept",
         "workload",
         "pairs/s",
         "queries",
+        "rounds",
         "pairP",
         "pairR",
         "cluP",
@@ -130,13 +138,14 @@ fn main() {
             if ingest_secs > 0.0 { ingest.delta_candidates as f64 / ingest_secs } else { 0.0 };
         let report = engine.resolve(&mut oracle).expect("resolve succeeds");
         println!(
-            "{:<6} {:>10} {:>9} {:>9} {:>10.3e} {:>8} {:>7.3} {:>7.3} {:>7.3} {:>7.3}{}",
+            "{:<6} {:>10} {:>9} {:>9} {:>10.3e} {:>8} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3}{}",
             epoch,
             ingest.delta_candidates,
             ingest.retained_pairs,
             ingest.workload_len,
             rate,
             report.oracle_queries,
+            report.label_rounds,
             report.outcome.metrics.precision(),
             report.outcome.metrics.recall(),
             report.cluster_metrics.precision(),
@@ -192,6 +201,42 @@ fn main() {
     println!("cold plan:  {cold_plan_queries} oracle queries");
     println!("warm plan:  {warm_plan_queries} oracle queries ({saving:.1}% saved)");
 
+    // Label round-trips: drive a HYBR labeling session over the final workload
+    // and count NeedLabels batches. Each batch is one dispatch latency however
+    // many pairs it contains, so round-trips — not pair counts — dominate the
+    // wall-clock cost of crowdsourced labeling. The batches HYBR emits are
+    // whole subset samples and whole subset probes, so the count must scale
+    // with the number of subsets the search touches, never with the raw pair
+    // count.
+    let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
+    let mut hybr_config = HybridConfig::new(requirement);
+    hybr_config.sampling.unit_size = pipeline_config(threads, true).optimizer.unit_size;
+    let hybr = HybridOptimizer::new(hybr_config).expect("valid HYBR config");
+    let mut hybr_session = hybr.session(workload).expect("valid session");
+    let mut hybr_oracle = GroundTruthOracle::new();
+    let hybr_outcome = hybr_session.drive(&mut hybr_oracle).expect("HYBR session completes");
+    let unit = hybr_config.sampling.unit_size;
+    let num_subsets = workload.partition(unit).map_or(1, |p| p.len());
+    // SAMP's own sampling budget: at most `subset_budget(m).1` subsets are
+    // ever sampled by the estimation phase.
+    let (_, budget) = hybr_config.sampling.subset_budget(num_subsets);
+    let dh_subsets = hybr_outcome.solution.human_region_size().div_ceil(unit);
+    // One batch for the whole initial sample set, at most one per refinement
+    // probe (bounded by the budget), one per boundary-growth iteration
+    // (bounded by the DH subsets), plus start/verification slack.
+    let round_bound = budget + dh_subsets + 4;
+    let rounds = hybr_session.rounds();
+    println!(
+        "\n-- label round-trips (HYBR session, {} pairs, {num_subsets} subsets) --",
+        workload.len()
+    );
+    println!(
+        "{rounds} round-trips for {} labeled pairs ({:.1} pairs/round); \
+         subset-scaling bound {round_bound} (budget {budget} + DH {dh_subsets} + 4)",
+        hybr_oracle.labels_issued(),
+        hybr_oracle.labels_issued() as f64 / rounds.max(1) as f64,
+    );
+
     // Parallel scoring speedup over the full candidate set.
     let blocker = TokenBlocker::new("title", Tokenizer::Words);
     let candidates = blocker.candidates(&corpus.left, &corpus.right);
@@ -241,6 +286,13 @@ fn main() {
             "final epoch must meet {requirement}: precision {:.3}, recall {:.3}",
             final_report.outcome.metrics.precision(),
             final_report.outcome.metrics.recall()
+        );
+        assert!(
+            rounds <= round_bound,
+            "HYBR label round-trips ({rounds}) must scale with the subset count \
+             (bound {round_bound} = budget {budget} + DH subsets {dh_subsets} + 4, \
+             with {num_subsets} subsets total), not the pair count ({})",
+            workload.len()
         );
         if pool.threads() >= 2 {
             assert!(

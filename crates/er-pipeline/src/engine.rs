@@ -32,10 +32,10 @@ use er_core::text::Tokenizer;
 use er_core::workload::{InstancePair, Label, PairId, QualityMetrics, Workload};
 use humo::sampling::WarmStart;
 use humo::{
-    HumoSolution, OptimizationOutcome, Oracle, PartialSamplingConfig, PartialSamplingOptimizer,
-    QualityRequirement,
+    LabelRequest, LabelResponse, OptimizationOutcome, Oracle, PartialSamplingConfig,
+    PartialSamplingOptimizer, QualityRequirement, SessionConfig, SessionState, Step,
 };
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Configuration of the streaming resolution pipeline.
 #[derive(Debug, Clone)]
@@ -122,7 +122,10 @@ pub struct IngestReport {
 #[derive(Debug, Clone)]
 pub struct ResolutionReport {
     /// The HUMO outcome: partition, pair labels, pair-level metrics and human
-    /// cost counters (cumulative over the engine's oracle).
+    /// cost counters. For the oracle-driven [`ResolutionEngine::resolve`]
+    /// wrapper the cost counters are cumulative over the oracle's lifetime
+    /// (the legacy engine semantics); for session-driven resolutions they are
+    /// session-scoped (distinct labels this session absorbed).
     pub outcome: OptimizationOutcome,
     /// The resolved entities (transitive closure of match-labeled pairs over
     /// all ingested records).
@@ -130,9 +133,17 @@ pub struct ResolutionReport {
     /// Cluster-level pairwise precision/recall against the ground-truth
     /// entities.
     pub cluster_metrics: QualityMetrics,
-    /// Oracle queries issued by *this* resolution (delta of the oracle's
-    /// distinct-label counter).
+    /// Distinct labels newly supplied to *this* resolution — everything the
+    /// engine's cross-epoch label store did not already cover. For the
+    /// oracle-driven [`ResolutionEngine::resolve`] wrapper this equals the
+    /// delta of the oracle's distinct-label counter.
     pub oracle_queries: usize,
+    /// Label round-trips of this resolution: the number of distinct dispatch
+    /// waves the underlying labeling session emitted (re-emissions of a
+    /// still-outstanding batch do not count). Each wave is one dispatch
+    /// latency however many pairs it contains, so this is the latency-proxy
+    /// cost metric next to the paper's pair-count cost.
+    pub label_rounds: usize,
     /// Whether the optimizer was seeded from a previous epoch's warm start.
     pub used_warm_start: bool,
     /// Whether the workload was too small for the sampling optimizer and was
@@ -153,6 +164,10 @@ pub struct ResolutionEngine {
     pool: WorkerPool,
     warm: Option<WarmStart>,
     candidate_count: usize,
+    /// Every manual label received through completed resolution sessions,
+    /// keyed by pair id — the engine-side label store that keeps later epochs
+    /// from re-requesting pairs answered in earlier ones.
+    labels: BTreeMap<PairId, Label>,
 }
 
 impl ResolutionEngine {
@@ -171,6 +186,7 @@ impl ResolutionEngine {
             pool,
             warm: None,
             candidate_count: 0,
+            labels: BTreeMap::new(),
             config,
         })
     }
@@ -279,45 +295,61 @@ impl ResolutionEngine {
     /// Passing the *same* oracle across epochs models the streaming deployment:
     /// pairs labeled in earlier epochs are cached, so a re-resolution only pays
     /// for genuinely new questions.
+    ///
+    /// This is the synchronous driver over [`ResolutionEngine::begin_resolve`]:
+    /// it answers every label batch the session emits through
+    /// [`Oracle::label_batch`]. Systems whose labels arrive asynchronously
+    /// should call [`ResolutionEngine::begin_resolve`] and drive the returned
+    /// [`ResolutionSession`] themselves.
     pub fn resolve(&mut self, oracle: &mut dyn Oracle) -> Result<ResolutionReport> {
         let queries_before = oracle.labels_issued();
+        let mut session = self.begin_resolve()?;
+        let mut report = session.drive(oracle)?;
+        // Oracle-driven cost accounting mirrors the pre-session engine: the
+        // outcome counters are cumulative over the oracle's lifetime and the
+        // per-resolution delta comes from the oracle's distinct-pair counter.
+        report.oracle_queries = oracle.labels_issued() - queries_before;
+        report.outcome.total_human_cost = oracle.labels_issued();
+        report.outcome.sampling_cost =
+            report.outcome.total_human_cost.saturating_sub(report.outcome.verification_cost);
+        Ok(report)
+    }
+
+    /// Starts a sans-I/O resolution session over the current workload: the
+    /// engine-side equivalent of [`humo::LabelingSession`], so resolution no
+    /// longer requires a blocking oracle in hand.
+    ///
+    /// The session is seeded with every label the engine received in earlier
+    /// epochs (they are never re-requested) and, when warm-starting is
+    /// enabled, with the previous epoch's sampling observations. Workloads too
+    /// small for the sampling optimizer fall back to an exact all-human
+    /// session, and a statistical degeneracy mid-session (e.g. a GP fit
+    /// collapsing on duplicate similarity coordinates) falls back the same way
+    /// without losing any answered label. On completion the session commits
+    /// its labels and warm-start state back to the engine.
+    pub fn begin_resolve(&mut self) -> Result<ResolutionSession<'_>> {
         // Workloads with fewer than two subsets cannot drive the sampling
         // optimizer; resolving them entirely by hand is exact, deterministic
         // and — at this size — cheap.
         let too_small = self.workload.len() < 2 * self.config.optimizer.unit_size;
-        let all_human = |oracle: &mut dyn Oracle, workload: &Workload| {
-            let solution = HumoSolution::all_human(workload.len());
-            OptimizationOutcome::from_solution(solution, workload, oracle)
-        };
-        let (outcome, used_warm, fallback) = if too_small {
-            (all_human(oracle, &self.workload)?, false, true)
+        let (mut state, used_warm, fallback) = if too_small {
+            (SessionState::new(SessionConfig::AllHuman)?, false, true)
         } else {
-            let optimizer = PartialSamplingOptimizer::new(self.config.optimizer)?;
-            let warm = if self.config.warm_start { self.warm.as_ref() } else { None };
-            let used_warm = warm.is_some_and(|w| !w.is_empty());
-            match optimizer.optimize_with_warm_start(&self.workload, oracle, warm) {
-                Ok((outcome, next)) => {
-                    self.warm = Some(next);
-                    (outcome, used_warm, false)
-                }
-                // Statistical degeneracy (e.g. a workload whose subsets collapse
-                // onto duplicate similarity coordinates and break the GP fit) is
-                // a property of the data, so both an incremental and a
-                // from-scratch run hit it identically; resolving by hand is the
-                // exact, deterministic way out. Real errors still propagate.
-                Err(humo::HumoError::Stats(_)) => (all_human(oracle, &self.workload)?, false, true),
-                Err(e) => return Err(e.into()),
-            }
+            let warm = if self.config.warm_start { self.warm.clone() } else { None };
+            let used_warm = warm.as_ref().is_some_and(|w| !w.is_empty());
+            let state = SessionState::new(SessionConfig::PartialSampling(self.config.optimizer))?
+                .with_warm_start(warm);
+            (state, used_warm, false)
         };
-        let entities = self.entities_of(&outcome);
-        let cluster_metrics = entities.pairwise_metrics(&self.truth_entities());
-        Ok(ResolutionReport {
-            oracle_queries: oracle.labels_issued() - queries_before,
-            outcome,
-            entities,
-            cluster_metrics,
+        state
+            .preload(self.labels.iter().map(|(&pair_id, &label)| LabelResponse { pair_id, label }));
+        Ok(ResolutionSession {
+            engine: self,
+            state,
+            completed_rounds: 0,
             used_warm_start: used_warm,
             fallback_all_human: fallback,
+            report: None,
         })
     }
 
@@ -348,6 +380,156 @@ impl ResolutionEngine {
     fn truth_entities(&self) -> EntityClusters {
         let edges = self.truth.iter().map(|&(l, r)| ((Side::Left, l), (Side::Right, r)));
         EntityClusters::from_edges(self.all_nodes(), edges)
+    }
+}
+
+/// What one [`ResolutionSession::step`] call produced.
+#[derive(Debug, Clone)]
+pub enum ResolutionStep {
+    /// The session needs these labels before it can make further progress.
+    /// Every batch contains only distinct, not-yet-answered pairs; the pair
+    /// payloads are available via
+    /// [`session.workload().pair(request.index)`](ResolutionSession::workload)
+    /// (the session holds the engine borrow while it is alive).
+    NeedLabels(Vec<LabelRequest>),
+    /// The resolution finished with this report (labels and warm-start state
+    /// are already committed back to the engine).
+    Done(ResolutionReport),
+}
+
+/// A sans-I/O resolution session over a [`ResolutionEngine`]'s current
+/// workload: emits batched label requests and is driven with responses, like
+/// [`humo::LabelingSession`], but completes into a full [`ResolutionReport`]
+/// (entities, cluster metrics, cost counters) and commits labels plus
+/// warm-start state back to the engine.
+#[derive(Debug)]
+pub struct ResolutionSession<'e> {
+    engine: &'e mut ResolutionEngine,
+    state: SessionState,
+    /// Dispatch waves of session states retired by the all-human fallback;
+    /// the live count is `completed_rounds + state.rounds()`.
+    completed_rounds: usize,
+    used_warm_start: bool,
+    fallback_all_human: bool,
+    /// The assembled report, cached at completion so repeated `step`/`drive`
+    /// calls do not re-run the clustering and commit work.
+    report: Option<ResolutionReport>,
+}
+
+impl ResolutionSession<'_> {
+    /// The still-unanswered requests of the most recent batch.
+    pub fn pending(&self) -> &[LabelRequest] {
+        self.state.pending()
+    }
+
+    /// Number of distinct label dispatch waves emitted so far (label
+    /// round-trips); re-emissions of a still-outstanding batch do not count.
+    pub fn rounds(&self) -> usize {
+        self.completed_rounds + self.state.rounds()
+    }
+
+    /// Whether the session fell back to exact all-human resolution (tiny or
+    /// statistically degenerate workload).
+    pub fn fallback_all_human(&self) -> bool {
+        self.fallback_all_human
+    }
+
+    /// The distinct responses absorbed so far — the session's checkpoint log.
+    pub fn answered_log(&self) -> &[LabelResponse] {
+        self.state.answered_log()
+    }
+
+    /// Advances the session with the given responses: either emits the next
+    /// batch of label requests or completes into a [`ResolutionReport`].
+    ///
+    /// Responses may cover any subset of any emitted batch; the session
+    /// re-emits whatever is still missing. A statistical degeneracy inside the
+    /// sampling optimizer switches the session to the exact all-human fallback
+    /// *without* discarding answered labels.
+    pub fn step(&mut self, responses: &[LabelResponse]) -> Result<ResolutionStep> {
+        if let Some(report) = &self.report {
+            return Ok(ResolutionStep::Done(report.clone()));
+        }
+        let mut responses: Vec<LabelResponse> = responses.to_vec();
+        loop {
+            match self.state.step(&self.engine.workload, &responses) {
+                Ok(Step::NeedLabels(requests)) => {
+                    return Ok(ResolutionStep::NeedLabels(requests));
+                }
+                Ok(Step::Done(outcome)) => {
+                    let report = self.complete(outcome);
+                    self.report = Some(report.clone());
+                    return Ok(ResolutionStep::Done(report));
+                }
+                // Statistical degeneracy (e.g. a workload whose subsets
+                // collapse onto duplicate similarity coordinates and break the
+                // GP fit) is a property of the data, so both an incremental
+                // and a from-scratch run hit it identically; resolving by hand
+                // is the exact, deterministic way out. Real errors still
+                // propagate. The fallback swaps in an all-human session and
+                // loops so the fresh state's first step shares the handling
+                // above; re-absorbing the labels already paid for keeps them
+                // counting toward the session's cost.
+                Err(humo::HumoError::Stats(_)) if !self.fallback_all_human => {
+                    let log = self.state.answered_log().to_vec();
+                    self.completed_rounds += self.state.rounds();
+                    let mut state = SessionState::new(SessionConfig::AllHuman)?;
+                    state.preload(
+                        self.engine
+                            .labels
+                            .iter()
+                            .map(|(&pair_id, &label)| LabelResponse { pair_id, label }),
+                    );
+                    self.state = state;
+                    self.fallback_all_human = true;
+                    self.used_warm_start = false;
+                    responses = log;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The workload this session resolves — use it to read the full pair
+    /// payloads behind emitted [`LabelRequest`]s while the session (which
+    /// exclusively borrows the engine) is alive.
+    pub fn workload(&self) -> &Workload {
+        &self.engine.workload
+    }
+
+    /// Runs the session to completion against a synchronous [`Oracle`].
+    pub fn drive(&mut self, oracle: &mut dyn Oracle) -> Result<ResolutionReport> {
+        let mut responses: Vec<LabelResponse> = Vec::new();
+        loop {
+            match self.step(&responses)? {
+                ResolutionStep::Done(report) => return Ok(report),
+                ResolutionStep::NeedLabels(requests) => {
+                    responses =
+                        humo::session::answer_requests(&self.engine.workload, &requests, oracle);
+                }
+            }
+        }
+    }
+
+    /// Commits a finished outcome back to the engine and assembles the report.
+    fn complete(&mut self, outcome: OptimizationOutcome) -> ResolutionReport {
+        for response in self.state.answered_log() {
+            self.engine.labels.insert(response.pair_id, response.label);
+        }
+        if let Some(warm) = self.state.next_warm_start() {
+            self.engine.warm = Some(warm.clone());
+        }
+        let entities = self.engine.entities_of(&outcome);
+        let cluster_metrics = entities.pairwise_metrics(&self.engine.truth_entities());
+        ResolutionReport {
+            oracle_queries: self.state.answered_log().len(),
+            label_rounds: self.rounds(),
+            outcome,
+            entities,
+            cluster_metrics,
+            used_warm_start: self.used_warm_start,
+            fallback_all_human: self.fallback_all_human,
+        }
     }
 }
 
@@ -455,6 +637,60 @@ mod tests {
         assert!(report.cluster_metrics.recall() > 0.5);
         // The pair-level metrics ride along unchanged.
         assert!(report.outcome.metrics.f1() > 0.5);
+    }
+
+    #[test]
+    fn session_resolution_matches_oracle_resolution_and_reuses_labels() {
+        let corpus = corpus(150, 17);
+        let schema = BibliographicGenerator::schema();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+        let all_left = corpus.left.records().to_vec();
+        let all_right = corpus.right.records().to_vec();
+
+        // Engine A: classic oracle-driven resolution.
+        let mut a =
+            ResolutionEngine::new(config(25, true), schema.clone(), schema.clone()).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        a.ingest(all_left.clone(), all_right.clone(), &truth).unwrap();
+        let oracle_report = a.resolve(&mut oracle).unwrap();
+
+        // Engine B: the same resolution driven by hand through the session,
+        // reading pair payloads through the session's workload accessor.
+        let mut b = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        b.ingest(all_left, all_right, &truth).unwrap();
+        let mut session = b.begin_resolve().unwrap();
+        let mut responses = Vec::new();
+        let report = loop {
+            match session.step(&responses).unwrap() {
+                ResolutionStep::Done(report) => break report,
+                ResolutionStep::NeedLabels(requests) => {
+                    let workload = session.workload();
+                    responses = requests
+                        .iter()
+                        .map(|request| LabelResponse {
+                            pair_id: request.pair_id,
+                            label: workload.pair(request.index).ground_truth(),
+                        })
+                        .collect();
+                }
+            }
+        };
+        assert_eq!(report.outcome.solution, oracle_report.outcome.solution);
+        assert_eq!(report.outcome.assignment, oracle_report.outcome.assignment);
+        assert_eq!(report.oracle_queries, oracle_report.oracle_queries);
+        assert!(report.label_rounds > 0);
+
+        // A re-resolution on the same engine starts from the engine's label
+        // store plus the warm start, so it costs strictly less than the first.
+        let mut again = b.begin_resolve().unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        let second = again.drive(&mut oracle).unwrap();
+        assert!(
+            second.oracle_queries < report.oracle_queries,
+            "re-resolution should reuse the label store ({} vs {})",
+            second.oracle_queries,
+            report.oracle_queries
+        );
     }
 
     #[test]

@@ -19,7 +19,14 @@
 //!   less human budget than starting from scratch;
 //! * [`cluster::EntityClusters`] — union-find transitive closure of
 //!   match-labeled pairs into entities, with cluster-level pairwise
-//!   precision/recall alongside the existing pair-level metrics.
+//!   precision/recall alongside the existing pair-level metrics;
+//! * sans-I/O resolution sessions — [`ResolutionEngine::begin_resolve`]
+//!   returns a [`ResolutionSession`] that emits batched label requests and is
+//!   driven with responses (the engine-side twin of
+//!   [`humo::LabelingSession`]), so resolution does not require a blocking
+//!   oracle in hand: labels can come from crowdsourcing dispatch, labeling
+//!   UIs, or a checkpoint/resume loop, and the engine's label store keeps
+//!   later epochs from re-asking answered pairs.
 //!
 //! See the `streaming_dedup` example (crate `integration`) for an end-to-end
 //! batch-arrival walkthrough and the `pipeline_throughput` bench binary for
@@ -34,7 +41,10 @@ pub mod error;
 pub mod pool;
 
 pub use cluster::{EntityClusters, RecordKey, Side, UnionFind};
-pub use engine::{IngestReport, PipelineConfig, ResolutionEngine, ResolutionReport};
+pub use engine::{
+    IngestReport, PipelineConfig, ResolutionEngine, ResolutionReport, ResolutionSession,
+    ResolutionStep,
+};
 pub use error::PipelineError;
 pub use pool::WorkerPool;
 

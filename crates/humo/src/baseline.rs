@@ -23,6 +23,10 @@
 use crate::optimizer::Optimizer;
 use crate::oracle::Oracle;
 use crate::requirement::QualityRequirement;
+use crate::session::{
+    verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession, SessionConfig,
+    SessionPhase,
+};
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
 use er_core::workload::Workload;
@@ -106,6 +110,13 @@ impl BaselineOptimizer {
     pub fn config(&self) -> &BaselineConfig {
         &self.config
     }
+
+    /// Starts a sans-I/O [`LabelingSession`] for this optimizer over the
+    /// workload — the batched, resumable alternative to
+    /// [`Optimizer::optimize`].
+    pub fn session<'w>(&self, workload: &'w Workload) -> Result<LabelingSession<'w>> {
+        LabelingSession::new(SessionConfig::Baseline(self.config), workload)
+    }
 }
 
 /// Mutable state of a running BASE search.
@@ -138,13 +149,12 @@ impl<'a> SearchState<'a> {
         self.upper - self.lower
     }
 
-    /// Labels a range through the oracle, recording results and updating the
-    /// in-DH match counter.
-    fn label_range(&mut self, range: std::ops::Range<usize>, oracle: &mut dyn Oracle) {
+    /// Records the answered labels of a freshly joined range, updating the
+    /// in-DH match counter. The range must have been `require`d already.
+    fn record_range(&mut self, range: std::ops::Range<usize>, slate: &LabelSlate<'_>) {
         for idx in range {
             if self.labels[idx].is_none() {
-                let is_match = oracle.label(self.workload.pair(idx)).is_match();
-                self.labels[idx] = Some(is_match);
+                self.labels[idx] = Some(slate.is_match(idx));
             }
             if self.labels[idx] == Some(true) {
                 self.matches_in_dh += 1;
@@ -213,7 +223,21 @@ impl BaselineOptimizer {
         found / (found + missed_upper_bound)
     }
 
-    fn search(&self, workload: &Workload, oracle: &mut dyn Oracle) -> HumoSolution {
+    /// The suspendable BASE search: both boundary extensions of one loop
+    /// iteration are joined into a single label batch (their membership is
+    /// fixed before either is labeled), so each iteration costs one label
+    /// round-trip however many pairs it covers.
+    pub(crate) fn session_core(
+        &self,
+        workload: &Workload,
+        slate: &LabelSlate<'_>,
+    ) -> Drive<CoreOutput> {
+        if workload.is_empty() {
+            return Err(HumoError::InvalidWorkload(
+                "cannot optimize an empty workload".to_string(),
+            )
+            .into());
+        }
         let cfg = &self.config;
         let n = workload.len();
         let start = cfg.initial_boundary.resolve(workload);
@@ -228,27 +252,36 @@ impl BaselineOptimizer {
             if precision_ok && recall_ok {
                 break;
             }
-            let mut progressed = false;
             // Alternate: extend v⁺ right for precision, then v⁻ left for recall.
-            if !precision_ok && state.upper < n {
-                let new_upper = (state.upper + cfg.unit_size).min(n);
-                state.label_range(state.upper..new_upper, oracle);
-                state.upper = new_upper;
-                progressed = true;
-            }
-            if !recall_ok && state.lower > 0 {
-                let new_lower = state.lower.saturating_sub(cfg.unit_size);
-                state.label_range(new_lower..state.lower, oracle);
-                state.lower = new_lower;
-                progressed = true;
-            }
-            if !progressed {
+            let upper_move = (!precision_ok && state.upper < n)
+                .then(|| state.upper..(state.upper + cfg.unit_size).min(n));
+            let lower_move = (!recall_ok && state.lower > 0)
+                .then(|| state.lower.saturating_sub(cfg.unit_size)..state.lower);
+            if upper_move.is_none() && lower_move.is_none() {
                 // Both unsatisfied boundaries are already at the workload edges;
                 // their requirements are vacuously met (empty D⁻ / D⁺).
                 break;
             }
+            slate.require(
+                SessionPhase::BoundarySearch,
+                upper_move
+                    .clone()
+                    .into_iter()
+                    .flatten()
+                    .chain(lower_move.clone().into_iter().flatten()),
+            )?;
+            if let Some(range) = upper_move {
+                state.upper = range.end;
+                state.record_range(range, slate);
+            }
+            if let Some(range) = lower_move {
+                state.lower = range.start;
+                state.record_range(range, slate);
+            }
         }
-        HumoSolution::new(state.lower, state.upper, n)
+        let solution = HumoSolution::new(state.lower, state.upper, n);
+        let assignment = verified_assignment(&solution, workload, slate)?;
+        Ok(CoreOutput { solution, assignment, warm_out: None })
     }
 }
 
@@ -258,13 +291,7 @@ impl Optimizer for BaselineOptimizer {
         workload: &Workload,
         oracle: &mut dyn Oracle,
     ) -> Result<OptimizationOutcome> {
-        if workload.is_empty() {
-            return Err(HumoError::InvalidWorkload(
-                "cannot optimize an empty workload".to_string(),
-            ));
-        }
-        let solution = self.search(workload, oracle);
-        OptimizationOutcome::from_solution(solution, workload, oracle)
+        self.session(workload)?.drive(oracle)
     }
 
     fn name(&self) -> &'static str {

@@ -7,6 +7,9 @@ pub enum HumoError {
     InvalidConfig(String),
     /// The supplied workload cannot be optimized (e.g. it is empty).
     InvalidWorkload(String),
+    /// A labeling-session response referenced a pair the session's workload
+    /// does not contain.
+    InvalidResponse(String),
     /// An internal statistical computation failed.
     Stats(String),
     /// An error bubbled up from the `er-core` substrate.
@@ -18,6 +21,7 @@ impl std::fmt::Display for HumoError {
         match self {
             HumoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HumoError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            HumoError::InvalidResponse(msg) => write!(f, "invalid label response: {msg}"),
             HumoError::Stats(msg) => write!(f, "statistics error: {msg}"),
             HumoError::Core(msg) => write!(f, "core error: {msg}"),
         }

@@ -20,6 +20,10 @@ use crate::sampling::{
     censored_proportion_lower, censored_proportion_upper, MatchCountEstimator,
     PartialSamplingConfig, PartialSamplingOptimizer,
 };
+use crate::session::{
+    verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession, SessionConfig,
+    SessionPhase,
+};
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
 use er_core::workload::{SubsetPartition, Workload};
@@ -80,13 +84,19 @@ impl HybridOptimizer {
     pub fn config(&self) -> &HybridConfig {
         &self.config
     }
+
+    /// Starts a sans-I/O [`LabelingSession`] for this optimizer over the
+    /// workload — the batched, resumable alternative to
+    /// [`Optimizer::optimize`].
+    pub fn session<'w>(&self, workload: &'w Workload) -> Result<LabelingSession<'w>> {
+        LabelingSession::new(SessionConfig::Hybrid(self.config), workload)
+    }
 }
 
 /// Mutable state of the HYBR refinement loop. The human region spans the subsets
 /// `[lower_subset, upper_subset)` of the partition; all of its pairs have been
 /// labeled through the oracle.
 struct RefineState<'a> {
-    workload: &'a Workload,
     partition: &'a SubsetPartition,
     labels: Vec<Option<bool>>,
     lower_subset: usize,
@@ -95,9 +105,8 @@ struct RefineState<'a> {
 }
 
 impl<'a> RefineState<'a> {
-    fn new(workload: &'a Workload, partition: &'a SubsetPartition, start_subset: usize) -> Self {
+    fn new(workload: &Workload, partition: &'a SubsetPartition, start_subset: usize) -> Self {
         Self {
-            workload,
             partition,
             labels: vec![None; workload.len()],
             lower_subset: start_subset,
@@ -110,11 +119,12 @@ impl<'a> RefineState<'a> {
         self.upper_subset - self.lower_subset
     }
 
-    fn label_subset(&mut self, subset: usize, oracle: &mut dyn Oracle) {
+    /// Records the answered labels of a freshly joined subset, updating the
+    /// in-DH match counter. The subset must have been `require`d already.
+    fn record_subset(&mut self, subset: usize, slate: &LabelSlate<'_>) {
         for idx in self.partition.subset(subset).range() {
             if self.labels[idx].is_none() {
-                let is_match = oracle.label(self.workload.pair(idx)).is_match();
-                self.labels[idx] = Some(is_match);
+                self.labels[idx] = Some(slate.is_match(idx));
             }
             if self.labels[idx] == Some(true) {
                 self.matches_in_dh += 1;
@@ -275,20 +285,25 @@ impl HybridOptimizer {
     }
 }
 
-impl Optimizer for HybridOptimizer {
-    fn optimize(
+impl HybridOptimizer {
+    /// The suspendable HYBR run. Each refinement iteration joins its (up to
+    /// two) subset extensions into a single label batch, so the number of
+    /// label round-trips scales with the number of subsets the search visits —
+    /// never with the raw pair count.
+    pub(crate) fn session_core(
         &self,
         workload: &Workload,
-        oracle: &mut dyn Oracle,
-    ) -> Result<OptimizationOutcome> {
+        slate: &LabelSlate<'_>,
+    ) -> Drive<CoreOutput> {
         // Phase 1: SAMP estimation gives the certified fallback solution S0.
-        let plan = self.sampler.plan(workload, oracle)?;
+        let plan = self.sampler.plan_core(workload, slate, None)?;
         let (s0_lo, s0_hi) = plan.subset_bounds;
         let num_subsets = plan.partition.len();
         if s0_hi <= s0_lo {
             // SAMP already proved that no human region is needed.
             let solution = plan.solution(workload);
-            return OptimizationOutcome::from_solution(solution, workload, oracle);
+            let assignment = verified_assignment(&solution, workload, slate)?;
+            return Ok(CoreOutput { solution, assignment, warm_out: None });
         }
 
         // Phase 2: restart from the median subset of S0 and grow outwards using
@@ -296,7 +311,8 @@ impl Optimizer for HybridOptimizer {
         let confidence = self.config.requirement().split_confidence();
         let start = s0_lo + (s0_hi - s0_lo) / 2;
         let mut state = RefineState::new(workload, &plan.partition, start);
-        state.label_subset(start, oracle);
+        slate.require(SessionPhase::BoundarySearch, plan.partition.subset(start).range())?;
+        state.record_subset(start, slate);
         state.upper_subset = start + 1;
 
         loop {
@@ -306,21 +322,29 @@ impl Optimizer for HybridOptimizer {
             if precision_ok && recall_ok {
                 break;
             }
-            let mut progressed = false;
-            if !precision_ok && state.upper_subset < s0_hi {
-                state.label_subset(state.upper_subset, oracle);
-                state.upper_subset += 1;
-                progressed = true;
-            }
-            if !recall_ok && state.lower_subset > s0_lo {
-                state.label_subset(state.lower_subset - 1, oracle);
-                state.lower_subset -= 1;
-                progressed = true;
-            }
-            if !progressed {
+            let upper_move =
+                (!precision_ok && state.upper_subset < s0_hi).then_some(state.upper_subset);
+            let lower_move =
+                (!recall_ok && state.lower_subset > s0_lo).then(|| state.lower_subset - 1);
+            if upper_move.is_none() && lower_move.is_none() {
                 // Both boundaries have hit S0's edges: fall back to S0, which the
                 // sampling phase already certified.
                 break;
+            }
+            slate.require(
+                SessionPhase::BoundarySearch,
+                upper_move
+                    .into_iter()
+                    .chain(lower_move)
+                    .flat_map(|subset| plan.partition.subset(subset).range()),
+            )?;
+            if let Some(subset) = upper_move {
+                state.record_subset(subset, slate);
+                state.upper_subset += 1;
+            }
+            if let Some(subset) = lower_move {
+                state.record_subset(subset, slate);
+                state.lower_subset -= 1;
             }
         }
 
@@ -331,7 +355,18 @@ impl Optimizer for HybridOptimizer {
             plan.partition.subset(state.upper_subset - 1).range().end
         };
         let solution = HumoSolution::new(lower_index, upper_index, workload.len());
-        OptimizationOutcome::from_solution(solution, workload, oracle)
+        let assignment = verified_assignment(&solution, workload, slate)?;
+        Ok(CoreOutput { solution, assignment, warm_out: None })
+    }
+}
+
+impl Optimizer for HybridOptimizer {
+    fn optimize(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+    ) -> Result<OptimizationOutcome> {
+        self.session(workload)?.drive(oracle)
     }
 
     fn name(&self) -> &'static str {

@@ -31,6 +31,15 @@
 //!   shrinks the human region using the better of the baseline and sampling
 //!   estimates at every step.
 //!
+//! Every optimizer is implemented as a sans-I/O **labeling session**
+//! ([`LabelingSession`]): a resumable state machine that emits *batches* of
+//! label requests (whole subset samples, whole boundary probes, the full human
+//! region for final verification) and is driven with responses — the shape a
+//! production system needs when labels come from real people asynchronously.
+//! The classic `Optimizer::optimize(workload, oracle)` entry point is a thin
+//! driver loop over that state machine ([`LabelingSession::drive`]), so both
+//! APIs behave byte-identically; see the [`session`] module docs.
+//!
 //! All three sampling-based optimizers route their count bounds through the
 //! two-sided tail-calibrated estimator ([`sampling::CalibratedEstimator`]):
 //! one-sided binomial detection limits keep the recall guarantee honest on
@@ -75,6 +84,7 @@ pub mod optimizer;
 pub mod oracle;
 pub mod requirement;
 pub mod sampling;
+pub mod session;
 pub mod solution;
 
 pub use baseline::{BaselineConfig, BaselineOptimizer, InitialBoundary};
@@ -86,6 +96,9 @@ pub use requirement::QualityRequirement;
 pub use sampling::{
     AllSamplingConfig, AllSamplingOptimizer, CalibratedEstimator, PartialSamplingConfig,
     PartialSamplingOptimizer, PriorObservation, ShortfallBaseline, TailCalibration, WarmStart,
+};
+pub use session::{
+    LabelRequest, LabelResponse, LabelingSession, SessionConfig, SessionPhase, SessionState, Step,
 };
 pub use solution::{HumoSolution, OptimizationOutcome};
 

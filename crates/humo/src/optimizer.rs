@@ -10,6 +10,14 @@ use er_core::workload::Workload;
 pub trait Optimizer {
     /// Runs the optimization, drawing all manual labels from `oracle`, and returns
     /// the resolved outcome (partition, labels, achieved quality and human cost).
+    ///
+    /// Every implementation in this crate is a thin driver loop over the
+    /// optimizer's sans-I/O [`LabelingSession`](crate::LabelingSession): the
+    /// session emits batched label requests and this method answers them
+    /// synchronously through [`crate::Oracle::label_batch`].
+    /// Systems whose labels arrive asynchronously (crowdsourcing, labeling
+    /// UIs, queues) should use the session API directly — each optimizer
+    /// exposes a `session(workload)` constructor.
     fn optimize(&self, workload: &Workload, oracle: &mut dyn Oracle)
         -> Result<OptimizationOutcome>;
 
@@ -32,6 +40,16 @@ pub enum OptimizerKind {
 }
 
 impl OptimizerKind {
+    /// All optimizer kinds, in the paper's presentation order.
+    pub fn all() -> [OptimizerKind; 4] {
+        [
+            OptimizerKind::Baseline,
+            OptimizerKind::AllSampling,
+            OptimizerKind::PartialSampling,
+            OptimizerKind::Hybrid,
+        ]
+    }
+
     /// The abbreviation used in the paper's tables and figures.
     pub fn label(&self) -> &'static str {
         match self {

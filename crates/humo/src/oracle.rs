@@ -1,30 +1,58 @@
-//! The human oracle: the source of manual labels, with cost accounting.
+//! The human oracle: one possible *driver* of a labeling session, with cost
+//! accounting.
 //!
 //! The paper quantifies human cost as "the number of manually inspected instance
-//! pairs". Every optimizer in this crate therefore routes all of its manual
-//! labelling — interval verification in BASE/HYBR, subset sampling in SAMP, and
-//! the final verification of the human region `DH` — through an [`Oracle`], which
-//! deduplicates repeated requests for the same pair and reports the number of
-//! distinct pairs inspected.
+//! pairs". Since the sans-I/O redesign, the optimizers themselves never talk to
+//! a human directly: they run as [`LabelingSession`](crate::LabelingSession)
+//! state machines that *emit* batches of [`LabelRequest`](crate::LabelRequest)s
+//! and are *driven* with [`LabelResponse`](crate::LabelResponse)s — by a
+//! crowdsourcing dispatcher, a labeling UI, a checkpoint/resume loop, or
+//! anything else that can produce labels asynchronously.
+//!
+//! An [`Oracle`] is the simplest such driver: a synchronous label source that
+//! answers every request immediately.
+//! [`LabelingSession::drive`](crate::LabelingSession::drive) feeds each emitted
+//! batch through [`Oracle::label_batch`] until the session completes, which is
+//! exactly what the classic `Optimizer::optimize(workload, oracle)` entry point
+//! does under the hood. An oracle deduplicates repeated requests for the same
+//! pair and reports the number of *distinct* pairs inspected — the paper's
+//! human-cost metric.
 //!
 //! Two oracles are provided:
 //!
 //! * [`GroundTruthOracle`] — the paper's operating assumption (Section IV-A):
 //!   manual labels are 100 % accurate;
-//! * [`NoisyOracle`] — flips each label with a configurable probability (but
-//!   answers consistently when asked about the same pair twice), used by the
-//!   failure-injection tests to study what happens when the human is imperfect.
+//! * [`NoisyOracle`] — flips each label with a configurable probability, used by
+//!   the failure-injection tests to study what happens when the human is
+//!   imperfect. Each flip is a pure function of `(seed, pair id)`, so the
+//!   answers do not depend on the order (or batching) in which pairs are asked
+//!   — a requirement for batched/parallel dispatch, where arrival order is
+//!   nondeterministic.
 
 use er_core::workload::{InstancePair, Label, PairId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 /// A source of manual labels with cost accounting.
+///
+/// Implementations answer synchronously; they are the simplest way to drive a
+/// [`LabelingSession`](crate::LabelingSession) to completion
+/// (via [`LabelingSession::drive`](crate::LabelingSession::drive)). Systems
+/// whose labels arrive asynchronously should skip this trait entirely and feed
+/// the session's emitted request batches directly.
 pub trait Oracle {
     /// Manually labels an instance pair. Asking about the same pair twice must
     /// not increase the reported cost.
     fn label(&mut self, pair: &InstancePair) -> Label;
+
+    /// Labels a batch of pairs in one call, in request order.
+    ///
+    /// The default implementation simply labels one pair at a time; custom
+    /// oracles can override it to amortize per-batch work (dispatching one
+    /// crowdsourcing task per batch, bulk-loading context, …). The session
+    /// driver routes every emitted request batch through this method.
+    fn label_batch(&mut self, pairs: &[&InstancePair]) -> Vec<Label> {
+        pairs.iter().map(|pair| self.label(pair)).collect()
+    }
 
     /// Number of *distinct* pairs labeled so far — the human cost.
     fn labels_issued(&self) -> usize;
@@ -53,12 +81,20 @@ impl Oracle for GroundTruthOracle {
     }
 }
 
-/// An imperfect human: flips the ground-truth label with probability `error_rate`,
-/// but always answers consistently for the same pair.
+/// An imperfect human: flips the ground-truth label with probability
+/// `error_rate`.
+///
+/// Whether a pair's label is flipped is a pure function of the oracle's seed
+/// and the pair's id, so the same pair always gets the same answer *and* the
+/// answers are independent of query order: labeling pairs one by one, in
+/// permuted order, or in parallel batches yields identical labels. (The
+/// previous implementation advanced a shared RNG per new pair, which made
+/// labels depend on the order in which pairs were first asked — incompatible
+/// with batched dispatch.)
 #[derive(Debug, Clone)]
 pub struct NoisyOracle {
     error_rate: f64,
-    rng: StdRng,
+    seed: u64,
     labeled: BTreeMap<PairId, Label>,
 }
 
@@ -69,22 +105,33 @@ impl NoisyOracle {
     /// Panics if `error_rate` is not in `[0, 1]`.
     pub fn new(error_rate: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0,1], got {error_rate}");
-        Self { error_rate, rng: StdRng::seed_from_u64(seed), labeled: BTreeMap::new() }
+        Self { error_rate, seed, labeled: BTreeMap::new() }
     }
 
     /// The configured error rate.
     pub fn error_rate(&self) -> f64 {
         self.error_rate
     }
+
+    /// A uniform draw in `[0, 1)` derived from `(seed, pair id)` alone
+    /// (SplitMix64 finalizer over the mixed key).
+    fn unit_draw(seed: u64, pair: PairId) -> f64 {
+        let mut z = seed ^ pair.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
 }
 
 impl Oracle for NoisyOracle {
     fn label(&mut self, pair: &InstancePair) -> Label {
         let error_rate = self.error_rate;
-        let rng = &mut self.rng;
+        let seed = self.seed;
         *self.labeled.entry(pair.id()).or_insert_with(|| {
             let truth = pair.ground_truth();
-            if rng.gen_range(0.0..1.0) < error_rate {
+            if Self::unit_draw(seed, pair.id()) < error_rate {
                 match truth {
                     Label::Match => Label::Unmatch,
                     Label::Unmatch => Label::Match,
@@ -121,6 +168,18 @@ mod tests {
     }
 
     #[test]
+    fn label_batch_default_matches_sequential_labeling_and_order() {
+        let mut batched = GroundTruthOracle::new();
+        let mut sequential = GroundTruthOracle::new();
+        let pairs: Vec<InstancePair> = (0..20).map(|i| pair(i, 0.5, i % 3 == 0)).collect();
+        let refs: Vec<&InstancePair> = pairs.iter().collect();
+        let batch_labels = batched.label_batch(&refs);
+        let seq_labels: Vec<Label> = pairs.iter().map(|p| sequential.label(p)).collect();
+        assert_eq!(batch_labels, seq_labels);
+        assert_eq!(batched.labels_issued(), sequential.labels_issued());
+    }
+
+    #[test]
     fn noisy_oracle_is_consistent_per_pair() {
         let mut oracle = NoisyOracle::new(0.5, 3);
         let a = pair(7, 0.5, true);
@@ -153,6 +212,42 @@ mod tests {
         }
         let rate = errors as f64 / n as f64;
         assert!((rate - 0.2).abs() < 0.03, "observed error rate {rate}");
+    }
+
+    #[test]
+    fn noisy_oracle_labels_are_independent_of_query_order() {
+        // The same pairs asked in forward, reverse and interleaved order — and
+        // as one batch — must receive identical labels. This is the invariant
+        // batched/parallel dispatch relies on: arrival order is
+        // nondeterministic, the labels must not be.
+        let pairs: Vec<InstancePair> = (0..500).map(|i| pair(i, 0.5, i % 2 == 0)).collect();
+        let forward: BTreeMap<PairId, Label> = {
+            let mut oracle = NoisyOracle::new(0.3, 17);
+            pairs.iter().map(|p| (p.id(), oracle.label(p))).collect()
+        };
+        let reversed: BTreeMap<PairId, Label> = {
+            let mut oracle = NoisyOracle::new(0.3, 17);
+            pairs.iter().rev().map(|p| (p.id(), oracle.label(p))).collect()
+        };
+        let interleaved: BTreeMap<PairId, Label> = {
+            let mut oracle = NoisyOracle::new(0.3, 17);
+            let (evens, odds): (Vec<_>, Vec<_>) = pairs.iter().partition(|p| p.id().0 % 2 == 0);
+            odds.into_iter().chain(evens).map(|p| (p.id(), oracle.label(p))).collect()
+        };
+        let batched: BTreeMap<PairId, Label> = {
+            let mut oracle = NoisyOracle::new(0.3, 17);
+            let refs: Vec<&InstancePair> = pairs.iter().collect();
+            pairs.iter().map(InstancePair::id).zip(oracle.label_batch(&refs)).collect()
+        };
+        assert_eq!(forward, reversed);
+        assert_eq!(forward, interleaved);
+        assert_eq!(forward, batched);
+        // Different seeds still produce different flip patterns.
+        let other_seed: BTreeMap<PairId, Label> = {
+            let mut oracle = NoisyOracle::new(0.3, 18);
+            pairs.iter().map(|p| (p.id(), oracle.label(p))).collect()
+        };
+        assert_ne!(forward, other_seed);
     }
 
     #[test]

@@ -13,6 +13,9 @@ use super::sampler::SubsetSampler;
 use crate::optimizer::Optimizer;
 use crate::oracle::Oracle;
 use crate::requirement::QualityRequirement;
+use crate::session::{
+    verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession, SessionConfig,
+};
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
 use er_core::workload::Workload;
@@ -93,24 +96,36 @@ impl AllSamplingOptimizer {
     pub fn config(&self) -> &AllSamplingConfig {
         &self.config
     }
-}
 
-impl Optimizer for AllSamplingOptimizer {
-    fn optimize(
+    /// Starts a sans-I/O [`LabelingSession`] for this optimizer over the
+    /// workload — the batched, resumable alternative to
+    /// [`Optimizer::optimize`].
+    pub fn session<'w>(&self, workload: &'w Workload) -> Result<LabelingSession<'w>> {
+        LabelingSession::new(SessionConfig::AllSampling(self.config), workload)
+    }
+
+    /// The suspendable all-sampling run. Every subset's sample membership is
+    /// label-independent, so the entire sampling phase is emitted as **one**
+    /// label batch: an all-sampling session costs at most two round-trips
+    /// (sample everything, then verify whatever of `DH` the samples did not
+    /// already cover — possibly nothing).
+    pub(crate) fn session_core(
         &self,
         workload: &Workload,
-        oracle: &mut dyn Oracle,
-    ) -> Result<OptimizationOutcome> {
+        slate: &LabelSlate<'_>,
+    ) -> Drive<CoreOutput> {
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),
-            ));
+            )
+            .into());
         }
         let cfg = &self.config;
         let partition = workload.partition(cfg.unit_size)?;
         let mut sampler =
             SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
-        let samples = sampler.sample_all(oracle);
+        let all: Vec<usize> = (0..partition.len()).collect();
+        let samples = sampler.sample_many_core(&all, slate)?;
         let base = StratifiedCountEstimator::new(&partition, &samples);
         // Every subset carries its own sample (distance zero), so the tail
         // bound reduces to each stratum's own Clopper–Pearson limits; the
@@ -132,7 +147,18 @@ impl Optimizer for AllSamplingOptimizer {
         let upper_index =
             if hi == 0 { 0 } else { partition.subset(hi - 1).range().end.max(lower_index) };
         let solution = HumoSolution::new(lower_index, upper_index.max(lower_index), workload.len());
-        OptimizationOutcome::from_solution(solution, workload, oracle)
+        let assignment = verified_assignment(&solution, workload, slate)?;
+        Ok(CoreOutput { solution, assignment, warm_out: None })
+    }
+}
+
+impl Optimizer for AllSamplingOptimizer {
+    fn optimize(
+        &self,
+        workload: &Workload,
+        oracle: &mut dyn Oracle,
+    ) -> Result<OptimizationOutcome> {
+        self.session(workload)?.drive(oracle)
     }
 
     fn name(&self) -> &'static str {

@@ -131,7 +131,7 @@ pub struct TailCalibration {
     /// A sampled subset is *quiet* when it observed at most this fraction of
     /// positives, and *saturated* when it observed at most this fraction of
     /// negatives (both with a scale-aware floor of one draw, see
-    /// [`quiet_threshold`]). Quiet and saturated samples delimit the runs the
+    /// `quiet_threshold` in the module source). Quiet and saturated samples delimit the runs the
     /// detection-limit bounds apply to; larger values reach further into the
     /// foot (and shoulder) of the match-proportion curve at a higher human
     /// cost. Per-sample granularity matters: with large per-subset samples

@@ -20,6 +20,10 @@ use super::warm::{PriorObservation, WarmStart};
 use crate::optimizer::Optimizer;
 use crate::oracle::Oracle;
 use crate::requirement::QualityRequirement;
+use crate::session::{
+    drive_with_oracle, verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession,
+    SessionConfig,
+};
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
 use er_core::workload::{SubsetPartition, Workload};
@@ -80,6 +84,20 @@ impl PartialSamplingConfig {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// The `[min, max]` number of subsets Algorithm 1 may sample on a workload
+    /// of `num_subsets` subsets under this configuration: the percentage
+    /// budgets `[p_l, p_u]` of the paper, with hard floors (5 and 20 subsets)
+    /// that keep the GP well-constrained on small workloads. External
+    /// consumers (e.g. the `pipeline_throughput` round-trip bound) should use
+    /// this instead of mirroring the formula.
+    pub fn subset_budget(&self, num_subsets: usize) -> (usize, usize) {
+        let m = num_subsets;
+        let (pl, pu) = self.sampling_range;
+        let min_subsets = ((m as f64 * pl).ceil() as usize).max(5).min(m);
+        let max_subsets = ((m as f64 * pu).ceil() as usize).max(20).clamp(min_subsets, m);
+        (min_subsets, max_subsets)
     }
 
     fn validate(&self) -> Result<()> {
@@ -225,10 +243,43 @@ impl PartialSamplingOptimizer {
         oracle: &mut dyn Oracle,
         warm: Option<&WarmStart>,
     ) -> Result<SamplingPlan> {
+        drive_with_oracle(workload, oracle, |slate| self.plan_core(workload, slate, warm))
+    }
+
+    /// Starts a sans-I/O [`LabelingSession`](crate::LabelingSession) for this
+    /// optimizer over the workload — the batched, resumable alternative to
+    /// [`Optimizer::optimize`].
+    pub fn session<'w>(&self, workload: &'w Workload) -> Result<LabelingSession<'w>> {
+        LabelingSession::new(SessionConfig::PartialSampling(self.config), workload)
+    }
+
+    /// Starts a session seeded with warm-start state from a previous epoch's
+    /// plan.
+    pub fn session_with_warm_start<'w>(
+        &self,
+        workload: &'w Workload,
+        warm: Option<WarmStart>,
+    ) -> Result<LabelingSession<'w>> {
+        LabelingSession::with_warm_start(
+            SessionConfig::PartialSampling(self.config),
+            workload,
+            warm,
+        )
+    }
+
+    /// The suspendable estimation phase backing both the session state machine
+    /// and the oracle-driven [`PartialSamplingOptimizer::plan_with_warm_start`].
+    pub(crate) fn plan_core(
+        &self,
+        workload: &Workload,
+        slate: &LabelSlate<'_>,
+        warm: Option<&WarmStart>,
+    ) -> Drive<SamplingPlan> {
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),
-            ));
+            )
+            .into());
         }
         let cfg = &self.config;
         let partition = workload.partition(cfg.unit_size)?;
@@ -237,7 +288,7 @@ impl PartialSamplingOptimizer {
             SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
 
         let (gp, diagonal_scale, used, prior_coords) =
-            self.train_match_proportion_gp(&partition, &mut sampler, oracle, warm)?;
+            self.train_match_proportion_gp(&partition, &mut sampler, slate, warm)?;
         let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
         // Independent per-subset variance: the calibrated scatter term (when the
         // workload exhibits scatter) plus a Poisson-style floor — the number of
@@ -295,11 +346,28 @@ impl PartialSamplingOptimizer {
         oracle: &mut dyn Oracle,
         warm: Option<&WarmStart>,
     ) -> Result<(OptimizationOutcome, WarmStart)> {
-        let plan = self.plan_with_warm_start(workload, oracle, warm)?;
-        let next = plan.warm_start(workload);
-        let solution = plan.solution(workload);
-        let outcome = OptimizationOutcome::from_solution(solution, workload, oracle)?;
+        let mut session = self.session_with_warm_start(workload, warm.cloned())?;
+        let outcome = session.drive(oracle)?;
+        let next = session
+            .next_warm_start()
+            .cloned()
+            .expect("a completed partial-sampling session always produces warm-start state");
         Ok((outcome, next))
+    }
+
+    /// The suspendable full SAMP run: estimation plan, solution translation
+    /// and final `DH` verification.
+    pub(crate) fn session_core(
+        &self,
+        workload: &Workload,
+        slate: &LabelSlate<'_>,
+        warm: Option<&WarmStart>,
+    ) -> Drive<CoreOutput> {
+        let plan = self.plan_core(workload, slate, warm)?;
+        let warm_out = plan.warm_start(workload);
+        let solution = plan.solution(workload);
+        let assignment = verified_assignment(&solution, workload, slate)?;
+        Ok(CoreOutput { solution, assignment, warm_out: Some(warm_out) })
     }
 
     /// Algorithm 1: adaptive sampling plus Gaussian-process regression of the
@@ -308,14 +376,19 @@ impl PartialSamplingOptimizer {
     /// deviation scale `c` (deviation variance ≈ `c·p(1−p)`), the map of all
     /// observations used (fresh and prior) keyed by subset index, and the
     /// original similarity coordinates of the reused priors.
+    ///
+    /// The initial equidistant subsets (whose membership is label-independent)
+    /// are requested as one label batch; each adaptive refinement probe —
+    /// inherently sequential, since the GP refit decides where to look next —
+    /// costs one batch of its own.
     #[allow(clippy::type_complexity)]
     fn train_match_proportion_gp(
         &self,
         partition: &SubsetPartition,
         sampler: &mut SubsetSampler<'_>,
-        oracle: &mut dyn Oracle,
+        slate: &LabelSlate<'_>,
         warm: Option<&WarmStart>,
-    ) -> Result<(GaussianProcess, f64, BTreeMap<usize, SampleSummary>, BTreeMap<usize, f64>)> {
+    ) -> Drive<(GaussianProcess, f64, BTreeMap<usize, SampleSummary>, BTreeMap<usize, f64>)> {
         let cfg = &self.config;
         let m = partition.len();
         if m < 2 {
@@ -323,14 +396,13 @@ impl PartialSamplingOptimizer {
                 "partial sampling needs at least two subsets; lower the unit size or use the \
                  baseline or all-sampling optimizer"
                     .to_string(),
-            ));
+            )
+            .into());
         }
-        let (pl, pu) = cfg.sampling_range;
         // Percentage budgets follow the paper, but a hard floor keeps the GP
         // well-constrained on small workloads where 1–5 % of the subsets would be
         // just a handful of points.
-        let min_subsets = ((m as f64 * pl).ceil() as usize).max(5).min(m);
-        let max_subsets = ((m as f64 * pu).ceil() as usize).max(20).clamp(min_subsets, m);
+        let (min_subsets, max_subsets) = cfg.subset_budget(m);
 
         // Map prior observations onto the current partition: a prior is reusable
         // for the subset whose mean similarity is nearest, provided the
@@ -416,6 +488,11 @@ impl PartialSamplingOptimizer {
         let mut used: BTreeMap<usize, SampleSummary> = BTreeMap::new();
         let mut prior_coords: BTreeMap<usize, f64> = BTreeMap::new();
         let mut priors_used = 0usize;
+        // The whole initial set is one label batch: membership is fixed before
+        // any of its labels are known, so the pairs can be asked in parallel.
+        let fresh_initial: Vec<usize> =
+            initial.iter().copied().filter(|idx| !prior_for.contains_key(idx)).collect();
+        sampler.sample_many_core(&fresh_initial, slate)?;
         for &idx in &initial {
             let summary = match prior_for.get(&idx) {
                 Some(&(coord, prior)) => {
@@ -423,7 +500,7 @@ impl PartialSamplingOptimizer {
                     prior_coords.insert(idx, coord);
                     prior
                 }
-                None => sampler.sample(idx, oracle),
+                None => sampler.sample_core(idx, slate)?,
             };
             used.insert(idx, summary);
             push_sample(&mut train_x, &mut train_y, &mut train_noise, idx, summary);
@@ -494,7 +571,7 @@ impl PartialSamplingOptimizer {
                     prior_coords.insert(x, coord);
                     prior
                 }
-                None => sampler.sample(x, oracle),
+                None => sampler.sample_core(x, slate)?,
             };
             let observed_proportion = summary.proportion();
             observed.insert(x, observed_proportion);
@@ -647,9 +724,7 @@ impl Optimizer for PartialSamplingOptimizer {
         workload: &Workload,
         oracle: &mut dyn Oracle,
     ) -> Result<OptimizationOutcome> {
-        let plan = self.plan(workload, oracle)?;
-        let solution = plan.solution(workload);
-        OptimizationOutcome::from_solution(solution, workload, oracle)
+        self.session(workload)?.drive(oracle)
     }
 
     fn name(&self) -> &'static str {

@@ -1,20 +1,31 @@
-//! Sampling pairs from workload subsets through the human oracle.
+//! Sampling pairs from workload subsets.
+//!
+//! The sampler owns the *randomness* of within-subset sampling but not the
+//! labels: which pairs get drawn from a subset is decided by a seeded RNG whose
+//! draw order never depends on label values, so a
+//! [`LabelingSession`](crate::LabelingSession) replay reproduces the exact same
+//! draws. Labels are then read from the session's answered slate (suspending
+//! the replay when missing) or, through the legacy synchronous API, pulled
+//! from an [`Oracle`].
 
 use crate::oracle::Oracle;
+use crate::session::{Drive, LabelSlate, SessionPhase};
 use er_core::workload::{SubsetPartition, Workload};
 use er_stats::SampleSummary;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Draws simple random samples from workload subsets, labels them through the
-/// oracle, and caches the per-subset summaries so a subset is never re-sampled.
+/// Draws simple random samples from workload subsets and caches the per-subset
+/// draws and summaries so a subset is never re-sampled.
 #[derive(Debug)]
 pub struct SubsetSampler<'a> {
     workload: &'a Workload,
     partition: &'a SubsetPartition,
     samples_per_subset: usize,
     rng: StdRng,
+    /// Within-subset sample indices, cached at first draw (ascending order).
+    drawn: BTreeMap<usize, Vec<usize>>,
     cache: BTreeMap<usize, SampleSummary>,
 }
 
@@ -31,6 +42,7 @@ impl<'a> SubsetSampler<'a> {
             partition,
             samples_per_subset: samples_per_subset.max(1),
             rng: StdRng::seed_from_u64(seed),
+            drawn: BTreeMap::new(),
             cache: BTreeMap::new(),
         }
     }
@@ -50,11 +62,11 @@ impl<'a> SubsetSampler<'a> {
         self.cache.contains_key(&subset_index)
     }
 
-    /// Samples a subset (or returns the cached summary), labelling the drawn pairs
-    /// through the oracle.
-    pub fn sample(&mut self, subset_index: usize, oracle: &mut dyn Oracle) -> SampleSummary {
-        if let Some(summary) = self.cache.get(&subset_index) {
-            return *summary;
+    /// The workload indices sampled from a subset, drawing (and advancing the
+    /// RNG) only the first time a subset is asked for.
+    fn draw(&mut self, subset_index: usize) -> Vec<usize> {
+        if let Some(drawn) = self.drawn.get(&subset_index) {
+            return drawn.clone();
         }
         let range = self.partition.subset(subset_index).range();
         let size = range.len();
@@ -68,16 +80,90 @@ impl<'a> SubsetSampler<'a> {
             }
             drawn
         };
-        let mut positives = 0usize;
-        for idx in &indices {
-            if oracle.label(self.workload.pair(*idx)).is_match() {
-                positives += 1;
-            }
-        }
-        let summary = SampleSummary::new(indices.len(), positives)
+        let drawn: Vec<usize> = indices.into_iter().collect();
+        self.drawn.insert(subset_index, drawn.clone());
+        drawn
+    }
+
+    /// Summarizes a drawn subset from answered labels and caches the result.
+    fn summarize(
+        &mut self,
+        subset_index: usize,
+        indices: &[usize],
+        slate: &LabelSlate<'_>,
+    ) -> SampleSummary {
+        let positives = indices.iter().filter(|&&index| slate.is_match(index)).count();
+        self.insert_summary(subset_index, indices.len(), positives)
+    }
+
+    /// Caches and returns a subset's sample summary — the single construction
+    /// point shared by the slate and oracle labeling paths.
+    fn insert_summary(
+        &mut self,
+        subset_index: usize,
+        sample_size: usize,
+        positives: usize,
+    ) -> SampleSummary {
+        let summary = SampleSummary::new(sample_size, positives)
             .expect("positives cannot exceed the sample size by construction");
         self.cache.insert(subset_index, summary);
         summary
+    }
+
+    /// Samples a subset (or returns the cached summary), reading labels from
+    /// the answered slate and suspending the replay when they are missing.
+    pub(crate) fn sample_core(
+        &mut self,
+        subset_index: usize,
+        slate: &LabelSlate<'_>,
+    ) -> Drive<SampleSummary> {
+        if let Some(summary) = self.cache.get(&subset_index) {
+            return Ok(*summary);
+        }
+        let indices = self.draw(subset_index);
+        slate.require(SessionPhase::Sampling, indices.iter().copied())?;
+        Ok(self.summarize(subset_index, &indices, slate))
+    }
+
+    /// Samples several subsets as **one** label batch: all draws happen first
+    /// (their membership never depends on labels), then a single `require`
+    /// covers every drawn pair, so a driver can dispatch the whole set in
+    /// parallel within one round-trip.
+    pub(crate) fn sample_many_core(
+        &mut self,
+        subsets: &[usize],
+        slate: &LabelSlate<'_>,
+    ) -> Drive<Vec<SampleSummary>> {
+        let mut fresh: Vec<(usize, Vec<usize>)> = Vec::new();
+        for &subset in subsets {
+            if !self.cache.contains_key(&subset) {
+                let indices = self.draw(subset);
+                fresh.push((subset, indices));
+            }
+        }
+        slate.require(
+            SessionPhase::Sampling,
+            fresh.iter().flat_map(|(_, indices)| indices.iter().copied()),
+        )?;
+        for (subset, indices) in &fresh {
+            self.summarize(*subset, indices, slate);
+        }
+        Ok(subsets.iter().map(|subset| self.cache[subset]).collect())
+    }
+
+    /// Samples a subset (or returns the cached summary), labelling the drawn
+    /// pairs synchronously through the oracle. This is the legacy blocking
+    /// API; session replays use the suspendable path instead.
+    pub fn sample(&mut self, subset_index: usize, oracle: &mut dyn Oracle) -> SampleSummary {
+        if let Some(summary) = self.cache.get(&subset_index) {
+            return *summary;
+        }
+        let indices = self.draw(subset_index);
+        let positives = indices
+            .iter()
+            .filter(|&&index| oracle.label(self.workload.pair(index)).is_match())
+            .count();
+        self.insert_summary(subset_index, indices.len(), positives)
     }
 
     /// Samples every subset of the partition (the all-sampling regime).
@@ -90,6 +176,7 @@ impl<'a> SubsetSampler<'a> {
 mod tests {
     use super::*;
     use crate::oracle::{GroundTruthOracle, Oracle};
+    use er_core::workload::{Label, PairId};
 
     fn workload(n: usize) -> Workload {
         // Top half of the similarity range is all matches.
@@ -144,5 +231,34 @@ mod tests {
         let mut oracle_a = GroundTruthOracle::new();
         let mut oracle_b = GroundTruthOracle::new();
         assert_eq!(a.sample(5, &mut oracle_a), b.sample(5, &mut oracle_b));
+    }
+
+    #[test]
+    fn suspendable_sampling_matches_the_oracle_path() {
+        // The same seed must draw the same pairs whether labels are pulled
+        // from an oracle or read from an answered slate — that equivalence is
+        // what makes session replays byte-identical with oracle runs.
+        let w = workload(1_000);
+        let partition = w.partition(100).unwrap();
+        let mut oracle_sampler = SubsetSampler::new(&w, &partition, 15, 9);
+        let mut oracle = GroundTruthOracle::new();
+        let via_oracle = oracle_sampler.sample(5, &mut oracle);
+
+        let mut session_sampler = SubsetSampler::new(&w, &partition, 15, 9);
+        let empty: BTreeMap<PairId, Label> = BTreeMap::new();
+        let slate = LabelSlate::new(&w, &empty);
+        // First attempt suspends with the drawn pairs.
+        let suspended = session_sampler.sample_core(5, &slate);
+        let indices = match suspended {
+            Err(crate::session::Suspend::Need { indices, .. }) => indices,
+            _ => panic!("expected a suspension for unanswered labels"),
+        };
+        assert_eq!(indices.len(), 15);
+        // Answer them from the ground truth and retry: summary matches.
+        let answered: BTreeMap<PairId, Label> =
+            indices.iter().map(|&i| (w.pair(i).id(), w.pair(i).ground_truth())).collect();
+        let slate = LabelSlate::new(&w, &answered);
+        let via_slate = session_sampler.sample_core(5, &slate).unwrap_or_else(|_| panic!());
+        assert_eq!(via_oracle, via_slate);
     }
 }

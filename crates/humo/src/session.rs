@@ -1,0 +1,1127 @@
+//! Sans-I/O labeling sessions: batched, resumable human-in-the-loop
+//! optimization.
+//!
+//! Every HUMO optimizer consumes manual labels — the scarce resource the whole
+//! paper is about. The classic entry point (`Optimizer::optimize(workload,
+//! oracle)`) pulls those labels synchronously, one blocking call at a time,
+//! which is fine for simulation but wrong for a production deployment where
+//! labels come from real people: asynchronously, in batches, with latency, and
+//! sometimes never.
+//!
+//! A [`LabelingSession`] inverts that control flow into a sans-I/O state
+//! machine. The session never performs I/O; instead it *emits* batches of
+//! [`LabelRequest`]s and is *driven* with [`LabelResponse`]s:
+//!
+//! ```text
+//!             ┌─────────────────────────────────────────────┐
+//!             │                LabelingSession              │
+//!  step(&[])  │  replay optimizer against answered labels   │
+//! ──────────► │                                             │
+//!             │   needs labels it             completes     │
+//!             │   does not have                             │
+//!             └───────┬─────────────────────────┬───────────┘
+//!                     ▼                         ▼
+//!          Step::NeedLabels(batch)    Step::Done(outcome)
+//!                     │
+//!                     ▼
+//!        dispatch batch to humans (crowdsourcing, UI, queue, …)
+//!                     │
+//!                     ▼
+//!          step(&responses)  ──────────────► (loop)
+//! ```
+//!
+//! Each emitted batch is a set of *distinct, not-yet-answered* pairs that can
+//! be labeled in parallel: a whole subset sample for SAMP/ALL, a whole
+//! interval/subset probe for BASE/HYBR boundary growth, the full human region
+//! `DH` for the final verification. Responses may arrive partially, in any
+//! order, across any number of `step` calls; the session simply re-emits
+//! whatever is still missing.
+//!
+//! # How it works: deterministic replay
+//!
+//! Internally `step` re-runs the optimizer from scratch against the map of
+//! answered labels. All optimizers in this crate are deterministic given their
+//! configuration and the labels they observe (within-subset sampling uses a
+//! seeded RNG whose draw order does not depend on label values), so a replay
+//! reproduces the exact same decisions up to the first pair whose label is
+//! unknown — at which point it suspends with the missing batch. This is what
+//! makes sessions *resumable for free*: the answered-label log is a complete
+//! checkpoint, and [`LabelingSession::resume`] rebuilds a session mid-flight
+//! from nothing but the session's inputs (configuration, workload, and — for
+//! warm-started sessions — the same [`WarmStart`]) plus that log.
+//!
+//! Replay trades a little CPU (the per-step re-run) for zero duplicated human
+//! work — no label is ever requested twice — and for byte-identical behavior
+//! between the session API and the classic oracle API:
+//! [`LabelingSession::drive`] is literally how `Optimizer::optimize` is
+//! implemented now.
+//!
+//! # Driving a session with an oracle
+//!
+//! ```
+//! use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+//! use humo::{
+//!     GroundTruthOracle, LabelResponse, LabelingSession, OptimizerKind, QualityRequirement,
+//!     SessionConfig, Step,
+//! };
+//!
+//! let workload = SyntheticGenerator::new(SyntheticConfig::new(8_000, 14.0, 0.1)).generate();
+//! let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+//! let config = SessionConfig::for_kind(OptimizerKind::Hybrid, requirement);
+//!
+//! // Manual driving: answer every batch from the ground truth.
+//! let mut session = LabelingSession::new(config, &workload).unwrap();
+//! let mut responses = Vec::new();
+//! let outcome = loop {
+//!     match session.step(&responses).unwrap() {
+//!         Step::Done(outcome) => break outcome,
+//!         Step::NeedLabels(requests) => {
+//!             responses = requests
+//!                 .iter()
+//!                 .map(|request| LabelResponse {
+//!                     pair_id: request.pair_id,
+//!                     label: workload.pair(request.index).ground_truth(),
+//!                 })
+//!                 .collect();
+//!         }
+//!     }
+//! };
+//! assert!(outcome.metrics.precision() >= 0.9);
+//!
+//! // Equivalent: let an Oracle answer synchronously.
+//! let mut session = LabelingSession::new(config, &workload).unwrap();
+//! let driven = session.drive(&mut GroundTruthOracle::new()).unwrap();
+//! assert_eq!(driven.solution, outcome.solution);
+//! ```
+
+use crate::baseline::{BaselineConfig, BaselineOptimizer};
+use crate::hybrid::{HybridConfig, HybridOptimizer};
+use crate::optimizer::OptimizerKind;
+use crate::oracle::Oracle;
+use crate::requirement::QualityRequirement;
+use crate::sampling::{
+    AllSamplingConfig, AllSamplingOptimizer, PartialSamplingConfig, PartialSamplingOptimizer,
+    WarmStart,
+};
+use crate::solution::{HumoSolution, OptimizationOutcome};
+use crate::{HumoError, Result};
+use er_core::workload::{InstancePair, Label, LabelAssignment, PairId, Workload};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One pair the session needs a manual label for.
+///
+/// Requests within a batch are independent: they can be dispatched to
+/// different workers in parallel and answered in any order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelRequest {
+    /// Stable identifier of the pair (use this to route the answer back).
+    pub pair_id: PairId,
+    /// Position of the pair in the similarity-sorted workload; the full record
+    /// payload is available via `workload.pair(index)`.
+    pub index: usize,
+    /// The pair's machine-metric value, for display/triage in labeling UIs.
+    pub similarity: f64,
+}
+
+/// A manual label for one previously requested pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabelResponse {
+    /// The pair this label answers.
+    pub pair_id: PairId,
+    /// The human's verdict.
+    pub label: Label,
+}
+
+/// What a [`LabelingSession::step`] call produced.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// The session needs these labels before it can make further progress.
+    /// Every batch contains only distinct, not-yet-answered pairs.
+    NeedLabels(Vec<LabelRequest>),
+    /// The optimization finished with this outcome.
+    Done(OptimizationOutcome),
+}
+
+/// Which stage of the optimization the session's most recent label batch
+/// belongs to — useful for prioritizing or pricing crowdsourced dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionPhase {
+    /// Drawing within-subset random samples (SAMP/ALL estimation, Algorithm 1
+    /// refinement probes).
+    Sampling,
+    /// Growing the human region boundary by whole units/subsets (BASE and
+    /// HYBR's monotonicity-guided search).
+    BoundarySearch,
+    /// Final verification of the chosen human region `DH`.
+    Verification,
+    /// The session has completed.
+    Done,
+}
+
+impl std::fmt::Display for SessionPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SessionPhase::Sampling => "sampling",
+            SessionPhase::BoundarySearch => "boundary-search",
+            SessionPhase::Verification => "verification",
+            SessionPhase::Done => "done",
+        })
+    }
+}
+
+/// Which optimizer a session runs, with its full configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionConfig {
+    /// The conservative baseline of Section V ("BASE").
+    Baseline(BaselineConfig),
+    /// The all-sampling solution of Section VI-A.
+    AllSampling(AllSamplingConfig),
+    /// The partial-sampling solution of Section VI-B ("SAMP").
+    PartialSampling(PartialSamplingConfig),
+    /// The hybrid approach of Section VII ("HYBR").
+    Hybrid(HybridConfig),
+    /// Degenerate "optimizer" that hands the entire workload to the human.
+    /// Used by streaming pipelines as the exact fallback for workloads too
+    /// small (or too degenerate) to drive the statistical optimizers.
+    AllHuman,
+}
+
+impl SessionConfig {
+    /// The session configuration for an [`OptimizerKind`] with the paper's
+    /// default parameters for the given quality requirement.
+    pub fn for_kind(kind: OptimizerKind, requirement: QualityRequirement) -> Self {
+        match kind {
+            OptimizerKind::Baseline => SessionConfig::Baseline(BaselineConfig::new(requirement)),
+            OptimizerKind::AllSampling => {
+                SessionConfig::AllSampling(AllSamplingConfig::new(requirement))
+            }
+            OptimizerKind::PartialSampling => {
+                SessionConfig::PartialSampling(PartialSamplingConfig::new(requirement))
+            }
+            OptimizerKind::Hybrid => SessionConfig::Hybrid(HybridConfig::new(requirement)),
+        }
+    }
+
+    /// The phase a fresh session of this configuration starts in.
+    fn initial_phase(&self) -> SessionPhase {
+        match self {
+            SessionConfig::Baseline(_) => SessionPhase::BoundarySearch,
+            SessionConfig::AllHuman => SessionPhase::Verification,
+            _ => SessionPhase::Sampling,
+        }
+    }
+
+    /// Validates the embedded optimizer configuration.
+    fn validate(&self) -> Result<()> {
+        match self {
+            SessionConfig::Baseline(cfg) => BaselineOptimizer::new(*cfg).map(|_| ()),
+            SessionConfig::AllSampling(cfg) => AllSamplingOptimizer::new(*cfg).map(|_| ()),
+            SessionConfig::PartialSampling(cfg) => PartialSamplingOptimizer::new(*cfg).map(|_| ()),
+            SessionConfig::Hybrid(cfg) => HybridOptimizer::new(*cfg).map(|_| ()),
+            SessionConfig::AllHuman => Ok(()),
+        }
+    }
+}
+
+/// Why an optimizer replay stopped before producing a solution.
+pub(crate) enum Suspend {
+    /// The replay reached a point where it needs these workload indices
+    /// labeled (distinct, not yet answered), during the given phase.
+    Need {
+        /// The stage of the optimization the batch belongs to.
+        phase: SessionPhase,
+        /// Workload indices of the unanswered pairs, in request order.
+        indices: Vec<usize>,
+    },
+    /// The replay failed with a real error.
+    Fail(HumoError),
+}
+
+impl From<HumoError> for Suspend {
+    fn from(e: HumoError) -> Self {
+        Suspend::Fail(e)
+    }
+}
+
+impl From<er_stats::StatsError> for Suspend {
+    fn from(e: er_stats::StatsError) -> Self {
+        Suspend::Fail(e.into())
+    }
+}
+
+impl From<er_core::ErError> for Suspend {
+    fn from(e: er_core::ErError) -> Self {
+        Suspend::Fail(e.into())
+    }
+}
+
+/// Result alias for suspendable optimizer cores.
+pub(crate) type Drive<T> = std::result::Result<T, Suspend>;
+
+/// The answered-label view an optimizer replay reads from. Requesting labels
+/// that are not yet answered suspends the replay with the missing batch.
+pub(crate) struct LabelSlate<'a> {
+    workload: &'a Workload,
+    answered: &'a BTreeMap<PairId, Label>,
+}
+
+impl<'a> LabelSlate<'a> {
+    pub(crate) fn new(workload: &'a Workload, answered: &'a BTreeMap<PairId, Label>) -> Self {
+        Self { workload, answered }
+    }
+
+    /// The answered label of a workload index, if any.
+    fn get(&self, index: usize) -> Option<bool> {
+        self.answered.get(&self.workload.pair(index).id()).map(Label::is_match)
+    }
+
+    /// The answered label of a workload index.
+    ///
+    /// # Panics
+    /// Panics if the index was not covered by a successful [`Self::require`] —
+    /// an internal contract violation, not a user error.
+    pub(crate) fn is_match(&self, index: usize) -> bool {
+        self.get(index).expect("label must be required before it is read")
+    }
+
+    /// Ensures every index is answered, suspending the replay with the batch
+    /// of distinct, not-yet-answered pairs (in first-occurrence order)
+    /// otherwise.
+    pub(crate) fn require(
+        &self,
+        phase: SessionPhase,
+        indices: impl IntoIterator<Item = usize>,
+    ) -> Drive<()> {
+        let mut missing: Vec<usize> = Vec::new();
+        let mut seen: BTreeSet<PairId> = BTreeSet::new();
+        for index in indices {
+            if self.get(index).is_none() && seen.insert(self.workload.pair(index).id()) {
+                missing.push(index);
+            }
+        }
+        if missing.is_empty() {
+            Ok(())
+        } else {
+            Err(Suspend::Need { phase, indices: missing })
+        }
+    }
+}
+
+/// What a completed optimizer replay hands back to the session.
+pub(crate) struct CoreOutput {
+    /// The chosen partition.
+    pub(crate) solution: HumoSolution,
+    /// The final label assignment (machine labels plus answered labels on `DH`).
+    pub(crate) assignment: LabelAssignment,
+    /// Warm-start state seeding the next epoch, for optimizers that produce one.
+    pub(crate) warm_out: Option<WarmStart>,
+}
+
+/// Shared final-verification step: requires every `DH` label (one batch) and
+/// assembles the label assignment — `D⁻` unmatch, `DH` as answered, `D⁺` match.
+pub(crate) fn verified_assignment(
+    solution: &HumoSolution,
+    workload: &Workload,
+    slate: &LabelSlate<'_>,
+) -> Drive<LabelAssignment> {
+    slate.require(SessionPhase::Verification, solution.human_range())?;
+    Ok(solution.resolve_from_labels(workload, |index| Label::from_bool(slate.is_match(index))))
+}
+
+/// The all-human "optimizer": every pair goes to the human. Exact and
+/// deterministic; used as the streaming pipelines' fallback for tiny or
+/// statistically degenerate workloads.
+fn all_human_core(workload: &Workload, slate: &LabelSlate<'_>) -> Drive<CoreOutput> {
+    let solution = HumoSolution::all_human(workload.len());
+    let assignment = verified_assignment(&solution, workload, slate)?;
+    Ok(CoreOutput { solution, assignment, warm_out: None })
+}
+
+/// Runs one full replay of the configured optimizer against the answered
+/// labels.
+fn run_core(
+    config: &SessionConfig,
+    warm: Option<&WarmStart>,
+    workload: &Workload,
+    slate: &LabelSlate<'_>,
+) -> Drive<CoreOutput> {
+    match config {
+        SessionConfig::Baseline(cfg) => BaselineOptimizer::new(*cfg)?.session_core(workload, slate),
+        SessionConfig::AllSampling(cfg) => {
+            AllSamplingOptimizer::new(*cfg)?.session_core(workload, slate)
+        }
+        SessionConfig::PartialSampling(cfg) => {
+            PartialSamplingOptimizer::new(*cfg)?.session_core(workload, slate, warm)
+        }
+        SessionConfig::Hybrid(cfg) => HybridOptimizer::new(*cfg)?.session_core(workload, slate),
+        SessionConfig::AllHuman => all_human_core(workload, slate),
+    }
+}
+
+/// Answers a batch of label requests through an [`Oracle`], in request order —
+/// the one driver loop body shared by [`LabelingSession::drive`], the engine
+/// wrappers in `er-pipeline`, and the crate-internal oracle shims.
+///
+/// # Panics
+/// Panics if the oracle's [`Oracle::label_batch`] returns a different number
+/// of labels than requests: a short return would otherwise make every driver
+/// loop forever re-emitting the same batch.
+pub fn answer_requests(
+    workload: &Workload,
+    requests: &[LabelRequest],
+    oracle: &mut dyn Oracle,
+) -> Vec<LabelResponse> {
+    let pairs: Vec<&InstancePair> =
+        requests.iter().map(|request| workload.pair(request.index)).collect();
+    let labels = oracle.label_batch(&pairs);
+    assert_eq!(
+        labels.len(),
+        requests.len(),
+        "Oracle::label_batch must return exactly one label per requested pair"
+    );
+    requests
+        .iter()
+        .zip(labels)
+        .map(|(request, label)| LabelResponse { pair_id: request.pair_id, label })
+        .collect()
+}
+
+/// Drives a suspendable computation to completion by answering every emitted
+/// batch through an [`Oracle`] — the internal engine behind the oracle-based
+/// public APIs (`PartialSamplingOptimizer::plan`, …).
+pub(crate) fn drive_with_oracle<T>(
+    workload: &Workload,
+    oracle: &mut dyn Oracle,
+    mut f: impl FnMut(&LabelSlate<'_>) -> Drive<T>,
+) -> Result<T> {
+    let mut answered: BTreeMap<PairId, Label> = BTreeMap::new();
+    loop {
+        let attempt = f(&LabelSlate::new(workload, &answered));
+        match attempt {
+            Ok(value) => return Ok(value),
+            Err(Suspend::Need { indices, .. }) => {
+                let requests: Vec<LabelRequest> = indices
+                    .iter()
+                    .map(|&index| {
+                        let pair = workload.pair(index);
+                        LabelRequest { pair_id: pair.id(), index, similarity: pair.similarity() }
+                    })
+                    .collect();
+                for response in answer_requests(workload, &requests, oracle) {
+                    answered.insert(response.pair_id, response.label);
+                }
+            }
+            Err(Suspend::Fail(e)) => return Err(e),
+        }
+    }
+}
+
+/// The owned, workload-detached part of a labeling session: configuration,
+/// answered-label log and progress counters.
+///
+/// [`LabelingSession`] is the ergonomic borrowing wrapper most callers want;
+/// `SessionState` exists for embedders (such as
+/// `er_pipeline::ResolutionEngine`) whose workload lives inside a larger
+/// mutable structure and therefore cannot be borrowed for the session's whole
+/// lifetime. Every [`SessionState::step`] must be called with the same
+/// workload the session was started for.
+#[derive(Debug, Clone)]
+pub struct SessionState {
+    config: SessionConfig,
+    warm: Option<WarmStart>,
+    /// Every known label: preloaded prior knowledge plus absorbed responses.
+    answered: BTreeMap<PairId, Label>,
+    /// Distinct responses absorbed through `step`, in arrival order — the
+    /// session's cost basis and its checkpoint/resume log.
+    log: Vec<LabelResponse>,
+    pending: Vec<LabelRequest>,
+    rounds: usize,
+    phase: SessionPhase,
+    outcome: Option<OptimizationOutcome>,
+    warm_out: Option<WarmStart>,
+    /// Lazily built pair-id membership index used to validate responses.
+    ids: Option<BTreeSet<PairId>>,
+}
+
+impl SessionState {
+    /// Creates a fresh session state, validating the configuration.
+    pub fn new(config: SessionConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(Self {
+            phase: config.initial_phase(),
+            config,
+            warm: None,
+            answered: BTreeMap::new(),
+            log: Vec::new(),
+            pending: Vec::new(),
+            rounds: 0,
+            outcome: None,
+            warm_out: None,
+            ids: None,
+        })
+    }
+
+    /// Seeds the session with warm-start state from a previous optimization
+    /// (honored by the partial-sampling optimizer, inert for the others).
+    pub fn with_warm_start(mut self, warm: Option<WarmStart>) -> Self {
+        self.warm = warm;
+        self
+    }
+
+    /// Rebuilds a session from a previous session's answered-label log (see
+    /// [`SessionState::answered_log`]). The log's labels count toward this
+    /// session's cost exactly as they did originally, and the next
+    /// [`SessionState::step`] resumes the optimization from where the logged
+    /// labels carry it. Log entries referencing pairs outside `workload` are
+    /// rejected with [`HumoError::InvalidResponse`], like any other response.
+    ///
+    /// The log replaces the *labels*, not the session's inputs: a session
+    /// that was seeded with a [`WarmStart`] must be resumed with the **same**
+    /// warm start (chain [`SessionState::with_warm_start`], or use
+    /// [`LabelingSession::resume_with_warm_start`]) — resuming it cold replays
+    /// a different optimization.
+    pub fn resume(
+        config: SessionConfig,
+        workload: &Workload,
+        log: &[LabelResponse],
+    ) -> Result<Self> {
+        let mut state = Self::new(config)?;
+        // The same membership validation step() applies to live responses: a
+        // log resumed against the wrong workload (or a corrupted log) errors
+        // instead of silently inflating the cost basis with alien pairs.
+        state.absorb(workload, log)?;
+        Ok(state)
+    }
+
+    /// Preloads labels known *before* this session started (a cross-epoch
+    /// label store, an earlier session over an overlapping workload, …). They
+    /// are never re-requested and do **not** count toward this session's cost
+    /// or appear in its answered log.
+    pub fn preload(&mut self, responses: impl IntoIterator<Item = LabelResponse>) {
+        for response in responses {
+            self.answered.entry(response.pair_id).or_insert(response.label);
+        }
+    }
+
+    /// The configuration the session runs.
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// The requests of the most recent [`Step::NeedLabels`] batch that are
+    /// still unanswered.
+    pub fn pending(&self) -> &[LabelRequest] {
+        &self.pending
+    }
+
+    /// Number of distinct label dispatch waves so far — the label
+    /// *round-trip* cost of the session (each wave is one dispatch latency,
+    /// however many pairs it contains). Re-emissions of a still-outstanding
+    /// batch (zero-progress polls, partial-response steps) do not count.
+    ///
+    /// Unlike the label cost, this counter is per-process bookkeeping, not
+    /// part of the checkpoint: a session rebuilt via [`SessionState::resume`]
+    /// starts counting at zero again (the checkpointed labels arrive in one
+    /// replayed wave, not in their original cadence). Drivers that need a
+    /// cumulative latency figure across restarts should persist it alongside
+    /// the log.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// The optimization stage the most recent batch belongs to.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// The distinct responses absorbed so far, in arrival order. Feeding this
+    /// log to [`SessionState::resume`] (same configuration, same workload)
+    /// rebuilds a session that resumes to the same outcome.
+    pub fn answered_log(&self) -> &[LabelResponse] {
+        &self.log
+    }
+
+    /// Whether the session has completed.
+    pub fn is_done(&self) -> bool {
+        self.outcome.is_some()
+    }
+
+    /// The finished outcome, once the session is done.
+    pub fn outcome(&self) -> Option<&OptimizationOutcome> {
+        self.outcome.as_ref()
+    }
+
+    /// Warm-start state for the next epoch, produced by completed
+    /// partial-sampling sessions.
+    pub fn next_warm_start(&self) -> Option<&WarmStart> {
+        self.warm_out.as_ref()
+    }
+
+    /// Absorbs responses: unknown pairs are rejected, repeated labels for the
+    /// same pair keep the first answer (mirroring oracle caching semantics).
+    /// Absorption is transactional — a rejected batch records nothing.
+    fn absorb(&mut self, workload: &Workload, responses: &[LabelResponse]) -> Result<()> {
+        if responses.is_empty() {
+            return Ok(());
+        }
+        let ids =
+            self.ids.get_or_insert_with(|| workload.pairs().iter().map(InstancePair::id).collect());
+        // Validate the whole batch before recording anything, so a rejected
+        // step leaves the answered map, cost log and checkpoint untouched.
+        if let Some(bad) = responses.iter().find(|response| !ids.contains(&response.pair_id)) {
+            return Err(HumoError::InvalidResponse(format!(
+                "response labels pair {} which is not part of this session's workload",
+                bad.pair_id
+            )));
+        }
+        for response in responses {
+            if let std::collections::btree_map::Entry::Vacant(slot) =
+                self.answered.entry(response.pair_id)
+            {
+                slot.insert(response.label);
+                self.log.push(*response);
+            }
+        }
+        self.pending.retain(|request| !self.answered.contains_key(&request.pair_id));
+        Ok(())
+    }
+
+    /// Advances the session: absorbs `responses`, replays the optimizer
+    /// against everything answered so far, and either emits the next batch of
+    /// label requests or completes.
+    ///
+    /// `workload` must be the workload the session was started for. Responses
+    /// may cover any subset of any emitted batch (and may even pre-answer
+    /// pairs the session has not asked about yet); the session re-emits
+    /// whatever is still missing. Stepping a completed session ignores the
+    /// responses and returns the stored outcome again.
+    pub fn step(&mut self, workload: &Workload, responses: &[LabelResponse]) -> Result<Step> {
+        // A completed session is frozen: late responses are ignored rather
+        // than absorbed, so the answered log (and any checkpoint taken from
+        // it) keeps matching the stored outcome's cost counters.
+        if let Some(outcome) = &self.outcome {
+            return Ok(Step::Done(outcome.clone()));
+        }
+        self.absorb(workload, responses)?;
+        let attempt = run_core(
+            &self.config,
+            self.warm.as_ref(),
+            workload,
+            &LabelSlate::new(workload, &self.answered),
+        );
+        match attempt {
+            Ok(core) => {
+                let metrics = workload.evaluate(&core.assignment)?;
+                let verification_cost = core.solution.human_region_size();
+                let total_human_cost = self.log.len();
+                let outcome = OptimizationOutcome {
+                    solution: core.solution,
+                    assignment: core.assignment,
+                    metrics,
+                    verification_cost,
+                    sampling_cost: total_human_cost.saturating_sub(verification_cost),
+                    total_human_cost,
+                };
+                self.pending.clear();
+                self.phase = SessionPhase::Done;
+                self.warm_out = core.warm_out;
+                self.outcome = Some(outcome.clone());
+                Ok(Step::Done(outcome))
+            }
+            Err(Suspend::Need { phase, indices }) => {
+                // A re-emission of (a subset of) the batch that is already
+                // outstanding — a zero-progress poll or a partial-response
+                // step — is not a new dispatch wave, so it does not count as
+                // a label round-trip.
+                let outstanding: BTreeSet<PairId> =
+                    self.pending.iter().map(|request| request.pair_id).collect();
+                self.pending = indices
+                    .into_iter()
+                    .map(|index| {
+                        let pair = workload.pair(index);
+                        LabelRequest { pair_id: pair.id(), index, similarity: pair.similarity() }
+                    })
+                    .collect();
+                let reemission = !self.pending.is_empty()
+                    && self.pending.iter().all(|request| outstanding.contains(&request.pair_id));
+                if !reemission {
+                    self.rounds += 1;
+                }
+                self.phase = phase;
+                Ok(Step::NeedLabels(self.pending.clone()))
+            }
+            Err(Suspend::Fail(e)) => Err(e),
+        }
+    }
+}
+
+/// A resumable, batched human-in-the-loop optimization over one workload.
+///
+/// See the [module documentation](self) for the full state-machine story. In
+/// short: call [`LabelingSession::step`] with the responses you have (none to
+/// start), dispatch every emitted [`Step::NeedLabels`] batch to your labelers,
+/// and keep stepping until [`Step::Done`]. [`LabelingSession::drive`] runs
+/// that loop against a synchronous [`Oracle`].
+#[derive(Debug, Clone)]
+pub struct LabelingSession<'w> {
+    workload: &'w Workload,
+    state: SessionState,
+}
+
+impl<'w> LabelingSession<'w> {
+    /// Creates a session for the given optimizer configuration and workload.
+    pub fn new(config: SessionConfig, workload: &'w Workload) -> Result<Self> {
+        Ok(Self { workload, state: SessionState::new(config)? })
+    }
+
+    /// Creates a session seeded with warm-start state from a previous
+    /// optimization (honored by the partial-sampling optimizer).
+    pub fn with_warm_start(
+        config: SessionConfig,
+        workload: &'w Workload,
+        warm: Option<WarmStart>,
+    ) -> Result<Self> {
+        Ok(Self { workload, state: SessionState::new(config)?.with_warm_start(warm) })
+    }
+
+    /// Rebuilds a session from a previous session's answered-label log; the
+    /// next [`LabelingSession::step`] resumes to the same outcome the original
+    /// session was heading for. A session that was created with a warm start
+    /// must be resumed via [`LabelingSession::resume_with_warm_start`] with
+    /// the same warm start. See [`SessionState::resume`].
+    pub fn resume(
+        config: SessionConfig,
+        workload: &'w Workload,
+        log: &[LabelResponse],
+    ) -> Result<Self> {
+        Ok(Self { workload, state: SessionState::resume(config, workload, log)? })
+    }
+
+    /// Rebuilds a warm-started session from its answered-label log: the same
+    /// configuration, workload *and* warm start the original session was
+    /// created with, plus the log, reproduce its optimization exactly.
+    pub fn resume_with_warm_start(
+        config: SessionConfig,
+        workload: &'w Workload,
+        log: &[LabelResponse],
+        warm: Option<WarmStart>,
+    ) -> Result<Self> {
+        Ok(Self {
+            workload,
+            state: SessionState::resume(config, workload, log)?.with_warm_start(warm),
+        })
+    }
+
+    /// Wraps an owned [`SessionState`] (e.g. one rebuilt via
+    /// [`SessionState::resume`] and re-seeded with
+    /// [`SessionState::with_warm_start`]) for the given workload.
+    pub fn from_state(state: SessionState, workload: &'w Workload) -> Self {
+        Self { workload, state }
+    }
+
+    /// The workload this session optimizes.
+    pub fn workload(&self) -> &'w Workload {
+        self.workload
+    }
+
+    /// The owned session state (for embedding or inspection).
+    pub fn state(&self) -> &SessionState {
+        &self.state
+    }
+
+    /// Advances the session with the given responses. See
+    /// [`SessionState::step`] for the exact semantics.
+    pub fn step(&mut self, responses: &[LabelResponse]) -> Result<Step> {
+        self.state.step(self.workload, responses)
+    }
+
+    /// Runs the session to completion against a synchronous [`Oracle`],
+    /// answering every emitted batch through [`Oracle::label_batch`].
+    ///
+    /// The outcome's cost counters are *session-scoped*: they count the
+    /// distinct labels this session absorbed (including any checkpointed
+    /// labels it was resumed from), regardless of how the session was driven.
+    /// For a fresh session driven by a fresh oracle — the classic
+    /// `Optimizer::optimize(workload, oracle)` entry point, which is
+    /// implemented as this method — that equals the oracle's distinct-pair
+    /// counter.
+    pub fn drive(&mut self, oracle: &mut dyn Oracle) -> Result<OptimizationOutcome> {
+        let mut responses: Vec<LabelResponse> = Vec::new();
+        loop {
+            match self.step(&responses)? {
+                Step::Done(outcome) => return Ok(outcome),
+                Step::NeedLabels(requests) => {
+                    responses = answer_requests(self.workload, &requests, oracle);
+                }
+            }
+        }
+    }
+
+    /// The still-unanswered requests of the most recent batch.
+    pub fn pending(&self) -> &[LabelRequest] {
+        self.state.pending()
+    }
+
+    /// Number of distinct label dispatch waves so far (label round-trips);
+    /// re-emissions of a still-outstanding batch do not count. See
+    /// [`SessionState::rounds`].
+    pub fn rounds(&self) -> usize {
+        self.state.rounds()
+    }
+
+    /// The optimization stage the most recent batch belongs to.
+    pub fn phase(&self) -> SessionPhase {
+        self.state.phase()
+    }
+
+    /// The distinct responses absorbed so far, in arrival order — the
+    /// checkpoint log accepted by [`LabelingSession::resume`].
+    pub fn answered_log(&self) -> &[LabelResponse] {
+        self.state.answered_log()
+    }
+
+    /// Whether the session has completed.
+    pub fn is_done(&self) -> bool {
+        self.state.is_done()
+    }
+
+    /// Warm-start state for the next epoch, produced by completed
+    /// partial-sampling sessions.
+    pub fn next_warm_start(&self) -> Option<&WarmStart> {
+        self.state.next_warm_start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::GroundTruthOracle;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn workload(n: usize) -> Workload {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_pairs: n,
+            tau: 14.0,
+            sigma: 0.1,
+            subset_size: 200,
+            seed: 7,
+        })
+        .generate()
+    }
+
+    fn ground_truth_responses(
+        workload: &Workload,
+        requests: &[LabelRequest],
+    ) -> Vec<LabelResponse> {
+        requests
+            .iter()
+            .map(|request| LabelResponse {
+                pair_id: request.pair_id,
+                label: workload.pair(request.index).ground_truth(),
+            })
+            .collect()
+    }
+
+    fn drive_manually(session: &mut LabelingSession<'_>) -> OptimizationOutcome {
+        let workload = session.workload();
+        let mut responses = Vec::new();
+        loop {
+            match session.step(&responses).unwrap() {
+                Step::Done(outcome) => return outcome,
+                Step::NeedLabels(requests) => {
+                    assert!(!requests.is_empty(), "empty NeedLabels batch");
+                    responses = ground_truth_responses(workload, &requests);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_human_session_verifies_everything_in_one_round() {
+        let w = workload(400);
+        let mut session = LabelingSession::new(SessionConfig::AllHuman, &w).unwrap();
+        let Step::NeedLabels(requests) = session.step(&[]).unwrap() else {
+            panic!("expected a verification batch");
+        };
+        assert_eq!(requests.len(), w.len());
+        assert_eq!(session.phase(), SessionPhase::Verification);
+        let responses = ground_truth_responses(&w, &requests);
+        let Step::Done(outcome) = session.step(&responses).unwrap() else {
+            panic!("expected completion");
+        };
+        assert_eq!(session.rounds(), 1);
+        assert_eq!(outcome.total_human_cost, w.len());
+        assert_eq!(outcome.metrics.precision(), 1.0);
+        assert_eq!(outcome.metrics.recall(), 1.0);
+        // Stepping a completed session is idempotent.
+        let Step::Done(again) = session.step(&[]).unwrap() else { panic!("still done") };
+        assert_eq!(again.solution, outcome.solution);
+        assert!(session.is_done());
+        assert_eq!(session.phase(), SessionPhase::Done);
+    }
+
+    #[test]
+    fn batches_contain_only_distinct_unanswered_pairs() {
+        let w = workload(8_000);
+        let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+        for kind in OptimizerKind::all() {
+            let config = SessionConfig::for_kind(kind, requirement);
+            let mut session = LabelingSession::new(config, &w).unwrap();
+            let mut answered: BTreeSet<PairId> = BTreeSet::new();
+            let mut responses = Vec::new();
+            loop {
+                match session.step(&responses).unwrap() {
+                    Step::Done(_) => break,
+                    Step::NeedLabels(requests) => {
+                        let mut in_batch = BTreeSet::new();
+                        for request in &requests {
+                            assert!(
+                                in_batch.insert(request.pair_id),
+                                "{kind:?}: duplicate pair {} within a batch",
+                                request.pair_id
+                            );
+                            assert!(
+                                !answered.contains(&request.pair_id),
+                                "{kind:?}: pair {} requested after being answered",
+                                request.pair_id
+                            );
+                        }
+                        answered.extend(in_batch);
+                        responses = ground_truth_responses(&w, &requests);
+                    }
+                }
+            }
+            assert!(session.rounds() > 0, "{kind:?}: no batches emitted");
+        }
+    }
+
+    #[test]
+    fn manual_stepping_matches_oracle_driving() {
+        let w = workload(8_000);
+        let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+        let config = SessionConfig::for_kind(OptimizerKind::PartialSampling, requirement);
+        let manual = drive_manually(&mut LabelingSession::new(config, &w).unwrap());
+        let mut oracle = GroundTruthOracle::new();
+        let driven = LabelingSession::new(config, &w).unwrap().drive(&mut oracle).unwrap();
+        assert_eq!(manual.solution, driven.solution);
+        assert_eq!(manual.assignment, driven.assignment);
+        assert_eq!(manual.total_human_cost, driven.total_human_cost);
+        assert_eq!(manual.total_human_cost, oracle.labels_issued());
+    }
+
+    #[test]
+    fn partial_responses_are_tolerated_and_reemitted() {
+        let w = workload(4_000);
+        let requirement = QualityRequirement::new(0.85, 0.85, 0.9).unwrap();
+        let config = SessionConfig::for_kind(OptimizerKind::Baseline, requirement);
+        let reference = drive_manually(&mut LabelingSession::new(config, &w).unwrap());
+        let mut session = LabelingSession::new(config, &w).unwrap();
+        let mut responses: Vec<LabelResponse> = Vec::new();
+        let outcome = loop {
+            match session.step(&responses).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::NeedLabels(requests) => {
+                    // Answer only (the first) half of every batch; the rest is
+                    // re-emitted by the next step.
+                    let half = requests.len().div_ceil(2);
+                    responses = ground_truth_responses(&w, &requests[..half]);
+                }
+            }
+        };
+        assert_eq!(outcome.solution, reference.solution);
+        assert_eq!(outcome.total_human_cost, reference.total_human_cost);
+    }
+
+    #[test]
+    fn resume_from_answered_log_reaches_the_same_outcome() {
+        let w = workload(8_000);
+        let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+        let config = SessionConfig::for_kind(OptimizerKind::Hybrid, requirement);
+        let reference = drive_manually(&mut LabelingSession::new(config, &w).unwrap());
+
+        // Run a fresh session for a few rounds, checkpoint, drop it.
+        let mut session = LabelingSession::new(config, &w).unwrap();
+        let mut responses = Vec::new();
+        for _ in 0..4 {
+            match session.step(&responses).unwrap() {
+                Step::Done(_) => break,
+                Step::NeedLabels(requests) => {
+                    responses = ground_truth_responses(&w, &requests);
+                }
+            }
+        }
+        // Absorb the last responses so the log covers them, then checkpoint.
+        let _ = session.step(&responses).unwrap();
+        let log = session.answered_log().to_vec();
+        drop(session);
+
+        let mut resumed = LabelingSession::resume(config, &w, &log).unwrap();
+        let outcome = drive_manually(&mut resumed);
+        assert_eq!(outcome.solution, reference.solution);
+        assert_eq!(outcome.assignment, reference.assignment);
+        assert_eq!(outcome.total_human_cost, reference.total_human_cost);
+    }
+
+    #[test]
+    fn polls_and_partial_responses_do_not_inflate_round_trips() {
+        let w = workload(2_000);
+        let mut session = LabelingSession::new(SessionConfig::AllHuman, &w).unwrap();
+        let Step::NeedLabels(requests) = session.step(&[]).unwrap() else {
+            panic!("expected a verification batch");
+        };
+        assert_eq!(session.rounds(), 1);
+        // Zero-progress polls re-emit the outstanding batch without counting.
+        for _ in 0..3 {
+            let _ = session.step(&[]).unwrap();
+        }
+        assert_eq!(session.rounds(), 1);
+        // Partial responses re-emit the remainder without counting: the
+        // original dispatch wave is still outstanding with the workers.
+        let half = requests.len() / 2;
+        let responses = ground_truth_responses(&w, &requests[..half]);
+        let Step::NeedLabels(rest) = session.step(&responses).unwrap() else {
+            panic!("expected the remainder to be re-emitted");
+        };
+        assert_eq!(rest.len(), requests.len() - half);
+        assert_eq!(session.rounds(), 1);
+        let responses = ground_truth_responses(&w, &rest);
+        assert!(matches!(session.step(&responses).unwrap(), Step::Done(_)));
+        assert_eq!(session.rounds(), 1);
+    }
+
+    #[test]
+    fn late_responses_after_completion_do_not_pollute_the_checkpoint_log() {
+        let w = workload(400);
+        let mut session = LabelingSession::new(SessionConfig::AllHuman, &w).unwrap();
+        let Step::NeedLabels(requests) = session.step(&[]).unwrap() else {
+            panic!("expected a verification batch");
+        };
+        let responses = ground_truth_responses(&w, &requests);
+        let Step::Done(outcome) = session.step(&responses).unwrap() else {
+            panic!("expected completion");
+        };
+        let log_len = session.answered_log().len();
+        // A straggler response arriving after completion is ignored: the log
+        // (and a resume from it) keeps matching the stored outcome's cost.
+        let straggler = ground_truth_responses(&w, &requests[..1]);
+        assert!(matches!(session.step(&straggler).unwrap(), Step::Done(_)));
+        assert_eq!(session.answered_log().len(), log_len);
+        assert_eq!(session.state().outcome().unwrap().total_human_cost, outcome.total_human_cost);
+    }
+
+    #[test]
+    fn resume_rejects_logs_that_reference_foreign_pairs() {
+        let w = workload(400);
+        let log = vec![LabelResponse { pair_id: PairId(u64::MAX), label: Label::Match }];
+        assert!(matches!(
+            LabelingSession::resume(SessionConfig::AllHuman, &w, &log),
+            Err(HumoError::InvalidResponse(_))
+        ));
+    }
+
+    #[test]
+    fn responses_for_unknown_pairs_are_rejected() {
+        let w = workload(400);
+        let mut session = LabelingSession::new(SessionConfig::AllHuman, &w).unwrap();
+        // A rejected batch is transactional: the valid response preceding the
+        // bogus one must not leak into the answered log or the cost basis.
+        let valid = LabelResponse { pair_id: w.pair(0).id(), label: Label::Match };
+        let bogus = LabelResponse { pair_id: PairId(u64::MAX), label: Label::Match };
+        assert!(matches!(session.step(&[valid, bogus]), Err(HumoError::InvalidResponse(_))));
+        assert!(session.answered_log().is_empty(), "rejected step must record nothing");
+    }
+
+    #[test]
+    fn warm_started_sessions_resume_with_their_warm_start() {
+        let w = workload(12_000);
+        let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+        let config = PartialSamplingConfig::new(requirement);
+        let optimizer = PartialSamplingOptimizer::new(config).unwrap();
+        // Epoch 1 produces the warm-start state.
+        let mut epoch1 = GroundTruthOracle::new();
+        let warm = optimizer.plan(&w, &mut epoch1).unwrap().warm_start(&w);
+        assert!(!warm.is_empty());
+        // Reference: a warm-started session driven to completion.
+        let session_config = SessionConfig::PartialSampling(config);
+        let mut reference =
+            LabelingSession::with_warm_start(session_config, &w, Some(warm.clone())).unwrap();
+        let reference_outcome = drive_manually(&mut reference);
+        // Checkpoint a second warm-started session after a few rounds, then
+        // resume it with the same warm start: identical outcome and log.
+        let mut session =
+            LabelingSession::with_warm_start(session_config, &w, Some(warm.clone())).unwrap();
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            match session.step(&responses).unwrap() {
+                Step::Done(_) => break,
+                Step::NeedLabels(requests) => {
+                    responses = ground_truth_responses(&w, &requests);
+                }
+            }
+        }
+        let _ = session.step(&responses).unwrap();
+        let log = session.answered_log().to_vec();
+        drop(session);
+        let mut resumed =
+            LabelingSession::resume_with_warm_start(session_config, &w, &log, Some(warm)).unwrap();
+        let resumed_outcome = drive_manually(&mut resumed);
+        assert_eq!(resumed_outcome.solution, reference_outcome.solution);
+        assert_eq!(resumed_outcome.assignment, reference_outcome.assignment);
+        assert_eq!(resumed_outcome.total_human_cost, reference_outcome.total_human_cost);
+        assert_eq!(resumed.answered_log(), reference.answered_log());
+    }
+
+    #[test]
+    fn drive_reports_session_scoped_costs_for_resumed_sessions() {
+        // Cost counters are session-scoped: a checkpointed session finished
+        // with drive() and a *fresh* oracle must still count the labels it was
+        // resumed from, and driving an already-completed session must return
+        // the stored outcome unchanged.
+        let w = workload(4_000);
+        let requirement = QualityRequirement::new(0.85, 0.85, 0.9).unwrap();
+        let config = SessionConfig::for_kind(OptimizerKind::Baseline, requirement);
+        let reference = drive_manually(&mut LabelingSession::new(config, &w).unwrap());
+
+        let mut session = LabelingSession::new(config, &w).unwrap();
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            match session.step(&responses).unwrap() {
+                Step::Done(_) => break,
+                Step::NeedLabels(requests) => {
+                    responses = ground_truth_responses(&w, &requests);
+                }
+            }
+        }
+        let _ = session.step(&responses).unwrap();
+        let log = session.answered_log().to_vec();
+        assert!(!log.is_empty());
+        drop(session);
+
+        let mut resumed = LabelingSession::resume(config, &w, &log).unwrap();
+        let mut fresh_oracle = GroundTruthOracle::new();
+        let driven = resumed.drive(&mut fresh_oracle).unwrap();
+        assert_eq!(driven.total_human_cost, reference.total_human_cost);
+        assert!(fresh_oracle.labels_issued() < driven.total_human_cost);
+        // Stored outcome and later steps agree with the returned one.
+        assert_eq!(resumed.state().outcome().unwrap().total_human_cost, driven.total_human_cost);
+        // Driving a completed session returns the stored outcome unchanged,
+        // even with an oracle that answered nothing.
+        let again = resumed.drive(&mut GroundTruthOracle::new()).unwrap();
+        assert_eq!(again.total_human_cost, driven.total_human_cost);
+        assert_eq!(again.solution, driven.solution);
+    }
+
+    #[test]
+    fn empty_workloads_are_rejected_at_the_first_step() {
+        let empty = Workload::from_pairs(vec![]).unwrap();
+        let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+        for kind in OptimizerKind::all() {
+            let config = SessionConfig::for_kind(kind, requirement);
+            let mut session = LabelingSession::new(config, &empty).unwrap();
+            assert!(matches!(session.step(&[]), Err(HumoError::InvalidWorkload(_))));
+        }
+        // The all-human fallback accepts an empty workload (zero-round done).
+        let mut session = LabelingSession::new(SessionConfig::AllHuman, &empty).unwrap();
+        assert!(matches!(session.step(&[]).unwrap(), Step::Done(_)));
+    }
+}

@@ -75,10 +75,22 @@ impl HumoSolution {
     /// match, and every pair of `DH` is labeled by the oracle (counting towards
     /// its cost).
     pub fn resolve(&self, workload: &Workload, oracle: &mut dyn Oracle) -> LabelAssignment {
+        self.resolve_from_labels(workload, |idx| oracle.label(workload.pair(idx)))
+    }
+
+    /// Resolves the workload under this solution from an arbitrary label
+    /// source: `lookup` is called once per `DH` index (in ascending order) and
+    /// must return the manual label for that pair. This is the
+    /// final-verification path of the sans-I/O labeling sessions, which read
+    /// the labels from their answered-response log instead of an oracle.
+    pub fn resolve_from_labels(
+        &self,
+        workload: &Workload,
+        mut lookup: impl FnMut(usize) -> Label,
+    ) -> LabelAssignment {
         let mut assignment = LabelAssignment::all_unmatch(workload.len());
         for idx in self.human_range() {
-            let label = oracle.label(workload.pair(idx));
-            assignment.set(idx, label);
+            assignment.set(idx, lookup(idx));
         }
         for idx in self.upper_index..workload.len() {
             assignment.set(idx, Label::Match);
