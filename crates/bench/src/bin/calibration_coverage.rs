@@ -10,7 +10,7 @@
 //! relative to the upper-side-only reference (the pre-pooling default, kept as
 //! [`humo::TailCalibration::upper_only`]).
 //!
-//! Environment variables:
+//! Environment knobs (shared parsing in [`humo_bench::BenchConfig`]):
 //!
 //! * `HUMO_CAL_SEEDS` — seeds per (optimizer, τ) cell (default 20);
 //! * `HUMO_CAL_PAIRS` — workload size (default 30000);
@@ -20,21 +20,23 @@
 //!   statistically above the nominal rate (CP lower limit > 1 − θ), or if the
 //!   calibrated steep-curve (τ ≥ 14) mean cost regresses ≥ 10% over the
 //!   upper-side-only reference.
+//!
+//! `--json <path>` (or `HUMO_BENCH_JSON`) writes the cell grid as a
+//! `BENCH_calibration.json` document; `--baseline <path>` (or
+//! `HUMO_BENCH_BASELINE`) diffs it against a committed baseline and exits
+//! non-zero on regression (see `humo_bench::trajectory`).
 
 use humo::{QualityRequirement, TailCalibration};
+use humo_bench::trajectory::emit_and_gate;
 use humo_bench::{
     all_sampling_effective_tail, failure_rate_band, run_all_sampling_with_tail, run_hybr_with_tail,
-    run_samp_with_tail, synthetic_workload,
+    run_samp_with_tail, synthetic_workload, BenchConfig, Json,
 };
 
 const NOMINAL_FAILURE_RATE: f64 = 0.1; // 1 − θ for the paper's default θ = 0.9.
 const MID_STEEP_TAU: std::ops::RangeInclusive<f64> = 8.0..=14.0;
 const STEEP_TAU: f64 = 14.0;
 const STEEP_COST_SLACK: f64 = 0.10;
-
-fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 struct Cell {
     optimizer: &'static str,
@@ -49,13 +51,10 @@ struct Cell {
 }
 
 fn main() {
-    let seeds: usize = env_or("HUMO_CAL_SEEDS", 20);
-    let pairs: usize = env_or("HUMO_CAL_PAIRS", 30_000);
-    let taus: Vec<f64> = std::env::var("HUMO_CAL_TAUS")
-        .unwrap_or_else(|_| "6,8,10,14,18".to_string())
-        .split(',')
-        .filter_map(|t| t.trim().parse().ok())
-        .collect();
+    let cfg = BenchConfig::from_env("HUMO_CAL");
+    let seeds = cfg.usize("SEEDS", 20);
+    let pairs = cfg.usize("PAIRS", 30_000);
+    let taus = cfg.f64_list("TAUS", &[6.0, 8.0, 10.0, 14.0, 18.0]);
     // A malformed grid or a zero seed count would make the assertion gate
     // pass vacuously (zero cells, zero violations); refuse to run instead.
     if taus.is_empty() || seeds == 0 {
@@ -66,15 +65,10 @@ fn main() {
         );
         std::process::exit(2);
     }
-    let assert_mode = std::env::var("HUMO_CAL_ASSERT")
-        .map(|v| !matches!(v.trim(), "" | "0" | "false" | "off"))
-        .unwrap_or(false);
+    let assert_mode = cfg.flag("ASSERT");
     let requirement = QualityRequirement::symmetric(0.9).unwrap();
     let calibrated = TailCalibration {
-        distance_strength: env_or(
-            "HUMO_CAL_STRENGTH",
-            TailCalibration::default().distance_strength,
-        ),
+        distance_strength: cfg.f64("STRENGTH", TailCalibration::default().distance_strength),
         ..TailCalibration::default()
     };
     // Reference arm: the upper-side-only calibration that shipped before the
@@ -256,8 +250,54 @@ fn main() {
         for v in &violations {
             println!("  {v}");
         }
-        if assert_mode {
-            std::process::exit(1);
-        }
+    }
+
+    // Machine-readable trajectory document. Failure counts carry the strict
+    // `_count` policy (deterministic given the seed grid, so any increase
+    // over the committed baseline is a genuine calibration regression); the
+    // cost fractions and the reference arm are recorded for context.
+    let doc = Json::obj([
+        ("schema", Json::str("humo-bench-calibration/v1")),
+        (
+            "scale",
+            Json::obj([
+                ("seeds", Json::num(seeds as f64)),
+                ("pairs", Json::num(pairs as f64)),
+                ("nominal_failure_rate", Json::num(NOMINAL_FAILURE_RATE)),
+            ]),
+        ),
+        ("taus", Json::Arr(taus.iter().map(|&tau| Json::num(tau)).collect())),
+        (
+            "cells",
+            Json::Arr(
+                cells
+                    .iter()
+                    .map(|cell| {
+                        Json::obj([
+                            ("optimizer", Json::str(cell.optimizer)),
+                            ("tau", Json::num(cell.tau)),
+                            ("failures_count", Json::num(cell.failures as f64)),
+                            ("recall_failures_count", Json::num(cell.recall_failures as f64)),
+                            ("precision_failures_count", Json::num(cell.precision_failures as f64)),
+                            (
+                                "reference_precision_failures",
+                                Json::num(cell.precision_failures_reference as f64),
+                            ),
+                            ("mean_cost_fraction", Json::num(cell.mean_cost)),
+                            ("reference_cost_fraction", Json::num(cell.mean_cost_reference)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("violations_count", Json::num(violations.len() as f64)),
+    ]);
+    let gate_passed = emit_and_gate(
+        &doc,
+        &cfg,
+        &["scale.seeds", "scale.pairs", "cells.0.recall_failures_count", "violations_count"],
+    );
+    if (assert_mode && !violations.is_empty()) || !gate_passed {
+        std::process::exit(1);
     }
 }

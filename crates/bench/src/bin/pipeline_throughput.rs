@@ -14,38 +14,48 @@
 //!    re-resolution vs a cold from-scratch run over the same records;
 //! 4. **warm vs cold planning** on the identical final workload with fresh
 //!    oracles (isolates the warm-start sampling reuse);
-//! 5. **parallel scoring speedup**: the worker pool vs a single thread over the
+//! 5. **session replay**: wall time of a full SAMP/HYBR labeling session under
+//!    the incremental path (persistent GP handle + replay cache) vs the
+//!    full-refit path (from-scratch refits, cache disabled), with the two
+//!    arms asserted byte-identical;
+//! 6. **parallel scoring speedup**: the worker pool vs a single thread over the
 //!    full candidate set.
 //!
-//! Environment knobs:
+//! Environment knobs (see [`humo_bench::BenchConfig`]):
 //!
 //! * `HUMO_PIPE_ENTITIES` — corpus size in left-dataset entities (default 1500);
 //! * `HUMO_PIPE_BATCHES`  — number of ingest batches (default 4);
 //! * `HUMO_PIPE_THREADS`  — worker threads (default 0 = available parallelism);
-//! * `HUMO_PIPE_ASSERT`   — when set to `1`, fail the process unless the
+//! * `HUMO_PIPE_REPLAY_REPS` — timing repetitions per session-replay arm
+//!   (default 3; the minimum is reported);
+//! * `HUMO_PIPE_ASSERT`   — when truthy, fail the process unless the
 //!   pipeline meets its contract: warm planning issues fewer oracle queries
 //!   than cold, incremental re-resolution is cheaper than from-scratch, the
 //!   final epoch meets the quality requirement, HYBR's label round-trips
-//!   scale with the subset count (never with the pair count), and (on
-//!   machines with ≥ 2 cores) parallel scoring is at least 1.5× the
-//!   single-thread rate.
+//!   scale with the subset count (never with the pair count), session replay
+//!   is at least 2× faster under the incremental path, and (on machines with
+//!   ≥ 2 cores) parallel scoring is at least 1.5× the single-thread rate.
+//!
+//! `--json <path>` (or `HUMO_BENCH_JSON`) writes the machine-readable
+//! `BENCH_pipeline.json` document; `--baseline <path>` (or
+//! `HUMO_BENCH_BASELINE`) diffs the fresh document against a committed
+//! baseline and exits non-zero on regression (see `humo_bench::trajectory`).
 
 use er_core::aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig};
 use er_core::blocking::TokenBlocker;
 use er_core::record::{Record, RecordId};
 use er_core::similarity::StringMeasure;
 use er_core::text::Tokenizer;
+use er_core::workload::Workload;
 use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
 use er_pipeline::{PipelineConfig, ResolutionEngine, WorkerPool};
 use humo::{
-    GroundTruthOracle, HybridConfig, HybridOptimizer, Oracle, PartialSamplingOptimizer,
-    QualityRequirement,
+    GroundTruthOracle, HybridConfig, HybridOptimizer, OptimizationOutcome, Oracle,
+    PartialSamplingConfig, PartialSamplingOptimizer, QualityRequirement, RefitStrategy, Step,
 };
+use humo_bench::trajectory::emit_and_gate;
+use humo_bench::{BenchConfig, Json};
 use std::time::Instant;
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
-}
 
 fn chunks<T: Clone>(items: &[T], batches: usize) -> Vec<Vec<T>> {
     let size = items.len().div_ceil(batches.max(1)).max(1);
@@ -76,11 +86,80 @@ fn pipeline_config(threads: usize, warm_start: bool) -> PipelineConfig {
     config
 }
 
+/// One timed session-replay arm: drives a fresh session to completion `reps`
+/// times and reports the outcome, the round count, and the *minimum*
+/// session-replay wall time (each run is deterministic, so the minimum is the
+/// least-noisy estimate of the arm's true cost).
+///
+/// "Session-replay wall time" is the time spent inside
+/// [`humo::LabelingSession::step`] — the framework's replay work between label
+/// waves — and deliberately excludes the labeler's side of the loop (here a
+/// [`humo::GroundTruthOracle`]
+/// answering each batch): a real deployment pays human latency there, so the
+/// quantity the refit strategy can improve is exactly the in-step time.
+fn time_sessions(
+    workload: &Workload,
+    reps: usize,
+    mut make: impl FnMut() -> humo::LabelingSession<'static>,
+) -> (OptimizationOutcome, usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps.max(1) {
+        let mut session = make();
+        let mut oracle = GroundTruthOracle::new();
+        let mut responses = Vec::new();
+        let mut in_step = 0.0;
+        let outcome = loop {
+            let start = Instant::now();
+            let step = session.step(&responses).expect("session step succeeds");
+            in_step += start.elapsed().as_secs_f64();
+            match step {
+                Step::Done(outcome) => break outcome,
+                Step::NeedLabels(requests) => {
+                    responses = humo::answer_requests(workload, &requests, &mut oracle);
+                }
+            }
+        };
+        best = best.min(in_step);
+        result = Some((outcome, session.rounds()));
+    }
+    let (outcome, rounds) = result.expect("at least one repetition ran");
+    (outcome, rounds, best)
+}
+
+/// Asserts the two session-replay arms produced byte-identical results — the
+/// incremental path is a pure performance optimization, never a behavioral
+/// one.
+fn assert_arms_identical(
+    name: &str,
+    incremental: &(OptimizationOutcome, usize, f64),
+    full: &(OptimizationOutcome, usize, f64),
+) {
+    assert_eq!(
+        incremental.0.solution, full.0.solution,
+        "{name}: incremental and full-refit arms chose different solutions"
+    );
+    assert_eq!(
+        incremental.0.assignment, full.0.assignment,
+        "{name}: incremental and full-refit arms produced different label assignments"
+    );
+    assert_eq!(
+        incremental.0.total_human_cost, full.0.total_human_cost,
+        "{name}: incremental and full-refit arms cost different label counts"
+    );
+    assert_eq!(
+        incremental.1, full.1,
+        "{name}: incremental and full-refit arms took different numbers of label rounds"
+    );
+}
+
 fn main() {
-    let entities = env_usize("HUMO_PIPE_ENTITIES", 1_500);
-    let batches = env_usize("HUMO_PIPE_BATCHES", 4);
-    let threads = env_usize("HUMO_PIPE_THREADS", 0);
-    let assert_mode = std::env::var("HUMO_PIPE_ASSERT").is_ok_and(|v| v == "1");
+    let cfg = BenchConfig::from_env("HUMO_PIPE");
+    let entities = cfg.usize("ENTITIES", 1_500);
+    let batches = cfg.usize("BATCHES", 4);
+    let threads = cfg.usize("THREADS", 0);
+    let replay_reps = cfg.usize("REPLAY_REPS", 3);
+    let assert_mode = cfg.flag("ASSERT");
 
     println!("================================================================");
     println!("pipeline_throughput: streaming ingest -> resolve -> cluster");
@@ -127,6 +206,8 @@ fn main() {
         "cluR"
     );
     let mut final_report = None;
+    let mut total_delta = 0usize;
+    let mut last_ingest_rate = 0.0f64;
     for epoch in 0..left_batches.len().max(right_batches.len()) {
         let l = left_batches.get(epoch).cloned().unwrap_or_default();
         let r = right_batches.get(epoch).cloned().unwrap_or_default();
@@ -136,6 +217,8 @@ fn main() {
         let ingest_secs = start.elapsed().as_secs_f64();
         let rate =
             if ingest_secs > 0.0 { ingest.delta_candidates as f64 / ingest_secs } else { 0.0 };
+        total_delta += ingest.delta_candidates;
+        last_ingest_rate = rate;
         let report = engine.resolve(&mut oracle).expect("resolve succeeds");
         println!(
             "{:<6} {:>10} {:>9} {:>9} {:>10.3e} {:>8} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3}{}",
@@ -237,6 +320,67 @@ fn main() {
         hybr_oracle.labels_issued() as f64 / rounds.max(1) as f64,
     );
 
+    // Session replay: the same batched session driven to completion under the
+    // incremental path (persistent GP handle, replay cache) and under the
+    // full-refit path (from-scratch GP refits, replay cache disabled — every
+    // step replays the entire labeling history). The arms are byte-identical
+    // by construction; the ratio of their wall times is the committed,
+    // machine-independent perf-trajectory number.
+    let samp_config = pipeline_config(threads, true).optimizer;
+    // The sessions borrow the workload; clone it into a leaked allocation so
+    // the closures can hand out 'static sessions without lifetime gymnastics.
+    let replay_workload: &'static Workload = Box::leak(Box::new(workload.clone()));
+    let samp_incremental = time_sessions(replay_workload, replay_reps, || {
+        PartialSamplingOptimizer::new(samp_config)
+            .expect("valid SAMP config")
+            .session(replay_workload)
+            .expect("valid session")
+    });
+    let samp_full = time_sessions(replay_workload, replay_reps, || {
+        PartialSamplingOptimizer::new(PartialSamplingConfig {
+            refit: RefitStrategy::Full,
+            ..samp_config
+        })
+        .expect("valid SAMP config")
+        .session(replay_workload)
+        .expect("valid session")
+        .with_replay_cache(false)
+    });
+    assert_arms_identical("SAMP", &samp_incremental, &samp_full);
+    let mut hybr_full_config = hybr_config;
+    hybr_full_config.sampling.refit = RefitStrategy::Full;
+    let hybr_incremental = time_sessions(replay_workload, replay_reps, || {
+        HybridOptimizer::new(hybr_config)
+            .expect("valid HYBR config")
+            .session(replay_workload)
+            .expect("valid session")
+    });
+    let hybr_full = time_sessions(replay_workload, replay_reps, || {
+        HybridOptimizer::new(hybr_full_config)
+            .expect("valid HYBR config")
+            .session(replay_workload)
+            .expect("valid session")
+            .with_replay_cache(false)
+    });
+    assert_arms_identical("HYBR", &hybr_incremental, &hybr_full);
+    let samp_speedup = samp_full.2 / samp_incremental.2.max(1e-9);
+    let hybr_speedup = hybr_full.2 / hybr_incremental.2.max(1e-9);
+    println!("\n-- session replay: incremental GP refits + replay cache vs full refits --");
+    println!(
+        "SAMP: incremental {:.1} ms, full {:.1} ms ({samp_speedup:.1}x) over {} rounds \
+         [outcomes byte-identical]",
+        1e3 * samp_incremental.2,
+        1e3 * samp_full.2,
+        samp_incremental.1
+    );
+    println!(
+        "HYBR: incremental {:.1} ms, full {:.1} ms ({hybr_speedup:.1}x) over {} rounds \
+         [outcomes byte-identical]",
+        1e3 * hybr_incremental.2,
+        1e3 * hybr_full.2,
+        hybr_incremental.1
+    );
+
     // Parallel scoring speedup over the full candidate set.
     let blocker = TokenBlocker::new("title", Tokenizer::Words);
     let candidates = blocker.candidates(&corpus.left, &corpus.right);
@@ -268,6 +412,91 @@ fn main() {
         candidates.len() as f64 / tn
     );
 
+    // Machine-readable perf-trajectory document. Key naming drives the
+    // regression policy (see humo_bench::trajectory): `_queries`/`_rounds`/
+    // `_count` fail on any increase, `_speedup` fails on a >25% drop, `_ms`/
+    // `_per_s` are informational. The scoring scaling deliberately avoids the
+    // `_speedup` suffix: it depends on the machine's core count.
+    let doc = Json::obj([
+        ("schema", Json::str("humo-bench-pipeline/v1")),
+        (
+            "scale",
+            Json::obj([
+                ("entities", Json::num(entities as f64)),
+                ("batches", Json::num(batches as f64)),
+            ]),
+        ),
+        (
+            "corpus",
+            Json::obj([
+                ("left_records", Json::num(corpus.left.len() as f64)),
+                ("right_records", Json::num(corpus.right.len() as f64)),
+                ("true_duplicates", Json::num(truth.len() as f64)),
+            ]),
+        ),
+        (
+            "ingest",
+            Json::obj([
+                ("total_delta_candidates", Json::num(total_delta as f64)),
+                ("last_epoch_pairs_per_s", Json::num(last_ingest_rate)),
+            ]),
+        ),
+        (
+            "resolution",
+            Json::obj([
+                ("final_epoch_queries", Json::num(incremental_final_queries as f64)),
+                ("scratch_queries", Json::num(scratch_report.oracle_queries as f64)),
+                ("final_epoch_label_rounds", Json::num(final_report.label_rounds as f64)),
+                ("warm_plan_queries", Json::num(warm_plan_queries as f64)),
+                ("cold_plan_queries", Json::num(cold_plan_queries as f64)),
+            ]),
+        ),
+        (
+            "hybr",
+            Json::obj([
+                ("label_rounds", Json::num(rounds as f64)),
+                ("round_bound", Json::num(round_bound as f64)),
+                ("labeled_pairs", Json::num(hybr_oracle.labels_issued() as f64)),
+            ]),
+        ),
+        (
+            "session_replay",
+            Json::obj([
+                ("samp_rounds", Json::num(samp_incremental.1 as f64)),
+                ("samp_incremental_ms", Json::num(1e3 * samp_incremental.2)),
+                ("samp_full_ms", Json::num(1e3 * samp_full.2)),
+                ("samp_speedup", Json::num(samp_speedup)),
+                ("hybr_rounds", Json::num(hybr_incremental.1 as f64)),
+                ("hybr_incremental_ms", Json::num(1e3 * hybr_incremental.2)),
+                ("hybr_full_ms", Json::num(1e3 * hybr_full.2)),
+                ("hybr_speedup", Json::num(hybr_speedup)),
+            ]),
+        ),
+        (
+            "scoring",
+            Json::obj([
+                ("candidate_pairs", Json::num(candidates.len() as f64)),
+                ("single_thread_pairs_per_s", Json::num(candidates.len() as f64 / t1.max(1e-9))),
+                ("parallel_pairs_per_s", Json::num(candidates.len() as f64 / tn.max(1e-9))),
+                ("parallel_scaling", Json::num(speedup)),
+            ]),
+        ),
+    ]);
+    let gate_passed = emit_and_gate(
+        &doc,
+        &cfg,
+        &[
+            "resolution.final_epoch_queries",
+            "resolution.scratch_queries",
+            "resolution.warm_plan_queries",
+            "resolution.cold_plan_queries",
+            "hybr.label_rounds",
+            "session_replay.samp_speedup",
+            "session_replay.hybr_speedup",
+            "ingest.last_epoch_pairs_per_s",
+        ],
+    );
+
     if assert_mode {
         let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
         assert!(
@@ -294,6 +523,11 @@ fn main() {
              with {num_subsets} subsets total), not the pair count ({})",
             workload.len()
         );
+        assert!(
+            samp_speedup >= 2.0 && hybr_speedup >= 2.0,
+            "session replay must be at least 2x faster under the incremental path \
+             (SAMP {samp_speedup:.2}x, HYBR {hybr_speedup:.2}x)"
+        );
         if pool.threads() >= 2 {
             assert!(
                 speedup >= 1.5,
@@ -305,5 +539,8 @@ fn main() {
             println!("\n[assert] single-core machine: speedup floor not applicable");
         }
         println!("\n[assert] all pipeline contract checks passed");
+    }
+    if !gate_passed {
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,124 @@
+//! Shared configuration for the bench harness binaries.
+//!
+//! Every harness used to hand-roll its own `std::env::var` parsing; this
+//! module unifies the knobs behind [`BenchConfig::from_env`] with typed
+//! accessors, and adds the machine-readable output knobs of the perf
+//! trajectory: `--json <path>` / `HUMO_BENCH_JSON` selects where the harness
+//! writes its `BENCH_*.json` document, `--baseline <path>` /
+//! `HUMO_BENCH_BASELINE` selects a committed baseline to diff against (see
+//! [`crate::trajectory`]).
+
+use std::path::PathBuf;
+
+/// Typed access to a harness's environment knobs (`{PREFIX}_{NAME}` variables,
+/// e.g. `HUMO_PIPE_ENTITIES`) plus the shared `--json` / `--baseline` output
+/// arguments.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    prefix: String,
+    args: Vec<String>,
+}
+
+impl BenchConfig {
+    /// Captures the process environment and arguments for a harness whose
+    /// variables share `prefix` (e.g. `"HUMO_PIPE"`, `"HUMO_CAL"`).
+    pub fn from_env(prefix: &str) -> Self {
+        Self { prefix: prefix.to_string(), args: std::env::args().skip(1).collect() }
+    }
+
+    /// As [`BenchConfig::from_env`], but with explicit arguments (for tests).
+    pub fn with_args(prefix: &str, args: impl IntoIterator<Item = String>) -> Self {
+        Self { prefix: prefix.to_string(), args: args.into_iter().collect() }
+    }
+
+    fn var(&self, name: &str) -> Option<String> {
+        std::env::var(format!("{}_{name}", self.prefix)).ok()
+    }
+
+    /// A `usize` knob: `{PREFIX}_{NAME}`, falling back to `default` when unset
+    /// or unparsable.
+    pub fn usize(&self, name: &str, default: usize) -> usize {
+        self.var(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// An `f64` knob.
+    pub fn f64(&self, name: &str, default: f64) -> f64 {
+        self.var(name).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// A boolean knob: set-and-not-falsy (`""`, `"0"`, `"false"`, `"off"` are
+    /// false) — the union of the conventions the harnesses used individually.
+    pub fn flag(&self, name: &str) -> bool {
+        self.var(name)
+            .map(|v| !matches!(v.trim().to_ascii_lowercase().as_str(), "" | "0" | "false" | "off"))
+            .unwrap_or(false)
+    }
+
+    /// A comma-separated `f64` list knob; falls back to `default` when unset
+    /// and skips unparsable entries when set.
+    pub fn f64_list(&self, name: &str, default: &[f64]) -> Vec<f64> {
+        match self.var(name) {
+            Some(raw) => raw.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    fn arg_value(&self, flag: &str) -> Option<String> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .cloned()
+            .or_else(|| {
+                let prefix = format!("{flag}=");
+                self.args.iter().find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+            })
+    }
+
+    /// Where to write the harness's machine-readable `BENCH_*.json` document:
+    /// `--json <path>` (or `--json=<path>`), else `HUMO_BENCH_JSON`, else no
+    /// JSON output.
+    pub fn json_output(&self) -> Option<PathBuf> {
+        self.arg_value("--json")
+            .or_else(|| std::env::var("HUMO_BENCH_JSON").ok())
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from)
+    }
+
+    /// The committed baseline to diff the fresh document against:
+    /// `--baseline <path>` (or `--baseline=<path>`), else
+    /// `HUMO_BENCH_BASELINE`, else no gating.
+    pub fn baseline(&self) -> Option<PathBuf> {
+        self.arg_value("--baseline")
+            .or_else(|| std::env::var("HUMO_BENCH_BASELINE").ok())
+            .filter(|p| !p.is_empty())
+            .map(PathBuf::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors_fall_back_to_defaults() {
+        // Use a prefix no test environment sets.
+        let cfg = BenchConfig::with_args("HUMO_NOPE", []);
+        assert_eq!(cfg.usize("ENTITIES", 1500), 1500);
+        assert_eq!(cfg.f64("STRENGTH", 2.5), 2.5);
+        assert!(!cfg.flag("ASSERT"));
+        assert_eq!(cfg.f64_list("TAUS", &[6.0, 8.0]), vec![6.0, 8.0]);
+    }
+
+    #[test]
+    fn json_and_baseline_arguments_parse_in_both_forms() {
+        let cfg = BenchConfig::with_args(
+            "HUMO_NOPE",
+            ["--json".to_string(), "out.json".to_string(), "--baseline=base.json".to_string()],
+        );
+        assert_eq!(cfg.json_output(), Some(PathBuf::from("out.json")));
+        assert_eq!(cfg.baseline(), Some(PathBuf::from("base.json")));
+        let none = BenchConfig::with_args("HUMO_NOPE", ["--json".to_string(), String::new()]);
+        assert_eq!(none.json_output(), None);
+    }
+}

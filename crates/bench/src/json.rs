@@ -1,0 +1,365 @@
+//! A minimal, dependency-free JSON value: just enough for the committed
+//! `BENCH_*.json` perf-trajectory files.
+//!
+//! The workspace deliberately carries no serde; the bench layer needs to
+//! *write* small, stable, human-diffable documents and *read* them back for
+//! the regression gate, so a ~200-line hand-rolled value type beats a
+//! dependency. Numbers are `f64` (every value the harnesses record fits
+//! exactly), objects preserve insertion order so committed files diff cleanly.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers up to 2^53 round-trip exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, preserving insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs, preserving order.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Shorthand for a numeric value.
+    pub fn num(value: f64) -> Json {
+        Json::Num(value)
+    }
+
+    /// Shorthand for a string value.
+    pub fn str(value: impl Into<String>) -> Json {
+        Json::Str(value.into())
+    }
+
+    /// Looks up a dotted path (`"session_replay.samp_speedup"`); array
+    /// elements are addressed by decimal index (`"cells.3.failure_count"`).
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for part in path.split('.') {
+            node = match node {
+                Json::Obj(fields) => &fields.iter().find(|(key, _)| key == part)?.1,
+                Json::Arr(items) => items.get(part.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(node)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Pretty-renders with two-space indentation and a trailing newline —
+    /// the committed-file format.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_number(out, *n),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    pad(out, indent + 1);
+                    item.render(out, indent + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    pad(out, indent + 1);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render(out, indent + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Errors carry a byte offset and a short reason.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; clamp to null so the file stays parseable.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        // `{:?}` is Rust's shortest round-trip float formatting.
+        let _ = write!(out, "{n:?}");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{token}` at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                expect(bytes, pos, ":")?;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected `\"` at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape".to_string())?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape".to_string())?;
+                        // Surrogate pairs are not needed for the bench files.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (the input came from &str, so the
+                // boundaries are valid).
+                let s = &bytes[*pos..];
+                let text = std::str::from_utf8(s).map_err(|_| "invalid UTF-8".to_string())?;
+                let c = text.chars().next().ok_or_else(|| "unterminated string".to_string())?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_document() {
+        let doc = Json::obj([
+            ("schema", Json::str("humo-bench/v1")),
+            ("count", Json::num(42.0)),
+            ("rate", Json::num(1234.5678)),
+            ("flag", Json::Bool(true)),
+            ("nothing", Json::Null),
+            ("cells", Json::Arr(vec![Json::num(1.0), Json::num(2.5)])),
+            ("nested", Json::obj([("deep", Json::str("va\"lue\n"))])),
+        ]);
+        let text = doc.to_pretty_string();
+        let parsed = Json::parse(&text).unwrap();
+        assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn dotted_path_lookup_reaches_nested_and_indexed_values() {
+        let doc = Json::obj([
+            ("a", Json::obj([("b", Json::num(7.0))])),
+            ("arr", Json::Arr(vec![Json::num(0.0), Json::obj([("x", Json::num(9.0))])])),
+        ]);
+        assert_eq!(doc.get("a.b").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(doc.get("arr.1.x").and_then(Json::as_f64), Some(9.0));
+        assert!(doc.get("a.missing").is_none());
+        assert!(doc.get("arr.5").is_none());
+    }
+
+    #[test]
+    fn integers_render_without_a_fraction() {
+        assert_eq!(Json::num(800.0).to_pretty_string(), "800\n");
+        assert_eq!(Json::num(2.25).to_pretty_string(), "2.25\n");
+        assert_eq!(Json::parse("800").unwrap(), Json::num(800.0));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("").is_err());
+    }
+}

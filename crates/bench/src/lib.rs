@@ -11,6 +11,13 @@
 //! * `HUMO_RUNS` — number of repeated runs for the randomized optimizers
 //!   (default `5`; the paper averages over 100).
 
+pub mod config;
+pub mod json;
+pub mod trajectory;
+
+pub use config::BenchConfig;
+pub use json::Json;
+
 use er_core::workload::Workload;
 use er_datagen::calibrated::CalibratedConfig;
 use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};

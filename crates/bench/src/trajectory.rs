@@ -1,0 +1,251 @@
+//! The committed perf trajectory: diffing a fresh `BENCH_*.json` document
+//! against its committed baseline.
+//!
+//! The regression policy is encoded in leaf-key naming so the gate needs no
+//! per-file schema:
+//!
+//! * keys ending in `_queries`, `_rounds` or `_count` are **strict**: any
+//!   increase over the baseline fails (these are deterministic given the
+//!   harness scale, so "equal or better" is the expectation);
+//! * keys ending in `_speedup` carry the wall-time gate **machine-
+//!   independently**: both arms of a speedup run in the same process on the
+//!   same machine, so the ratio transfers across hardware. A fresh speedup
+//!   more than 25% below the committed one fails;
+//! * keys ending in `_ms` or `_per_s` are absolute wall-clock measurements:
+//!   they are *recorded* for the trajectory (so successive PRs land with a
+//!   before/after number) but only warned about, never failed on — committed
+//!   numbers come from whatever machine regenerated the file last.
+
+use crate::config::BenchConfig;
+use crate::json::Json;
+
+/// Relative tolerance on `_speedup` keys (and the warn threshold for absolute
+/// wall-clock keys): 0.25 means "fail on a >25% regression".
+pub const WALL_TOLERANCE: f64 = 0.25;
+
+/// The outcome of a baseline diff: hard failures and informational warnings.
+#[derive(Debug, Default)]
+pub struct DiffReport {
+    /// Regressions that should fail the gate.
+    pub violations: Vec<String>,
+    /// Wall-clock drifts worth a look but not a failure.
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Diffs `current` against `baseline` under the leaf-key policy above.
+/// Structural mismatches (a path present in the baseline but missing or
+/// non-numeric in the fresh document, array length changes) are violations:
+/// the trajectory only works if the schema stays comparable.
+pub fn diff_against_baseline(current: &Json, baseline: &Json) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk(current, baseline, String::new(), &mut report);
+    report
+}
+
+/// Checks that every dotted path in `required` resolves to a numeric value —
+/// the schema sanity check run right after a harness writes its document.
+pub fn check_schema(doc: &Json, required: &[&str]) -> Vec<String> {
+    required
+        .iter()
+        .filter(|path| doc.get(path).and_then(Json::as_f64).is_none())
+        .map(|path| format!("missing or non-numeric field `{path}`"))
+        .collect()
+}
+
+/// The shared tail of every harness run: sanity-check the document's schema,
+/// write it where `--json` / `HUMO_BENCH_JSON` points, and when `--baseline` /
+/// `HUMO_BENCH_BASELINE` names a committed file, diff against it under the
+/// leaf-key policy. Prints every problem and returns whether the gate passed;
+/// harnesses exit non-zero on `false` regardless of their own assert mode —
+/// passing a baseline is an explicit request for gating.
+pub fn emit_and_gate(doc: &Json, config: &BenchConfig, required_fields: &[&str]) -> bool {
+    let mut passed = true;
+    for problem in check_schema(doc, required_fields) {
+        eprintln!("[bench-json] schema: {problem}");
+        passed = false;
+    }
+    if let Some(path) = config.json_output() {
+        match std::fs::write(&path, doc.to_pretty_string()) {
+            Ok(()) => println!("\n[bench-json] wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("[bench-json] failed to write {}: {e}", path.display());
+                passed = false;
+            }
+        }
+    }
+    if let Some(path) = config.baseline() {
+        let baseline = std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| Json::parse(&text));
+        match baseline {
+            Ok(baseline) => {
+                let report = diff_against_baseline(doc, &baseline);
+                for warning in &report.warnings {
+                    println!("[bench-diff] warning: {warning}");
+                }
+                for violation in &report.violations {
+                    eprintln!("[bench-diff] REGRESSION: {violation}");
+                }
+                if report.passed() {
+                    println!(
+                        "[bench-diff] no regressions against {} ({} warnings)",
+                        path.display(),
+                        report.warnings.len()
+                    );
+                } else {
+                    passed = false;
+                }
+            }
+            Err(e) => {
+                eprintln!("[bench-diff] cannot read baseline {}: {e}", path.display());
+                passed = false;
+            }
+        }
+    }
+    passed
+}
+
+fn walk(current: &Json, baseline: &Json, path: String, report: &mut DiffReport) {
+    match (current, baseline) {
+        (Json::Obj(cur), Json::Obj(base)) => {
+            for (key, base_value) in base {
+                let child = if path.is_empty() { key.clone() } else { format!("{path}.{key}") };
+                match cur.iter().find(|(k, _)| k == key) {
+                    Some((_, cur_value)) => walk(cur_value, base_value, child, report),
+                    None => report
+                        .violations
+                        .push(format!("{child}: present in baseline, missing in fresh run")),
+                }
+            }
+        }
+        (Json::Arr(cur), Json::Arr(base)) => {
+            if cur.len() != base.len() {
+                report.violations.push(format!(
+                    "{path}: array length changed ({} -> {})",
+                    base.len(),
+                    cur.len()
+                ));
+                return;
+            }
+            for (i, (c, b)) in cur.iter().zip(base).enumerate() {
+                walk(c, b, format!("{path}.{i}"), report);
+            }
+        }
+        (Json::Num(cur), Json::Num(base)) => compare_leaf(*cur, *base, &path, report),
+        // Non-numeric leaves (schema tags, labels) must simply match.
+        (c, b) if c == b => {}
+        (c, b) => {
+            report.violations.push(format!("{path}: value changed ({b:?} -> {c:?})"));
+        }
+    }
+}
+
+fn leaf_key(path: &str) -> &str {
+    path.rsplit('.').find(|part| part.parse::<usize>().is_err()).unwrap_or(path)
+}
+
+fn compare_leaf(current: f64, baseline: f64, path: &str, report: &mut DiffReport) {
+    let key = leaf_key(path);
+    if key.ends_with("_queries") || key.ends_with("_rounds") || key.ends_with("_count") {
+        if current > baseline {
+            report.violations.push(format!(
+                "{path}: count increased over the baseline ({baseline} -> {current})"
+            ));
+        }
+    } else if key.ends_with("_speedup") {
+        if current < baseline * (1.0 - WALL_TOLERANCE) {
+            report.violations.push(format!(
+                "{path}: speedup regressed more than {:.0}% ({baseline:.2}x -> {current:.2}x)",
+                100.0 * WALL_TOLERANCE
+            ));
+        }
+    } else if (key.ends_with("_ms") && current > baseline * (1.0 + WALL_TOLERANCE))
+        || (key.ends_with("_per_s") && current < baseline * (1.0 - WALL_TOLERANCE))
+    {
+        report.warnings.push(format!(
+            "{path}: wall-clock drifted more than {:.0}% ({baseline:.3} -> {current:.3}) — \
+             informational (absolute timings are machine-specific)",
+            100.0 * WALL_TOLERANCE
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(queries: f64, speedup: f64, ms: f64) -> Json {
+        Json::obj([
+            ("schema", Json::str("humo-bench-test/v1")),
+            (
+                "inner",
+                Json::obj([
+                    ("plan_queries", Json::num(queries)),
+                    ("samp_speedup", Json::num(speedup)),
+                    ("replay_ms", Json::num(ms)),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn identical_documents_pass() {
+        let base = doc(100.0, 4.0, 50.0);
+        let report = diff_against_baseline(&base.clone(), &base);
+        assert!(report.passed(), "{:?}", report.violations);
+        assert!(report.warnings.is_empty());
+    }
+
+    #[test]
+    fn count_increase_and_speedup_regression_fail() {
+        let base = doc(100.0, 4.0, 50.0);
+        let worse = doc(101.0, 2.9, 50.0);
+        let report = diff_against_baseline(&worse, &base);
+        assert_eq!(report.violations.len(), 2, "{:?}", report.violations);
+        // Improvements pass.
+        let better = doc(90.0, 8.0, 40.0);
+        assert!(diff_against_baseline(&better, &base).passed());
+    }
+
+    #[test]
+    fn wall_clock_drift_warns_but_does_not_fail() {
+        let base = doc(100.0, 4.0, 50.0);
+        let slower = doc(100.0, 4.0, 80.0);
+        let report = diff_against_baseline(&slower, &base);
+        assert!(report.passed());
+        assert_eq!(report.warnings.len(), 1);
+    }
+
+    #[test]
+    fn structural_mismatches_fail() {
+        let base = doc(100.0, 4.0, 50.0);
+        let missing = Json::obj([("schema", Json::str("humo-bench-test/v1"))]);
+        assert!(!diff_against_baseline(&missing, &base).passed());
+        let retagged = Json::obj([
+            ("schema", Json::str("other/v2")),
+            (
+                "inner",
+                Json::obj([
+                    ("plan_queries", Json::num(100.0)),
+                    ("samp_speedup", Json::num(4.0)),
+                    ("replay_ms", Json::num(50.0)),
+                ]),
+            ),
+        ]);
+        assert!(!diff_against_baseline(&retagged, &base).passed());
+    }
+
+    #[test]
+    fn schema_check_reports_missing_numeric_fields() {
+        let base = doc(100.0, 4.0, 50.0);
+        assert!(check_schema(&base, &["inner.plan_queries", "inner.samp_speedup"]).is_empty());
+        assert_eq!(check_schema(&base, &["inner.nope", "schema"]).len(), 2);
+    }
+}

@@ -173,6 +173,11 @@ pub fn posterior_inflation_factor(distance: f64, length_scale: f64, strength: f6
 pub struct GaussianProcess {
     kernel: RbfKernel,
     train_x: Vec<f64>,
+    /// Training targets, kept so [`GaussianProcess::extend_with_noise`] can
+    /// re-centre and re-solve after appending observations.
+    train_y: Vec<f64>,
+    /// Per-observation noise variances, aligned with `train_y`.
+    train_noise: Vec<f64>,
     /// Mean of the training targets; the GP is fit on centred targets and the
     /// mean is added back at prediction time (a constant-mean GP).
     target_mean: f64,
@@ -354,12 +359,100 @@ impl GaussianProcess {
         Ok(Self {
             kernel,
             train_x: xs.to_vec(),
+            train_y: ys.to_vec(),
+            train_noise: noise_variances.to_vec(),
             target_mean,
             factor,
             alpha,
             noise_variance: crate::descriptive::mean(noise_variances),
             log_marginal_likelihood,
         })
+    }
+
+    /// Appends observations to a fitted GP in O(n²) per point, keeping the
+    /// kernel hyperparameters fixed.
+    ///
+    /// New points are assigned the model's current (average) observation-noise
+    /// variance; use [`GaussianProcess::extend_with_noise`] for explicit
+    /// per-point noise.
+    pub fn extend(&mut self, xs: &[f64], ys: &[f64]) -> Result<()> {
+        let noise = vec![self.noise_variance; xs.len()];
+        self.extend_with_noise(xs, ys, &noise)
+    }
+
+    /// Appends observations with per-point noise variances to a fitted GP.
+    ///
+    /// The covariance factor grows via [`Cholesky::extend_row`] — O(n²) per
+    /// appended point instead of the O(n³) of re-factorizing from scratch —
+    /// and the centred targets, `alpha` weights and log marginal likelihood
+    /// are recomputed against the grown factor. The kernel (signal variance
+    /// and length scale) is **not** re-selected: the resulting model is
+    /// bit-identical to [`GaussianProcess::fit_with_noise`] on the
+    /// concatenated data with the same fixed length scale
+    /// (`length_scale: Some(self.kernel().length_scale)`,
+    /// `optimize_length_scale: false`), because every entry of a Cholesky
+    /// factor depends only on the leading submatrix. Appending points one at
+    /// a time or all in one call yields the same model.
+    ///
+    /// An empty append is a no-op. On error (length mismatch, non-finite
+    /// input, negative noise, or a covariance that stops being positive
+    /// definite) the model is left unchanged.
+    pub fn extend_with_noise(
+        &mut self,
+        xs: &[f64],
+        ys: &[f64],
+        noise_variances: &[f64],
+    ) -> Result<()> {
+        if xs.len() != ys.len() || xs.len() != noise_variances.len() {
+            return Err(StatsError::InvalidArgument(format!(
+                "input/target/noise length mismatch: {} vs {} vs {}",
+                xs.len(),
+                ys.len(),
+                noise_variances.len()
+            )));
+        }
+        if xs.iter().chain(ys.iter()).chain(noise_variances.iter()).any(|v| !v.is_finite()) {
+            return Err(StatsError::InvalidArgument(
+                "Gaussian process inputs must be finite".to_string(),
+            ));
+        }
+        if noise_variances.iter().any(|v| *v < 0.0) {
+            return Err(StatsError::InvalidArgument(
+                "noise variances must be non-negative".to_string(),
+            ));
+        }
+        if xs.is_empty() {
+            return Ok(());
+        }
+        // Grow copies first so a failed extension leaves `self` untouched.
+        let mut factor = self.factor.clone();
+        let mut train_x = self.train_x.clone();
+        for (&x, &noise) in xs.iter().zip(noise_variances) {
+            // The same entries `Matrix::cholesky` would see for the new row of
+            // `K + σ_n² I` (kernel row plus nugget on the diagonal).
+            let row: Vec<f64> = train_x.iter().map(|&t| self.kernel.eval(x, t)).collect();
+            let diagonal = self.kernel.eval(x, x) + (noise.max(0.0) + 1e-10);
+            factor
+                .extend_row(&row, diagonal)
+                .map_err(|e| StatsError::Linalg(format!("training covariance not SPD: {e}")))?;
+            train_x.push(x);
+        }
+        self.factor = factor;
+        self.train_x = train_x;
+        self.train_y.extend_from_slice(ys);
+        self.train_noise.extend_from_slice(noise_variances);
+
+        // Re-centre and re-solve against the grown factor — O(n²), and the
+        // same arithmetic `fit_with_scale` performs on the concatenated data.
+        let n = self.train_x.len();
+        self.target_mean = crate::descriptive::mean(&self.train_y);
+        let centred: Vec<f64> = self.train_y.iter().map(|y| y - self.target_mean).collect();
+        self.alpha = self.factor.solve(&centred);
+        self.log_marginal_likelihood = -0.5 * dot(&centred, &self.alpha)
+            - 0.5 * self.factor.log_determinant()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        self.noise_variance = crate::descriptive::mean(&self.train_noise);
+        Ok(())
     }
 
     /// Heuristic length scale: a quarter of the input range (with a small floor).
@@ -642,5 +735,106 @@ mod tests {
         let ys = [0.1, 0.5, 0.9];
         let gp = GaussianProcess::fit(&xs, &ys, config_no_opt()).unwrap();
         assert!(gp.log_marginal_likelihood().is_finite());
+    }
+
+    /// A fit on the concatenated data with the extended model's exact kernel
+    /// (fixed length scale, no re-selection) — the reference `extend` must
+    /// reproduce bit-for-bit.
+    fn refit_pinned(
+        gp: &GaussianProcess,
+        xs: &[f64],
+        ys: &[f64],
+        noise: &[f64],
+    ) -> GaussianProcess {
+        let config = GpConfig {
+            signal_variance: gp.kernel().signal_variance,
+            length_scale: Some(gp.kernel().length_scale),
+            optimize_length_scale: false,
+            ..GpConfig::default()
+        };
+        GaussianProcess::fit_with_noise(xs, ys, noise, config).unwrap()
+    }
+
+    #[test]
+    fn extend_is_bit_identical_to_pinned_refit() {
+        let xs = [0.0, 0.3, 0.6, 1.0];
+        let ys = [0.05, 0.2, 0.6, 0.95];
+        let noise = [1e-3, 2e-3, 1e-3, 5e-4];
+        let mut gp =
+            GaussianProcess::fit_with_noise(&xs, &ys, &noise, GpConfig::default()).unwrap();
+        let (new_x, new_y, new_n) = ([0.45, 0.8], [0.4, 0.85], [3e-3, 1e-3]);
+        gp.extend_with_noise(&new_x, &new_y, &new_n).unwrap();
+
+        let all_x = [&xs[..], &new_x[..]].concat();
+        let all_y = [&ys[..], &new_y[..]].concat();
+        let all_n = [&noise[..], &new_n[..]].concat();
+        let scratch = refit_pinned(&gp, &all_x, &all_y, &all_n);
+
+        assert_eq!(gp.training_size(), 6);
+        assert_eq!(gp.log_marginal_likelihood(), scratch.log_marginal_likelihood());
+        assert_eq!(gp.noise_variance(), scratch.noise_variance());
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            assert_eq!(gp.predict_mean(q), scratch.predict_mean(q));
+            assert_eq!(gp.predict_variance(q), scratch.predict_variance(q));
+        }
+    }
+
+    #[test]
+    fn extend_one_at_a_time_matches_batch_extend() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.1, 0.5, 0.9];
+        let noise = [1e-3, 1e-3, 1e-3];
+        let mut batch = GaussianProcess::fit_with_noise(&xs, &ys, &noise, config_no_opt()).unwrap();
+        let mut stepwise = batch.clone();
+        let (new_x, new_y, new_n) = ([0.25, 0.75], [0.3, 0.7], [2e-3, 2e-3]);
+        batch.extend_with_noise(&new_x, &new_y, &new_n).unwrap();
+        for i in 0..2 {
+            stepwise.extend_with_noise(&new_x[i..=i], &new_y[i..=i], &new_n[i..=i]).unwrap();
+        }
+        assert_eq!(batch.log_marginal_likelihood(), stepwise.log_marginal_likelihood());
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            assert_eq!(batch.predict_mean(q), stepwise.predict_mean(q));
+            assert_eq!(batch.predict_variance(q), stepwise.predict_variance(q));
+        }
+    }
+
+    #[test]
+    fn empty_extend_is_a_noop() {
+        let mut gp =
+            GaussianProcess::fit(&[0.0, 0.5, 1.0], &[0.1, 0.5, 0.9], config_no_opt()).unwrap();
+        let before = gp.log_marginal_likelihood();
+        gp.extend(&[], &[]).unwrap();
+        assert_eq!(gp.training_size(), 3);
+        assert_eq!(gp.log_marginal_likelihood(), before);
+    }
+
+    #[test]
+    fn failed_extend_leaves_the_model_unchanged() {
+        let mut gp =
+            GaussianProcess::fit(&[0.0, 0.5, 1.0], &[0.1, 0.5, 0.9], config_no_opt()).unwrap();
+        let before_lml = gp.log_marginal_likelihood();
+        let before_mean = gp.predict_mean(0.3);
+        assert!(gp.extend(&[0.25], &[f64::NAN]).is_err());
+        assert!(gp.extend_with_noise(&[0.25], &[0.3], &[-1.0]).is_err());
+        assert!(gp.extend(&[0.25, 0.75], &[0.3]).is_err());
+        assert_eq!(gp.training_size(), 3);
+        assert_eq!(gp.log_marginal_likelihood(), before_lml);
+        assert_eq!(gp.predict_mean(0.3), before_mean);
+    }
+
+    #[test]
+    fn extend_defaults_to_the_average_noise() {
+        let xs = [0.0, 0.5, 1.0];
+        let ys = [0.1, 0.5, 0.9];
+        let noise = [1e-3, 3e-3, 2e-3];
+        let mut plain = GaussianProcess::fit_with_noise(&xs, &ys, &noise, config_no_opt()).unwrap();
+        let avg = plain.noise_variance();
+        let mut explicit = plain.clone();
+        plain.extend(&[0.25], &[0.3]).unwrap();
+        explicit.extend_with_noise(&[0.25], &[0.3], &[avg]).unwrap();
+        assert_eq!(plain.predict_mean(0.6), explicit.predict_mean(0.6));
+        assert_eq!(plain.noise_variance(), explicit.noise_variance());
     }
 }

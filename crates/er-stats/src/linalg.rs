@@ -264,6 +264,62 @@ impl Cholesky {
     pub fn log_determinant(&self) -> f64 {
         (0..self.order()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Appends one row/column to the factored matrix in O(n²).
+    ///
+    /// Given the factor `L` of an `n × n` matrix `A`, extends it to the factor
+    /// of the `(n+1) × (n+1)` matrix whose leading block is `A`, whose new
+    /// off-diagonal row/column is `row` and whose new diagonal entry is
+    /// `diagonal`. Because every entry of a Cholesky factor depends only on
+    /// the leading submatrix, the grown factor is **bit-identical** to
+    /// re-factorizing the extended matrix from scratch with
+    /// [`Matrix::cholesky`] — at O(n²) cost instead of O(n³).
+    ///
+    /// Fails with the same [`CholeskyError`] (pivot `n`, the offending value)
+    /// that a from-scratch factorization of the extended matrix would report
+    /// at its last pivot; on failure `self` is left unchanged.
+    ///
+    /// # Panics
+    /// Panics if `row.len()` differs from the current order.
+    #[allow(clippy::needless_range_loop)] // mirrors cholesky(), clearest with indices
+    pub fn extend_row(
+        &mut self,
+        row: &[f64],
+        diagonal: f64,
+    ) -> std::result::Result<(), CholeskyError> {
+        let n = self.order();
+        assert_eq!(row.len(), n, "extend_row dimension mismatch");
+        // New off-diagonal entries y = L⁻¹ row, with the exact operand order
+        // of `Matrix::cholesky` so the result is bit-identical to it.
+        let mut y = vec![0.0; n];
+        for j in 0..n {
+            let mut sum = row[j];
+            for k in 0..j {
+                sum -= y[k] * self.l[(j, k)];
+            }
+            y[j] = sum / self.l[(j, j)];
+        }
+        let mut pivot = diagonal;
+        for k in 0..n {
+            pivot -= y[k] * y[k];
+        }
+        if pivot <= 0.0 || !pivot.is_finite() {
+            return Err(CholeskyError { pivot: n, value: pivot });
+        }
+        // Commit only after the pivot check: grow L row-major in place.
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            for j in 0..=i {
+                l[(i, j)] = self.l[(i, j)];
+            }
+        }
+        for j in 0..n {
+            l[(n, j)] = y[j];
+        }
+        l[(n, n)] = pivot.sqrt();
+        self.l = l;
+        Ok(())
+    }
 }
 
 /// Dot product of two equal-length slices.
@@ -384,5 +440,46 @@ mod tests {
     #[test]
     fn dot_product() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn extend_row_is_bit_identical_to_refactorization() {
+        let a = spd_example();
+        // Factor the 2x2 leading block, then append A's last row.
+        let leading = Matrix::from_fn(2, 2, |i, j| a[(i, j)]);
+        let mut grown = leading.cholesky().unwrap();
+        grown.extend_row(&[a[(2, 0)], a[(2, 1)]], a[(2, 2)]).unwrap();
+        let scratch = a.cholesky().unwrap();
+        assert_eq!(grown.factor(), scratch.factor());
+        // And grown solves behave like the from-scratch factor's.
+        let b = vec![1.0, -2.0, 0.5];
+        assert_eq!(grown.solve(&b), scratch.solve(&b));
+    }
+
+    #[test]
+    fn extend_row_grows_from_an_empty_factor() {
+        let a = spd_example();
+        let mut chol = Matrix::zeros(0, 0).cholesky().unwrap();
+        for i in 0..3 {
+            let row: Vec<f64> = (0..i).map(|j| a[(i, j)]).collect();
+            chol.extend_row(&row, a[(i, i)]).unwrap();
+        }
+        assert_eq!(chol.factor(), a.cholesky().unwrap().factor());
+    }
+
+    #[test]
+    fn extend_row_rejects_non_spd_and_leaves_factor_unchanged() {
+        // Extending the identity with a row making the matrix singular:
+        // [[1, 2], [2, 4]] has a zero Schur complement.
+        let mut chol = Matrix::identity(1).cholesky().unwrap();
+        let before = chol.factor().clone();
+        let err = chol.extend_row(&[2.0], 4.0).unwrap_err();
+        assert_eq!(err.pivot, 1);
+        assert!(err.value <= 0.0);
+        assert_eq!(chol.factor(), &before);
+        // The error matches what a from-scratch factorization reports.
+        let scratch =
+            Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap().cholesky().unwrap_err();
+        assert_eq!(err, scratch);
     }
 }

@@ -21,8 +21,8 @@ use crate::sampling::{
     PartialSamplingConfig, PartialSamplingOptimizer,
 };
 use crate::session::{
-    verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession, SessionConfig,
-    SessionPhase,
+    verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession, ReplayCache,
+    SessionConfig, SessionPhase,
 };
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
@@ -294,9 +294,10 @@ impl HybridOptimizer {
         &self,
         workload: &Workload,
         slate: &LabelSlate<'_>,
+        cache: &mut ReplayCache,
     ) -> Drive<CoreOutput> {
         // Phase 1: SAMP estimation gives the certified fallback solution S0.
-        let plan = self.sampler.plan_core(workload, slate, None)?;
+        let plan = self.sampler.plan_core(workload, slate, None, cache)?;
         let (s0_lo, s0_hi) = plan.subset_bounds;
         let num_subsets = plan.partition.len();
         if s0_hi <= s0_lo {

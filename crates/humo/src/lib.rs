@@ -95,10 +95,12 @@ pub use oracle::{GroundTruthOracle, NoisyOracle, Oracle};
 pub use requirement::QualityRequirement;
 pub use sampling::{
     AllSamplingConfig, AllSamplingOptimizer, CalibratedEstimator, PartialSamplingConfig,
-    PartialSamplingOptimizer, PriorObservation, ShortfallBaseline, TailCalibration, WarmStart,
+    PartialSamplingOptimizer, PriorObservation, RefitStrategy, ShortfallBaseline, TailCalibration,
+    WarmStart,
 };
 pub use session::{
-    LabelRequest, LabelResponse, LabelingSession, SessionConfig, SessionPhase, SessionState, Step,
+    answer_requests, LabelRequest, LabelResponse, LabelingSession, SessionConfig, SessionPhase,
+    SessionState, Step,
 };
 pub use solution::{HumoSolution, OptimizationOutcome};
 

@@ -15,14 +15,14 @@
 use super::calibrated::{CalibratedEstimator, TailCalibration};
 use super::estimator::search_subset_bounds;
 use super::gp_estimator::GpCountEstimator;
-use super::sampler::SubsetSampler;
+use super::sampler::{SamplerSnapshot, SubsetSampler};
 use super::warm::{PriorObservation, WarmStart};
 use crate::optimizer::Optimizer;
 use crate::oracle::Oracle;
 use crate::requirement::QualityRequirement;
 use crate::session::{
     drive_with_oracle, verified_assignment, CoreOutput, Drive, LabelSlate, LabelingSession,
-    SessionConfig,
+    ReplayCache, SessionConfig,
 };
 use crate::solution::{HumoSolution, OptimizationOutcome};
 use crate::{HumoError, Result};
@@ -61,9 +61,49 @@ pub struct PartialSamplingConfig {
     /// reproduces the pre-calibration bounds that under-cover recall on flat
     /// match-proportion curves.
     pub tail_calibration: TailCalibration,
+    /// How the GP is refreshed after each refinement probe — a pure
+    /// performance knob, see [`RefitStrategy`].
+    pub refit: RefitStrategy,
     /// RNG seed for within-subset sampling.
     pub seed: u64,
 }
+
+/// How the match-proportion GP is refreshed after each refinement probe of
+/// Algorithm 1.
+///
+/// Hyperparameter *selection* (the length-scale search induced by
+/// [`PartialSamplingConfig::gp_config_for`]) runs on the same schedule under
+/// both strategies: per probe while the training set is small (up to
+/// [`SELECTION_WARMUP`] points — selection costs microseconds there and every
+/// point moves the hyperparameters), and past the warm-up whenever a probe
+/// disagrees with the GP prediction by at least the error threshold (a
+/// surprise is evidence the pinned hyperparameters no longer describe the
+/// curve), whenever the training set has doubled since the last selection,
+/// and once more on the final training set if probes were absorbed since.
+/// Between
+/// selections the strategies differ only in how the covariance factorization
+/// is updated — [`RefitStrategy::Incremental`] appends rows to the existing
+/// Cholesky factor in O(n²) per probe
+/// ([`GaussianProcess::extend_with_noise`]), while [`RefitStrategy::Full`]
+/// re-factorizes from scratch in O(n³) with the same pinned hyperparameters.
+/// The two produce bit-identical posteriors, and therefore bit-identical
+/// labels, bounds and costs; `Full` exists as the reference arm for the
+/// equivalence tests and the bench trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefitStrategy {
+    /// Extend the existing factorization in O(n²) per probe (the default).
+    #[default]
+    Incremental,
+    /// Re-factorize from scratch per probe with pinned hyperparameters.
+    Full,
+}
+
+/// Training-set size up to which hyperparameter selection reruns after every
+/// refinement probe. Below this the candidate search is effectively free and
+/// each new point still moves the selected hyperparameters noticeably;
+/// pinning them only pays off once the O(candidates · n³) search dominates
+/// the O(n²) factor extension.
+pub const SELECTION_WARMUP: usize = 32;
 
 impl PartialSamplingConfig {
     /// Creates a configuration with the paper's defaults.
@@ -76,6 +116,7 @@ impl PartialSamplingConfig {
             gp_error_threshold: 0.05,
             conservative_noise: false,
             tail_calibration: TailCalibration::default(),
+            refit: RefitStrategy::Incremental,
             seed: 1,
         }
     }
@@ -204,6 +245,67 @@ impl SamplingPlan {
     }
 }
 
+/// A refinement probe of Algorithm 1 that suspended while waiting for its
+/// sample's labels. `predicted` is the GP prediction taken *before* the
+/// sample — the same value a from-scratch replay would recompute — so the
+/// disagreement check runs unchanged on resumption.
+#[derive(Debug, Clone)]
+struct PendingProbe {
+    a: usize,
+    b: usize,
+    x: usize,
+    predicted: f64,
+}
+
+/// Suspended progress of Algorithm 1 (`train_match_proportion_gp`), stored in
+/// the session's [`ReplayCache`] so the next step resumes the training loop
+/// where it stopped instead of replaying it from scratch.
+///
+/// Only *derived* state lives here: resuming is byte-identical to a full
+/// replay because subset draws are label-independent, the sampler's RNG state
+/// is snapshotted exactly, and the answered-label map only ever grows (first
+/// answer wins), so a replay would reconstruct precisely this state before
+/// reaching the suspension point again.
+#[derive(Debug, Clone)]
+pub(crate) struct GpTrainingState {
+    sampler: SamplerSnapshot,
+    initial_done: bool,
+    pending: Option<PendingProbe>,
+    train_x: Vec<f64>,
+    train_y: Vec<f64>,
+    train_noise: Vec<f64>,
+    gp: Option<GaussianProcess>,
+    /// Training-set size at the last hyperparameter selection.
+    selected_at: usize,
+    used: BTreeMap<usize, SampleSummary>,
+    prior_coords: BTreeMap<usize, f64>,
+    priors_used: usize,
+    observed: BTreeMap<usize, f64>,
+    queue: VecDeque<(usize, usize)>,
+    well_approximated: Vec<(usize, usize)>,
+}
+
+impl GpTrainingState {
+    fn new(seed: u64) -> Self {
+        Self {
+            sampler: SamplerSnapshot::new(seed),
+            initial_done: false,
+            pending: None,
+            train_x: Vec::new(),
+            train_y: Vec::new(),
+            train_noise: Vec::new(),
+            gp: None,
+            selected_at: 0,
+            used: BTreeMap::new(),
+            prior_coords: BTreeMap::new(),
+            priors_used: 0,
+            observed: BTreeMap::new(),
+            queue: VecDeque::new(),
+            well_approximated: Vec::new(),
+        }
+    }
+}
+
 /// The SAMP optimizer.
 #[derive(Debug, Clone)]
 pub struct PartialSamplingOptimizer {
@@ -243,7 +345,9 @@ impl PartialSamplingOptimizer {
         oracle: &mut dyn Oracle,
         warm: Option<&WarmStart>,
     ) -> Result<SamplingPlan> {
-        drive_with_oracle(workload, oracle, |slate| self.plan_core(workload, slate, warm))
+        drive_with_oracle(workload, oracle, |slate, cache| {
+            self.plan_core(workload, slate, warm, cache)
+        })
     }
 
     /// Starts a sans-I/O [`LabelingSession`](crate::LabelingSession) for this
@@ -269,12 +373,21 @@ impl PartialSamplingOptimizer {
 
     /// The suspendable estimation phase backing both the session state machine
     /// and the oracle-driven [`PartialSamplingOptimizer::plan_with_warm_start`].
+    ///
+    /// A completed plan is memoized in the [`ReplayCache`]: SAMP's final
+    /// verification round and HYBR's boundary-search rounds re-enter here on
+    /// every step and get the cached plan back instead of re-running the
+    /// whole estimation phase.
     pub(crate) fn plan_core(
         &self,
         workload: &Workload,
         slate: &LabelSlate<'_>,
         warm: Option<&WarmStart>,
+        cache: &mut ReplayCache,
     ) -> Drive<SamplingPlan> {
+        if let Some(plan) = cache.plan() {
+            return Ok(plan.clone());
+        }
         if workload.is_empty() {
             return Err(HumoError::InvalidWorkload(
                 "cannot optimize an empty workload".to_string(),
@@ -282,13 +395,11 @@ impl PartialSamplingOptimizer {
             .into());
         }
         let cfg = &self.config;
-        let partition = workload.partition(cfg.unit_size)?;
+        let partition = cache.partition_or_compute(|| Ok(workload.partition(cfg.unit_size)?))?;
         let m = partition.len();
-        let mut sampler =
-            SubsetSampler::new(workload, &partition, cfg.samples_per_subset, cfg.seed);
 
         let (gp, diagonal_scale, used, prior_coords) =
-            self.train_match_proportion_gp(&partition, &mut sampler, slate, warm)?;
+            self.train_match_proportion_gp(workload, &partition, slate, warm, cache)?;
         let query: Vec<f64> = partition.subsets().iter().map(|s| s.mean_similarity()).collect();
         // Independent per-subset variance: the calibrated scatter term (when the
         // workload exhibits scatter) plus a Poisson-style floor — the number of
@@ -335,7 +446,9 @@ impl PartialSamplingOptimizer {
                 positives: s.positives,
             })
             .collect();
-        Ok(SamplingPlan { partition, estimator, subset_bounds, observations })
+        let plan = SamplingPlan { partition, estimator, subset_bounds, observations };
+        cache.store_plan(plan.clone());
+        Ok(plan)
     }
 
     /// Optimizes the workload with an optional warm start and returns both the
@@ -362,8 +475,9 @@ impl PartialSamplingOptimizer {
         workload: &Workload,
         slate: &LabelSlate<'_>,
         warm: Option<&WarmStart>,
+        cache: &mut ReplayCache,
     ) -> Drive<CoreOutput> {
-        let plan = self.plan_core(workload, slate, warm)?;
+        let plan = self.plan_core(workload, slate, warm, cache)?;
         let warm_out = plan.warm_start(workload);
         let solution = plan.solution(workload);
         let assignment = verified_assignment(&solution, workload, slate)?;
@@ -379,15 +493,32 @@ impl PartialSamplingOptimizer {
     ///
     /// The initial equidistant subsets (whose membership is label-independent)
     /// are requested as one label batch; each adaptive refinement probe —
-    /// inherently sequential, since the GP refit decides where to look next —
+    /// inherently sequential, since the GP refresh decides where to look next —
     /// costs one batch of its own.
+    ///
+    /// The loop is *resumable*: when a sample suspends for labels, the
+    /// training progress (sampler snapshot, training vectors, the fitted GP,
+    /// the refinement queue and the in-flight probe) is stored in the
+    /// [`ReplayCache`] and picked up by the next replay, which therefore costs
+    /// O(one probe) instead of O(whole history). Resumption is byte-identical
+    /// to a from-scratch replay (see [`GpTrainingState`]); with the cache
+    /// disabled the function simply replays from scratch every time.
+    ///
+    /// The GP is refreshed per probe according to the configured
+    /// [`RefitStrategy`]; hyperparameters are re-selected per probe up to
+    /// [`SELECTION_WARMUP`] training points, past that whenever a probe
+    /// surprises the GP by at least the error threshold or the training set
+    /// has doubled since the last selection, and once more on the final
+    /// training set (unless the scatter recalibration below already re-fits
+    /// with fresh selection).
     #[allow(clippy::type_complexity)]
     fn train_match_proportion_gp(
         &self,
+        workload: &Workload,
         partition: &SubsetPartition,
-        sampler: &mut SubsetSampler<'_>,
         slate: &LabelSlate<'_>,
         warm: Option<&WarmStart>,
+        cache: &mut ReplayCache,
     ) -> Drive<(GaussianProcess, f64, BTreeMap<usize, SampleSummary>, BTreeMap<usize, f64>)> {
         let cfg = &self.config;
         let m = partition.len();
@@ -454,23 +585,24 @@ impl PartialSamplingOptimizer {
             initial.dedup();
         }
 
-        let mut train_x: Vec<f64> = Vec::new();
-        let mut train_y: Vec<f64> = Vec::new();
-        let mut train_noise: Vec<f64> = Vec::new();
+        // Resume suspended training progress when the replay cache holds any;
+        // otherwise start from scratch (which is also the cache-disabled
+        // behavior: `store_training` below is then a no-op, so every step
+        // replays the loop in full — the pre-cache semantics).
+        let mut st = cache.take_training().unwrap_or_else(|| GpTrainingState::new(cfg.seed));
+        let mut sampler =
+            SubsetSampler::restore(workload, partition, cfg.samples_per_subset, st.sampler.clone());
+
         // Fitting noise: the paper-faithful mode uses the raw binomial sampling
         // variance of each observed proportion (which vanishes in the near-pure
         // regions that dominate skewed workloads, so the GP effectively
         // interpolates there); the conservative mode uses an Agresti-adjusted
         // variance that never drops to zero.
         let conservative = cfg.conservative_noise;
-        let push_sample = |train_x: &mut Vec<f64>,
-                           train_y: &mut Vec<f64>,
-                           train_noise: &mut Vec<f64>,
-                           idx: usize,
-                           summary: er_stats::SampleSummary| {
-            train_x.push(partition.subset(idx).mean_similarity());
-            train_y.push(summary.proportion());
-            train_noise.push(if conservative {
+        let push_sample = |st: &mut GpTrainingState, idx: usize, summary: SampleSummary| {
+            st.train_x.push(partition.subset(idx).mean_similarity());
+            st.train_y.push(summary.proportion());
+            st.train_noise.push(if conservative {
                 Self::binomial_noise(&summary)
             } else {
                 // Paper-faithful: a pure sample (0 or k positives) is interpolated
@@ -480,37 +612,49 @@ impl PartialSamplingOptimizer {
                 (p * (1.0 - p) / k).max(1e-8)
             });
         };
-        // `used` tracks every observation the GP trains on, keyed by subset
+        // `st.used` tracks every observation the GP trains on, keyed by subset
         // index. Prior observations cover their subset without oracle cost;
         // only uncovered subsets are sampled fresh. Reused priors still count
         // against the subset budget below — a warm start re-certifies the same
         // evidence density for fewer queries, it does not buy extra refinement.
-        let mut used: BTreeMap<usize, SampleSummary> = BTreeMap::new();
-        let mut prior_coords: BTreeMap<usize, f64> = BTreeMap::new();
-        let mut priors_used = 0usize;
-        // The whole initial set is one label batch: membership is fixed before
-        // any of its labels are known, so the pairs can be asked in parallel.
-        let fresh_initial: Vec<usize> =
-            initial.iter().copied().filter(|idx| !prior_for.contains_key(idx)).collect();
-        sampler.sample_many_core(&fresh_initial, slate)?;
-        for &idx in &initial {
-            let summary = match prior_for.get(&idx) {
-                Some(&(coord, prior)) => {
-                    priors_used += 1;
-                    prior_coords.insert(idx, coord);
-                    prior
-                }
-                None => sampler.sample_core(idx, slate)?,
-            };
-            used.insert(idx, summary);
-            push_sample(&mut train_x, &mut train_y, &mut train_noise, idx, summary);
+        if !st.initial_done {
+            // The whole initial set is one label batch: membership is fixed
+            // before any of its labels are known, so the pairs can be asked in
+            // parallel. Suspending here stores only the sampler's draws — the
+            // rest of the state is still empty.
+            let fresh_initial: Vec<usize> =
+                initial.iter().copied().filter(|idx| !prior_for.contains_key(idx)).collect();
+            if let Err(e) = sampler.sample_many_core(&fresh_initial, slate) {
+                st.sampler = sampler.snapshot();
+                cache.store_training(st);
+                return Err(e);
+            }
+            for &idx in &initial {
+                let summary = match prior_for.get(&idx) {
+                    Some(&(coord, prior)) => {
+                        st.priors_used += 1;
+                        st.prior_coords.insert(idx, coord);
+                        prior
+                    }
+                    // Cannot suspend: the batch above answered every fresh
+                    // initial subset, so this is a cache hit.
+                    None => sampler.sample_core(idx, slate)?,
+                };
+                st.used.insert(idx, summary);
+                push_sample(&mut st, idx, summary);
+            }
+            let gp = GaussianProcess::fit_with_noise(
+                &st.train_x,
+                &st.train_y,
+                &st.train_noise,
+                cfg.gp_config_for(&st.train_y),
+            )?;
+            st.selected_at = st.train_x.len();
+            st.gp = Some(gp);
+            st.observed = st.used.iter().map(|(&idx, s)| (idx, s.proportion())).collect();
+            st.queue = initial.windows(2).map(|w| (w[0], w[1])).collect();
+            st.initial_done = true;
         }
-        let mut gp = GaussianProcess::fit_with_noise(
-            &train_x,
-            &train_y,
-            &train_noise,
-            cfg.gp_config_for(&train_y),
-        )?;
 
         // Adaptive refinement (Algorithm 1): probe the midpoint between adjacent
         // sampled subsets; a large disagreement with the GP prediction keeps that
@@ -519,11 +663,6 @@ impl PartialSamplingOptimizer {
         // endpoints first: a gap whose two sampled endpoints differ a lot hides
         // most of the curve's movement (and most of the matching pairs), even if
         // its midpoint happened to look fine.
-        let mut observed: BTreeMap<usize, f64> =
-            used.iter().map(|(&idx, s)| (idx, s.proportion())).collect();
-        let mut queue: VecDeque<(usize, usize)> =
-            initial.windows(2).map(|w| (w[0], w[1])).collect();
-        let mut well_approximated: Vec<(usize, usize)> = Vec::new();
         let pop_most_interesting = |gaps: &mut Vec<(usize, usize)>,
                                     observed: &std::collections::BTreeMap<usize, f64>|
          -> Option<(usize, usize)> {
@@ -546,51 +685,119 @@ impl PartialSamplingOptimizer {
                 .expect("non-empty gap list");
             Some(gaps.swap_remove(best))
         };
-        while sampler.sampled_subset_count() + priors_used < max_subsets {
-            let Some((a, b)) = queue
-                .pop_front()
-                .or_else(|| pop_most_interesting(&mut well_approximated, &observed))
-            else {
-                break;
+        while sampler.sampled_subset_count() + st.priors_used < max_subsets {
+            // A probe that suspended last step resumes directly: the budget
+            // check above sees the same counts a full replay would (its sample
+            // never completed), and its `predicted` was computed before the
+            // suspension from the same GP a replay would rebuild.
+            let probe = match st.pending.take() {
+                Some(probe) => probe,
+                None => {
+                    let Some((a, b)) = st
+                        .queue
+                        .pop_front()
+                        .or_else(|| pop_most_interesting(&mut st.well_approximated, &st.observed))
+                    else {
+                        break;
+                    };
+                    if b.saturating_sub(a) <= 1 {
+                        continue;
+                    }
+                    let x = a + (b - a) / 2;
+                    if st.used.contains_key(&x) {
+                        continue;
+                    }
+                    let v_x = partition.subset(x).mean_similarity();
+                    let predicted =
+                        st.gp.as_ref().expect("initial fit precedes refinement").predict_mean(v_x);
+                    PendingProbe { a, b, x, predicted }
+                }
             };
-            if b.saturating_sub(a) <= 1 {
-                continue;
-            }
-            let x = a + (b - a) / 2;
-            if used.contains_key(&x) {
-                continue;
-            }
-            let v_x = partition.subset(x).mean_similarity();
-            let predicted = gp.predict_mean(v_x);
             // A prior observation covering the midpoint substitutes for the
             // fresh sample: the disagreement check still runs against it, so a
             // drifted curve region is refined with fresh samples around it.
-            let summary = match prior_for.get(&x) {
+            let summary = match prior_for.get(&probe.x) {
                 Some(&(coord, prior)) => {
-                    priors_used += 1;
-                    prior_coords.insert(x, coord);
+                    st.priors_used += 1;
+                    st.prior_coords.insert(probe.x, coord);
                     prior
                 }
-                None => sampler.sample_core(x, slate)?,
+                None => match sampler.sample_core(probe.x, slate) {
+                    Ok(summary) => summary,
+                    Err(e) => {
+                        st.pending = Some(probe);
+                        st.sampler = sampler.snapshot();
+                        cache.store_training(st);
+                        return Err(e);
+                    }
+                },
             };
             let observed_proportion = summary.proportion();
-            observed.insert(x, observed_proportion);
-            used.insert(x, summary);
-            push_sample(&mut train_x, &mut train_y, &mut train_noise, x, summary);
-            gp = GaussianProcess::fit_with_noise(
-                &train_x,
-                &train_y,
-                &train_noise,
-                cfg.gp_config_for(&train_y),
-            )?;
-            if (predicted - observed_proportion).abs() >= cfg.gp_error_threshold {
-                queue.push_back((a, x));
-                queue.push_back((x, b));
+            st.observed.insert(probe.x, observed_proportion);
+            st.used.insert(probe.x, summary);
+            push_sample(&mut st, probe.x, summary);
+            let appended = st.train_x.len() - 1;
+            let surprised = (probe.predicted - observed_proportion).abs() >= cfg.gp_error_threshold;
+            let mut gp = st.gp.take().expect("initial fit precedes refinement");
+            if surprised
+                || st.train_x.len() <= SELECTION_WARMUP
+                || st.train_x.len() >= 2 * st.selected_at
+            {
+                // Re-select length scale and noise on the full data while the
+                // training set is small (selection costs microseconds there and
+                // every point moves the hyperparameters), when the probe
+                // disagreed with the prediction (a surprise is evidence the
+                // pinned hyperparameters no longer describe the curve), or when
+                // the training set doubled since the last selection. Where the
+                // GP is tracking well past the warm-up, the cheap extension
+                // below carries the pinned hyperparameters forward instead.
+                gp = GaussianProcess::fit_with_noise(
+                    &st.train_x,
+                    &st.train_y,
+                    &st.train_noise,
+                    cfg.gp_config_for(&st.train_y),
+                )?;
+                st.selected_at = st.train_x.len();
             } else {
-                well_approximated.push((a, x));
-                well_approximated.push((x, b));
+                match cfg.refit {
+                    RefitStrategy::Incremental => {
+                        gp.extend_with_noise(
+                            &st.train_x[appended..],
+                            &st.train_y[appended..],
+                            &st.train_noise[appended..],
+                        )?;
+                    }
+                    RefitStrategy::Full => {
+                        // Reference arm: from-scratch refactorization with the
+                        // hyperparameters pinned to the current kernel —
+                        // bit-identical to the incremental extension.
+                        let pinned = GpConfig {
+                            signal_variance: gp.kernel().signal_variance,
+                            length_scale: Some(gp.kernel().length_scale),
+                            noise_variance: gp.noise_variance(),
+                            optimize_length_scale: false,
+                            selection: er_stats::gp::LengthScaleSelection::HeldOutError,
+                        };
+                        gp = GaussianProcess::fit_with_noise(
+                            &st.train_x,
+                            &st.train_y,
+                            &st.train_noise,
+                            pinned,
+                        )?;
+                    }
+                }
+            }
+            st.gp = Some(gp);
+            if surprised {
+                st.queue.push_back((probe.a, probe.x));
+                st.queue.push_back((probe.x, probe.b));
+            } else {
+                st.well_approximated.push((probe.a, probe.x));
+                st.well_approximated.push((probe.x, probe.b));
             }
         }
+        let mut gp = st.gp.take().expect("initial fit precedes calibration");
+        let (train_x, train_y, train_noise) = (&st.train_x, &st.train_y, &st.train_noise);
 
         // Calibrate the per-subset deviation scale against the local scatter of
         // the observed proportions. On workloads whose per-subset proportions
@@ -600,17 +807,28 @@ impl PartialSamplingOptimizer {
         // overconfident; on smooth workloads (the DS/AB shapes) the calibration
         // detects nothing and leaves the paper-faithful tight bounds untouched.
         let binomial_scale = 1.0 / cfg.samples_per_subset as f64;
-        let mut noise_scale = Self::local_noise_scale(&train_x, &train_y).unwrap_or(binomial_scale);
+        let mut noise_scale = Self::local_noise_scale(train_x, train_y).unwrap_or(binomial_scale);
         noise_scale = noise_scale.max(binomial_scale);
         let scatter_detected = noise_scale > 2.0 * binomial_scale;
         if scatter_detected {
             let recalibrated_noise: Vec<f64> =
                 train_y.iter().map(|&p| noise_scale * Self::stabilized_spread(p)).collect();
             gp = GaussianProcess::fit_with_noise(
-                &train_x,
-                &train_y,
+                train_x,
+                train_y,
                 &recalibrated_noise,
-                cfg.gp_config_for(&train_y),
+                cfg.gp_config_for(train_y),
+            )?;
+        } else if st.selected_at != train_x.len() {
+            // The refinement loop appended points since the last hyperparameter
+            // selection; re-select on the final training set so the returned GP
+            // does not depend on where the selection cadence happened to stop.
+            // (The scatter recalibration above is itself a fresh selection.)
+            gp = GaussianProcess::fit_with_noise(
+                train_x,
+                train_y,
+                train_noise,
+                cfg.gp_config_for(train_y),
             )?;
         }
         // Scale of the independent per-subset term added to the count variance:
@@ -644,7 +862,7 @@ impl PartialSamplingOptimizer {
                 .collect();
             eprintln!("[humo-debug] top training points (x, observed->fit): {}", tail.join(" "));
         }
-        Ok((gp, diagonal_scale, used, prior_coords))
+        Ok((gp, diagonal_scale, st.used, st.prior_coords))
     }
 
     /// Binomial sampling variance of an observed proportion, with an

@@ -16,6 +16,26 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// The owned, workload-independent part of a [`SubsetSampler`]: cached draws,
+/// cached summaries and the RNG state. The sampler itself borrows the workload
+/// and partition, so it cannot be stored across session steps — a suspended
+/// replay snapshots this state instead and restores an equivalent sampler on
+/// the next step ([`SubsetSampler::restore`]).
+#[derive(Debug, Clone)]
+pub(crate) struct SamplerSnapshot {
+    drawn: BTreeMap<usize, Vec<usize>>,
+    cache: BTreeMap<usize, SampleSummary>,
+    rng: StdRng,
+}
+
+impl SamplerSnapshot {
+    /// The state of a fresh sampler with the given seed: restoring from this
+    /// snapshot is equivalent to [`SubsetSampler::new`] with the same seed.
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { drawn: BTreeMap::new(), cache: BTreeMap::new(), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
 /// Draws simple random samples from workload subsets and caches the per-subset
 /// draws and summaries so a subset is never re-sampled.
 #[derive(Debug)]
@@ -44,6 +64,33 @@ impl<'a> SubsetSampler<'a> {
             rng: StdRng::seed_from_u64(seed),
             drawn: BTreeMap::new(),
             cache: BTreeMap::new(),
+        }
+    }
+
+    /// Rebuilds a sampler from a [`SamplerSnapshot`], continuing exactly where
+    /// the snapshotted sampler stopped (same cached draws, same RNG state).
+    pub(crate) fn restore(
+        workload: &'a Workload,
+        partition: &'a SubsetPartition,
+        samples_per_subset: usize,
+        snapshot: SamplerSnapshot,
+    ) -> Self {
+        Self {
+            workload,
+            partition,
+            samples_per_subset: samples_per_subset.max(1),
+            rng: snapshot.rng,
+            drawn: snapshot.drawn,
+            cache: snapshot.cache,
+        }
+    }
+
+    /// The sampler's owned state, for storing across session steps.
+    pub(crate) fn snapshot(&self) -> SamplerSnapshot {
+        SamplerSnapshot {
+            drawn: self.drawn.clone(),
+            cache: self.cache.clone(),
+            rng: self.rng.clone(),
         }
     }
 
@@ -176,7 +223,7 @@ impl<'a> SubsetSampler<'a> {
 mod tests {
     use super::*;
     use crate::oracle::{GroundTruthOracle, Oracle};
-    use er_core::workload::{Label, PairId};
+    use er_core::workload::Label;
 
     fn workload(n: usize) -> Workload {
         // Top half of the similarity range is all matches.
@@ -234,6 +281,25 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_restore_resumes_identically() {
+        let w = workload(1_000);
+        let partition = w.partition(100).unwrap();
+        let mut reference = SubsetSampler::new(&w, &partition, 15, 9);
+        let mut oracle = GroundTruthOracle::new();
+        let first = reference.sample(2, &mut oracle);
+        // Snapshot mid-flight, restore, and continue: the restored sampler
+        // reproduces both the cached summary and the future draws.
+        let snapshot = reference.snapshot();
+        let mut restored = SubsetSampler::restore(&w, &partition, 15, snapshot);
+        assert_eq!(restored.sample(2, &mut oracle), first);
+        assert_eq!(restored.sample(7, &mut oracle), reference.sample(7, &mut oracle));
+        // A fresh snapshot is equivalent to a fresh sampler.
+        let mut from_fresh = SubsetSampler::restore(&w, &partition, 15, SamplerSnapshot::new(9));
+        let mut fresh = SubsetSampler::new(&w, &partition, 15, 9);
+        assert_eq!(from_fresh.sample(5, &mut oracle), fresh.sample(5, &mut oracle));
+    }
+
+    #[test]
     fn suspendable_sampling_matches_the_oracle_path() {
         // The same seed must draw the same pairs whether labels are pulled
         // from an oracle or read from an answered slate — that equivalence is
@@ -245,8 +311,8 @@ mod tests {
         let via_oracle = oracle_sampler.sample(5, &mut oracle);
 
         let mut session_sampler = SubsetSampler::new(&w, &partition, 15, 9);
-        let empty: BTreeMap<PairId, Label> = BTreeMap::new();
-        let slate = LabelSlate::new(&w, &empty);
+        let empty: Vec<Option<Label>> = vec![None; w.len()];
+        let slate = LabelSlate::new(&empty);
         // First attempt suspends with the drawn pairs.
         let suspended = session_sampler.sample_core(5, &slate);
         let indices = match suspended {
@@ -255,9 +321,11 @@ mod tests {
         };
         assert_eq!(indices.len(), 15);
         // Answer them from the ground truth and retry: summary matches.
-        let answered: BTreeMap<PairId, Label> =
-            indices.iter().map(|&i| (w.pair(i).id(), w.pair(i).ground_truth())).collect();
-        let slate = LabelSlate::new(&w, &answered);
+        let mut answered: Vec<Option<Label>> = vec![None; w.len()];
+        for &i in &indices {
+            answered[i] = Some(w.pair(i).ground_truth());
+        }
+        let slate = LabelSlate::new(&answered);
         let via_slate = session_sampler.sample_core(5, &slate).unwrap_or_else(|_| panic!());
         assert_eq!(via_oracle, via_slate);
     }
