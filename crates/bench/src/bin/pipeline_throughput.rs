@@ -19,7 +19,10 @@
 //!    full-refit path (from-scratch refits, cache disabled), with the two
 //!    arms asserted byte-identical;
 //! 6. **parallel scoring speedup**: the worker pool vs a single thread over the
-//!    full candidate set.
+//!    full candidate set, plus the token-memo rate (pre-tokenized records);
+//! 7. **shard-parallel ingest scaling**: the full candidate indexing replayed
+//!    through a 1-shard serial index vs the default sharded index on the pool
+//!    (deltas asserted identical).
 //!
 //! Environment knobs (see [`humo_bench::BenchConfig`]):
 //!
@@ -34,20 +37,30 @@
 //!   final epoch meets the quality requirement, HYBR's label round-trips
 //!   scale with the subset count (never with the pair count), session replay
 //!   is at least 2× faster under the incremental path, and (on machines with
-//!   ≥ 2 cores) parallel scoring is at least 1.5× the single-thread rate.
+//!   ≥ 2 cores) parallel scoring is at least 1.5× the single-thread rate;
+//! * `HUMO_PIPE_SPILL_BUDGET` — when > 0, switch to the **out-of-core mode**:
+//!   stream the corpus into two engines — unbounded vs a memory budget of
+//!   this many resident workload pairs (and as many resident postings) — and
+//!   assert the budgeted run stays within budget, spills at both layers, and
+//!   produces a byte-identical workload and resolution. The full benchmark
+//!   suite is skipped in this mode.
 //!
 //! `--json <path>` (or `HUMO_BENCH_JSON`) writes the machine-readable
 //! `BENCH_pipeline.json` document; `--baseline <path>` (or
 //! `HUMO_BENCH_BASELINE`) diffs the fresh document against a committed
 //! baseline and exits non-zero on regression (see `humo_bench::trajectory`).
 
-use er_core::aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig};
-use er_core::blocking::TokenBlocker;
+use er_core::aggregate::{
+    AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig, TokenCache,
+};
+use er_core::blocking::{TokenBlocker, DEFAULT_SHARDS};
+use er_core::parallel::SerialExecutor;
 use er_core::record::{Record, RecordId};
 use er_core::similarity::StringMeasure;
+use er_core::spill::MemoryBudget;
 use er_core::text::Tokenizer;
 use er_core::workload::Workload;
-use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
+use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator, GeneratedCorpus};
 use er_pipeline::{PipelineConfig, ResolutionEngine, WorkerPool};
 use humo::{
     GroundTruthOracle, HybridConfig, HybridOptimizer, OptimizationOutcome, Oracle,
@@ -153,6 +166,117 @@ fn assert_arms_identical(
     );
 }
 
+/// Resident set size in kibibytes from `/proc/self/status`, if available.
+/// Purely informational: RSS includes allocator slack and depends on the
+/// kernel, so the out-of-core contract is asserted on the engine's own
+/// resident-pair accounting instead.
+fn vm_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// The out-of-core mode (`HUMO_PIPE_SPILL_BUDGET` > 0): stream the corpus into
+/// an unbounded engine and a budgeted one, assert the budgeted run stays
+/// within its resident-pair budget, spills at both the posting-list and the
+/// workload layer, and resolves byte-identically to the in-memory run.
+fn run_out_of_core(
+    corpus: &GeneratedCorpus,
+    truth: &[(RecordId, RecordId)],
+    threads: usize,
+    batches: usize,
+    spill_budget: usize,
+) {
+    println!("-- out-of-core mode: {spill_budget} resident pairs/postings budget --");
+    let schema = BibliographicGenerator::schema();
+    let mut in_memory =
+        ResolutionEngine::new(pipeline_config(threads, true), schema.clone(), schema.clone())
+            .expect("valid pipeline config");
+    let mut config = pipeline_config(threads, true);
+    config.memory_budget = MemoryBudget::bounded(spill_budget, spill_budget);
+    let mut budgeted =
+        ResolutionEngine::new(config, schema.clone(), schema).expect("valid pipeline config");
+
+    let left_batches: Vec<Vec<Record>> = chunks(corpus.left.records(), batches);
+    let right_batches: Vec<Vec<Record>> = chunks(corpus.right.records(), batches);
+    let mut total_delta = 0usize;
+    let mut budgeted_secs = 0.0f64;
+    for epoch in 0..left_batches.len().max(right_batches.len()) {
+        let l = left_batches.get(epoch).cloned().unwrap_or_default();
+        let r = right_batches.get(epoch).cloned().unwrap_or_default();
+        let edges = if epoch == 0 { truth } else { &[] };
+        let a = in_memory.ingest(l.clone(), r.clone(), edges).expect("ingest succeeds");
+        let start = Instant::now();
+        let b = budgeted.ingest(l, r, edges).expect("ingest succeeds");
+        budgeted_secs += start.elapsed().as_secs_f64();
+        assert_eq!(a.delta_candidates, b.delta_candidates, "epoch {epoch} candidates diverged");
+        assert_eq!(a.retained_pairs, b.retained_pairs, "epoch {epoch} retained pairs diverged");
+        assert!(
+            b.resident_pairs <= spill_budget,
+            "epoch {epoch}: {} resident pairs exceed the {spill_budget} budget",
+            b.resident_pairs
+        );
+        total_delta += b.delta_candidates;
+        println!(
+            "epoch {epoch}: {} delta candidates, workload {} = {} resident + {} spilled",
+            b.delta_candidates, b.workload_len, b.resident_pairs, b.spilled_pairs
+        );
+    }
+    assert!(budgeted.workload().spilled_pairs() > 0, "workload spill never engaged");
+    assert!(
+        budgeted.blocking_index().spilled_generations() > 0,
+        "posting spill never engaged — lower the budget or grow the corpus"
+    );
+    assert_eq!(in_memory.workload().spilled_pairs(), 0);
+
+    // Byte-identity, pair by pair.
+    assert_eq!(in_memory.workload().len(), budgeted.workload().len());
+    for (a, b) in in_memory.workload().iter().zip(budgeted.workload().iter()) {
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.left(), b.left());
+        assert_eq!(a.right(), b.right());
+        assert_eq!(a.similarity().to_bits(), b.similarity().to_bits(), "similarity bits diverged");
+        assert_eq!(a.ground_truth(), b.ground_truth());
+    }
+    println!(
+        "\nworkload: {} pairs ({} resident, {} spilled; {:.1} MiB on disk + {:.1} MiB postings), \
+         byte-identical to in-memory",
+        budgeted.workload().len(),
+        budgeted.workload().resident_pairs(),
+        budgeted.workload().spilled_pairs(),
+        budgeted.workload().spilled_bytes() as f64 / (1024.0 * 1024.0),
+        budgeted.blocking_index().spilled_bytes() as f64 / (1024.0 * 1024.0),
+    );
+    println!(
+        "budgeted ingest: {total_delta} delta candidates in {budgeted_secs:.2} s \
+         ({:.3e} pairs/s)",
+        total_delta as f64 / budgeted_secs.max(1e-9)
+    );
+    if let Some(rss) = vm_rss_kib() {
+        println!("VmRSS after ingest: {:.1} MiB (informational)", rss as f64 / 1024.0);
+    }
+
+    // Resolution over the spilled workload must be exactly the in-memory one.
+    let mut oracle_a = GroundTruthOracle::new();
+    let mut oracle_b = GroundTruthOracle::new();
+    let a = in_memory.resolve(&mut oracle_a).expect("resolve succeeds");
+    let b = budgeted.resolve(&mut oracle_b).expect("resolve succeeds");
+    assert_eq!(a.outcome.solution, b.outcome.solution, "solutions diverged");
+    assert_eq!(a.outcome.assignment, b.outcome.assignment, "assignments diverged");
+    assert_eq!(a.outcome.metrics, b.outcome.metrics, "metrics diverged");
+    assert_eq!(a.oracle_queries, b.oracle_queries, "oracle queries diverged");
+    assert_eq!(a.entities, b.entities, "entities diverged");
+    assert_eq!(a.cluster_metrics, b.cluster_metrics, "cluster metrics diverged");
+    println!(
+        "resolution: {} oracle queries, {} entity clusters, cluster F1 {:.3} \
+         — byte-identical to in-memory",
+        b.oracle_queries,
+        b.entities.non_singleton_count(),
+        b.cluster_metrics.f1()
+    );
+    println!("\n[out-of-core] all equivalence checks passed");
+}
+
 fn main() {
     let cfg = BenchConfig::from_env("HUMO_PIPE");
     let entities = cfg.usize("ENTITIES", 1_500);
@@ -160,6 +284,7 @@ fn main() {
     let threads = cfg.usize("THREADS", 0);
     let replay_reps = cfg.usize("REPLAY_REPS", 3);
     let assert_mode = cfg.flag("ASSERT");
+    let spill_budget = cfg.usize("SPILL_BUDGET", 0);
 
     println!("================================================================");
     println!("pipeline_throughput: streaming ingest -> resolve -> cluster");
@@ -181,6 +306,11 @@ fn main() {
         corpus.right.len(),
         truth.len()
     );
+
+    if spill_budget > 0 {
+        run_out_of_core(&corpus, &truth, threads, batches, spill_budget);
+        return;
+    }
 
     let schema = BibliographicGenerator::schema();
     let mut engine =
@@ -208,6 +338,7 @@ fn main() {
     let mut final_report = None;
     let mut total_delta = 0usize;
     let mut last_ingest_rate = 0.0f64;
+    let mut total_ingest_secs = 0.0f64;
     for epoch in 0..left_batches.len().max(right_batches.len()) {
         let l = left_batches.get(epoch).cloned().unwrap_or_default();
         let r = right_batches.get(epoch).cloned().unwrap_or_default();
@@ -219,6 +350,7 @@ fn main() {
             if ingest_secs > 0.0 { ingest.delta_candidates as f64 / ingest_secs } else { 0.0 };
         total_delta += ingest.delta_candidates;
         last_ingest_rate = rate;
+        total_ingest_secs += ingest_secs;
         let report = engine.resolve(&mut oracle).expect("resolve succeeds");
         println!(
             "{:<6} {:>10} {:>9} {:>9} {:>10.3e} {:>8} {:>7} {:>7.3} {:>7.3} {:>7.3} {:>7.3}{}",
@@ -412,6 +544,67 @@ fn main() {
         candidates.len() as f64 / tn
     );
 
+    // Token-memo scoring: the same parallel pass with every record's token
+    // sequences pre-admitted (the engine's steady state — records are admitted
+    // once, at ingest). Bit-identical by contract, faster because the
+    // token-based measures skip re-normalizing and re-tokenizing.
+    let mut token_cache = TokenCache::new();
+    token_cache.admit_scoring(&scoring_config(), corpus.left.records(), corpus.right.records());
+    let reference =
+        pool.score_pairs(&corpus.left, &corpus.right, &scorer, &candidates).expect("scoring");
+    let mut tc = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let sims = pool
+            .score_pairs_cached(&corpus.left, &corpus.right, &scorer, &token_cache, &candidates)
+            .expect("cached scoring succeeds");
+        tc = tc.min(start.elapsed().as_secs_f64());
+        assert!(
+            reference.iter().zip(&sims).all(|(a, b)| a.to_bits() == b.to_bits()),
+            "cached scoring must be bit-identical to uncached scoring"
+        );
+    }
+    let cache_scaling = tn / tc.max(1e-9);
+    println!(
+        "token memo: {:.1} ms ({:.3e} pairs/s)  {cache_scaling:.2}x vs uncached \
+         [bit-identical]",
+        1e3 * tc,
+        candidates.len() as f64 / tc
+    );
+
+    // Shard-parallel ingest scaling: replay the full candidate indexing through
+    // a 1-shard serial index and through the default sharded index on the
+    // pool, asserting identical per-batch deltas. The ratio is reported
+    // unsuffixed (machine-dependent, like the scoring scaling).
+    let index_batches = 8usize;
+    let shard_left: Vec<Vec<Record>> = chunks(corpus.left.records(), index_batches);
+    let shard_right: Vec<Vec<Record>> = chunks(corpus.right.records(), index_batches);
+    let mut serial_index = blocker.incremental_sharded(1);
+    let mut serial_deltas = Vec::new();
+    let start = Instant::now();
+    for epoch in 0..index_batches {
+        let l = shard_left.get(epoch).map_or(&[] as &[Record], Vec::as_slice);
+        let r = shard_right.get(epoch).map_or(&[] as &[Record], Vec::as_slice);
+        serial_deltas.push(serial_index.add_records_with(l, r, &SerialExecutor, None));
+    }
+    let t_serial = start.elapsed().as_secs_f64();
+    let mut sharded_index = blocker.incremental_sharded(DEFAULT_SHARDS);
+    let start = Instant::now();
+    for (epoch, serial_delta) in serial_deltas.iter().enumerate() {
+        let l = shard_left.get(epoch).map_or(&[] as &[Record], Vec::as_slice);
+        let r = shard_right.get(epoch).map_or(&[] as &[Record], Vec::as_slice);
+        let delta = sharded_index.add_records_with(l, r, &pool, Some(&token_cache));
+        assert_eq!(&delta, serial_delta, "sharded delta diverged on epoch {epoch}");
+    }
+    let t_sharded = start.elapsed().as_secs_f64();
+    let shard_scaling = t_serial / t_sharded.max(1e-9);
+    println!("\n-- sharded incremental blocking ({index_batches} batches) --");
+    println!("1 shard serial  : {:.1} ms", 1e3 * t_serial);
+    println!(
+        "{DEFAULT_SHARDS} shards on pool: {:.1} ms  {shard_scaling:.2}x [deltas identical]",
+        1e3 * t_sharded
+    );
+
     // Machine-readable perf-trajectory document. Key naming drives the
     // regression policy (see humo_bench::trajectory): `_queries`/`_rounds`/
     // `_count` fail on any increase, `_speedup` fails on a >25% drop, `_ms`/
@@ -439,6 +632,8 @@ fn main() {
             Json::obj([
                 ("total_delta_candidates", Json::num(total_delta as f64)),
                 ("last_epoch_pairs_per_s", Json::num(last_ingest_rate)),
+                ("pairs_per_s", Json::num(total_delta as f64 / total_ingest_secs.max(1e-9))),
+                ("shard_parallel_scaling", Json::num(shard_scaling)),
             ]),
         ),
         (
@@ -479,6 +674,8 @@ fn main() {
                 ("single_thread_pairs_per_s", Json::num(candidates.len() as f64 / t1.max(1e-9))),
                 ("parallel_pairs_per_s", Json::num(candidates.len() as f64 / tn.max(1e-9))),
                 ("parallel_scaling", Json::num(speedup)),
+                ("token_cache_pairs_per_s", Json::num(candidates.len() as f64 / tc.max(1e-9))),
+                ("token_cache_scaling", Json::num(cache_scaling)),
             ]),
         ),
     ]);
@@ -494,6 +691,7 @@ fn main() {
             "session_replay.samp_speedup",
             "session_replay.hybr_speedup",
             "ingest.last_epoch_pairs_per_s",
+            "ingest.pairs_per_s",
         ],
     );
 

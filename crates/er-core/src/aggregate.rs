@@ -7,10 +7,15 @@
 //! combines the scores with per-attribute weights, renormalizing over the
 //! attributes actually present on both records.
 
-use crate::record::{Dataset, Record};
+use crate::record::{Dataset, Record, RecordId};
 use crate::similarity::StringMeasure;
-use crate::similarity::{absolute_difference_similarity, relative_difference_similarity};
+use crate::similarity::{
+    absolute_difference_similarity, dice_similarity, jaccard_similarity, overlap_coefficient,
+    relative_difference_similarity, tf_cosine_similarity,
+};
+use crate::text::Tokenizer;
 use crate::{AttributeValue, ErError, Result};
+use std::collections::HashMap;
 
 /// How per-attribute weights are derived.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,6 +179,207 @@ impl PairScorer {
             (weighted_sum / weight_total).clamp(0.0, 1.0)
         }
     }
+
+    /// Weighted aggregate similarity, reusing memoized token sequences from a
+    /// [`TokenCache`] for the token-based string measures (Jaccard, Dice,
+    /// overlap, TF-cosine). `a` is looked up on the cache's left side and `b`
+    /// on its right side.
+    ///
+    /// Bit-identical to [`PairScorer::score`]: cached sequences are the exact
+    /// `Tokenizer::tokenize` output and feed the same similarity functions, and
+    /// anything the cache does not cover (missed records, character-based or
+    /// numeric measures) falls back to direct evaluation.
+    pub fn score_with_cache(&self, a: &Record, b: &Record, cache: &TokenCache) -> f64 {
+        let mut weighted_sum = 0.0;
+        let mut weight_total = 0.0;
+        for attr in &self.attributes {
+            if let Some(sim) = Self::eval_with_cache(attr, a, b, cache) {
+                weighted_sum += attr.weight * sim;
+                weight_total += attr.weight;
+            }
+        }
+        if weight_total == 0.0 {
+            0.0
+        } else {
+            (weighted_sum / weight_total).clamp(0.0, 1.0)
+        }
+    }
+
+    fn eval_with_cache(
+        attr: &WeightedAttribute,
+        a: &Record,
+        b: &Record,
+        cache: &TokenCache,
+    ) -> Option<f64> {
+        if let AttributeMeasure::Text(measure) = attr.measure {
+            if let Some(tokenizer) = token_based_tokenizer(measure) {
+                // Text presence mirrors `AttributeMeasure::eval` exactly.
+                let ta = a.get(&attr.name).as_text()?;
+                let tb = b.get(&attr.name).as_text()?;
+                let fresh_a;
+                let tokens_a: &[String] = match cache.left_tokens(&attr.name, tokenizer, a.id()) {
+                    Some(tokens) => tokens,
+                    None => {
+                        fresh_a = tokenizer.tokenize(ta);
+                        &fresh_a
+                    }
+                };
+                let fresh_b;
+                let tokens_b: &[String] = match cache.right_tokens(&attr.name, tokenizer, b.id()) {
+                    Some(tokens) => tokens,
+                    None => {
+                        fresh_b = tokenizer.tokenize(tb);
+                        &fresh_b
+                    }
+                };
+                return Some(eval_token_measure(measure, tokens_a, tokens_b));
+            }
+        }
+        attr.measure.eval(a.get(&attr.name), b.get(&attr.name))
+    }
+}
+
+/// The tokenizer of a token-based string measure, `None` for character-based ones.
+fn token_based_tokenizer(measure: StringMeasure) -> Option<Tokenizer> {
+    match measure {
+        StringMeasure::Jaccard(t)
+        | StringMeasure::Dice(t)
+        | StringMeasure::Overlap(t)
+        | StringMeasure::Cosine(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// Evaluates a token-based measure on pre-tokenized sequences — the same
+/// similarity functions `StringMeasure::eval` calls after tokenizing.
+fn eval_token_measure(measure: StringMeasure, a: &[String], b: &[String]) -> f64 {
+    match measure {
+        StringMeasure::Jaccard(_) => jaccard_similarity(a, b),
+        StringMeasure::Dice(_) => dice_similarity(a, b),
+        StringMeasure::Overlap(_) => overlap_coefficient(a, b),
+        StringMeasure::Cosine(_) => tf_cosine_similarity(a, b),
+        _ => unreachable!("eval_token_measure is only called for token-based measures"),
+    }
+}
+
+/// A memo of per-record token sequences, shared by blocking and scoring so
+/// repeated passes over the same records stop re-normalizing and re-tokenizing
+/// their attribute texts.
+///
+/// Sequences are keyed by `(attribute, tokenizer, side, record id)` and hold
+/// the raw `Tokenizer::tokenize` output (duplicates included), so consumers
+/// observe exactly what a fresh tokenization would produce. Left and right
+/// sides are kept apart because the two datasets' record ids may collide. The
+/// cache trusts that an admitted record's text does not change afterwards —
+/// the resolution engine admits each record once, at ingest.
+#[derive(Debug, Default, Clone)]
+pub struct TokenCache {
+    entries: Vec<TokenCacheEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct TokenCacheEntry {
+    attribute: String,
+    tokenizer: Tokenizer,
+    /// Token sequences by record id, index 0 = left side, 1 = right side.
+    sides: [HashMap<u64, Vec<String>>; 2],
+}
+
+impl TokenCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn admit(&mut self, attribute: &str, tokenizer: Tokenizer, side: usize, records: &[Record]) {
+        let entry = match self
+            .entries
+            .iter()
+            .position(|e| e.attribute == attribute && e.tokenizer == tokenizer)
+        {
+            Some(i) => &mut self.entries[i],
+            None => {
+                self.entries.push(TokenCacheEntry {
+                    attribute: attribute.to_string(),
+                    tokenizer,
+                    sides: [HashMap::new(), HashMap::new()],
+                });
+                self.entries.last_mut().expect("entry just pushed")
+            }
+        };
+        for record in records {
+            if let Some(text) = record.text(attribute) {
+                entry.sides[side].entry(record.id().0).or_insert_with(|| tokenizer.tokenize(text));
+            }
+        }
+    }
+
+    /// Tokenizes and memoizes a batch of left-side records for an attribute.
+    pub fn admit_left(&mut self, attribute: &str, tokenizer: Tokenizer, records: &[Record]) {
+        self.admit(attribute, tokenizer, 0, records);
+    }
+
+    /// Tokenizes and memoizes a batch of right-side records for an attribute.
+    pub fn admit_right(&mut self, attribute: &str, tokenizer: Tokenizer, records: &[Record]) {
+        self.admit(attribute, tokenizer, 1, records);
+    }
+
+    /// Admits left- and right-side batches for every *token-based* text
+    /// attribute of a scoring configuration (character-based and numeric
+    /// measures gain nothing from token memoization and are skipped), so
+    /// [`PairScorer::score_with_cache`] finds every sequence it can use.
+    pub fn admit_scoring(
+        &mut self,
+        config: &ScoringConfig,
+        left_records: &[Record],
+        right_records: &[Record],
+    ) {
+        for (name, measure) in &config.attributes {
+            let AttributeMeasure::Text(measure) = measure else { continue };
+            let Some(tokenizer) = token_based_tokenizer(*measure) else { continue };
+            self.admit(name, tokenizer, 0, left_records);
+            self.admit(name, tokenizer, 1, right_records);
+        }
+    }
+
+    fn tokens(
+        &self,
+        attribute: &str,
+        tokenizer: Tokenizer,
+        side: usize,
+        id: RecordId,
+    ) -> Option<&[String]> {
+        self.entries
+            .iter()
+            .find(|e| e.attribute == attribute && e.tokenizer == tokenizer)
+            .and_then(|e| e.sides[side].get(&id.0))
+            .map(Vec::as_slice)
+    }
+
+    /// The memoized token sequence of a left-side record, if admitted.
+    pub fn left_tokens(
+        &self,
+        attribute: &str,
+        tokenizer: Tokenizer,
+        id: RecordId,
+    ) -> Option<&[String]> {
+        self.tokens(attribute, tokenizer, 0, id)
+    }
+
+    /// The memoized token sequence of a right-side record, if admitted.
+    pub fn right_tokens(
+        &self,
+        attribute: &str,
+        tokenizer: Tokenizer,
+        id: RecordId,
+    ) -> Option<&[String]> {
+        self.tokens(attribute, tokenizer, 1, id)
+    }
+
+    /// Total number of memoized record token sequences across all entries.
+    pub fn cached_records(&self) -> usize {
+        self.entries.iter().map(|e| e.sides[0].len() + e.sides[1].len()).sum()
+    }
 }
 
 #[cfg(test)]
@@ -300,5 +506,57 @@ mod tests {
             -1.0
         )])
         .is_err());
+    }
+
+    #[test]
+    fn cached_scores_are_bit_identical() {
+        // Mixed measures: token-based (Jaccard/Cosine go through the cache),
+        // character-based (JaroWinkler) and numeric (absolute) fall back.
+        let scorer = PairScorer::with_weights([
+            ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words)), 3.0),
+            ("authors", AttributeMeasure::Text(StringMeasure::Cosine(Tokenizer::QGrams(2))), 2.0),
+            ("venue", AttributeMeasure::Text(StringMeasure::JaroWinkler), 1.0),
+            ("year", AttributeMeasure::NumberAbsolute { tolerance: 5.0 }, 1.0),
+        ])
+        .unwrap();
+        let lefts = vec![
+            Record::new(RecordId(1))
+                .with("title", "Entity Resolution, a Survey")
+                .with("authors", "getoor machanavajjhala")
+                .with("venue", "vldb")
+                .with("year", 2012.0),
+            Record::new(RecordId(2)).with("title", "graph networks"),
+        ];
+        let rights = vec![
+            Record::new(RecordId(1)) // same id as a left record: sides must not mix
+                .with("title", "a survey of entity resolution")
+                .with("authors", "machanavajjhala")
+                .with("venue", "pvldb")
+                .with("year", 2011.0),
+            Record::new(RecordId(9)).with("venue", "icde"),
+        ];
+        let mut cache = TokenCache::new();
+        for (attr, tok) in [("title", Tokenizer::Words), ("authors", Tokenizer::QGrams(2))] {
+            cache.admit_left(attr, tok, &lefts);
+            cache.admit_right(attr, tok, &rights);
+        }
+        assert!(cache.cached_records() > 0);
+        for a in &lefts {
+            for b in &rights {
+                let plain = scorer.score(a, b);
+                let cached = scorer.score_with_cache(a, b, &cache);
+                assert_eq!(plain.to_bits(), cached.to_bits(), "{:?} vs {:?}", a.id(), b.id());
+            }
+        }
+        // An empty cache degrades to plain scoring for every pair.
+        let empty = TokenCache::new();
+        for a in &lefts {
+            for b in &rights {
+                assert_eq!(
+                    scorer.score(a, b).to_bits(),
+                    scorer.score_with_cache(a, b, &empty).to_bits()
+                );
+            }
+        }
     }
 }

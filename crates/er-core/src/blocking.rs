@@ -15,12 +15,15 @@
 //! candidate pairs — the pairs involving at least one record of the new batch —
 //! without rescanning the pairs of previously ingested records.
 
-use crate::aggregate::PairScorer;
+use crate::aggregate::{PairScorer, TokenCache};
+use crate::parallel::{ParallelExecutor, SerialExecutor};
 use crate::record::{Dataset, Record, RecordId};
+use crate::spill::{fnv1a, ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile};
 use crate::text::Tokenizer;
 use crate::workload::{InstancePair, Label, PairId, Workload};
 use crate::Result;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// All pairs of the cartesian product between two datasets.
 pub fn cartesian_pairs(a: &Dataset, b: &Dataset) -> Vec<(RecordId, RecordId)> {
@@ -49,31 +52,48 @@ impl TokenBlocker {
 
     /// Generates candidate pairs between two datasets.
     pub fn candidates(&self, a: &Dataset, b: &Dataset) -> Vec<(RecordId, RecordId)> {
+        self.candidates_impl(a, b, None)
+    }
+
+    /// Generates candidate pairs between two datasets, reusing memoized token
+    /// sequences (records of `a` on the cache's left side, `b` on its right)
+    /// instead of re-tokenizing. Produces exactly [`TokenBlocker::candidates`].
+    pub fn candidates_with_cache(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        cache: &TokenCache,
+    ) -> Vec<(RecordId, RecordId)> {
+        self.candidates_impl(a, b, Some(cache))
+    }
+
+    fn candidates_impl(
+        &self,
+        a: &Dataset,
+        b: &Dataset,
+        cache: Option<&TokenCache>,
+    ) -> Vec<(RecordId, RecordId)> {
         // Tokens are deduplicated per record before indexing and probing: a
         // record repeating a token ("new york, new york") must not push its id
         // into a posting list twice, nor probe the same posting list twice —
         // the output set would hide it, but every duplicate re-scans a whole
         // posting list.
-        let record_tokens = |text: &str| -> BTreeSet<String> {
-            self.tokenizer.tokenize(text).into_iter().collect()
+        let record_tokens = |record: &Record, side: usize| -> BTreeSet<String> {
+            unique_record_tokens(&self.attribute, self.tokenizer, record, side, cache)
         };
         // Invert dataset b: token → record ids.
         let mut index: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
         for rb in b.iter() {
-            if let Some(text) = rb.text(&self.attribute) {
-                for token in record_tokens(text) {
-                    index.entry(token).or_default().push(rb.id());
-                }
+            for token in record_tokens(rb, 1) {
+                index.entry(token).or_default().push(rb.id());
             }
         }
         let mut seen: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
         for ra in a.iter() {
-            if let Some(text) = ra.text(&self.attribute) {
-                for token in record_tokens(text) {
-                    if let Some(ids) = index.get(&token) {
-                        for &rb_id in ids {
-                            seen.insert((ra.id(), rb_id));
-                        }
+            for token in record_tokens(ra, 0) {
+                if let Some(ids) = index.get(&token) {
+                    for &rb_id in ids {
+                        seen.insert((ra.id(), rb_id));
                     }
                 }
             }
@@ -82,41 +102,283 @@ impl TokenBlocker {
     }
 
     /// Creates an empty incremental index with this blocker's attribute and
-    /// tokenizer. Feed record batches through
-    /// [`IncrementalTokenIndex::add_records`] to obtain delta candidates.
+    /// tokenizer, sharded over [`DEFAULT_SHARDS`] token-hash shards. Feed
+    /// record batches through [`IncrementalTokenIndex::add_records`] to obtain
+    /// delta candidates.
     pub fn incremental(&self) -> IncrementalTokenIndex {
+        self.incremental_sharded(DEFAULT_SHARDS)
+    }
+
+    /// Creates an empty incremental index with an explicit shard count.
+    /// Candidates are shard-count-invariant; the count only controls how much
+    /// of the per-batch work a parallel executor can spread.
+    pub fn incremental_sharded(&self, shards: usize) -> IncrementalTokenIndex {
         IncrementalTokenIndex {
             attribute: self.attribute.clone(),
             tokenizer: self.tokenizer,
-            index_left: BTreeMap::new(),
-            index_right: BTreeMap::new(),
+            shards: (0..shards.max(1)).map(|_| TokenShard::default()).collect(),
             records_indexed: 0,
+            budget: MemoryBudget::default(),
+            spill: None,
         }
     }
 }
 
-/// A persistent token-blocking index supporting incremental ingestion.
+/// Default shard count of [`TokenBlocker::incremental`].
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The unique token set of one record, via the cache when admitted (`side`
+/// 0 = left, 1 = right) and by fresh tokenization otherwise.
+fn unique_record_tokens(
+    attribute: &str,
+    tokenizer: Tokenizer,
+    record: &Record,
+    side: usize,
+    cache: Option<&TokenCache>,
+) -> BTreeSet<String> {
+    if let Some(cache) = cache {
+        let cached = if side == 0 {
+            cache.left_tokens(attribute, tokenizer, record.id())
+        } else {
+            cache.right_tokens(attribute, tokenizer, record.id())
+        };
+        if let Some(tokens) = cached {
+            return tokens.iter().cloned().collect();
+        }
+    }
+    record
+        .text(attribute)
+        .map(|text| tokenizer.tokenize(text).into_iter().collect())
+        .unwrap_or_default()
+}
+
+/// A persistent token-blocking index supporting incremental ingestion,
+/// sharded by token hash.
 ///
-/// The index keeps one posting list per token and side. Adding a batch probes
-/// the *existing* posting lists for the new records' tokens, so the work per
+/// The index keeps one posting list per token and side, spread over N
+/// independent shards (token → shard via FNV-1a). Adding a batch probes the
+/// *existing* posting lists for the new records' tokens, so the work per
 /// batch is proportional to the new records and their matching postings — old
 /// candidate pairs are never re-derived. The union of the deltas over any batch
 /// split equals [`TokenBlocker::candidates`] on the union of the records, and a
 /// pair is never emitted twice (every delta pair involves a record of the
 /// current batch).
+///
+/// Sharding is behaviour-invisible: because every token lives in exactly one
+/// shard and each shard replays the same probe-before-insert discipline over
+/// its token subset, the merged + deduplicated per-batch delta is identical
+/// for every shard count — pairs sharing tokens in several shards are emitted
+/// by each of them (always in the same batch, the one where the later record
+/// arrives) and collapse in the merge. [`add_records_with`] fans the per-shard
+/// work out over a [`ParallelExecutor`].
+///
+/// Under a [`MemoryBudget`] with a posting bound, shards freeze their resident
+/// posting maps into immutable on-disk *generations* (`HPG1` chunks, see
+/// [`crate::spill`]) between batches; probes consult the resident maps plus
+/// every generation through a small resident hash directory, so budgeted and
+/// unbounded indexes produce identical candidates.
+///
+/// [`add_records_with`]: IncrementalTokenIndex::add_records_with
 #[derive(Debug, Clone)]
 pub struct IncrementalTokenIndex {
     attribute: String,
     tokenizer: Tokenizer,
-    index_left: BTreeMap<String, Vec<RecordId>>,
-    index_right: BTreeMap<String, Vec<RecordId>>,
+    shards: Vec<TokenShard>,
     records_indexed: usize,
+    budget: MemoryBudget,
+    spill: Option<Arc<SpillFile>>,
+}
+
+const SIDE_LEFT: u8 = 0;
+const SIDE_RIGHT: u8 = 1;
+const POSTING_MAGIC: [u8; 4] = *b"HPG1";
+
+/// FNV-1a over `(side, token)` — the key of posting-generation directories.
+fn posting_key(side: u8, token: &str) -> u64 {
+    let mut buf = Vec::with_capacity(1 + token.len());
+    buf.push(side);
+    buf.extend_from_slice(token.as_bytes());
+    fnv1a(&buf)
+}
+
+/// One token-hash shard: resident posting maps plus frozen on-disk generations.
+#[derive(Debug, Clone, Default)]
+struct TokenShard {
+    resident_left: BTreeMap<String, Vec<RecordId>>,
+    resident_right: BTreeMap<String, Vec<RecordId>>,
+    /// Total record-id entries across both resident maps.
+    resident_postings: usize,
+    generations: Vec<PostingGeneration>,
+}
+
+/// An immutable spilled snapshot of a shard's posting maps.
+#[derive(Debug, Clone)]
+struct PostingGeneration {
+    spill: Arc<SpillFile>,
+    handle: ChunkHandle,
+    /// FNV-1a of `(side, token)` → byte ranges of matching entries inside the
+    /// chunk. A bucket may hold hash collisions; probes verify token bytes.
+    directory: HashMap<u64, Vec<(u32, u32)>>,
+}
+
+impl PostingGeneration {
+    fn probe_into(&self, side: u8, token: &str, out: &mut Vec<RecordId>) {
+        let Some(ranges) = self.directory.get(&posting_key(side, token)) else {
+            return;
+        };
+        for &(start, len) in ranges {
+            // Sub-entry read: the enclosing chunk was checksummed when written
+            // whole; entry reads skip re-verification by design.
+            let bytes = self
+                .spill
+                .read_at(self.handle.offset + start as u64, len as usize)
+                .expect("posting spill read failed");
+            let mut r = ByteReader::unchecked(&bytes);
+            let parse = |r: &mut ByteReader<'_>| -> Result<(u8, Vec<RecordId>)> {
+                let entry_side = r.take_u8()?;
+                let token_len = r.take_u32()? as usize;
+                let entry_token = r.take_bytes(token_len)?;
+                if entry_side != side || entry_token != token.as_bytes() {
+                    return Ok((entry_side, Vec::new())); // hash collision
+                }
+                let n = r.take_u32()? as usize;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(RecordId(r.take_u64()?));
+                }
+                Ok((entry_side, ids))
+            };
+            let (_, ids) = parse(&mut r).expect("posting generation entry corrupt");
+            out.extend(ids);
+        }
+    }
+}
+
+impl TokenShard {
+    /// All indexed record ids for a token on one side: every frozen generation
+    /// plus the resident map.
+    fn probe(&self, side: u8, token: &str) -> Vec<RecordId> {
+        let mut out = Vec::new();
+        for generation in &self.generations {
+            generation.probe_into(side, token, &mut out);
+        }
+        let resident = if side == SIDE_LEFT { &self.resident_left } else { &self.resident_right };
+        if let Some(ids) = resident.get(token) {
+            out.extend_from_slice(ids);
+        }
+        out
+    }
+
+    /// Folds this shard's slice of a batch into the shard and returns its
+    /// delta pairs. Right side first, mirroring the pre-shard index: new right
+    /// records pair with previously indexed left records here, and pairs with
+    /// the new left records are found below once the right postings are in
+    /// place — the split that keeps every within-batch pair emitted exactly
+    /// once per shard.
+    fn apply(&mut self, work: &ShardWork) -> Vec<(RecordId, RecordId)> {
+        let mut delta: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+        for (id, tokens) in &work.rights {
+            for token in tokens {
+                for left_id in self.probe(SIDE_LEFT, token) {
+                    delta.insert((left_id, *id));
+                }
+                self.resident_right.entry(token.clone()).or_default().push(*id);
+                self.resident_postings += 1;
+            }
+        }
+        for (id, tokens) in &work.lefts {
+            for token in tokens {
+                for right_id in self.probe(SIDE_RIGHT, token) {
+                    delta.insert((*id, right_id));
+                }
+                self.resident_left.entry(token.clone()).or_default().push(*id);
+                self.resident_postings += 1;
+            }
+        }
+        delta.into_iter().collect()
+    }
+
+    /// Freezes the resident posting maps into one immutable `HPG1` generation
+    /// chunk and clears them.
+    fn freeze(&mut self, spill: &Arc<SpillFile>) -> Result<()> {
+        if self.resident_postings == 0 {
+            return Ok(());
+        }
+        let entry_count = self.resident_left.len() + self.resident_right.len();
+        let mut w = ByteWriter::with_capacity(16 + self.resident_postings * 8);
+        w.put_bytes(&POSTING_MAGIC);
+        w.put_u32(entry_count as u32);
+        let mut entries: Vec<(u64, u32, u32)> = Vec::with_capacity(entry_count);
+        for (side, map) in [(SIDE_LEFT, &self.resident_left), (SIDE_RIGHT, &self.resident_right)] {
+            for (token, ids) in map {
+                let start = w.len() as u32;
+                w.put_u8(side);
+                w.put_u32(token.len() as u32);
+                w.put_bytes(token.as_bytes());
+                w.put_u32(ids.len() as u32);
+                for id in ids {
+                    w.put_u64(id.0);
+                }
+                entries.push((posting_key(side, token), start, w.len() as u32 - start));
+            }
+        }
+        let handle = spill.append(&w.finish())?;
+        let mut directory: HashMap<u64, Vec<(u32, u32)>> = HashMap::with_capacity(entry_count);
+        for (key, start, len) in entries {
+            directory.entry(key).or_default().push((start, len));
+        }
+        self.generations.push(PostingGeneration { spill: Arc::clone(spill), handle, directory });
+        self.resident_left.clear();
+        self.resident_right.clear();
+        self.resident_postings = 0;
+        Ok(())
+    }
+}
+
+/// One shard's slice of a record batch: per record, the unique tokens that
+/// hash into the shard, in batch order.
+#[derive(Debug, Default)]
+struct ShardWork {
+    lefts: Vec<(RecordId, Vec<String>)>,
+    rights: Vec<(RecordId, Vec<String>)>,
 }
 
 impl IncrementalTokenIndex {
     /// Number of records folded into the index so far (both sides).
     pub fn records_indexed(&self) -> usize {
         self.records_indexed
+    }
+
+    /// Number of token-hash shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sets the memory budget governing resident postings and immediately
+    /// freezes shards if the index is already over it.
+    pub fn set_memory_budget(&mut self, budget: MemoryBudget) -> Result<()> {
+        self.budget = budget;
+        self.enforce_budget()
+    }
+
+    /// The configured memory budget.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Record-id posting entries currently resident across all shards.
+    pub fn resident_postings(&self) -> usize {
+        self.shards.iter().map(|s| s.resident_postings).sum()
+    }
+
+    /// Number of frozen on-disk posting generations across all shards.
+    pub fn spilled_generations(&self) -> usize {
+        self.shards.iter().map(|s| s.generations.len()).sum()
+    }
+
+    /// Total bytes appended to the index's spill file (0 without spilling).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.bytes_written())
     }
 
     /// Folds a batch of records into the index and returns the **new** candidate
@@ -127,42 +389,78 @@ impl IncrementalTokenIndex {
         left_batch: &[Record],
         right_batch: &[Record],
     ) -> Vec<(RecordId, RecordId)> {
-        let Self { attribute, tokenizer, index_left, index_right, records_indexed } = self;
-        // Tokens are deduplicated per record, mirroring the batch blocker: a
-        // repeated token must not duplicate postings or probes.
-        let record_tokens = |record: &Record| -> BTreeSet<String> {
-            record
-                .text(attribute)
-                .map(|text| tokenizer.tokenize(text).into_iter().collect())
-                .unwrap_or_default()
-        };
-        let mut delta: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
-        // Right side first: new right records pair with the *previously indexed*
-        // left records here; pairs with the new left records are found below,
-        // after the new right postings are in place. This split is what keeps
-        // every within-batch pair emitted exactly once.
-        for record in right_batch {
-            for token in record_tokens(record) {
-                if let Some(ids) = index_left.get(&token) {
-                    for &left_id in ids {
-                        delta.insert((left_id, record.id()));
+        self.add_records_with(left_batch, right_batch, &SerialExecutor, None)
+    }
+
+    /// [`add_records`](IncrementalTokenIndex::add_records) with an explicit
+    /// execution seam and optional token memo: the per-shard candidate deltas
+    /// are computed through `executor` (one work item per shard) and record
+    /// token sets come from `cache` where admitted. Both knobs are
+    /// behaviour-invisible — the returned delta is identical for any executor,
+    /// cache state and shard count.
+    pub fn add_records_with<E: ParallelExecutor>(
+        &mut self,
+        left_batch: &[Record],
+        right_batch: &[Record],
+        executor: &E,
+        cache: Option<&TokenCache>,
+    ) -> Vec<(RecordId, RecordId)> {
+        let shard_count = self.shards.len();
+        let mut work: Vec<ShardWork> = (0..shard_count).map(|_| ShardWork::default()).collect();
+        for (side, batch) in [(SIDE_LEFT, left_batch), (SIDE_RIGHT, right_batch)] {
+            for record in batch {
+                let tokens = unique_record_tokens(
+                    &self.attribute,
+                    self.tokenizer,
+                    record,
+                    side as usize,
+                    cache,
+                );
+                let mut split: Vec<Vec<String>> = vec![Vec::new(); shard_count];
+                for token in tokens {
+                    let shard = (fnv1a(token.as_bytes()) % shard_count as u64) as usize;
+                    split[shard].push(token);
+                }
+                for (shard, shard_tokens) in split.into_iter().enumerate() {
+                    if shard_tokens.is_empty() {
+                        continue;
+                    }
+                    let routed = (record.id(), shard_tokens);
+                    if side == SIDE_LEFT {
+                        work[shard].lefts.push(routed);
+                    } else {
+                        work[shard].rights.push(routed);
                     }
                 }
-                index_right.entry(token).or_default().push(record.id());
             }
         }
-        for record in left_batch {
-            for token in record_tokens(record) {
-                if let Some(ids) = index_right.get(&token) {
-                    for &right_id in ids {
-                        delta.insert((record.id(), right_id));
-                    }
-                }
-                index_left.entry(token).or_default().push(record.id());
-            }
+        let deltas = executor.map_mut(&mut self.shards, |i, shard| shard.apply(&work[i]));
+        self.records_indexed += left_batch.len() + right_batch.len();
+        let mut merged: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
+        for delta in deltas {
+            merged.extend(delta);
         }
-        *records_indexed += left_batch.len() + right_batch.len();
-        delta.into_iter().collect()
+        // Between-batch budget enforcement; the index owns its unlinked spill
+        // file, so I/O failures here are unrecoverable and loud.
+        self.enforce_budget().expect("posting spill failed");
+        merged.into_iter().collect()
+    }
+
+    /// Freezes every shard's resident postings into on-disk generations when
+    /// the resident total exceeds the budget.
+    fn enforce_budget(&mut self) -> Result<()> {
+        let budget = self.budget.resident_postings;
+        if budget == 0 || self.resident_postings() <= budget {
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            self.spill = Some(Arc::new(SpillFile::create_in(self.budget.spill_dir.as_deref())?));
+        }
+        let spill = Arc::clone(self.spill.as_ref().expect("spill file just ensured"));
+        for shard in &mut self.shards {
+            shard.freeze(&spill)?;
+        }
+        Ok(())
     }
 }
 
@@ -484,7 +782,8 @@ mod tests {
         truth.insert((RecordId(1), RecordId(10)));
         let workload = build_workload(&a, &b, &candidates, &scorer, &truth, 0.1).unwrap();
         // The exact-match pair survives with similarity 1 and a Match label.
-        let top = workload.pairs().last().unwrap();
+        let pairs = workload.pairs();
+        let top = pairs.last().unwrap();
         assert_eq!(top.left(), Some(RecordId(1)));
         assert_eq!(top.right(), Some(RecordId(10)));
         assert!((top.similarity() - 1.0).abs() < 1e-12);
@@ -631,6 +930,114 @@ mod tests {
                 }
             }
             prop_assert_eq!(union, expected);
+        }
+    }
+
+    #[test]
+    fn candidates_with_cache_match_uncached() {
+        let a = dataset("a", &[(1, "entity resolution survey"), (2, "graph neural networks")]);
+        let b =
+            dataset("b", &[(10, "a survey of entity resolution"), (11, "convolutional networks")]);
+        let blocker = TokenBlocker::new("title", Tokenizer::Words);
+        let expected = blocker.candidates(&a, &b);
+        // A fully warmed cache and a cold cache both reproduce the plain path.
+        let mut warm = TokenCache::new();
+        warm.admit_left("title", Tokenizer::Words, a.records());
+        warm.admit_right("title", Tokenizer::Words, b.records());
+        assert_eq!(blocker.candidates_with_cache(&a, &b, &warm), expected);
+        assert_eq!(blocker.candidates_with_cache(&a, &b, &TokenCache::new()), expected);
+    }
+
+    #[test]
+    fn sharded_index_spills_postings_and_keeps_candidates() {
+        let titles: Vec<(u64, String)> =
+            (0..40).map(|i| (i, format!("tok{} tok{} shared", i % 7, (i * 3) % 11))).collect();
+        let mut a = Dataset::new("a", Schema::new(["title"]));
+        let mut b = Dataset::new("b", Schema::new(["title"]));
+        for &(id, ref title) in &titles {
+            a.push(Record::new(RecordId(id)).with("title", title.clone())).unwrap();
+            b.push(Record::new(RecordId(1_000 + id)).with("title", title.clone())).unwrap();
+        }
+        let blocker = TokenBlocker::new("title", Tokenizer::Words);
+        let mut unbounded = blocker.incremental();
+        let mut budgeted = blocker.incremental();
+        budgeted
+            .set_memory_budget(MemoryBudget { resident_postings: 16, ..MemoryBudget::default() })
+            .unwrap();
+        for i in 0..4 {
+            let l = &a.records()[i * 10..(i + 1) * 10];
+            let r = &b.records()[i * 10..(i + 1) * 10];
+            assert_eq!(
+                budgeted.add_records(l, r),
+                unbounded.add_records(l, r),
+                "budgeted delta diverged on batch {i}"
+            );
+            // Over-budget shards were frozen between batches.
+            assert!(budgeted.resident_postings() <= 16, "resident postings left over budget");
+        }
+        assert!(budgeted.spilled_generations() > 0, "budget never triggered a spill");
+        assert!(budgeted.spilled_bytes() > 0);
+        assert_eq!(unbounded.spilled_generations(), 0);
+        // A clone shares the spill file and still probes generations correctly.
+        let mut cloned = budgeted.clone();
+        let extra = Record::new(RecordId(9_999)).with("title", "tok1 shared");
+        let from_clone = cloned.add_records(&[], std::slice::from_ref(&extra));
+        let from_orig = budgeted.add_records(&[], std::slice::from_ref(&extra));
+        assert_eq!(from_clone, from_orig);
+        assert!(!from_clone.is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..Default::default() })]
+        #[test]
+        fn shard_count_never_changes_candidates(
+            n_left in 1usize..14,
+            n_right in 1usize..14,
+            split in 1usize..4,
+            salt in 0u64..1_000,
+        ) {
+            // Same generator as the split-invariance proptest: tiny vocabulary,
+            // high token overlap.
+            let vocab = ["ant", "bee", "cat", "dog", "elk"];
+            let title = |id: u64| -> String {
+                let mut words = Vec::new();
+                for k in 0..(1 + (id.wrapping_mul(2654435761).wrapping_add(salt) % 3)) {
+                    let h = id.wrapping_mul(31).wrapping_add(k).wrapping_add(salt);
+                    words.push(vocab[(h % vocab.len() as u64) as usize]);
+                }
+                words.join(" ")
+            };
+            let mut a = Dataset::new("a", Schema::new(["title"]));
+            for i in 0..n_left as u64 {
+                a.push(Record::new(RecordId(i)).with("title", title(i))).unwrap();
+            }
+            let mut b = Dataset::new("b", Schema::new(["title"]));
+            for i in 0..n_right as u64 {
+                b.push(Record::new(RecordId(1_000 + i)).with("title", title(77 + i))).unwrap();
+            }
+            let blocker = TokenBlocker::new("title", Tokenizer::Words);
+            let expected: BTreeSet<_> = blocker.candidates(&a, &b).into_iter().collect();
+            let left_chunks = batched(a.records(), split);
+            let right_chunks = batched(b.records(), split);
+            // Per-batch deltas must be identical for every shard count, and
+            // their union must equal the batch candidates.
+            let mut reference: Option<Vec<Vec<(RecordId, RecordId)>>> = None;
+            for shards in [1usize, 2, 7, 16] {
+                let mut index = blocker.incremental_sharded(shards);
+                prop_assert_eq!(index.shard_count(), shards);
+                let mut deltas = Vec::new();
+                for i in 0..left_chunks.len().max(right_chunks.len()) {
+                    let l = left_chunks.get(i).copied().unwrap_or(&[]);
+                    let r = right_chunks.get(i).copied().unwrap_or(&[]);
+                    deltas.push(index.add_records(l, r));
+                }
+                let union: BTreeSet<_> = deltas.iter().flatten().copied().collect();
+                prop_assert_eq!(&union, &expected);
+                match &reference {
+                    None => reference = Some(deltas),
+                    Some(reference) => prop_assert_eq!(reference, &deltas),
+                }
+            }
         }
     }
 

@@ -13,6 +13,8 @@ pub enum ErError {
     InvalidArgument(String),
     /// A workload was malformed (e.g. empty where a non-empty workload is required).
     InvalidWorkload(String),
+    /// An out-of-core spill operation failed (I/O error or corrupted chunk).
+    Spill(String),
 }
 
 impl std::fmt::Display for ErError {
@@ -23,6 +25,7 @@ impl std::fmt::Display for ErError {
             ErError::UnknownRecord(id) => write!(f, "unknown record: {id}"),
             ErError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
             ErError::InvalidWorkload(msg) => write!(f, "invalid workload: {msg}"),
+            ErError::Spill(msg) => write!(f, "spill i/o: {msg}"),
         }
     }
 }

@@ -9,10 +9,14 @@
 //!   Jaro-Winkler, Jaccard, overlap, Dice, TF-cosine, Monge-Elkan);
 //! * attribute-weighted [`aggregate`] similarity, with the paper's weighting rule
 //!   (weights proportional to the number of distinct attribute values);
-//! * [`blocking`] strategies to avoid the full cartesian product of record pairs;
+//! * [`blocking`] strategies to avoid the full cartesian product of record pairs,
+//!   including a hash-sharded incremental token index that parallelizes across
+//!   any [`parallel::ParallelExecutor`];
 //! * the [`workload`] model: similarity-scored instance pairs with ground-truth
 //!   labels, label assignments, quality metrics, and the equal-count subset
-//!   partitioning used by the HUMO optimizers.
+//!   partitioning used by the HUMO optimizers — stored column-wise in chunked
+//!   segments so cold data can overflow into the [`spill`] store under a
+//!   [`spill::MemoryBudget`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,14 +24,18 @@
 pub mod aggregate;
 pub mod blocking;
 pub mod error;
+pub mod parallel;
 pub mod record;
 pub mod similarity;
+pub mod spill;
 pub mod text;
 pub mod workload;
 
-pub use aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig};
+pub use aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringConfig, TokenCache};
 pub use error::ErError;
+pub use parallel::{ParallelExecutor, SerialExecutor};
 pub use record::{AttributeValue, Dataset, Record, RecordId, Schema};
+pub use spill::MemoryBudget;
 pub use workload::{
     InstancePair, Label, LabelAssignment, PairId, QualityMetrics, SubsetPartition, Workload,
     WorkloadSubset,

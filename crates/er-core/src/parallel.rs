@@ -1,0 +1,58 @@
+//! A minimal parallel-execution seam.
+//!
+//! `er-core` stays dependency-free (and thread-pool-free): algorithms that can
+//! fan work out — such as the sharded blocking index — accept any
+//! [`ParallelExecutor`] and describe their work as an indexed map over a slice
+//! of independent shards. The serial executor here is the default; the
+//! `er-pipeline` crate implements the trait on its `WorkerPool` so the same
+//! code runs on scoped threads without `er-core` knowing about them.
+//!
+//! Implementations must be *order-preserving*: the returned vector holds `f`'s
+//! results in item order, exactly as the serial executor produces them, so
+//! parallelism can change wall-clock time but never values.
+
+/// Executes an indexed map over a slice of independent work items.
+pub trait ParallelExecutor {
+    /// Applies `f` to every item (with its index), returning the results in
+    /// item order. Implementations may run the calls concurrently; each item
+    /// is touched by exactly one call.
+    fn map_mut<T, U, F>(&self, items: &mut [T], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut T) -> U + Sync;
+}
+
+/// The trivial executor: runs every item inline on the calling thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SerialExecutor;
+
+impl ParallelExecutor for SerialExecutor {
+    fn map_mut<T, U, F>(&self, items: &mut [T], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut T) -> U + Sync,
+    {
+        items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_executor_maps_in_order_and_mutates() {
+        let mut items = vec![1u64, 2, 3, 4];
+        let out = SerialExecutor.map_mut(&mut items, |i, x| {
+            *x += 10;
+            (i, *x)
+        });
+        assert_eq!(out, vec![(0, 11), (1, 12), (2, 13), (3, 14)]);
+        assert_eq!(items, vec![11, 12, 13, 14]);
+        let empty: Vec<(usize, u64)> =
+            SerialExecutor.map_mut(&mut [] as &mut [u64], |i, x| (i, *x));
+        assert!(empty.is_empty());
+    }
+}

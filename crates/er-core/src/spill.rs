@@ -1,0 +1,360 @@
+//! Out-of-core spill: an append-only, chunked, file-backed byte store with the
+//! codec primitives the blocking index and the workload use to push cold data
+//! past a configurable resident budget.
+//!
+//! The build environment is offline, so there is no serde: every structure
+//! spilled through this module is written in a hand-rolled, documented,
+//! little-endian byte format and verified with an FNV-1a checksum on read.
+//! The two on-disk chunk layouts are:
+//!
+//! **Workload segment** (`HSG1`, written by [`crate::workload::Workload`]):
+//!
+//! ```text
+//! magic   4 bytes  "HSG1"
+//! count   u32      number of pairs in the segment
+//! pair    count ×  { sim_bits u64, pair_id u64, left u64, right u64, flags u8 }
+//! check   u64      FNV-1a of every preceding byte
+//! ```
+//!
+//! `flags` bit 0 is the ground-truth match bit and bit 1 records whether the
+//! pair carries record ids (so `left`/`right` are meaningful); `sim_bits` is
+//! the raw `f64::to_bits` of the similarity, making round trips bit-exact.
+//!
+//! **Posting generation** (`HPG1`, written by
+//! [`crate::blocking::IncrementalTokenIndex`]):
+//!
+//! ```text
+//! magic   4 bytes  "HPG1"
+//! count   u32      number of posting entries
+//! entry   count ×  { side u8, token_len u32, token bytes, n u32, n × u64 ids }
+//! check   u64      FNV-1a of every preceding byte
+//! ```
+//!
+//! A frozen generation keeps a small resident directory mapping the FNV-1a
+//! hash of `(side, token)` to the entry's byte range inside the chunk, so a
+//! probe reads exactly one entry (and verifies the token bytes against the
+//! hash collision case) instead of decoding the generation.
+//!
+//! The [`SpillFile`] itself is an anonymous temporary: it is unlinked right
+//! after creation, so the space is reclaimed by the OS when the last handle
+//! drops, even on a crash. Chunks are append-only — rewriting a segment
+//! abandons its old chunk (the store is an arena, not a heap), which keeps
+//! every previously returned [`ChunkHandle`] valid for the file's lifetime.
+
+use crate::{ErError, Result};
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How much of the pipeline's working set may stay resident in memory; the
+/// rest overflows into a [`SpillFile`]. The default is fully unbounded (no
+/// spilling), which keeps the in-memory fast path allocation-identical to the
+/// pre-spill implementation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Maximum number of workload pairs kept in resident segment columns
+    /// (`0` = unbounded). Coldest (lowest-similarity) segments spill first.
+    pub resident_pairs: usize,
+    /// Maximum number of resident posting-list entries across all blocking
+    /// index shards (`0` = unbounded). Exceeding it freezes shards into
+    /// on-disk generations.
+    pub resident_postings: usize,
+    /// Capacity (in segments) of the read cache that pins recently touched
+    /// spilled segments; at least one entry is always cached.
+    pub cached_segments: usize,
+    /// Directory for the spill file; `None` uses the system temp directory.
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl MemoryBudget {
+    /// A budget that never spills (the default).
+    pub fn unbounded() -> Self {
+        Self { resident_pairs: 0, resident_postings: 0, cached_segments: 8, spill_dir: None }
+    }
+
+    /// A bounded budget: at most `resident_pairs` workload pairs and
+    /// `resident_postings` posting entries stay in memory.
+    pub fn bounded(resident_pairs: usize, resident_postings: usize) -> Self {
+        Self { resident_pairs, resident_postings, ..Self::unbounded() }
+    }
+
+    /// Whether this budget can ever trigger spilling.
+    pub fn is_unbounded(&self) -> bool {
+        self.resident_pairs == 0 && self.resident_postings == 0
+    }
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// The location of one immutable chunk inside a [`SpillFile`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkHandle {
+    /// Byte offset of the chunk in the file.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub len: u64,
+}
+
+/// An append-only spill file. Appends serialize on an internal offset lock;
+/// reads are positioned (`pread`) and run concurrently from shared
+/// references.
+#[derive(Debug)]
+pub struct SpillFile {
+    file: File,
+    tail: Mutex<u64>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ErError {
+    ErError::Spill(format!("{context}: {e}"))
+}
+
+impl SpillFile {
+    /// Creates an anonymous spill file in `dir` (or the system temp directory)
+    /// and unlinks it immediately, so the space is freed when the last handle
+    /// drops.
+    pub fn create_in(dir: Option<&Path>) -> Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = dir.map(PathBuf::from).unwrap_or_else(std::env::temp_dir);
+        let pid = std::process::id();
+        for _ in 0..1024 {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = dir.join(format!(".humo-spill-{pid}-{n}"));
+            match std::fs::OpenOptions::new().read(true).write(true).create_new(true).open(&path) {
+                Ok(file) => {
+                    // Unlink-after-open: the fd keeps the inode alive, the
+                    // name disappears, and a crash leaks nothing.
+                    std::fs::remove_file(&path).map_err(|e| io_err("unlink spill file", e))?;
+                    return Ok(Self { file, tail: Mutex::new(0) });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(io_err("create spill file", e)),
+            }
+        }
+        Err(ErError::Spill("could not find a free spill file name".to_string()))
+    }
+
+    /// Appends a chunk and returns its handle.
+    pub fn append(&self, bytes: &[u8]) -> Result<ChunkHandle> {
+        let mut tail = self.tail.lock().expect("spill tail lock poisoned");
+        let offset = *tail;
+        self.file.write_all_at(bytes, offset).map_err(|e| io_err("append spill chunk", e))?;
+        *tail += bytes.len() as u64;
+        Ok(ChunkHandle { offset, len: bytes.len() as u64 })
+    }
+
+    /// Reads `len` bytes at an absolute offset (positioned read, no seek).
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.file.read_exact_at(&mut buf, offset).map_err(|e| io_err("read spill chunk", e))?;
+        Ok(buf)
+    }
+
+    /// Reads a whole chunk back.
+    pub fn read_chunk(&self, handle: ChunkHandle) -> Result<Vec<u8>> {
+        self.read_at(handle.offset, handle.len as usize)
+    }
+
+    /// Total bytes appended so far.
+    pub fn bytes_written(&self) -> u64 {
+        *self.tail.lock().expect("spill tail lock poisoned")
+    }
+}
+
+/// FNV-1a 64-bit hash — the platform-independent hash used for token → shard
+/// assignment, posting directories and chunk checksums.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Little-endian byte writer for the spill codecs; [`ByteWriter::finish`]
+/// appends the FNV-1a checksum trailer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates a writer with a capacity hint.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { buf: Vec::with_capacity(capacity) }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes written so far (before the checksum trailer).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends the FNV-1a checksum of everything written and returns the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        let checksum = fnv1a(&self.buf);
+        self.buf.extend_from_slice(&checksum.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Little-endian byte reader over a chunk; construction verifies the FNV-1a
+/// checksum trailer and every `take_*` bounds-checks, so a truncated or
+/// corrupted chunk surfaces as [`ErError::Spill`] instead of garbage data.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Wraps a checksummed chunk, verifying and stripping the trailer.
+    pub fn checked(chunk: &'a [u8]) -> Result<Self> {
+        if chunk.len() < 8 {
+            return Err(ErError::Spill(format!("chunk too short: {} bytes", chunk.len())));
+        }
+        let (body, trailer) = chunk.split_at(chunk.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(ErError::Spill(format!(
+                "chunk checksum mismatch (stored {stored:#x}, computed {computed:#x})"
+            )));
+        }
+        Ok(Self { buf: body, pos: 0 })
+    }
+
+    /// Wraps raw bytes without a checksum trailer (for sub-entry reads whose
+    /// enclosing chunk was already verified at write time).
+    pub fn unchecked(bytes: &'a [u8]) -> Self {
+        Self { buf: bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end =
+            self.pos.checked_add(n).filter(|&end| end <= self.buf.len()).ok_or_else(|| {
+                ErError::Spill(format!("chunk underrun at byte {} (+{n})", self.pos))
+            })?;
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a single byte.
+    pub fn take_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_defaults_are_unbounded() {
+        assert!(MemoryBudget::default().is_unbounded());
+        assert!(!MemoryBudget::bounded(10, 0).is_unbounded());
+        assert!(!MemoryBudget::bounded(0, 10).is_unbounded());
+    }
+
+    #[test]
+    fn spill_file_round_trips_chunks() {
+        let file = SpillFile::create_in(None).unwrap();
+        let a = file.append(b"hello").unwrap();
+        let b = file.append(&[0u8; 1000]).unwrap();
+        let c = file.append(b"world").unwrap();
+        assert_eq!(file.read_chunk(a).unwrap(), b"hello");
+        assert_eq!(file.read_chunk(c).unwrap(), b"world");
+        assert_eq!(file.read_chunk(b).unwrap(), vec![0u8; 1000]);
+        // Sub-range reads address into a chunk.
+        assert_eq!(file.read_at(c.offset + 1, 3).unwrap(), b"orl");
+        assert_eq!(file.bytes_written(), 1010);
+        // Reading past the end fails instead of returning short data.
+        assert!(file.read_at(1005, 100).is_err());
+    }
+
+    #[test]
+    fn writer_reader_round_trip_with_checksum() {
+        let mut w = ByteWriter::with_capacity(64);
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 3);
+        w.put_bytes(b"token");
+        let chunk = w.finish();
+        let mut r = ByteReader::checked(&chunk).unwrap();
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.take_bytes(5).unwrap(), b"token");
+        assert_eq!(r.remaining(), 0);
+        assert!(r.take_u8().is_err());
+    }
+
+    #[test]
+    fn corrupted_chunks_are_rejected() {
+        let mut w = ByteWriter::default();
+        w.put_u64(42);
+        let mut chunk = w.finish();
+        chunk[3] ^= 1;
+        assert!(matches!(ByteReader::checked(&chunk), Err(ErError::Spill(_))));
+        assert!(matches!(ByteReader::checked(&chunk[..4]), Err(ErError::Spill(_))));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pinned reference values: the hash decides token → shard placement
+        // and on-disk directories, so it must never drift across platforms.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

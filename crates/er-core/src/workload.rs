@@ -6,9 +6,30 @@
 //! the paper, but any monotone classification metric works), which is what makes
 //! interval-based reasoning — "move `v⁻` left", "move `v⁺` right", "subset `D_i`
 //! dominates subset `D_j`" — well defined.
+//!
+//! # Storage layout
+//!
+//! Pairs are stored column-wise (structure-of-arrays: one column each for
+//! similarities, pair ids, record ids and label flags) in chunked segments of
+//! roughly [`SEGMENT_TARGET`] pairs. The segmented layout is what makes the
+//! streaming path scale: [`Workload::insert_sorted`] routes each incoming pair
+//! to the one segment it lands in and re-merges only the touched segments,
+//! instead of re-merging one giant sorted `Vec`; and under a
+//! [`MemoryBudget`] the coldest (lowest-similarity) segments overflow into an
+//! out-of-core [`SpillFile`] through the documented `HSG1` byte codec (see
+//! [`crate::spill`]), with an LRU cache pinning recently read segments.
+//! Residency is invisible to every accessor: spilled and resident workloads
+//! return bit-identical values.
 
 use crate::record::RecordId;
+use crate::spill::{ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile};
 use crate::{ErError, Result};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Target number of pairs per workload segment. Merged segments that grow past
+/// twice this target are split back into target-sized chunks.
+pub const SEGMENT_TARGET: usize = 4096;
 
 /// Identifier of an instance pair inside a workload.
 ///
@@ -110,10 +131,284 @@ impl InstancePair {
     }
 }
 
-/// An ER workload: instance pairs sorted by ascending similarity.
+/// Flag bit: the pair is a ground-truth match.
+const FLAG_MATCH: u8 = 1;
+/// Flag bit: the pair carries record ids (`left`/`right` columns are meaningful).
+const FLAG_RECORDS: u8 = 1 << 1;
+
+/// The canonical sort key of a pair, encoded so that derived lexicographic
+/// `Ord` reproduces [`Workload::canonical_order`] exactly: similarity bits
+/// (monotone on validated `[0, 1]` values once `-0.0` is normalized to `0.0`,
+/// matching `partial_cmp`'s `-0.0 == 0.0`), then `Option<RecordId>` as a
+/// `(tag, value)` pair (`None < Some`, like `Option`'s `Ord`), then the pair id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct PairKey {
+    sim_bits: u64,
+    left: (u8, u64),
+    right: (u8, u64),
+    id: u64,
+}
+
+fn sim_key_bits(sim: f64) -> u64 {
+    if sim == 0.0 {
+        0 // normalize -0.0: partial_cmp treats it as equal to 0.0
+    } else {
+        sim.to_bits()
+    }
+}
+
+fn record_key(id: Option<RecordId>) -> (u8, u64) {
+    match id {
+        None => (0, 0),
+        Some(r) => (1, r.0),
+    }
+}
+
+fn pair_key(p: &InstancePair) -> PairKey {
+    PairKey {
+        sim_bits: sim_key_bits(p.similarity()),
+        left: record_key(p.left()),
+        right: record_key(p.right()),
+        id: p.id().0,
+    }
+}
+
+/// Column-wise storage of one segment of pairs, in canonical order.
+#[derive(Debug, Clone, PartialEq)]
+struct Columns {
+    sims: Vec<f64>,
+    ids: Vec<u64>,
+    lefts: Vec<u64>,
+    rights: Vec<u64>,
+    flags: Vec<u8>,
+}
+
+impl Columns {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            sims: Vec::with_capacity(capacity),
+            ids: Vec::with_capacity(capacity),
+            lefts: Vec::with_capacity(capacity),
+            rights: Vec::with_capacity(capacity),
+            flags: Vec::with_capacity(capacity),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.sims.len()
+    }
+
+    fn push(&mut self, p: &InstancePair) {
+        self.sims.push(p.similarity());
+        self.ids.push(p.id().0);
+        let mut flags = 0u8;
+        if p.is_match() {
+            flags |= FLAG_MATCH;
+        }
+        match (p.left(), p.right()) {
+            (Some(l), Some(r)) => {
+                flags |= FLAG_RECORDS;
+                self.lefts.push(l.0);
+                self.rights.push(r.0);
+            }
+            _ => {
+                self.lefts.push(0);
+                self.rights.push(0);
+            }
+        }
+        self.flags.push(flags);
+    }
+
+    fn pair_at(&self, i: usize) -> InstancePair {
+        let id = PairId(self.ids[i]);
+        let sim = self.sims[i];
+        let truth = Label::from_bool(self.flags[i] & FLAG_MATCH != 0);
+        if self.flags[i] & FLAG_RECORDS != 0 {
+            InstancePair::with_records(
+                id,
+                RecordId(self.lefts[i]),
+                RecordId(self.rights[i]),
+                sim,
+                truth,
+            )
+        } else {
+            InstancePair::new(id, sim, truth)
+        }
+    }
+
+    fn key_at(&self, i: usize) -> PairKey {
+        let tag = u8::from(self.flags[i] & FLAG_RECORDS != 0);
+        let (l, r) = if tag == 1 { (self.lefts[i], self.rights[i]) } else { (0, 0) };
+        PairKey {
+            sim_bits: sim_key_bits(self.sims[i]),
+            left: (tag, l),
+            right: (tag, r),
+            id: self.ids[i],
+        }
+    }
+
+    fn match_count(&self) -> usize {
+        self.flags.iter().filter(|&&f| f & FLAG_MATCH != 0).count()
+    }
+}
+
+const SEGMENT_MAGIC: [u8; 4] = *b"HSG1";
+
+/// Encodes a segment into the documented `HSG1` spill chunk format (see the
+/// [`crate::spill`] module docs). Similarities are written as raw `f64` bits,
+/// so `-0.0` and every other value round-trip bit-exactly.
+fn encode_segment(cols: &Columns) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4 + 4 + cols.len() * 33 + 8);
+    w.put_bytes(&SEGMENT_MAGIC);
+    w.put_u32(cols.len() as u32);
+    for i in 0..cols.len() {
+        w.put_u64(cols.sims[i].to_bits());
+        w.put_u64(cols.ids[i]);
+        w.put_u64(cols.lefts[i]);
+        w.put_u64(cols.rights[i]);
+        w.put_u8(cols.flags[i]);
+    }
+    w.finish()
+}
+
+/// Decodes a `HSG1` chunk back into segment columns, verifying magic and checksum.
+fn decode_segment(chunk: &[u8]) -> Result<Columns> {
+    let mut r = ByteReader::checked(chunk)?;
+    if r.take_bytes(4)? != SEGMENT_MAGIC {
+        return Err(ErError::Spill("bad segment magic".to_string()));
+    }
+    let count = r.take_u32()? as usize;
+    let mut cols = Columns::with_capacity(count);
+    for _ in 0..count {
+        cols.sims.push(f64::from_bits(r.take_u64()?));
+        cols.ids.push(r.take_u64()?);
+        cols.lefts.push(r.take_u64()?);
+        cols.rights.push(r.take_u64()?);
+        cols.flags.push(r.take_u8()?);
+    }
+    if r.remaining() != 0 {
+        return Err(ErError::Spill("trailing bytes in segment chunk".to_string()));
+    }
+    Ok(cols)
+}
+
+/// Where a segment's columns currently live.
 #[derive(Debug, Clone)]
+enum SegmentData {
+    /// Columns resident in memory (shared so readers can hold them lock-free).
+    Resident(Arc<Columns>),
+    /// Columns spilled to the workload's [`SpillFile`].
+    Spilled(ChunkHandle),
+}
+
+/// One sorted chunk of the workload, plus the summary stats that let range
+/// queries skip loading it: its length, ground-truth match count and maximum
+/// canonical key. The `aos` cell lazily materializes the segment as
+/// `InstancePair`s the first time [`Workload::pair`] needs a reference into it.
+#[derive(Debug)]
+struct Segment {
+    len: usize,
+    match_count: usize,
+    max_key: PairKey,
+    data: SegmentData,
+    aos: OnceLock<Box<[InstancePair]>>,
+}
+
+impl Segment {
+    fn from_columns(cols: Columns) -> Self {
+        debug_assert!(cols.len() > 0, "segments are never empty");
+        Self {
+            len: cols.len(),
+            match_count: cols.match_count(),
+            max_key: cols.key_at(cols.len() - 1),
+            data: SegmentData::Resident(Arc::new(cols)),
+            aos: OnceLock::new(),
+        }
+    }
+
+    fn max_sim(&self) -> f64 {
+        f64::from_bits(self.max_key.sim_bits)
+    }
+
+    fn is_resident(&self) -> bool {
+        matches!(self.data, SegmentData::Resident(_))
+    }
+}
+
+impl Clone for Segment {
+    fn clone(&self) -> Self {
+        // The AoS materialization cache is not carried over: clones rebuild it
+        // on demand, which keeps cloning cheap.
+        Self {
+            len: self.len,
+            match_count: self.match_count,
+            max_key: self.max_key,
+            data: self.data.clone(),
+            aos: OnceLock::new(),
+        }
+    }
+}
+
+/// LRU cache of decoded spilled segments, keyed by their chunk offset.
+#[derive(Debug)]
+struct SegCache {
+    entries: HashMap<u64, (Arc<Columns>, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl SegCache {
+    fn new(capacity: usize) -> Self {
+        Self { entries: HashMap::new(), capacity: capacity.max(1), tick: 0 }
+    }
+
+    fn get(&mut self, offset: u64) -> Option<Arc<Columns>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&offset).map(|(cols, last)| {
+            *last = tick;
+            Arc::clone(cols)
+        })
+    }
+
+    fn insert(&mut self, offset: u64, cols: Arc<Columns>) {
+        self.tick += 1;
+        if self.entries.len() >= self.capacity {
+            if let Some(&oldest) =
+                self.entries.iter().min_by_key(|(_, (_, tick))| *tick).map(|(k, _)| k)
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        self.entries.insert(offset, (cols, self.tick));
+    }
+}
+
+/// An ER workload: instance pairs sorted by ascending similarity, stored
+/// column-wise in chunked segments that can spill out of core (see the module
+/// docs for the layout).
+#[derive(Debug)]
 pub struct Workload {
-    pairs: Vec<InstancePair>,
+    segments: Vec<Segment>,
+    /// Workload index at which each segment starts.
+    starts: Vec<usize>,
+    len: usize,
+    budget: MemoryBudget,
+    spill: Option<Arc<SpillFile>>,
+    cache: Mutex<SegCache>,
+}
+
+impl Clone for Workload {
+    fn clone(&self) -> Self {
+        Self {
+            segments: self.segments.clone(),
+            starts: self.starts.clone(),
+            len: self.len,
+            budget: self.budget.clone(),
+            spill: self.spill.clone(),
+            cache: Mutex::new(SegCache::new(self.budget.cached_segments)),
+        }
+    }
 }
 
 impl Workload {
@@ -146,17 +441,59 @@ impl Workload {
             .then_with(|| a.id.cmp(&b.id))
     }
 
+    fn empty() -> Self {
+        Self {
+            segments: Vec::new(),
+            starts: Vec::new(),
+            len: 0,
+            budget: MemoryBudget::default(),
+            spill: None,
+            cache: Mutex::new(SegCache::new(MemoryBudget::default().cached_segments)),
+        }
+    }
+
+    /// Chunks sorted pairs into target-sized segments.
+    fn segments_from_sorted(pairs: &[InstancePair]) -> Vec<Segment> {
+        pairs
+            .chunks(SEGMENT_TARGET)
+            .map(|chunk| {
+                let mut cols = Columns::with_capacity(chunk.len());
+                for p in chunk {
+                    cols.push(p);
+                }
+                Segment::from_columns(cols)
+            })
+            .collect()
+    }
+
+    fn rebuild_starts(&mut self) {
+        self.starts.clear();
+        let mut cursor = 0usize;
+        for seg in &self.segments {
+            self.starts.push(cursor);
+            cursor += seg.len;
+        }
+        self.len = cursor;
+    }
+
     /// Builds a workload from pairs, sorting them by ascending similarity.
     ///
     /// Returns an error if any similarity is not a finite number in `[0, 1]`.
     pub fn from_pairs(mut pairs: Vec<InstancePair>) -> Result<Self> {
         Self::validate_pairs(&pairs)?;
         pairs.sort_by(Self::canonical_order);
-        Ok(Self { pairs })
+        let mut w = Self::empty();
+        w.segments = Self::segments_from_sorted(&pairs);
+        w.rebuild_starts();
+        Ok(w)
     }
 
     /// Merges new pairs into the workload, preserving the similarity order
-    /// without re-sorting the existing pairs (`O(existing + new·log new)`).
+    /// without re-sorting the existing pairs. Each incoming pair is routed to
+    /// the one segment whose key range it lands in and only the touched
+    /// segments are re-merged (`O(touched + new·log new)`); merged segments
+    /// that outgrow twice [`SEGMENT_TARGET`] split back into target-sized
+    /// chunks.
     ///
     /// This is the insertion path of the streaming resolution engine: a batch of
     /// freshly scored delta pairs is sorted on its own and then merged with the
@@ -172,26 +509,96 @@ impl Workload {
         }
         let mut incoming = pairs;
         incoming.sort_by(Self::canonical_order);
-        if self.pairs.is_empty() {
-            self.pairs = incoming;
-            return Ok(());
+        if self.len == 0 {
+            self.segments = Self::segments_from_sorted(&incoming);
+            self.rebuild_starts();
+            return self.enforce_budget();
         }
-        let existing = std::mem::take(&mut self.pairs);
-        let mut merged = Vec::with_capacity(existing.len() + incoming.len());
-        let mut a = existing.into_iter().peekable();
-        let mut b = incoming.into_iter().peekable();
-        loop {
-            let take_b = match (a.peek(), b.peek()) {
-                (Some(x), Some(y)) => Self::canonical_order(y, x) == std::cmp::Ordering::Less,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (None, None) => break,
-            };
-            let next = if take_b { b.next() } else { a.next() };
-            merged.push(next.expect("peeked element exists"));
+        // Route each incoming pair to the first segment whose max key is not
+        // below it; anything past the last segment's range is appended as new
+        // tail segments. Ties go to the earliest such segment, where the merge
+        // places incoming pairs after equal existing ones (existing-first) —
+        // exactly what a single global merge would do.
+        let mut groups: Vec<Vec<InstancePair>> = vec![Vec::new(); self.segments.len()];
+        let mut tail: Vec<InstancePair> = Vec::new();
+        let mut seg = 0usize;
+        for p in incoming {
+            let key = pair_key(&p);
+            while seg < self.segments.len() && self.segments[seg].max_key < key {
+                seg += 1;
+            }
+            if seg == self.segments.len() {
+                tail.push(p);
+            } else {
+                groups[seg].push(p);
+            }
         }
-        self.pairs = merged;
-        Ok(())
+        let old = std::mem::take(&mut self.segments);
+        let mut rebuilt: Vec<Segment> =
+            Vec::with_capacity(old.len() + tail.len() / SEGMENT_TARGET + 1);
+        for (i, segment) in old.into_iter().enumerate() {
+            let group = std::mem::take(&mut groups[i]);
+            if group.is_empty() {
+                rebuilt.push(segment);
+                continue;
+            }
+            let cols = self.load_segment(&segment);
+            let merged = Self::merge_columns(&cols, &group);
+            Self::push_split(&mut rebuilt, merged);
+        }
+        if !tail.is_empty() {
+            rebuilt.extend(Self::segments_from_sorted(&tail));
+        }
+        self.segments = rebuilt;
+        self.rebuild_starts();
+        self.enforce_budget()
+    }
+
+    /// Merges one segment's columns with a sorted group of incoming pairs.
+    /// Incoming pairs win only on strictly smaller keys (existing-first on
+    /// ties), mirroring the global merge this replaces.
+    fn merge_columns(existing: &Columns, incoming: &[InstancePair]) -> Columns {
+        let mut out = Columns::with_capacity(existing.len() + incoming.len());
+        let mut i = 0usize; // existing cursor
+        let mut j = 0usize; // incoming cursor
+        while i < existing.len() && j < incoming.len() {
+            if pair_key(&incoming[j]) < existing.key_at(i) {
+                out.push(&incoming[j]);
+                j += 1;
+            } else {
+                out.push(&existing.pair_at(i));
+                i += 1;
+            }
+        }
+        while i < existing.len() {
+            out.push(&existing.pair_at(i));
+            i += 1;
+        }
+        while j < incoming.len() {
+            out.push(&incoming[j]);
+            j += 1;
+        }
+        out
+    }
+
+    /// Pushes merged columns, splitting into target-sized chunks when the
+    /// merge outgrew twice the segment target.
+    fn push_split(rebuilt: &mut Vec<Segment>, merged: Columns) {
+        if merged.len() <= 2 * SEGMENT_TARGET {
+            rebuilt.push(Segment::from_columns(merged));
+            return;
+        }
+        let chunks = merged.len().div_ceil(SEGMENT_TARGET);
+        let mut start = 0usize;
+        for c in 0..chunks {
+            let size = (merged.len() - start).div_ceil(chunks - c);
+            let mut cols = Columns::with_capacity(size);
+            for i in start..start + size {
+                cols.push(&merged.pair_at(i));
+            }
+            rebuilt.push(Segment::from_columns(cols));
+            start += size;
+        }
     }
 
     /// Builds a workload from `(similarity, is_match)` tuples, assigning dense pair ids.
@@ -206,34 +613,184 @@ impl Workload {
         Self::from_pairs(pairs)
     }
 
+    /// Loads a segment's columns, reading through the LRU cache when spilled.
+    ///
+    /// Reads happen on `&self` accessor paths, so I/O failures on the
+    /// workload's own unlinked spill file panic rather than surface as errors;
+    /// the chunk checksum turns corruption into a loud failure too.
+    fn load_segment(&self, segment: &Segment) -> Arc<Columns> {
+        match &segment.data {
+            SegmentData::Resident(cols) => Arc::clone(cols),
+            SegmentData::Spilled(handle) => {
+                let mut cache = self.cache.lock().expect("segment cache lock poisoned");
+                if let Some(cols) = cache.get(handle.offset) {
+                    return cols;
+                }
+                let spill = self.spill.as_ref().expect("spilled segment without a spill file");
+                let chunk = spill.read_chunk(*handle).expect("spill read failed");
+                let cols = Arc::new(decode_segment(&chunk).expect("spill chunk decode failed"));
+                cache.insert(handle.offset, Arc::clone(&cols));
+                cols
+            }
+        }
+    }
+
+    fn columns(&self, seg: usize) -> Arc<Columns> {
+        self.load_segment(&self.segments[seg])
+    }
+
+    /// Segment containing the workload index (index must be `< len`).
+    fn segment_of(&self, index: usize) -> usize {
+        assert!(index < self.len, "pair index {index} out of bounds (len {})", self.len);
+        self.starts.partition_point(|&s| s <= index) - 1
+    }
+
+    /// Applies the configured memory budget: while more pairs are resident
+    /// than allowed, the lowest-similarity resident segments are encoded and
+    /// appended to the spill file. The spill file is an append-only arena —
+    /// re-merged segments abandon their old chunks — and deterministic:
+    /// residency never affects any value an accessor returns.
+    fn enforce_budget(&mut self) -> Result<()> {
+        let budget = self.budget.resident_pairs;
+        if budget == 0 {
+            return Ok(());
+        }
+        let mut resident: usize =
+            self.segments.iter().filter(|s| s.is_resident()).map(|s| s.len).sum();
+        if resident <= budget {
+            return Ok(());
+        }
+        if self.spill.is_none() {
+            self.spill = Some(Arc::new(SpillFile::create_in(self.budget.spill_dir.as_deref())?));
+        }
+        let spill = self.spill.as_ref().expect("spill file just ensured");
+        for segment in &mut self.segments {
+            if resident <= budget {
+                break;
+            }
+            if let SegmentData::Resident(cols) = &segment.data {
+                let handle = spill.append(&encode_segment(cols))?;
+                resident -= segment.len;
+                segment.data = SegmentData::Spilled(handle);
+                segment.aos = OnceLock::new();
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets the memory budget and immediately enforces it, spilling the
+    /// coldest segments if the workload is over it. An unbounded budget stops
+    /// future spilling but does not pull already-spilled segments back in.
+    pub fn set_memory_budget(&mut self, budget: MemoryBudget) -> Result<()> {
+        let cache_cap = budget.cached_segments;
+        self.budget = budget;
+        self.cache = Mutex::new(SegCache::new(cache_cap));
+        self.enforce_budget()
+    }
+
+    /// The configured memory budget.
+    pub fn memory_budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Number of pairs currently resident in memory (in columnar segments).
+    pub fn resident_pairs(&self) -> usize {
+        self.segments.iter().filter(|s| s.is_resident()).map(|s| s.len).sum()
+    }
+
+    /// Number of pairs currently spilled out of core.
+    pub fn spilled_pairs(&self) -> usize {
+        self.segments.iter().filter(|s| !s.is_resident()).map(|s| s.len).sum()
+    }
+
+    /// Total bytes appended to the spill file so far (0 without spilling).
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.bytes_written())
+    }
+
+    /// Number of storage segments (exposed for diagnostics and tests).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
     /// Number of pairs in the workload.
     pub fn len(&self) -> usize {
-        self.pairs.len()
+        self.len
     }
 
     /// Whether the workload is empty.
     pub fn is_empty(&self) -> bool {
-        self.pairs.is_empty()
+        self.len == 0
     }
 
-    /// The pairs, sorted by ascending similarity.
-    pub fn pairs(&self) -> &[InstancePair] {
-        &self.pairs
+    /// Streams the pairs in ascending similarity order without materializing
+    /// the whole workload; spilled segments are read through the cache one at
+    /// a time. Prefer this over [`Workload::pairs`] on large workloads.
+    pub fn iter(&self) -> impl Iterator<Item = InstancePair> + '_ {
+        (0..self.segments.len()).flat_map(move |seg| {
+            let cols = self.columns(seg);
+            (0..cols.len()).map(move |i| cols.pair_at(i))
+        })
+    }
+
+    /// The pairs, sorted by ascending similarity, materialized into one
+    /// vector. On budgeted workloads this temporarily decodes every spilled
+    /// segment — use [`Workload::iter`] to stream instead.
+    pub fn pairs(&self) -> Vec<InstancePair> {
+        self.iter().collect()
     }
 
     /// The pair at a position in similarity order.
+    ///
+    /// The returned reference comes from the segment's lazily materialized
+    /// pair cache, which stays alive for as long as the segment is neither
+    /// re-merged nor spilled.
     pub fn pair(&self, index: usize) -> &InstancePair {
-        &self.pairs[index]
+        let seg = self.segment_of(index);
+        let offset = index - self.starts[seg];
+        let aos = self.segments[seg].aos.get_or_init(|| {
+            let cols = self.columns(seg);
+            (0..cols.len()).map(|i| cols.pair_at(i)).collect()
+        });
+        &aos[offset]
     }
 
     /// Total number of ground-truth matching pairs.
     pub fn total_matches(&self) -> usize {
-        self.pairs.iter().filter(|p| p.is_match()).count()
+        self.segments.iter().map(|s| s.match_count).sum()
     }
 
     /// Number of ground-truth matching pairs within an index range.
     pub fn matches_in_range(&self, range: std::ops::Range<usize>) -> usize {
-        self.pairs[range].iter().filter(|p| p.is_match()).count()
+        assert!(
+            range.start <= range.end && range.end <= self.len,
+            "range {range:?} out of bounds (len {})",
+            self.len
+        );
+        if range.is_empty() {
+            return 0;
+        }
+        let mut count = 0usize;
+        for seg in 0..self.segments.len() {
+            let seg_start = self.starts[seg];
+            let seg_end = seg_start + self.segments[seg].len;
+            if seg_end <= range.start {
+                continue;
+            }
+            if seg_start >= range.end {
+                break;
+            }
+            if range.start <= seg_start && seg_end <= range.end {
+                // Fully covered: the summary count avoids loading the segment.
+                count += self.segments[seg].match_count;
+            } else {
+                let cols = self.columns(seg);
+                let from = range.start.max(seg_start) - seg_start;
+                let to = range.end.min(seg_end) - seg_start;
+                count += cols.flags[from..to].iter().filter(|&&f| f & FLAG_MATCH != 0).count();
+            }
+        }
+        count
     }
 
     /// Ground-truth match proportion within an index range (`0` for an empty range).
@@ -247,13 +804,46 @@ impl Workload {
 
     /// Similarity value at a position in similarity order.
     pub fn similarity_at(&self, index: usize) -> f64 {
-        self.pairs[index].similarity()
+        let seg = self.segment_of(index);
+        self.columns(seg).sims[index - self.starts[seg]]
+    }
+
+    /// Sum of similarities over an index range, accumulated strictly left to
+    /// right — bit-identical to summing the flat pair array, which the subset
+    /// partition's mean similarities (and therefore the GP inputs) rely on.
+    fn sim_sum_range(&self, range: std::ops::Range<usize>) -> f64 {
+        let mut acc = 0.0f64;
+        for seg in 0..self.segments.len() {
+            let seg_start = self.starts[seg];
+            let seg_end = seg_start + self.segments[seg].len;
+            if seg_end <= range.start {
+                continue;
+            }
+            if seg_start >= range.end {
+                break;
+            }
+            let cols = self.columns(seg);
+            let from = range.start.max(seg_start) - seg_start;
+            let to = range.end.min(seg_end) - seg_start;
+            for &s in &cols.sims[from..to] {
+                acc += s;
+            }
+        }
+        acc
     }
 
     /// Index of the first pair whose similarity is `>= threshold`
     /// (equals `len()` when every pair is below the threshold).
     pub fn lower_bound_index(&self, threshold: f64) -> usize {
-        self.pairs.partition_point(|p| p.similarity() < threshold)
+        // Skip whole segments by their max similarity, then binary-search the
+        // first segment that can contain the boundary. Element predicate and
+        // order match the flat `partition_point`, so results are identical.
+        let seg = self.segments.partition_point(|s| s.max_sim() < threshold);
+        if seg == self.segments.len() {
+            return self.len;
+        }
+        let cols = self.columns(seg);
+        self.starts[seg] + cols.sims.partition_point(|&s| s < threshold)
     }
 
     /// Partitions the workload into consecutive subsets of `unit_size` pairs each
@@ -276,7 +866,7 @@ impl Workload {
         let mut fp = 0usize;
         let mut fn_ = 0usize;
         let mut tn = 0usize;
-        for (pair, label) in self.pairs.iter().zip(assignment.labels()) {
+        for (pair, label) in self.iter().zip(assignment.labels()) {
             match (pair.is_match(), label.is_match()) {
                 (true, true) => tp += 1,
                 (false, true) => fp += 1,
@@ -465,9 +1055,7 @@ impl SubsetPartition {
             let start = i * unit_size;
             let end = if i + 1 == full_subsets { n } else { (i + 1) * unit_size };
             let range = start..end;
-            let mean_similarity =
-                workload.pairs[range.clone()].iter().map(|p| p.similarity()).sum::<f64>()
-                    / range.len() as f64;
+            let mean_similarity = workload.sim_sum_range(range.clone()) / range.len() as f64;
             subsets.push(WorkloadSubset { index: i, range, mean_similarity });
         }
         Ok(Self { unit_size, subsets, workload_len: n })
@@ -530,6 +1118,23 @@ mod tests {
         .unwrap()
     }
 
+    /// A multi-segment workload with deterministic pseudo-random pairs.
+    fn scrambled_pairs(n: usize, salt: u64) -> Vec<InstancePair> {
+        (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(2654435761).wrapping_add(salt);
+                let sim = (h % 1009) as f64 / 1008.0;
+                InstancePair::with_records(
+                    PairId(i as u64),
+                    RecordId(h % 97),
+                    RecordId(1_000 + (h % 53)),
+                    sim,
+                    Label::from_bool(h.is_multiple_of(3)),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn workload_sorts_by_similarity() {
         let w = Workload::from_scores(vec![(0.9, true), (0.1, false), (0.5, false)]).unwrap();
@@ -589,6 +1194,21 @@ mod tests {
         assert_eq!(empty.len(), 1);
         empty.insert_sorted(vec![]).unwrap();
         assert_eq!(empty.len(), 1);
+    }
+
+    #[test]
+    fn negative_zero_similarity_round_trips() {
+        // Validation admits -0.0 (it is within [0, 1] under partial_cmp); the
+        // columnar store and the spill codec must both preserve its bit pattern.
+        let mut w = Workload::from_pairs(vec![
+            InstancePair::new(PairId(0), -0.0, Label::Unmatch),
+            InstancePair::new(PairId(1), 0.5, Label::Match),
+        ])
+        .unwrap();
+        assert_eq!(w.similarity_at(0).to_bits(), (-0.0f64).to_bits());
+        w.set_memory_budget(MemoryBudget::bounded(1, 0)).unwrap();
+        assert_eq!(w.similarity_at(0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(w.lower_bound_index(0.0), 0); // -0.0 is not < 0.0
     }
 
     #[test]
@@ -683,6 +1303,126 @@ mod tests {
         assert_eq!(t.labels(), &[Label::Unmatch, Label::Unmatch, Label::Match, Label::Match]);
     }
 
+    #[test]
+    fn multi_segment_accessors_match_flat_reference() {
+        // Enough pairs for several segments; every accessor must agree with a
+        // flat re-computation over the materialized pair vector.
+        let n = 3 * SEGMENT_TARGET + 123;
+        let w = Workload::from_pairs(scrambled_pairs(n, 7)).unwrap();
+        assert!(w.segment_count() >= 3, "expected multiple segments");
+        let flat = w.pairs();
+        assert_eq!(flat.len(), n);
+        for win in flat.windows(2) {
+            assert!(Workload::canonical_order(&win[0], &win[1]) != std::cmp::Ordering::Greater);
+        }
+        assert_eq!(w.total_matches(), flat.iter().filter(|p| p.is_match()).count());
+        for (start, end) in [(0, n), (100, SEGMENT_TARGET + 50), (n - 10, n), (77, 77)] {
+            let expect = flat[start..end].iter().filter(|p| p.is_match()).count();
+            assert_eq!(w.matches_in_range(start..end), expect, "range {start}..{end}");
+        }
+        for idx in [0, 1, SEGMENT_TARGET - 1, SEGMENT_TARGET, 2 * SEGMENT_TARGET + 17, n - 1] {
+            assert_eq!(w.pair(idx), &flat[idx], "pair({idx})");
+            assert_eq!(w.similarity_at(idx).to_bits(), flat[idx].similarity().to_bits());
+        }
+        for threshold in [0.0, 0.25, 0.5004, 0.99, 1.0, 1.5] {
+            let expect = flat.partition_point(|p| p.similarity() < threshold);
+            assert_eq!(w.lower_bound_index(threshold), expect, "threshold {threshold}");
+        }
+        // Segment-wise subset means equal the flat left-to-right sums exactly.
+        let p = w.partition(997).unwrap();
+        for s in p.subsets() {
+            let expect =
+                flat[s.range()].iter().map(|q| q.similarity()).sum::<f64>() / s.len() as f64;
+            assert_eq!(s.mean_similarity().to_bits(), expect.to_bits());
+        }
+    }
+
+    #[test]
+    fn segment_wise_insert_matches_batch_across_segments() {
+        let all = scrambled_pairs(2 * SEGMENT_TARGET + 500, 11);
+        let batch = Workload::from_pairs(all.clone()).unwrap();
+        let mut incremental = Workload::from_pairs(vec![]).unwrap();
+        for part in all.chunks(1237) {
+            incremental.insert_sorted(part.to_vec()).unwrap();
+        }
+        assert_eq!(incremental.pairs(), batch.pairs());
+    }
+
+    #[test]
+    fn spilled_workload_is_byte_identical_and_bounded() {
+        let n = 2 * SEGMENT_TARGET + 777;
+        let all = scrambled_pairs(n, 23);
+        let reference = Workload::from_pairs(all.clone()).unwrap();
+        let mut budgeted = Workload::from_pairs(vec![]).unwrap();
+        let budget = SEGMENT_TARGET; // forces most segments out of core
+        budgeted
+            .set_memory_budget(MemoryBudget { resident_pairs: budget, ..MemoryBudget::default() })
+            .unwrap();
+        for part in all.chunks(999) {
+            budgeted.insert_sorted(part.to_vec()).unwrap();
+            assert!(
+                budgeted.resident_pairs() <= budget,
+                "resident {} over budget {budget}",
+                budgeted.resident_pairs()
+            );
+        }
+        assert!(budgeted.spilled_pairs() > 0, "spill must engage");
+        assert!(budgeted.spilled_bytes() > 0);
+        // Bit-identical contents and identical derived values.
+        for (a, b) in budgeted.iter().zip(reference.iter()) {
+            assert_eq!(a.id(), b.id());
+            assert_eq!(a.left(), b.left());
+            assert_eq!(a.right(), b.right());
+            assert_eq!(a.similarity().to_bits(), b.similarity().to_bits());
+            assert_eq!(a.ground_truth(), b.ground_truth());
+        }
+        assert_eq!(budgeted.total_matches(), reference.total_matches());
+        assert_eq!(budgeted.lower_bound_index(0.5), reference.lower_bound_index(0.5));
+        let pb = budgeted.partition(500).unwrap();
+        let pr = reference.partition(500).unwrap();
+        for (a, b) in pb.subsets().iter().zip(pr.subsets()) {
+            assert_eq!(a.mean_similarity().to_bits(), b.mean_similarity().to_bits());
+        }
+        // pair() works on spilled segments too (it rehydrates through the codec).
+        assert_eq!(budgeted.pair(3), &reference.pairs()[3]);
+        // Clones share the spill file and stay readable.
+        let clone = budgeted.clone();
+        assert_eq!(clone.pairs(), reference.pairs());
+    }
+
+    #[test]
+    fn segment_codec_round_trips() {
+        let pairs = vec![
+            InstancePair::new(PairId(0), -0.0, Label::Unmatch),
+            InstancePair::new(PairId(u64::MAX), 1.0, Label::Match),
+            InstancePair::with_records(
+                PairId(7),
+                RecordId(u64::MAX),
+                RecordId(0),
+                0.25,
+                Label::Match,
+            ),
+        ];
+        let mut cols = Columns::with_capacity(pairs.len());
+        for p in &pairs {
+            cols.push(p);
+        }
+        let chunk = encode_segment(&cols);
+        let decoded = decode_segment(&chunk).unwrap();
+        assert_eq!(decoded, cols);
+        for (i, p) in pairs.iter().enumerate() {
+            assert_eq!(&decoded.pair_at(i), p);
+            assert_eq!(decoded.pair_at(i).similarity().to_bits(), p.similarity().to_bits());
+        }
+        // Corruption and bad magic are detected.
+        let mut bad = chunk.clone();
+        bad[10] ^= 0xff;
+        assert!(decode_segment(&bad).is_err());
+        let mut wrong_magic = chunk.clone();
+        wrong_magic[0] = b'X';
+        assert!(decode_segment(&wrong_magic).is_err());
+    }
+
     proptest! {
         #[test]
         fn partition_covers_workload_without_overlap(
@@ -721,7 +1461,7 @@ mod tests {
                         left,
                         right,
                         sim,
-                        Label::from_bool(h % 3 == 0),
+                        Label::from_bool(h.is_multiple_of(3)),
                     )
                 })
                 .collect();
@@ -735,6 +1475,38 @@ mod tests {
             // The merge preserves the sort invariant.
             for w in incremental.pairs().windows(2) {
                 prop_assert!(w[0].similarity() <= w[1].similarity());
+            }
+        }
+
+        #[test]
+        fn spill_round_trip_is_byte_identical(
+            n in 1usize..400,
+            split in 1usize..5,
+            budget in 1usize..64,
+            salt in 0u64..1_000,
+        ) {
+            // Any workload, any insert chunking, any (tiny) resident budget:
+            // pushing segments through the spill codec and reading them back
+            // must reproduce the in-memory workload bit for bit.
+            let all = scrambled_pairs(n, salt);
+            let reference = Workload::from_pairs(all.clone()).unwrap();
+            let mut budgeted = Workload::from_pairs(vec![]).unwrap();
+            budgeted.set_memory_budget(MemoryBudget {
+                resident_pairs: budget,
+                cached_segments: 2,
+                ..MemoryBudget::default()
+            }).unwrap();
+            let chunk = n.div_ceil(split).max(1);
+            for part in all.chunks(chunk) {
+                budgeted.insert_sorted(part.to_vec()).unwrap();
+            }
+            prop_assert_eq!(budgeted.len(), reference.len());
+            for (a, b) in budgeted.iter().zip(reference.iter()) {
+                prop_assert_eq!(a.id(), b.id());
+                prop_assert_eq!(a.similarity().to_bits(), b.similarity().to_bits());
+                prop_assert_eq!(a.left(), b.left());
+                prop_assert_eq!(a.right(), b.right());
+                prop_assert_eq!(a.ground_truth(), b.ground_truth());
             }
         }
 

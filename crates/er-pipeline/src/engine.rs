@@ -25,9 +25,10 @@
 use crate::cluster::{EntityClusters, RecordKey, Side};
 use crate::pool::WorkerPool;
 use crate::{PipelineError, Result};
-use er_core::aggregate::{PairScorer, ScoringConfig};
+use er_core::aggregate::{PairScorer, ScoringConfig, TokenCache};
 use er_core::blocking::{IncrementalTokenIndex, TokenBlocker};
 use er_core::record::{Dataset, Record, RecordId, Schema};
+use er_core::spill::MemoryBudget;
 use er_core::text::Tokenizer;
 use er_core::workload::{InstancePair, Label, PairId, QualityMetrics, Workload};
 use humo::sampling::WarmStart;
@@ -62,6 +63,12 @@ pub struct PipelineConfig {
     /// samples (fewer oracle queries) instead of running cold (bit-exact
     /// equivalence with a from-scratch run).
     pub warm_start: bool,
+    /// Out-of-core memory budget for the blocking index's posting lists and
+    /// the workload's pair segments. The default is fully resident; a bounded
+    /// budget spills cold data to disk without changing any computed value
+    /// (candidates, similarities, labels and entities are byte-identical to an
+    /// unbounded run).
+    pub memory_budget: MemoryBudget,
 }
 
 impl PipelineConfig {
@@ -81,6 +88,7 @@ impl PipelineConfig {
             optimizer: PartialSamplingConfig::new(requirement),
             threads: 0,
             warm_start: true,
+            memory_budget: MemoryBudget::default(),
         }
     }
 
@@ -116,6 +124,11 @@ pub struct IngestReport {
     pub workload_len: usize,
     /// Worker threads used for scoring the delta.
     pub scoring_threads: usize,
+    /// Workload pairs resident in memory after the merge (equals
+    /// `workload_len` without a memory budget).
+    pub resident_pairs: usize,
+    /// Workload pairs spilled out of core after the merge.
+    pub spilled_pairs: usize,
 }
 
 /// What one [`ResolutionEngine::resolve`] call produced.
@@ -164,6 +177,9 @@ pub struct ResolutionEngine {
     pool: WorkerPool,
     warm: Option<WarmStart>,
     candidate_count: usize,
+    /// Per-record token memo shared by blocking and scoring; records are
+    /// admitted once, at ingest.
+    cache: TokenCache,
     /// Every manual label received through completed resolution sessions,
     /// keyed by pair id — the engine-side label store that keeps later epochs
     /// from re-requesting pairs answered in earlier ones.
@@ -176,16 +192,21 @@ impl ResolutionEngine {
         config.validate()?;
         let blocker = TokenBlocker::new(config.blocking_attribute.clone(), config.tokenizer);
         let pool = WorkerPool::new(config.threads);
+        let mut index = blocker.incremental();
+        index.set_memory_budget(config.memory_budget.clone())?;
+        let mut workload = Workload::from_pairs(Vec::new())?;
+        workload.set_memory_budget(config.memory_budget.clone())?;
         Ok(Self {
-            index: blocker.incremental(),
+            index,
             left: Dataset::new("left", left_schema),
             right: Dataset::new("right", right_schema),
             truth: BTreeSet::new(),
-            workload: Workload::from_pairs(Vec::new())?,
+            workload,
             next_pair_id: 0,
             pool,
             warm: None,
             candidate_count: 0,
+            cache: TokenCache::new(),
             labels: BTreeMap::new(),
             config,
         })
@@ -209,6 +230,12 @@ impl ResolutionEngine {
     /// Total delta candidates produced so far (before threshold filtering).
     pub fn candidate_count(&self) -> usize {
         self.candidate_count
+    }
+
+    /// The incremental blocking index — exposes shard count and posting-spill
+    /// state for observability.
+    pub fn blocking_index(&self) -> &IncrementalTokenIndex {
+        &self.index
     }
 
     /// The warm-start state captured by the latest resolution, if any.
@@ -250,7 +277,17 @@ impl ResolutionEngine {
             }
         }
         self.truth.extend(truth_delta.iter().copied());
-        let delta = self.index.add_records(&left_batch, &right_batch);
+        // Tokenize each record once: the memo feeds both the sharded blocking
+        // probes and every token-based scoring measure below.
+        self.cache.admit_left(&self.config.blocking_attribute, self.config.tokenizer, &left_batch);
+        self.cache.admit_right(
+            &self.config.blocking_attribute,
+            self.config.tokenizer,
+            &right_batch,
+        );
+        self.cache.admit_scoring(&self.config.scoring, &left_batch, &right_batch);
+        let delta =
+            self.index.add_records_with(&left_batch, &right_batch, &self.pool, Some(&self.cache));
         let (left_records, right_records) = (left_batch.len(), right_batch.len());
         for record in left_batch {
             self.left.push(record)?;
@@ -259,7 +296,8 @@ impl ResolutionEngine {
             self.right.push(record)?;
         }
         let scorer = PairScorer::new(&self.config.scoring, &[&self.left, &self.right])?;
-        let similarities = self.pool.score_pairs(&self.left, &self.right, &scorer, &delta)?;
+        let similarities =
+            self.pool.score_pairs_cached(&self.left, &self.right, &scorer, &self.cache, &delta)?;
         let mut new_pairs = Vec::new();
         for (&(l, r), similarity) in delta.iter().zip(similarities) {
             if similarity < self.config.similarity_threshold {
@@ -285,6 +323,8 @@ impl ResolutionEngine {
             retained_pairs: retained,
             workload_len: self.workload.len(),
             scoring_threads: self.pool.threads(),
+            resident_pairs: self.workload.resident_pairs(),
+            spilled_pairs: self.workload.spilled_pairs(),
         })
     }
 
@@ -366,7 +406,6 @@ impl ResolutionEngine {
     fn entities_of(&self, outcome: &OptimizationOutcome) -> EntityClusters {
         let edges = self
             .workload
-            .pairs()
             .iter()
             .zip(outcome.assignment.labels())
             .filter(|(_, label)| label.is_match())

@@ -8,11 +8,21 @@
 //! entities. This crate supplies that missing machinery:
 //!
 //! * [`engine::ResolutionEngine`] — ingest record batches through `er-core`'s
-//!   incremental blocking index, score only the delta candidate pairs on a
-//!   worker pool, and maintain the similarity-sorted workload under insertion
-//!   (`Workload::insert_sorted`);
+//!   hash-sharded incremental blocking index (per-shard candidate deltas fan
+//!   out over the worker pool), score only the delta candidate pairs — with
+//!   per-record token sets memoized once at ingest
+//!   ([`er_core::aggregate::TokenCache`]) — and maintain the
+//!   similarity-sorted workload under insertion (`Workload::insert_sorted`);
 //! * [`pool::WorkerPool`] — a hand-rolled `std::thread` chunk-sharded map used
-//!   for parallel pair scoring (the environment is offline, so no `rayon`);
+//!   for parallel pair scoring (the environment is offline, so no `rayon`),
+//!   with balanced chunk sizes and an
+//!   [`er_core::parallel::ParallelExecutor`] implementation so `er-core`'s
+//!   sharded blocking can borrow the pool without a dependency cycle;
+//! * out-of-core operation — [`engine::PipelineConfig::memory_budget`] caps
+//!   resident workload pairs and posting-list entries; past the budget, cold
+//!   workload segments and frozen posting generations overflow into
+//!   `er-core`'s spill store ([`er_core::spill`]) with **byte-identical**
+//!   resolution results (residency never affects computed values);
 //! * warm-started re-optimization — each resolution epoch seeds the SAMP
 //!   optimizer from the previous epoch's samples
 //!   ([`humo::sampling::WarmStart`]), so incremental re-resolution costs far

@@ -6,15 +6,42 @@
 //! the per-chunk outputs are concatenated in order. Results are therefore
 //! deterministic and identical to the sequential map regardless of the thread
 //! count — parallelism changes wall-clock time, never values.
+//!
+//! Chunks are *balanced*: the remaining work is re-divided at every split so
+//! chunk sizes differ by at most one. (The obvious `div_ceil` stride can leave
+//! the last worker nearly idle — 10 items over 4 workers strides as 3/3/3/1
+//! instead of 3/3/2/2 — which wastes a worker slot on every uneven input.)
+//!
+//! The pool also implements [`er_core::parallel::ParallelExecutor`], so it can
+//! drive the per-shard candidate generation of
+//! [`er_core::blocking::IncrementalTokenIndex`] without `er-core` depending on
+//! any threading machinery.
 
 use crate::Result;
-use er_core::aggregate::PairScorer;
+use er_core::aggregate::{PairScorer, TokenCache};
+use er_core::parallel::ParallelExecutor;
 use er_core::record::{Dataset, RecordId};
 
 /// A fixed-width pool of scoped worker threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WorkerPool {
     threads: usize,
+}
+
+/// Splits `len` items over `workers` contiguous chunks whose sizes differ by
+/// at most one, largest first. Sizes are computed by re-dividing the remaining
+/// work: chunk `w` gets `ceil(remaining / workers_left)` items.
+fn balanced_chunk_sizes(len: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.max(1).min(len.max(1));
+    let mut sizes = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = (len - start).div_ceil(workers - w);
+        sizes.push(size);
+        start += size;
+    }
+    debug_assert_eq!(start, len);
+    sizes
 }
 
 impl WorkerPool {
@@ -36,9 +63,9 @@ impl WorkerPool {
 
     /// Maps `f` over `items` on the pool, preserving input order.
     ///
-    /// The slice is sharded into one contiguous chunk per worker; with one
-    /// thread (or a trivially small input) the map runs inline without
-    /// spawning.
+    /// The slice is sharded into one balanced contiguous chunk per worker;
+    /// with one thread (or a trivially small input) the map runs inline
+    /// without spawning.
     pub fn map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
     where
         T: Sync,
@@ -48,12 +75,13 @@ impl WorkerPool {
         if self.threads <= 1 || items.len() < 2 {
             return items.iter().map(&f).collect();
         }
-        let workers = self.threads.min(items.len());
-        let chunk_size = items.len().div_ceil(workers);
-        let mut results: Vec<Vec<U>> = Vec::with_capacity(workers);
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(self.threads);
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for shard in items.chunks(chunk_size) {
+            let mut handles = Vec::with_capacity(self.threads);
+            let mut rest = items;
+            for size in balanced_chunk_sizes(items.len(), self.threads) {
+                let (shard, tail) = rest.split_at(size);
+                rest = tail;
                 let f = &f;
                 handles.push(scope.spawn(move || shard.iter().map(f).collect::<Vec<U>>()));
             }
@@ -82,6 +110,65 @@ impl WorkerPool {
         }
         Ok(similarities)
     }
+
+    /// [`score_pairs`](WorkerPool::score_pairs) reading record token sets from
+    /// `cache` where admitted, so repeated scoring passes skip re-tokenizing.
+    /// Bit-identical to the uncached path for any cache state.
+    pub fn score_pairs_cached(
+        &self,
+        left: &Dataset,
+        right: &Dataset,
+        scorer: &PairScorer,
+        cache: &TokenCache,
+        pairs: &[(RecordId, RecordId)],
+    ) -> Result<Vec<f64>> {
+        let scored = self.map(pairs, |&(l, r)| -> er_core::Result<f64> {
+            Ok(scorer.score_with_cache(left.require(l)?, right.require(r)?, cache))
+        });
+        let mut similarities = Vec::with_capacity(scored.len());
+        for s in scored {
+            similarities.push(s?);
+        }
+        Ok(similarities)
+    }
+}
+
+impl ParallelExecutor for WorkerPool {
+    fn map_mut<T, U, F>(&self, items: &mut [T], f: F) -> Vec<U>
+    where
+        T: Send,
+        U: Send,
+        F: Fn(usize, &mut T) -> U + Sync,
+    {
+        if self.threads <= 1 || items.len() < 2 {
+            return items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+        let len = items.len();
+        let mut results: Vec<Vec<U>> = Vec::with_capacity(self.threads);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.threads);
+            let mut rest = items;
+            let mut base = 0;
+            for size in balanced_chunk_sizes(len, self.threads) {
+                let (shard, tail) = rest.split_at_mut(size);
+                rest = tail;
+                let f = &f;
+                let start = base;
+                base += size;
+                handles.push(scope.spawn(move || {
+                    shard
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, item)| f(start + i, item))
+                        .collect::<Vec<U>>()
+                }));
+            }
+            for handle in handles {
+                results.push(handle.join().expect("executor worker panicked"));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
 }
 
 impl Default for WorkerPool {
@@ -106,6 +193,24 @@ mod tests {
     }
 
     #[test]
+    fn chunk_sizes_are_balanced_and_cover_the_input() {
+        for len in [0usize, 1, 2, 7, 10, 64, 1_003] {
+            for workers in [1usize, 2, 3, 4, 7, 16, 64] {
+                let sizes = balanced_chunk_sizes(len, workers);
+                assert_eq!(sizes.iter().sum::<usize>(), len, "len {len} workers {workers}");
+                assert!(sizes.len() <= workers);
+                if len > 0 {
+                    let max = *sizes.iter().max().unwrap();
+                    let min = *sizes.iter().min().unwrap();
+                    assert!(max - min <= 1, "len {len} workers {workers}: spread {max}-{min} > 1");
+                }
+            }
+        }
+        // The regression this fixes: a fixed div_ceil stride gives 3/3/3/1.
+        assert_eq!(balanced_chunk_sizes(10, 4), vec![3, 3, 2, 2]);
+    }
+
+    #[test]
     fn map_preserves_order_for_any_thread_count() {
         let items: Vec<u64> = (0..1_003).collect();
         let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
@@ -116,6 +221,22 @@ mod tests {
         // Inputs smaller than the worker count still work.
         assert_eq!(WorkerPool::new(16).map(&[7u64], |&x| x + 1), vec![8]);
         assert_eq!(WorkerPool::new(4).map(&[] as &[u64], |&x| x), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_and_preserves_order() {
+        let expected_out: Vec<usize> = (0..101).map(|i| i * 2).collect();
+        let expected_items: Vec<u64> = (1..102).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let pool = WorkerPool::new(threads);
+            let mut items: Vec<u64> = (0..101).collect();
+            let out = pool.map_mut(&mut items, |i, item| {
+                *item += 1;
+                i * 2
+            });
+            assert_eq!(out, expected_out, "threads = {threads}");
+            assert_eq!(items, expected_items, "threads = {threads}");
+        }
     }
 
     fn dataset(name: &str, titles: &[(u64, &str)]) -> Dataset {
@@ -145,6 +266,16 @@ mod tests {
             assert_eq!(sequential, parallel);
         }
         assert!((sequential[0] - 1.0).abs() < 1e-12);
+        // Cached scoring is bit-identical, warm or cold.
+        let mut cache = TokenCache::new();
+        cache.admit_left("title", Tokenizer::Words, left.records());
+        cache.admit_right("title", Tokenizer::Words, right.records());
+        for threads in [1, 2, 4] {
+            let cached = WorkerPool::new(threads)
+                .score_pairs_cached(&left, &right, &scorer, &cache, &pairs)
+                .unwrap();
+            assert_eq!(sequential, cached);
+        }
     }
 
     #[test]

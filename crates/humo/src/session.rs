@@ -586,22 +586,17 @@ enum PairIndex {
 impl PairIndex {
     fn build(workload: &Workload) -> Self {
         let len = workload.len();
-        let max_id = workload.pairs().iter().map(|pair| pair.id().0).max().unwrap_or(0);
+        let max_id = workload.iter().map(|pair| pair.id().0).max().unwrap_or(0);
         debug_assert!(len < u32::MAX as usize, "workloads keep well under 2^32 pairs");
         if (max_id as usize) < 4 * len.max(256) {
             let mut table = vec![u32::MAX; max_id as usize + 1];
-            for (index, pair) in workload.pairs().iter().enumerate() {
+            for (index, pair) in workload.iter().enumerate() {
                 table[pair.id().0 as usize] = index as u32;
             }
             PairIndex::Dense(table)
         } else {
             PairIndex::Sparse(
-                workload
-                    .pairs()
-                    .iter()
-                    .enumerate()
-                    .map(|(index, pair)| (pair.id(), index))
-                    .collect(),
+                workload.iter().enumerate().map(|(index, pair)| (pair.id(), index)).collect(),
             )
         }
     }

@@ -1,0 +1,148 @@
+//! Out-of-core equivalence: a memory-budgeted engine spills posting lists and
+//! workload segments to disk yet resolves **byte-identically** to an unbounded
+//! in-memory engine.
+//!
+//! The spill layer's contract is that residency never affects computed values:
+//! candidates, similarities, thresholds, labels, entities and metrics must all
+//! be exactly equal, and the budgeted engine's resident pair count must stay
+//! within its budget after every ingest.
+
+use er_core::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
+use er_core::record::RecordId;
+use er_core::similarity::StringMeasure;
+use er_core::spill::MemoryBudget;
+use er_core::text::Tokenizer;
+use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator, GeneratedCorpus};
+use er_pipeline::{PipelineConfig, ResolutionEngine};
+use humo::{GroundTruthOracle, QualityRequirement};
+
+fn corpus(entities: usize, seed: u64) -> GeneratedCorpus {
+    BibliographicGenerator::new(BibliographicConfig {
+        num_entities: entities,
+        duplicate_probability: 0.5,
+        extra_right_entities: entities / 2,
+        corruption: 0.3,
+        seed,
+    })
+    .generate()
+}
+
+fn config(memory_budget: MemoryBudget) -> PipelineConfig {
+    let scoring = ScoringConfig::new(
+        [
+            ("title", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+            ("authors", AttributeMeasure::Text(StringMeasure::Jaccard(Tokenizer::Words))),
+        ],
+        AttributeWeighting::Uniform,
+    );
+    let requirement = QualityRequirement::symmetric(0.9).expect("valid requirement");
+    let mut config = PipelineConfig::new(scoring, "title", requirement);
+    config.similarity_threshold = 0.25;
+    config.optimizer.unit_size = 25;
+    config.warm_start = false;
+    config.memory_budget = memory_budget;
+    config
+}
+
+fn engine(memory_budget: MemoryBudget) -> ResolutionEngine {
+    let schema = BibliographicGenerator::schema();
+    ResolutionEngine::new(config(memory_budget), schema.clone(), schema)
+        .expect("valid pipeline config")
+}
+
+#[test]
+fn budgeted_engine_spills_and_matches_in_memory_resolution() {
+    let corpus = corpus(260, 23);
+    let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+
+    let pair_budget = 600;
+    let mut in_memory = engine(MemoryBudget::unbounded());
+    let mut budgeted = engine(MemoryBudget::bounded(pair_budget, 2_000));
+
+    // Ingest the same batches into both engines; the budgeted one must stay
+    // within its resident-pair budget after every batch.
+    let batches = 4;
+    let left_size = corpus.left.len().div_ceil(batches);
+    let right_size = corpus.right.len().div_ceil(batches);
+    for i in 0..batches {
+        let l: Vec<_> =
+            corpus.left.records().iter().skip(i * left_size).take(left_size).cloned().collect();
+        let r: Vec<_> =
+            corpus.right.records().iter().skip(i * right_size).take(right_size).cloned().collect();
+        let truth_delta = if i == 0 { truth.as_slice() } else { &[] };
+        let a = in_memory.ingest(l.clone(), r.clone(), truth_delta).unwrap();
+        let b = budgeted.ingest(l, r, truth_delta).unwrap();
+        assert_eq!(a.delta_candidates, b.delta_candidates, "batch {i} candidates diverged");
+        assert_eq!(a.retained_pairs, b.retained_pairs, "batch {i} retained pairs diverged");
+        assert!(
+            b.resident_pairs <= pair_budget,
+            "batch {i}: {} resident pairs exceed the {pair_budget} budget",
+            b.resident_pairs
+        );
+        assert_eq!(b.resident_pairs + b.spilled_pairs, b.workload_len);
+        assert_eq!(a.spilled_pairs, 0);
+    }
+
+    // The budget was tight enough that both layers actually spilled.
+    assert!(budgeted.workload().spilled_pairs() > 0, "workload spill never engaged");
+    assert!(budgeted.workload().spilled_bytes() > 0);
+    assert!(budgeted.blocking_index().spilled_generations() > 0, "posting spill never engaged");
+    assert!(budgeted.blocking_index().spilled_bytes() > 0);
+    assert_eq!(in_memory.workload().spilled_pairs(), 0);
+    assert_eq!(in_memory.blocking_index().spilled_generations(), 0);
+
+    // The workloads are byte-identical, pair by pair.
+    assert_eq!(in_memory.workload().len(), budgeted.workload().len());
+    for (i, (a, b)) in in_memory.workload().iter().zip(budgeted.workload().iter()).enumerate() {
+        assert_eq!(a.id(), b.id(), "pair {i} id diverged");
+        assert_eq!(a.left(), b.left(), "pair {i} left record diverged");
+        assert_eq!(a.right(), b.right(), "pair {i} right record diverged");
+        assert_eq!(
+            a.similarity().to_bits(),
+            b.similarity().to_bits(),
+            "pair {i} similarity bits diverged"
+        );
+        assert_eq!(a.ground_truth(), b.ground_truth(), "pair {i} truth label diverged");
+    }
+
+    // Resolution over the spilled workload is exactly the in-memory resolution.
+    let mut oracle_a = GroundTruthOracle::new();
+    let mut oracle_b = GroundTruthOracle::new();
+    let a = in_memory.resolve(&mut oracle_a).unwrap();
+    let b = budgeted.resolve(&mut oracle_b).unwrap();
+    assert_eq!(a.outcome.solution, b.outcome.solution);
+    assert_eq!(a.outcome.assignment, b.outcome.assignment);
+    assert_eq!(a.outcome.metrics, b.outcome.metrics);
+    assert_eq!(a.oracle_queries, b.oracle_queries);
+    assert_eq!(a.entities, b.entities);
+    assert_eq!(a.cluster_metrics, b.cluster_metrics);
+}
+
+#[test]
+fn tiny_budgets_spill_aggressively_but_keep_reports_identical() {
+    // An adversarially small budget (a fraction of one segment) forces spilled
+    // reads on nearly every workload access path during resolution.
+    let corpus = corpus(120, 31);
+    let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+    let mut reference = engine(MemoryBudget::unbounded());
+    let mut tiny = engine(MemoryBudget {
+        resident_pairs: 64,
+        resident_postings: 128,
+        cached_segments: 2,
+        spill_dir: None,
+    });
+    let l = corpus.left.records().to_vec();
+    let r = corpus.right.records().to_vec();
+    let a = reference.ingest(l.clone(), r.clone(), &truth).unwrap();
+    let b = tiny.ingest(l, r, &truth).unwrap();
+    assert_eq!(a.delta_candidates, b.delta_candidates);
+    assert!(b.spilled_pairs > 0);
+    let mut oracle_a = GroundTruthOracle::new();
+    let mut oracle_b = GroundTruthOracle::new();
+    let ra = reference.resolve(&mut oracle_a).unwrap();
+    let rb = tiny.resolve(&mut oracle_b).unwrap();
+    assert_eq!(ra.outcome.solution, rb.outcome.solution);
+    assert_eq!(ra.outcome.assignment, rb.outcome.assignment);
+    assert_eq!(ra.oracle_queries, rb.oracle_queries);
+    assert_eq!(ra.entities, rb.entities);
+}
