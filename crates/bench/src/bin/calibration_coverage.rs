@@ -26,12 +26,14 @@
 //! `HUMO_BENCH_BASELINE`) diffs it against a committed baseline and exits
 //! non-zero on regression (see `humo_bench::trajectory`).
 
+use er_obs::{MetricsRecorder, ObsHandle};
 use humo::{QualityRequirement, TailCalibration};
 use humo_bench::trajectory::emit_and_gate;
 use humo_bench::{
     all_sampling_effective_tail, failure_rate_band, run_all_sampling_with_tail, run_hybr_with_tail,
     run_samp_with_tail, synthetic_workload, BenchConfig, Json,
 };
+use std::sync::Arc;
 
 const NOMINAL_FAILURE_RATE: f64 = 0.1; // 1 − θ for the paper's default θ = 0.9.
 const MID_STEEP_TAU: std::ops::RangeInclusive<f64> = 8.0..=14.0;
@@ -118,6 +120,11 @@ fn main() {
         ("ALL", run_all_sampling_with_tail, all_sampling_effective_tail),
     ];
 
+    // One shared in-memory recorder observes every optimization in the sweep
+    // (via the workload's obs handle): after the grid, its counters summarize
+    // how much session machinery the guarantee actually cost — label rounds by
+    // phase, GP refits by strategy, reselections and replay-cache hits.
+    let metrics = Arc::new(MetricsRecorder::new());
     let mut cells: Vec<Cell> = Vec::new();
     for &(name, runner, effective_tail) in &optimizers {
         let distinct_reference =
@@ -130,7 +137,8 @@ fn main() {
             let mut cost = 0.0;
             let mut cost_ref = 0.0;
             for seed in 0..seeds as u64 {
-                let workload = synthetic_workload(pairs, tau, 0.1, 1000 + seed);
+                let mut workload = synthetic_workload(pairs, tau, 0.1, 1000 + seed);
+                workload.set_obs(ObsHandle::new(metrics.clone()));
                 let outcome = runner(&workload, requirement, seed, calibrated);
                 if !requirement.is_satisfied_by(&outcome.metrics) {
                     failures += 1;
@@ -252,6 +260,21 @@ fn main() {
         }
     }
 
+    let obs = metrics.snapshot();
+    println!(
+        "\nsession machinery across the sweep: {} label rounds ({} plan + {} refine), \
+         {} incremental + {} full GP refits, {} reselections, \
+         {} plan + {} training replay-cache hits",
+        obs.counter("session.rounds"),
+        obs.counter("session.rounds.plan"),
+        obs.counter("session.rounds.refine"),
+        obs.counter("gp.refit.incremental"),
+        obs.counter("gp.refit.full"),
+        obs.counter("gp.reselect"),
+        obs.counter("session.replay_cache.plan_hits"),
+        obs.counter("session.replay_cache.training_hits"),
+    );
+
     // Machine-readable trajectory document. Failure counts carry the strict
     // `_count` policy (deterministic given the seed grid, so any increase
     // over the committed baseline is a genuine calibration regression); the
@@ -289,6 +312,23 @@ fn main() {
                     })
                     .collect(),
             ),
+        ),
+        // Recorder summary; names deliberately avoid the policed `_count`/
+        // `_rounds` suffixes — these totals scale with the seed grid and are
+        // informational, not gated.
+        (
+            "obs",
+            Json::obj([
+                ("session_round_total", Json::num(obs.counter("session.rounds") as f64)),
+                ("plan_round_total", Json::num(obs.counter("session.rounds.plan") as f64)),
+                ("refine_round_total", Json::num(obs.counter("session.rounds.refine") as f64)),
+                (
+                    "gp_refit_incremental_total",
+                    Json::num(obs.counter("gp.refit.incremental") as f64),
+                ),
+                ("gp_refit_full_total", Json::num(obs.counter("gp.refit.full") as f64)),
+                ("gp_reselect_total", Json::num(obs.counter("gp.reselect") as f64)),
+            ]),
         ),
         ("violations_count", Json::num(violations.len() as f64)),
     ]);

@@ -36,8 +36,10 @@
 //!   than cold, incremental re-resolution is cheaper than from-scratch, the
 //!   final epoch meets the quality requirement, HYBR's label round-trips
 //!   scale with the subset count (never with the pair count), session replay
-//!   is at least 2× faster under the incremental path, and (on machines with
-//!   ≥ 2 cores) parallel scoring is at least 1.5× the single-thread rate;
+//!   is at least 2× faster under the incremental path, an enabled metrics
+//!   recorder keeps at least 90% of the no-op recorder's ingest throughput,
+//!   and (on machines with ≥ 2 cores) parallel scoring is at least 1.5× the
+//!   single-thread rate;
 //! * `HUMO_PIPE_SPILL_BUDGET` — when > 0, switch to the **out-of-core mode**:
 //!   stream the corpus into two engines — unbounded vs a memory budget of
 //!   this many resident workload pairs (and as many resident postings) — and
@@ -61,6 +63,7 @@ use er_core::spill::MemoryBudget;
 use er_core::text::Tokenizer;
 use er_core::workload::Workload;
 use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator, GeneratedCorpus};
+use er_obs::{MetricsRecorder, ObsHandle};
 use er_pipeline::{PipelineConfig, ResolutionEngine, WorkerPool};
 use humo::{
     GroundTruthOracle, HybridConfig, HybridOptimizer, OptimizationOutcome, Oracle,
@@ -68,6 +71,7 @@ use humo::{
 };
 use humo_bench::trajectory::emit_and_gate;
 use humo_bench::{BenchConfig, Json};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn chunks<T: Clone>(items: &[T], batches: usize) -> Vec<Vec<T>> {
@@ -164,6 +168,46 @@ fn assert_arms_identical(
         incremental.1, full.1,
         "{name}: incremental and full-refit arms took different numbers of label rounds"
     );
+}
+
+/// Ingest-only recorder overhead: streams the corpus into two fresh engines —
+/// one with the default no-op recorder, one with an enabled
+/// [`er_obs::MetricsRecorder`] — and returns the enabled arm's ingest
+/// throughput as a fraction of the no-op arm's (minimum wall time over `reps`
+/// repetitions per arm). The observability contract is that this ratio stays
+/// ≥ 0.9: instrumentation is batch-granular, so an enabled recorder may not
+/// cost more than 10% of ingest throughput.
+fn ingest_overhead_ratio(
+    corpus: &GeneratedCorpus,
+    truth: &[(RecordId, RecordId)],
+    threads: usize,
+    batches: usize,
+    reps: usize,
+) -> f64 {
+    let schema = BibliographicGenerator::schema();
+    let left_batches: Vec<Vec<Record>> = chunks(corpus.left.records(), batches);
+    let right_batches: Vec<Vec<Record>> = chunks(corpus.right.records(), batches);
+    let time_arm = |make_recorder: &dyn Fn() -> ObsHandle| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let mut config = pipeline_config(threads, true);
+            config.recorder = make_recorder();
+            let mut engine = ResolutionEngine::new(config, schema.clone(), schema.clone())
+                .expect("valid pipeline config");
+            let start = Instant::now();
+            for epoch in 0..left_batches.len().max(right_batches.len()) {
+                let l = left_batches.get(epoch).cloned().unwrap_or_default();
+                let r = right_batches.get(epoch).cloned().unwrap_or_default();
+                let edges = if epoch == 0 { truth } else { &[] };
+                engine.ingest(l, r, edges).expect("ingest succeeds");
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let noop = time_arm(&ObsHandle::noop);
+    let enabled = time_arm(&|| ObsHandle::new(Arc::new(MetricsRecorder::new())));
+    noop / enabled.max(1e-9)
 }
 
 /// Resident set size in kibibytes from `/proc/self/status`, if available.
@@ -313,9 +357,15 @@ fn main() {
     }
 
     let schema = BibliographicGenerator::schema();
-    let mut engine =
-        ResolutionEngine::new(pipeline_config(threads, true), schema.clone(), schema.clone())
-            .expect("valid pipeline config");
+    // The main engine runs with an enabled in-memory metrics recorder: epoch
+    // ingest timing below reads the `pipeline.ingest` span totals from
+    // snapshots instead of ad-hoc `Instant` bookkeeping, and the recorder's
+    // counters are cross-checked against the engine's own reports.
+    let metrics = Arc::new(MetricsRecorder::new());
+    let mut main_config = pipeline_config(threads, true);
+    main_config.recorder = ObsHandle::new(metrics.clone());
+    let mut engine = ResolutionEngine::new(main_config, schema.clone(), schema.clone())
+        .expect("valid pipeline config");
     let mut oracle = GroundTruthOracle::new();
     let left_batches: Vec<Vec<Record>> = chunks(corpus.left.records(), batches);
     let right_batches: Vec<Vec<Record>> = chunks(corpus.right.records(), batches);
@@ -343,9 +393,10 @@ fn main() {
         let l = left_batches.get(epoch).cloned().unwrap_or_default();
         let r = right_batches.get(epoch).cloned().unwrap_or_default();
         let edges = if epoch == 0 { truth.as_slice() } else { &[] };
-        let start = Instant::now();
+        let span_before = metrics.snapshot().span("pipeline.ingest").map_or(0.0, |s| s.total_secs);
         let ingest = engine.ingest(l, r, edges).expect("ingest succeeds");
-        let ingest_secs = start.elapsed().as_secs_f64();
+        let ingest_secs =
+            metrics.snapshot().span("pipeline.ingest").map_or(0.0, |s| s.total_secs) - span_before;
         let rate =
             if ingest_secs > 0.0 { ingest.delta_candidates as f64 / ingest_secs } else { 0.0 };
         total_delta += ingest.delta_candidates;
@@ -371,6 +422,19 @@ fn main() {
     }
     let final_report = final_report.expect("at least one epoch ran");
     let incremental_final_queries = final_report.oracle_queries;
+    // The recorder and the reports are two views of the same events: the
+    // counter totals must agree with the per-epoch report sums exactly.
+    let recorded_delta = metrics.snapshot().counter("ingest.delta_candidates") as usize;
+    assert_eq!(recorded_delta, total_delta, "recorder delta-candidate total diverged from reports");
+    assert_eq!(
+        final_report.plan_rounds + final_report.refine_rounds,
+        final_report.label_rounds,
+        "per-phase round counts must sum to the label-round total"
+    );
+    println!(
+        "\nfinal epoch label rounds: {} = {} plan + {} refine",
+        final_report.label_rounds, final_report.plan_rounds, final_report.refine_rounds
+    );
 
     // From-scratch baseline: one cold engine over all records, fresh oracle.
     let mut scratch =
@@ -605,6 +669,15 @@ fn main() {
         1e3 * t_sharded
     );
 
+    // Recorder overhead: re-stream the corpus into two fresh engines (no-op
+    // recorder vs enabled metrics recorder) and compare ingest throughput.
+    let overhead_ratio = ingest_overhead_ratio(&corpus, &truth, threads, batches, replay_reps);
+    println!("\n-- recorder overhead (ingest-only, min of {replay_reps} reps per arm) --");
+    println!(
+        "enabled-recorder ingest throughput is {:.1}% of the no-op recorder's",
+        100.0 * overhead_ratio
+    );
+
     // Machine-readable perf-trajectory document. Key naming drives the
     // regression policy (see humo_bench::trajectory): `_queries`/`_rounds`/
     // `_count` fail on any increase, `_speedup` fails on a >25% drop, `_ms`/
@@ -667,6 +740,7 @@ fn main() {
                 ("hybr_speedup", Json::num(hybr_speedup)),
             ]),
         ),
+        ("obs", Json::obj([("ingest_overhead_ratio", Json::num(overhead_ratio))])),
         (
             "scoring",
             Json::obj([
@@ -720,6 +794,11 @@ fn main() {
              (bound {round_bound} = budget {budget} + DH subsets {dh_subsets} + 4, \
              with {num_subsets} subsets total), not the pair count ({})",
             workload.len()
+        );
+        assert!(
+            overhead_ratio >= 0.9,
+            "enabled-recorder ingest throughput must stay within 10% of the no-op \
+             recorder's (ratio {overhead_ratio:.3})"
         );
         assert!(
             samp_speedup >= 2.0 && hybr_speedup >= 2.0,

@@ -1,0 +1,62 @@
+//! `trace_check` — validates a JSONL trace emitted by `er_obs::TraceRecorder`.
+//!
+//! Usage:
+//!
+//! ```text
+//! trace_check <trace.jsonl> [required-name-prefix ...]
+//! ```
+//!
+//! The file is checked against the documented trace schema
+//! ([`er_obs::validate_trace`]): every line must be a JSON object with a
+//! monotone `ts_us`, a known `kind`, balanced LIFO spans and consistent
+//! running counter totals. Each extra argument is a required event-name
+//! prefix; the check fails if no event name starts with it. CI runs this
+//! over a `streaming_dedup` trace with the prefixes
+//! `pipeline.ingest blocking. ingest.score spill. session.` to prove the
+//! trace covers ingest, blocking, scoring, spill and session-round events.
+//!
+//! Exits non-zero (with the violations printed) on any schema violation or
+//! missing prefix.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.jsonl> [required-name-prefix ...]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("trace_check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let report = er_obs::validate_trace(&text);
+    println!("{path}: {} events, {} distinct names", report.events, report.names.len());
+
+    let mut failed = false;
+    if !report.is_valid() {
+        failed = true;
+        for violation in &report.violations {
+            eprintln!("schema violation: {violation}");
+        }
+    }
+    for prefix in args {
+        if report.covers(&prefix) {
+            println!("  covered: {prefix}");
+        } else {
+            failed = true;
+            eprintln!("missing coverage: no event name starts with `{prefix}`");
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("trace OK");
+        ExitCode::SUCCESS
+    }
+}

@@ -12,11 +12,14 @@
 //!   (default `5`; the paper averages over 100).
 
 pub mod config;
-pub mod json;
 pub mod trajectory;
 
 pub use config::BenchConfig;
-pub use json::Json;
+/// The dependency-free JSON value type now lives in `er-obs` (it backs both
+/// the trace recorder and the harness baselines); re-exported here so harness
+/// binaries keep their `humo_bench::json::Json` spelling.
+pub use er_obs::json;
+pub use er_obs::Json;
 
 use er_core::workload::Workload;
 use er_datagen::calibrated::CalibratedConfig;

@@ -79,7 +79,7 @@ impl TokenBlocker {
         // the output set would hide it, but every duplicate re-scans a whole
         // posting list.
         let record_tokens = |record: &Record, side: usize| -> BTreeSet<String> {
-            unique_record_tokens(&self.attribute, self.tokenizer, record, side, cache)
+            unique_record_tokens(&self.attribute, self.tokenizer, record, side, cache).0
         };
         // Invert dataset b: token → record ids.
         let mut index: BTreeMap<String, Vec<RecordId>> = BTreeMap::new();
@@ -120,6 +120,7 @@ impl TokenBlocker {
             records_indexed: 0,
             budget: MemoryBudget::default(),
             spill: None,
+            obs: er_obs::ObsHandle::default(),
         }
     }
 }
@@ -128,14 +129,15 @@ impl TokenBlocker {
 pub const DEFAULT_SHARDS: usize = 8;
 
 /// The unique token set of one record, via the cache when admitted (`side`
-/// 0 = left, 1 = right) and by fresh tokenization otherwise.
+/// 0 = left, 1 = right) and by fresh tokenization otherwise. The flag reports
+/// whether the cache answered (always `false` without a cache).
 fn unique_record_tokens(
     attribute: &str,
     tokenizer: Tokenizer,
     record: &Record,
     side: usize,
     cache: Option<&TokenCache>,
-) -> BTreeSet<String> {
+) -> (BTreeSet<String>, bool) {
     if let Some(cache) = cache {
         let cached = if side == 0 {
             cache.left_tokens(attribute, tokenizer, record.id())
@@ -143,13 +145,14 @@ fn unique_record_tokens(
             cache.right_tokens(attribute, tokenizer, record.id())
         };
         if let Some(tokens) = cached {
-            return tokens.iter().cloned().collect();
+            return (tokens.iter().cloned().collect(), true);
         }
     }
-    record
+    let tokens = record
         .text(attribute)
         .map(|text| tokenizer.tokenize(text).into_iter().collect())
-        .unwrap_or_default()
+        .unwrap_or_default();
+    (tokens, false)
 }
 
 /// A persistent token-blocking index supporting incremental ingestion,
@@ -187,6 +190,7 @@ pub struct IncrementalTokenIndex {
     records_indexed: usize,
     budget: MemoryBudget,
     spill: Option<Arc<SpillFile>>,
+    obs: er_obs::ObsHandle,
 }
 
 const SIDE_LEFT: u8 = 0;
@@ -381,6 +385,12 @@ impl IncrementalTokenIndex {
         self.spill.as_ref().map_or(0, |s| s.bytes_written())
     }
 
+    /// Attaches an observability handle; blocking and posting-spill events
+    /// are recorded through it from then on.
+    pub fn set_obs(&mut self, obs: er_obs::ObsHandle) {
+        self.obs = obs;
+    }
+
     /// Folds a batch of records into the index and returns the **new** candidate
     /// pairs: every `(left, right)` pair sharing at least one token where at
     /// least one side belongs to this batch. Pairs are deduplicated and sorted.
@@ -407,15 +417,22 @@ impl IncrementalTokenIndex {
     ) -> Vec<(RecordId, RecordId)> {
         let shard_count = self.shards.len();
         let mut work: Vec<ShardWork> = (0..shard_count).map(|_| ShardWork::default()).collect();
+        let mut token_cache_hits = 0u64;
+        let mut token_cache_misses = 0u64;
         for (side, batch) in [(SIDE_LEFT, left_batch), (SIDE_RIGHT, right_batch)] {
             for record in batch {
-                let tokens = unique_record_tokens(
+                let (tokens, cache_hit) = unique_record_tokens(
                     &self.attribute,
                     self.tokenizer,
                     record,
                     side as usize,
                     cache,
                 );
+                if cache_hit {
+                    token_cache_hits += 1;
+                } else {
+                    token_cache_misses += 1;
+                }
                 let mut split: Vec<Vec<String>> = vec![Vec::new(); shard_count];
                 for token in tokens {
                     let shard = (fnv1a(token.as_bytes()) % shard_count as u64) as usize;
@@ -436,6 +453,17 @@ impl IncrementalTokenIndex {
         }
         let deltas = executor.map_mut(&mut self.shards, |i, shard| shard.apply(&work[i]));
         self.records_indexed += left_batch.len() + right_batch.len();
+        if self.obs.is_enabled() {
+            // Token-cache hits only mean something when a cache was supplied;
+            // per-shard delta sizes expose blocking skew across shards.
+            if cache.is_some() {
+                self.obs.counter("blocking.tokencache.hits", token_cache_hits);
+                self.obs.counter("blocking.tokencache.misses", token_cache_misses);
+            }
+            for delta in &deltas {
+                self.obs.observe("blocking.shard_delta_pairs", delta.len() as f64);
+            }
+        }
         let mut merged: BTreeSet<(RecordId, RecordId)> = BTreeSet::new();
         for delta in deltas {
             merged.extend(delta);
@@ -457,8 +485,15 @@ impl IncrementalTokenIndex {
             self.spill = Some(Arc::new(SpillFile::create_in(self.budget.spill_dir.as_deref())?));
         }
         let spill = Arc::clone(self.spill.as_ref().expect("spill file just ensured"));
+        let generations_before = self.spilled_generations();
+        let bytes_before = spill.bytes_written();
         for shard in &mut self.shards {
             shard.freeze(&spill)?;
+        }
+        let frozen = (self.spilled_generations() - generations_before) as u64;
+        if frozen > 0 {
+            self.obs.counter("spill.postings.generations_spilled", frozen);
+            self.obs.counter("spill.postings.bytes_spilled", spill.bytes_written() - bytes_before);
         }
         Ok(())
     }

@@ -35,7 +35,7 @@ pub use aggregate::{AttributeMeasure, AttributeWeighting, PairScorer, ScoringCon
 pub use error::ErError;
 pub use parallel::{ParallelExecutor, SerialExecutor};
 pub use record::{AttributeValue, Dataset, Record, RecordId, Schema};
-pub use spill::MemoryBudget;
+pub use spill::{MemoryBudget, SpillStats};
 pub use workload::{
     InstancePair, Label, LabelAssignment, PairId, QualityMetrics, SubsetPartition, Workload,
     WorkloadSubset,

@@ -108,6 +108,7 @@ pub struct ChunkHandle {
 pub struct SpillFile {
     file: File,
     tail: Mutex<u64>,
+    bytes_read: AtomicU64,
 }
 
 fn io_err(context: &str, e: std::io::Error) -> ErError {
@@ -130,7 +131,7 @@ impl SpillFile {
                     // Unlink-after-open: the fd keeps the inode alive, the
                     // name disappears, and a crash leaks nothing.
                     std::fs::remove_file(&path).map_err(|e| io_err("unlink spill file", e))?;
-                    return Ok(Self { file, tail: Mutex::new(0) });
+                    return Ok(Self { file, tail: Mutex::new(0), bytes_read: AtomicU64::new(0) });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
                 Err(e) => return Err(io_err("create spill file", e)),
@@ -152,6 +153,7 @@ impl SpillFile {
     pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
         let mut buf = vec![0u8; len];
         self.file.read_exact_at(&mut buf, offset).map_err(|e| io_err("read spill chunk", e))?;
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
         Ok(buf)
     }
 
@@ -163,6 +165,48 @@ impl SpillFile {
     /// Total bytes appended so far.
     pub fn bytes_written(&self) -> u64 {
         *self.tail.lock().expect("spill tail lock poisoned")
+    }
+
+    /// Total bytes read back so far (across every chunk and handle).
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+}
+
+/// Always-on spill and segment-cache tallies for one [`crate::workload::Workload`].
+///
+/// These are plain integer counters kept regardless of any
+/// [`er_obs::Recorder`], so reports can expose spill behaviour with
+/// observability off. Rates are derived, not stored, keeping the struct
+/// `Copy + Eq` for embedding in report types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Segments written out to the spill file.
+    pub segments_spilled: u64,
+    /// Segments read back (decoded) from the spill file.
+    pub segments_loaded: u64,
+    /// Bytes written to the spill file for spilled segments.
+    pub bytes_spilled: u64,
+    /// Bytes read back from the spill file for segment loads.
+    pub bytes_loaded: u64,
+    /// Segment lookups answered by the read cache.
+    pub cache_hits: u64,
+    /// Segment lookups that had to hit the spill file.
+    pub cache_misses: u64,
+    /// Cache entries evicted to admit newer segments.
+    pub cache_evictions: u64,
+}
+
+impl SpillStats {
+    /// Fraction of spilled-segment lookups served from the cache
+    /// (0 when no spilled segment was ever touched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let touches = self.cache_hits + self.cache_misses;
+        if touches == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / touches as f64
+        }
     }
 }
 

@@ -22,8 +22,9 @@
 //! return bit-identical values.
 
 use crate::record::RecordId;
-use crate::spill::{ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile};
+use crate::spill::{ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile, SpillStats};
 use crate::{ErError, Result};
+use er_obs::ObsHandle;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -350,16 +351,31 @@ impl Clone for Segment {
 }
 
 /// LRU cache of decoded spilled segments, keyed by their chunk offset.
+/// Alongside the entries it keeps the always-on lookup tallies surfaced
+/// through [`Workload::spill_stats`] (the cache lock already serializes
+/// every lookup, so plain fields suffice).
 #[derive(Debug)]
 struct SegCache {
     entries: HashMap<u64, (Arc<Columns>, u64)>,
     capacity: usize,
     tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    bytes_loaded: u64,
 }
 
 impl SegCache {
     fn new(capacity: usize) -> Self {
-        Self { entries: HashMap::new(), capacity: capacity.max(1), tick: 0 }
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            bytes_loaded: 0,
+        }
     }
 
     fn get(&mut self, offset: u64) -> Option<Arc<Columns>> {
@@ -378,6 +394,7 @@ impl SegCache {
                 self.entries.iter().min_by_key(|(_, (_, tick))| *tick).map(|(k, _)| k)
             {
                 self.entries.remove(&oldest);
+                self.evictions += 1;
             }
         }
         self.entries.insert(offset, (cols, self.tick));
@@ -396,10 +413,16 @@ pub struct Workload {
     budget: MemoryBudget,
     spill: Option<Arc<SpillFile>>,
     cache: Mutex<SegCache>,
+    segments_spilled: u64,
+    bytes_spilled: u64,
+    obs: ObsHandle,
 }
 
 impl Clone for Workload {
     fn clone(&self) -> Self {
+        // The read cache (and its lookup tallies) restart empty in the clone;
+        // the spill-side tallies describe data the clone still references, so
+        // they carry over, as does the observability handle.
         Self {
             segments: self.segments.clone(),
             starts: self.starts.clone(),
@@ -407,6 +430,9 @@ impl Clone for Workload {
             budget: self.budget.clone(),
             spill: self.spill.clone(),
             cache: Mutex::new(SegCache::new(self.budget.cached_segments)),
+            segments_spilled: self.segments_spilled,
+            bytes_spilled: self.bytes_spilled,
+            obs: self.obs.clone(),
         }
     }
 }
@@ -449,6 +475,9 @@ impl Workload {
             budget: MemoryBudget::default(),
             spill: None,
             cache: Mutex::new(SegCache::new(MemoryBudget::default().cached_segments)),
+            segments_spilled: 0,
+            bytes_spilled: 0,
+            obs: ObsHandle::default(),
         }
     }
 
@@ -624,12 +653,24 @@ impl Workload {
             SegmentData::Spilled(handle) => {
                 let mut cache = self.cache.lock().expect("segment cache lock poisoned");
                 if let Some(cols) = cache.get(handle.offset) {
+                    cache.hits += 1;
+                    self.obs.counter("spill.segcache.hits", 1);
                     return cols;
                 }
                 let spill = self.spill.as_ref().expect("spilled segment without a spill file");
                 let chunk = spill.read_chunk(*handle).expect("spill read failed");
                 let cols = Arc::new(decode_segment(&chunk).expect("spill chunk decode failed"));
+                cache.misses += 1;
+                cache.bytes_loaded += handle.len;
+                let evictions_before = cache.evictions;
                 cache.insert(handle.offset, Arc::clone(&cols));
+                let evicted = cache.evictions - evictions_before;
+                drop(cache);
+                self.obs.counter("spill.segcache.misses", 1);
+                self.obs.counter("spill.workload.bytes_loaded", handle.len);
+                if evicted > 0 {
+                    self.obs.counter("spill.segcache.evictions", evicted);
+                }
                 cols
             }
         }
@@ -664,6 +705,8 @@ impl Workload {
             self.spill = Some(Arc::new(SpillFile::create_in(self.budget.spill_dir.as_deref())?));
         }
         let spill = self.spill.as_ref().expect("spill file just ensured");
+        let mut spilled_segments = 0u64;
+        let mut spilled_bytes = 0u64;
         for segment in &mut self.segments {
             if resident <= budget {
                 break;
@@ -673,7 +716,15 @@ impl Workload {
                 resident -= segment.len;
                 segment.data = SegmentData::Spilled(handle);
                 segment.aos = OnceLock::new();
+                spilled_segments += 1;
+                spilled_bytes += handle.len;
             }
+        }
+        if spilled_segments > 0 {
+            self.segments_spilled += spilled_segments;
+            self.bytes_spilled += spilled_bytes;
+            self.obs.counter("spill.workload.segments_spilled", spilled_segments);
+            self.obs.counter("spill.workload.bytes_spilled", spilled_bytes);
         }
         Ok(())
     }
@@ -711,6 +762,36 @@ impl Workload {
     /// Number of storage segments (exposed for diagnostics and tests).
     pub fn segment_count(&self) -> usize {
         self.segments.len()
+    }
+
+    /// Always-on spill and segment-cache tallies for this workload. The
+    /// spill-side counts accumulate over the workload's whole life; the
+    /// cache-side counts restart when the cache is rebuilt (on clone or
+    /// [`Workload::set_memory_budget`]).
+    pub fn spill_stats(&self) -> SpillStats {
+        let cache = self.cache.lock().expect("segment cache lock poisoned");
+        SpillStats {
+            segments_spilled: self.segments_spilled,
+            segments_loaded: cache.misses,
+            bytes_spilled: self.bytes_spilled,
+            bytes_loaded: cache.bytes_loaded,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+        }
+    }
+
+    /// Attaches an observability handle; spill, cache and session events on
+    /// this workload are recorded through it from then on.
+    pub fn set_obs(&mut self, obs: ObsHandle) {
+        self.obs = obs;
+    }
+
+    /// The attached observability handle (no-op unless [`Workload::set_obs`]
+    /// was called). Optimizers reach the recorder through this so session
+    /// events and engine events share one sink.
+    pub fn obs(&self) -> &ObsHandle {
+        &self.obs
     }
 
     /// Number of pairs in the workload.

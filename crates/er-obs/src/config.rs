@@ -1,0 +1,167 @@
+//! Environment-driven observability setup, in the same style as the bench
+//! crate's `BenchConfig`: read `HUMO_OBS`-prefixed variables once, then build
+//! the recorder they describe.
+//!
+//! | variable        | values                  | default             |
+//! |-----------------|-------------------------|---------------------|
+//! | `HUMO_OBS`      | `off`, `metrics`, `trace` | `off`             |
+//! | `HUMO_OBS_PATH` | trace output file path  | `humo-trace.jsonl`  |
+//!
+//! Unset, empty, or unrecognized `HUMO_OBS` values mean `off`, so examples
+//! and harnesses stay uninstrumented unless explicitly asked.
+
+use crate::metrics::MetricsRecorder;
+use crate::trace::TraceRecorder;
+use crate::ObsHandle;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Which recorder (if any) the environment asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsMode {
+    /// No instrumentation: the no-op recorder.
+    #[default]
+    Off,
+    /// In-memory aggregation via [`MetricsRecorder`].
+    Metrics,
+    /// JSONL trace via [`TraceRecorder`].
+    Trace,
+}
+
+impl ObsMode {
+    /// Parse a mode string (`off`/`metrics`/`trace`, case-insensitive).
+    /// Anything else — including empty — is `None`.
+    pub fn parse(value: &str) -> Option<ObsMode> {
+        match value.to_ascii_lowercase().as_str() {
+            "off" => Some(ObsMode::Off),
+            "metrics" => Some(ObsMode::Metrics),
+            "trace" => Some(ObsMode::Trace),
+            _ => None,
+        }
+    }
+}
+
+/// Observability configuration read from the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// The requested mode (`HUMO_OBS`).
+    pub mode: ObsMode,
+    /// Where `trace` mode writes its JSONL output (`HUMO_OBS_PATH`).
+    pub trace_path: PathBuf,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { mode: ObsMode::Off, trace_path: PathBuf::from("humo-trace.jsonl") }
+    }
+}
+
+impl ObsConfig {
+    /// Read `HUMO_OBS` / `HUMO_OBS_PATH` from the process environment.
+    pub fn from_env() -> Self {
+        Self::from_lookup(|name| std::env::var(name).ok())
+    }
+
+    /// Like [`ObsConfig::from_env`], but with an injectable variable lookup
+    /// (used by tests; env mutation is process-global and racy).
+    pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let mut config = ObsConfig::default();
+        if let Some(mode) = lookup("HUMO_OBS").as_deref().and_then(ObsMode::parse) {
+            config.mode = mode;
+        }
+        if let Some(path) = lookup("HUMO_OBS_PATH").filter(|p| !p.is_empty()) {
+            config.trace_path = PathBuf::from(path);
+        }
+        config
+    }
+
+    /// Build the recorder this configuration describes. `trace` mode creates
+    /// (truncates) the file at `trace_path`; that is the only fallible case.
+    pub fn build(&self) -> std::io::Result<ObsSetup> {
+        Ok(match self.mode {
+            ObsMode::Off => ObsSetup { handle: ObsHandle::noop(), metrics: None, trace: None },
+            ObsMode::Metrics => {
+                let metrics = Arc::new(MetricsRecorder::new());
+                ObsSetup {
+                    handle: ObsHandle::new(metrics.clone()),
+                    metrics: Some(metrics),
+                    trace: None,
+                }
+            }
+            ObsMode::Trace => {
+                let trace = Arc::new(TraceRecorder::to_file(&self.trace_path)?);
+                ObsSetup {
+                    handle: ObsHandle::new(trace.clone()),
+                    metrics: None,
+                    trace: Some(trace),
+                }
+            }
+        })
+    }
+}
+
+/// A built recorder plus typed access to its concrete form.
+#[derive(Debug)]
+pub struct ObsSetup {
+    /// Handle to thread into `PipelineConfig::recorder` (or anywhere else).
+    pub handle: ObsHandle,
+    /// The metrics recorder, when mode is `metrics`.
+    pub metrics: Option<Arc<MetricsRecorder>>,
+    /// The trace recorder, when mode is `trace`.
+    pub trace: Option<Arc<TraceRecorder>>,
+}
+
+impl ObsSetup {
+    /// Flush any buffered trace output (no-op for other modes).
+    pub fn flush(&self) {
+        if let Some(trace) = &self.trace {
+            trace.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_modes_case_insensitively_and_rejects_junk() {
+        assert_eq!(ObsMode::parse("off"), Some(ObsMode::Off));
+        assert_eq!(ObsMode::parse("Metrics"), Some(ObsMode::Metrics));
+        assert_eq!(ObsMode::parse("TRACE"), Some(ObsMode::Trace));
+        assert_eq!(ObsMode::parse(""), None);
+        assert_eq!(ObsMode::parse("on"), None);
+    }
+
+    #[test]
+    fn lookup_defaults_and_overrides() {
+        let config = ObsConfig::from_lookup(|_| None);
+        assert_eq!(config.mode, ObsMode::Off);
+        assert_eq!(config.trace_path, PathBuf::from("humo-trace.jsonl"));
+
+        let config = ObsConfig::from_lookup(|name| match name {
+            "HUMO_OBS" => Some("trace".to_string()),
+            "HUMO_OBS_PATH" => Some("/tmp/t.jsonl".to_string()),
+            _ => None,
+        });
+        assert_eq!(config.mode, ObsMode::Trace);
+        assert_eq!(config.trace_path, PathBuf::from("/tmp/t.jsonl"));
+
+        // Unrecognized modes fall back to off.
+        let config =
+            ObsConfig::from_lookup(|name| (name == "HUMO_OBS").then(|| "verbose".to_string()));
+        assert_eq!(config.mode, ObsMode::Off);
+    }
+
+    #[test]
+    fn builds_the_matching_recorder() {
+        let setup = ObsConfig::default().build().unwrap();
+        assert!(!setup.handle.is_enabled());
+        assert!(setup.metrics.is_none() && setup.trace.is_none());
+
+        let setup = ObsConfig { mode: ObsMode::Metrics, ..ObsConfig::default() }.build().unwrap();
+        assert!(setup.handle.is_enabled());
+        setup.handle.counter("x", 2);
+        assert_eq!(setup.metrics.unwrap().snapshot().counter("x"), 2);
+    }
+}

@@ -1,11 +1,13 @@
-//! A minimal, dependency-free JSON value: just enough for the committed
-//! `BENCH_*.json` perf-trajectory files.
+//! A minimal, dependency-free JSON value shared by the observability layer
+//! and the bench harnesses.
 //!
-//! The workspace deliberately carries no serde; the bench layer needs to
-//! *write* small, stable, human-diffable documents and *read* them back for
-//! the regression gate, so a ~200-line hand-rolled value type beats a
-//! dependency. Numbers are `f64` (every value the harnesses record fits
-//! exactly), objects preserve insertion order so committed files diff cleanly.
+//! The workspace deliberately carries no serde; this layer needs to *write*
+//! small, stable, human-diffable documents (committed `BENCH_*.json`
+//! trajectories, JSONL traces) and *read* them back (the regression gate,
+//! the trace schema validator), so a ~200-line hand-rolled value type beats
+//! a dependency. Numbers are `f64` (every value the harnesses record fits
+//! exactly), objects preserve insertion order so committed files diff
+//! cleanly and trace lines keep a stable key order.
 
 use std::fmt::Write as _;
 
@@ -81,6 +83,14 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no extra whitespace — the JSONL trace
+    /// format (one event object per line, no trailing newline).
+    pub fn to_compact_string(&self) -> String {
+        let mut out = String::new();
+        self.render_compact(&mut out);
+        out
+    }
+
     fn render(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -121,6 +131,37 @@ impl Json {
                     out.push('\n');
                 }
                 pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    fn render_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => render_number(out, *n),
+            Json::Str(s) => render_string(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(out, key);
+                    out.push(':');
+                    value.render_compact(out);
+                }
                 out.push('}');
             }
         }
@@ -361,5 +402,20 @@ mod tests {
         assert!(Json::parse("[1, 2").is_err());
         assert!(Json::parse("{} extra").is_err());
         assert!(Json::parse("").is_err());
+    }
+
+    #[test]
+    fn compact_rendering_is_single_line_and_round_trips() {
+        let doc = Json::obj([
+            ("kind", Json::str("counter")),
+            ("name", Json::str("spill.segcache.hits")),
+            ("delta", Json::num(3.0)),
+            ("nested", Json::Arr(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        let line = doc.to_compact_string();
+        assert!(!line.contains('\n'));
+        assert!(!line.contains(' '));
+        assert_eq!(Json::parse(&line).unwrap(), doc);
+        assert_eq!(Json::Obj(Vec::new()).to_compact_string(), "{}");
     }
 }

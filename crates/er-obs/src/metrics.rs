@@ -1,0 +1,300 @@
+//! In-memory metrics aggregation: [`MetricsRecorder`] collects events into a
+//! queryable [`MetricsSnapshot`].
+
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Number of finite histogram buckets; one overflow bucket follows.
+const BUCKETS: usize = 16;
+
+/// Upper edges of the finite histogram buckets: powers of four
+/// `4^0, 4^1, …, 4^15` (1 … ~1.07e9). Bucket `i` counts values
+/// `v <= EDGES[i]` (and greater than the previous edge); anything larger
+/// lands in the overflow bucket. Powers of four span nine decades in 16
+/// buckets — wide enough for both microsecond timings and pair counts.
+pub const BUCKET_EDGES: [f64; BUCKETS] = [
+    1.0,
+    4.0,
+    16.0,
+    64.0,
+    256.0,
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+    268435456.0,
+    1073741824.0,
+];
+
+/// A fixed-bucket histogram with geometric (power-of-four) bucket edges.
+///
+/// Buckets are shared by every histogram (see [`BUCKET_EDGES`]) so snapshots
+/// merge without rebinning. Alongside the bucket counts the histogram tracks
+/// the exact count, sum, minimum, and maximum of observed values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Per-bucket counts; the last index is the overflow bucket.
+    pub counts: [u64; BUCKETS + 1],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observed value (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKETS + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    /// The bucket index `value` falls into: the first bucket whose upper
+    /// edge is `>= value`, or the overflow bucket past the last edge.
+    pub fn bucket_index(value: f64) -> usize {
+        BUCKET_EDGES.partition_point(|edge| *edge < value)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.counts[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// The arithmetic mean of observed values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Accumulated timing for one span name.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SpanStats {
+    /// Number of completed `span_start`/`span_end` pairs.
+    pub count: u64,
+    /// Total wall time spent inside the span, in seconds.
+    pub total_secs: f64,
+}
+
+/// A point-in-time copy of everything a [`MetricsRecorder`] has aggregated.
+///
+/// All maps are sorted (`BTreeMap`) so iteration order is deterministic —
+/// harness output built from a snapshot diffs cleanly across runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-written gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span timing totals by name.
+    pub spans: BTreeMap<String, SpanStats>,
+}
+
+impl MetricsSnapshot {
+    /// The counter total for `name` (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge value for `name`, if ever set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The histogram for `name`, if anything was observed.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The span stats for `name`, if the span ever completed.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// Fold another snapshot into this one: counters, histogram buckets, and
+    /// span totals add; gauges take the other snapshot's value (last write
+    /// wins, matching live gauge semantics).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauges.insert(name.clone(), *value);
+        }
+        for (name, histogram) in &other.histograms {
+            self.histograms.entry(name.clone()).or_default().merge(histogram);
+        }
+        for (name, stats) in &other.spans {
+            let entry = self.spans.entry(name.clone()).or_default();
+            entry.count += stats.count;
+            entry.total_secs += stats.total_secs;
+        }
+    }
+}
+
+/// [`Recorder`] that aggregates events into an in-memory
+/// [`MetricsSnapshot`] behind a mutex.
+///
+/// Events are batch-granular throughout the pipeline (per ingest, per
+/// segment, per label round — never per pair), so a mutex per event is cheap
+/// relative to the work each event summarizes.
+#[derive(Debug, Default)]
+pub struct MetricsRecorder {
+    inner: Mutex<MetricsSnapshot>,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy out the current aggregate state.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.inner.lock().expect("metrics lock").clone()
+    }
+
+    /// Reset all aggregate state to empty.
+    pub fn reset(&self) {
+        *self.inner.lock().expect("metrics lock") = MetricsSnapshot::default();
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        *inner.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.gauges.insert(name.to_string(), value);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        inner.histograms.entry(name.to_string()).or_default().observe(value);
+    }
+
+    fn span_start(&self, _name: &'static str) {
+        // Durations arrive fully formed via span_end; nothing to do here.
+    }
+
+    fn span_end(&self, name: &'static str, elapsed: Duration) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let entry = inner.spans.entry(name.to_string()).or_default();
+        entry.count += 1;
+        entry.total_secs += elapsed.as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_respects_edges_exactly() {
+        // At or below the first edge.
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 0);
+        // Just past an edge moves to the next bucket; exactly on an edge
+        // stays in it.
+        assert_eq!(Histogram::bucket_index(1.0001), 1);
+        assert_eq!(Histogram::bucket_index(4.0), 1);
+        assert_eq!(Histogram::bucket_index(5.0), 2);
+        assert_eq!(Histogram::bucket_index(16.0), 2);
+        assert_eq!(Histogram::bucket_index(1024.0), 5);
+        // The last finite edge and the overflow bucket.
+        assert_eq!(Histogram::bucket_index(1073741824.0), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_index(1073741825.0), BUCKETS);
+        assert_eq!(Histogram::bucket_index(f64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn histogram_tracks_count_sum_min_max() {
+        let mut h = Histogram::default();
+        for v in [2.0, 100.0, 3.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 105.0);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.mean(), 35.0);
+        assert_eq!(h.counts.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counts_and_keeps_last_gauge() {
+        let a = MetricsRecorder::new();
+        a.counter("c", 2);
+        a.gauge("g", 1.0);
+        a.observe("h", 5.0);
+        a.span_end("s", Duration::from_millis(10));
+
+        let b = MetricsRecorder::new();
+        b.counter("c", 3);
+        b.counter("only_b", 7);
+        b.gauge("g", 9.0);
+        b.observe("h", 500.0);
+        b.span_end("s", Duration::from_millis(30));
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+
+        assert_eq!(merged.counter("c"), 5);
+        assert_eq!(merged.counter("only_b"), 7);
+        assert_eq!(merged.gauge("g"), Some(9.0));
+        let h = merged.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 5.0);
+        assert_eq!(h.max, 500.0);
+        let s = merged.span("s").unwrap();
+        assert_eq!(s.count, 2);
+        assert!((s.total_secs - 0.04).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let r = MetricsRecorder::new();
+        r.counter("c", 1);
+        r.reset();
+        assert_eq!(r.snapshot(), MetricsSnapshot::default());
+    }
+}

@@ -1,0 +1,192 @@
+//! JSONL trace recorder: one compact JSON object per event, appended to any
+//! writer.
+//!
+//! # Event schema (stable)
+//!
+//! Every line is a JSON object with three common keys:
+//!
+//! | key     | type   | meaning                                            |
+//! |---------|--------|----------------------------------------------------|
+//! | `ts_us` | number | microseconds since the recorder was created (monotone) |
+//! | `kind`  | string | `span_start`, `span_end`, `counter`, `gauge`, `observe` |
+//! | `name`  | string | the event name from the instrumentation site       |
+//!
+//! plus kind-specific keys:
+//!
+//! | kind         | extra keys                                                |
+//! |--------------|-----------------------------------------------------------|
+//! | `span_start` | `depth` — nesting depth at entry (0 = top level)          |
+//! | `span_end`   | `elapsed_us` — wall time inside the span, microseconds    |
+//! | `counter`    | `delta` — this increment; `total` — running sum for `name`|
+//! | `gauge`      | `value` — the new gauge value                             |
+//! | `observe`    | `value` — the observed sample                             |
+//!
+//! Spans nest strictly (LIFO) per recorder: the pipeline emits all span
+//! events from the engine/session thread, so `span_end` always matches the
+//! most recent unclosed `span_start`. [`crate::schema::validate_trace`]
+//! checks these invariants mechanically.
+
+use crate::json::Json;
+use crate::Recorder;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct TraceInner {
+    out: Box<dyn Write + Send>,
+    depth: usize,
+    totals: BTreeMap<&'static str, u64>,
+}
+
+/// [`Recorder`] that streams every event as one compact JSON line.
+///
+/// Writes go through a mutex (events are batch-granular, so contention is
+/// negligible); I/O errors are swallowed so tracing can never fail the
+/// pipeline. Call [`TraceRecorder::flush`] (or drop the recorder) to push
+/// buffered lines to the underlying writer.
+pub struct TraceRecorder {
+    start: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder").finish_non_exhaustive()
+    }
+}
+
+impl TraceRecorder {
+    /// Trace into an arbitrary writer (a `Vec<u8>`, a buffered file, …).
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        TraceRecorder {
+            start: Instant::now(),
+            inner: Mutex::new(TraceInner { out, depth: 0, totals: BTreeMap::new() }),
+        }
+    }
+
+    /// Trace into a freshly created (truncated) file, buffered.
+    pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Flush buffered trace lines to the underlying writer.
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock().expect("trace lock");
+        let _ = inner.out.flush();
+    }
+
+    fn emit(&self, kind: &'static str, name: &'static str, extra: &[(&'static str, Json)]) {
+        let ts = self.start.elapsed().as_micros() as f64;
+        let mut fields = vec![
+            ("ts_us".to_string(), Json::num(ts)),
+            ("kind".to_string(), Json::str(kind)),
+            ("name".to_string(), Json::str(name)),
+        ];
+        for (key, value) in extra {
+            fields.push((key.to_string(), value.clone()));
+        }
+        let line = Json::Obj(fields).to_compact_string();
+        let mut inner = self.inner.lock().expect("trace lock");
+        let _ = writeln!(inner.out, "{line}");
+    }
+}
+
+impl Drop for TraceRecorder {
+    fn drop(&mut self) {
+        if let Ok(inner) = self.inner.get_mut() {
+            let _ = inner.out.flush();
+        }
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn counter(&self, name: &'static str, delta: u64) {
+        let total = {
+            let mut inner = self.inner.lock().expect("trace lock");
+            let entry = inner.totals.entry(name).or_insert(0);
+            *entry += delta;
+            *entry
+        };
+        self.emit(
+            "counter",
+            name,
+            &[("delta", Json::num(delta as f64)), ("total", Json::num(total as f64))],
+        );
+    }
+
+    fn gauge(&self, name: &'static str, value: f64) {
+        self.emit("gauge", name, &[("value", Json::num(value))]);
+    }
+
+    fn observe(&self, name: &'static str, value: f64) {
+        self.emit("observe", name, &[("value", Json::num(value))]);
+    }
+
+    fn span_start(&self, name: &'static str) {
+        let depth = {
+            let mut inner = self.inner.lock().expect("trace lock");
+            let depth = inner.depth;
+            inner.depth += 1;
+            depth
+        };
+        self.emit("span_start", name, &[("depth", Json::num(depth as f64))]);
+    }
+
+    fn span_end(&self, name: &'static str, elapsed: Duration) {
+        {
+            let mut inner = self.inner.lock().expect("trace lock");
+            inner.depth = inner.depth.saturating_sub(1);
+        }
+        self.emit("span_end", name, &[("elapsed_us", Json::num(elapsed.as_micros() as f64))]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObsHandle;
+    use std::sync::Arc;
+
+    /// Shared byte sink so the test can read back what the recorder wrote.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_valid_json_line_per_event() {
+        let buf = SharedBuf::default();
+        let obs = ObsHandle::new(Arc::new(TraceRecorder::new(Box::new(buf.clone()))));
+        {
+            let _span = obs.span("pipeline.ingest");
+            obs.counter("ingest.retained_pairs", 5);
+            obs.counter("ingest.retained_pairs", 2);
+            obs.gauge("spill.workload.resident_pairs", 10.0);
+            obs.observe("blocking.shard_delta_pairs", 3.0);
+        }
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        let parsed: Vec<Json> = lines.iter().map(|l| Json::parse(l).unwrap()).collect();
+        assert_eq!(parsed[0].get("kind").and_then(Json::as_str), Some("span_start"));
+        assert_eq!(parsed[0].get("depth").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(parsed[2].get("total").and_then(Json::as_f64), Some(7.0));
+        assert_eq!(parsed[5].get("kind").and_then(Json::as_str), Some("span_end"));
+        assert!(parsed[5].get("elapsed_us").and_then(Json::as_f64).is_some());
+        // Timestamps are monotone non-decreasing.
+        let ts: Vec<f64> =
+            parsed.iter().map(|e| e.get("ts_us").and_then(Json::as_f64).unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -31,6 +31,7 @@ use er_core::record::{Dataset, Record, RecordId, Schema};
 use er_core::spill::MemoryBudget;
 use er_core::text::Tokenizer;
 use er_core::workload::{InstancePair, Label, PairId, QualityMetrics, Workload};
+use er_obs::ObsHandle;
 use humo::sampling::WarmStart;
 use humo::{
     LabelRequest, LabelResponse, OptimizationOutcome, Oracle, PartialSamplingConfig,
@@ -69,6 +70,11 @@ pub struct PipelineConfig {
     /// (candidates, similarities, labels and entities are byte-identical to an
     /// unbounded run).
     pub memory_budget: MemoryBudget,
+    /// Observability sink for the engine, its workload, its blocking index
+    /// and every resolution session. Defaults to the no-op recorder, which
+    /// records nothing and keeps every computed value byte-identical to an
+    /// uninstrumented run (pinned by the `noop_recorder_is_inert` suite).
+    pub recorder: ObsHandle,
 }
 
 impl PipelineConfig {
@@ -89,6 +95,7 @@ impl PipelineConfig {
             threads: 0,
             warm_start: true,
             memory_budget: MemoryBudget::default(),
+            recorder: ObsHandle::default(),
         }
     }
 
@@ -129,6 +136,48 @@ pub struct IngestReport {
     pub resident_pairs: usize,
     /// Workload pairs spilled out of core after the merge.
     pub spilled_pairs: usize,
+    /// Cumulative spill and segment-cache activity up to this ingest.
+    pub spill: SpillReport,
+}
+
+/// Cumulative out-of-core activity of an engine, as of one report.
+///
+/// All fields are plain integers kept by the engine's workload and blocking
+/// index regardless of any recorder, so spill behaviour is visible with
+/// observability off; [`SpillReport::cache_hit_rate`] derives the rate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillReport {
+    /// Workload segments written to the spill file.
+    pub segments_spilled: u64,
+    /// Workload segments read back from the spill file.
+    pub segments_loaded: u64,
+    /// Bytes written to the workload spill file.
+    pub bytes_spilled: u64,
+    /// Bytes read back from the workload spill file.
+    pub bytes_loaded: u64,
+    /// Spilled-segment lookups answered by the read cache.
+    pub cache_hits: u64,
+    /// Spilled-segment lookups that went to disk.
+    pub cache_misses: u64,
+    /// Read-cache entries evicted to admit newer segments.
+    pub cache_evictions: u64,
+    /// Posting generations the blocking index froze to disk.
+    pub posting_generations_spilled: u64,
+    /// Bytes written to the blocking index's spill file.
+    pub posting_bytes_spilled: u64,
+}
+
+impl SpillReport {
+    /// Fraction of spilled-segment lookups served from the cache
+    /// (0 when no spilled segment was ever touched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let touches = self.cache_hits + self.cache_misses;
+        if touches == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / touches as f64
+        }
+    }
 }
 
 /// What one [`ResolutionEngine::resolve`] call produced.
@@ -157,6 +206,12 @@ pub struct ResolutionReport {
     /// latency however many pairs it contains, so this is the latency-proxy
     /// cost metric next to the paper's pair-count cost.
     pub label_rounds: usize,
+    /// Rounds of `label_rounds` dispatched while *planning* (the optimizer's
+    /// sampling phase). `plan_rounds + refine_rounds == label_rounds`.
+    pub plan_rounds: usize,
+    /// Rounds of `label_rounds` dispatched while *refining* (boundary search
+    /// and verification; all rounds of an all-human fallback count here).
+    pub refine_rounds: usize,
     /// Whether the optimizer was seeded from a previous epoch's warm start.
     pub used_warm_start: bool,
     /// Whether the workload was too small for the sampling optimizer and was
@@ -194,8 +249,10 @@ impl ResolutionEngine {
         let pool = WorkerPool::new(config.threads);
         let mut index = blocker.incremental();
         index.set_memory_budget(config.memory_budget.clone())?;
+        index.set_obs(config.recorder.clone());
         let mut workload = Workload::from_pairs(Vec::new())?;
         workload.set_memory_budget(config.memory_budget.clone())?;
+        workload.set_obs(config.recorder.clone());
         Ok(Self {
             index,
             left: Dataset::new("left", left_schema),
@@ -260,6 +317,8 @@ impl ResolutionEngine {
         right_batch: Vec<Record>,
         truth_delta: &[(RecordId, RecordId)],
     ) -> Result<IngestReport> {
+        let obs = self.config.recorder.clone();
+        let _ingest_span = obs.span("pipeline.ingest");
         // Pre-flight validation before any state is committed: a record that
         // entered the dataset but not the blocking index would silently miss
         // every future candidate pair involving it.
@@ -286,8 +345,10 @@ impl ResolutionEngine {
             &right_batch,
         );
         self.cache.admit_scoring(&self.config.scoring, &left_batch, &right_batch);
-        let delta =
-            self.index.add_records_with(&left_batch, &right_batch, &self.pool, Some(&self.cache));
+        let delta = {
+            let _block_span = obs.span("ingest.block");
+            self.index.add_records_with(&left_batch, &right_batch, &self.pool, Some(&self.cache))
+        };
         let (left_records, right_records) = (left_batch.len(), right_batch.len());
         for record in left_batch {
             self.left.push(record)?;
@@ -295,9 +356,18 @@ impl ResolutionEngine {
         for record in right_batch {
             self.right.push(record)?;
         }
+        if obs.is_enabled() {
+            // Chunk balance of the scoring fan-out: one observation per worker
+            // chunk, so skew between workers shows up as histogram spread.
+            for size in self.pool.chunk_sizes(delta.len()) {
+                obs.observe("pool.chunk_pairs", size as f64);
+            }
+        }
+        let score_span = obs.span("ingest.score");
         let scorer = PairScorer::new(&self.config.scoring, &[&self.left, &self.right])?;
         let similarities =
             self.pool.score_pairs_cached(&self.left, &self.right, &scorer, &self.cache, &delta)?;
+        drop(score_span);
         let mut new_pairs = Vec::new();
         for (&(l, r), similarity) in delta.iter().zip(similarities) {
             if similarity < self.config.similarity_threshold {
@@ -314,8 +384,17 @@ impl ResolutionEngine {
             self.next_pair_id += 1;
         }
         let retained = new_pairs.len();
-        self.workload.insert_sorted(new_pairs)?;
+        {
+            let _merge_span = obs.span("ingest.merge");
+            self.workload.insert_sorted(new_pairs)?;
+        }
         self.candidate_count += delta.len();
+        obs.counter("ingest.delta_candidates", delta.len() as u64);
+        obs.counter("ingest.retained_pairs", retained as u64);
+        if obs.is_enabled() {
+            obs.gauge("spill.workload.resident_pairs", self.workload.resident_pairs() as f64);
+            obs.gauge("spill.workload.spilled_pairs", self.workload.spilled_pairs() as f64);
+        }
         Ok(IngestReport {
             left_records,
             right_records,
@@ -325,7 +404,25 @@ impl ResolutionEngine {
             scoring_threads: self.pool.threads(),
             resident_pairs: self.workload.resident_pairs(),
             spilled_pairs: self.workload.spilled_pairs(),
+            spill: self.spill_report(),
         })
+    }
+
+    /// Cumulative out-of-core activity of the engine's workload and blocking
+    /// index (always available; independent of any recorder).
+    pub fn spill_report(&self) -> SpillReport {
+        let stats = self.workload.spill_stats();
+        SpillReport {
+            segments_spilled: stats.segments_spilled,
+            segments_loaded: stats.segments_loaded,
+            bytes_spilled: stats.bytes_spilled,
+            bytes_loaded: stats.bytes_loaded,
+            cache_hits: stats.cache_hits,
+            cache_misses: stats.cache_misses,
+            cache_evictions: stats.cache_evictions,
+            posting_generations_spilled: self.index.spilled_generations() as u64,
+            posting_bytes_spilled: self.index.spilled_bytes(),
+        }
     }
 
     /// Re-resolves the current workload: optimizes the HUMO partition (warm or
@@ -387,6 +484,8 @@ impl ResolutionEngine {
             engine: self,
             state,
             completed_rounds: 0,
+            completed_plan_rounds: 0,
+            completed_refine_rounds: 0,
             used_warm_start: used_warm,
             fallback_all_human: fallback,
             report: None,
@@ -448,6 +547,10 @@ pub struct ResolutionSession<'e> {
     /// Dispatch waves of session states retired by the all-human fallback;
     /// the live count is `completed_rounds + state.rounds()`.
     completed_rounds: usize,
+    /// Plan-stage share of `completed_rounds` (same retirement bookkeeping).
+    completed_plan_rounds: usize,
+    /// Refine-stage share of `completed_rounds`.
+    completed_refine_rounds: usize,
     used_warm_start: bool,
     fallback_all_human: bool,
     /// The assembled report, cached at completion so repeated `step`/`drive`
@@ -465,6 +568,17 @@ impl ResolutionSession<'_> {
     /// round-trips); re-emissions of a still-outstanding batch do not count.
     pub fn rounds(&self) -> usize {
         self.completed_rounds + self.state.rounds()
+    }
+
+    /// Plan-stage (sampling) share of [`ResolutionSession::rounds`].
+    pub fn plan_rounds(&self) -> usize {
+        self.completed_plan_rounds + self.state.plan_rounds()
+    }
+
+    /// Refine-stage (boundary search + verification) share of
+    /// [`ResolutionSession::rounds`].
+    pub fn refine_rounds(&self) -> usize {
+        self.completed_refine_rounds + self.state.refine_rounds()
     }
 
     /// Whether the session fell back to exact all-human resolution (tiny or
@@ -489,6 +603,8 @@ impl ResolutionSession<'_> {
         if let Some(report) = &self.report {
             return Ok(ResolutionStep::Done(report.clone()));
         }
+        let obs = self.engine.config.recorder.clone();
+        let _step_span = obs.span("resolve.step");
         let mut responses: Vec<LabelResponse> = responses.to_vec();
         loop {
             match self.state.step(&self.engine.workload, &responses) {
@@ -512,6 +628,8 @@ impl ResolutionSession<'_> {
                 Err(humo::HumoError::Stats(_)) if !self.fallback_all_human => {
                     let log = self.state.answered_log().to_vec();
                     self.completed_rounds += self.state.rounds();
+                    self.completed_plan_rounds += self.state.plan_rounds();
+                    self.completed_refine_rounds += self.state.refine_rounds();
                     let mut state = SessionState::new(SessionConfig::AllHuman)?;
                     state.preload(
                         self.engine
@@ -560,9 +678,14 @@ impl ResolutionSession<'_> {
         }
         let entities = self.engine.entities_of(&outcome);
         let cluster_metrics = entities.pairwise_metrics(&self.engine.truth_entities());
+        let obs = &self.engine.config.recorder;
+        obs.counter("pipeline.epochs", 1);
+        obs.counter("pipeline.label_rounds", self.rounds() as u64);
         ResolutionReport {
             oracle_queries: self.state.answered_log().len(),
             label_rounds: self.rounds(),
+            plan_rounds: self.plan_rounds(),
+            refine_rounds: self.refine_rounds(),
             outcome,
             entities,
             cluster_metrics,

@@ -53,7 +53,7 @@ pub mod pool;
 pub use cluster::{EntityClusters, RecordKey, Side, UnionFind};
 pub use engine::{
     IngestReport, PipelineConfig, ResolutionEngine, ResolutionReport, ResolutionSession,
-    ResolutionStep,
+    ResolutionStep, SpillReport,
 };
 pub use error::PipelineError;
 pub use pool::WorkerPool;

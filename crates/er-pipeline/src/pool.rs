@@ -61,6 +61,12 @@ impl WorkerPool {
         self.threads
     }
 
+    /// The chunk sizes this pool would split `len` items into — the balance
+    /// the engine records as the `pool.chunk_pairs` histogram.
+    pub fn chunk_sizes(&self, len: usize) -> Vec<usize> {
+        balanced_chunk_sizes(len, self.threads)
+    }
+
     /// Maps `f` over `items` on the pool, preserving input order.
     ///
     /// The slice is sharded into one balanced contiguous chunk per worker;

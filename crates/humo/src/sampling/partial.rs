@@ -386,6 +386,7 @@ impl PartialSamplingOptimizer {
         cache: &mut ReplayCache,
     ) -> Drive<SamplingPlan> {
         if let Some(plan) = cache.plan() {
+            workload.obs().counter("session.replay_cache.plan_hits", 1);
             return Ok(plan.clone());
         }
         if workload.is_empty() {
@@ -589,7 +590,13 @@ impl PartialSamplingOptimizer {
         // otherwise start from scratch (which is also the cache-disabled
         // behavior: `store_training` below is then a no-op, so every step
         // replays the loop in full — the pre-cache semantics).
-        let mut st = cache.take_training().unwrap_or_else(|| GpTrainingState::new(cfg.seed));
+        let mut st = match cache.take_training() {
+            Some(st) => {
+                workload.obs().counter("session.replay_cache.training_hits", 1);
+                st
+            }
+            None => GpTrainingState::new(cfg.seed),
+        };
         let mut sampler =
             SubsetSampler::restore(workload, partition, cfg.samples_per_subset, st.sampler.clone());
 
@@ -758,6 +765,7 @@ impl PartialSamplingOptimizer {
                     cfg.gp_config_for(&st.train_y),
                 )?;
                 st.selected_at = st.train_x.len();
+                workload.obs().counter("gp.reselect", 1);
             } else {
                 match cfg.refit {
                     RefitStrategy::Incremental => {
@@ -766,6 +774,7 @@ impl PartialSamplingOptimizer {
                             &st.train_y[appended..],
                             &st.train_noise[appended..],
                         )?;
+                        workload.obs().counter("gp.refit.incremental", 1);
                     }
                     RefitStrategy::Full => {
                         // Reference arm: from-scratch refactorization with the
@@ -784,6 +793,7 @@ impl PartialSamplingOptimizer {
                             &st.train_noise,
                             pinned,
                         )?;
+                        workload.obs().counter("gp.refit.full", 1);
                     }
                 }
             }

@@ -560,6 +560,10 @@ pub struct SessionState {
     log: Vec<LabelResponse>,
     pending: Vec<LabelRequest>,
     rounds: usize,
+    /// Rounds dispatched while planning (the sampling phase).
+    plan_rounds: usize,
+    /// Rounds dispatched while refining (boundary search + verification).
+    refine_rounds: usize,
     phase: SessionPhase,
     outcome: Option<OptimizationOutcome>,
     warm_out: Option<WarmStart>,
@@ -627,6 +631,8 @@ impl SessionState {
             log: Vec::new(),
             pending: Vec::new(),
             rounds: 0,
+            plan_rounds: 0,
+            refine_rounds: 0,
             outcome: None,
             warm_out: None,
             index_of: None,
@@ -719,6 +725,18 @@ impl SessionState {
     /// the log.
     pub fn rounds(&self) -> usize {
         self.rounds
+    }
+
+    /// Rounds dispatched during the optimizer's *plan* stage (sampling).
+    /// `plan_rounds() + refine_rounds() == rounds()` at every point.
+    pub fn plan_rounds(&self) -> usize {
+        self.plan_rounds
+    }
+
+    /// Rounds dispatched during the optimizer's *refine* stage (boundary
+    /// search and verification).
+    pub fn refine_rounds(&self) -> usize {
+        self.refine_rounds
     }
 
     /// The optimization stage the most recent batch belongs to.
@@ -886,6 +904,22 @@ impl SessionState {
                     && self.pending.iter().all(|request| outstanding.contains(&request.pair_id));
                 if !reemission {
                     self.rounds += 1;
+                    // Per-phase breakdown: the sampling phase is the
+                    // optimizer's *plan* stage; boundary search and
+                    // verification both *refine* the planned solution.
+                    let obs = workload.obs();
+                    obs.counter("session.rounds", 1);
+                    match phase {
+                        SessionPhase::Sampling => {
+                            self.plan_rounds += 1;
+                            obs.counter("session.rounds.plan", 1);
+                        }
+                        SessionPhase::BoundarySearch | SessionPhase::Verification => {
+                            self.refine_rounds += 1;
+                            obs.counter("session.rounds.refine", 1);
+                        }
+                        SessionPhase::Done => {}
+                    }
                 }
                 self.phase = phase;
                 Ok(Step::NeedLabels(self.pending.clone()))
@@ -1022,6 +1056,18 @@ impl<'w> LabelingSession<'w> {
     /// [`SessionState::rounds`].
     pub fn rounds(&self) -> usize {
         self.state.rounds()
+    }
+
+    /// Rounds dispatched during the plan stage. See
+    /// [`SessionState::plan_rounds`].
+    pub fn plan_rounds(&self) -> usize {
+        self.state.plan_rounds()
+    }
+
+    /// Rounds dispatched during the refine stage. See
+    /// [`SessionState::refine_rounds`].
+    pub fn refine_rounds(&self) -> usize {
+        self.state.refine_rounds()
     }
 
     /// The optimization stage the most recent batch belongs to.

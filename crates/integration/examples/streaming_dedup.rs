@@ -14,12 +14,25 @@
 //! batch the engine re-resolves: the HUMO optimizer is warm-started from the
 //! previous epoch's samples, the human labels the (small) uncertain region, and
 //! match-labeled pairs are transitively closed into entities.
+//!
+//! Observability knobs (see [`er_obs::ObsConfig`]):
+//!
+//! * `HUMO_OBS=metrics` — attach an in-memory metrics recorder and print a
+//!   counter/span summary at the end;
+//! * `HUMO_OBS=trace` — stream every pipeline event to a JSONL trace file
+//!   (`HUMO_OBS_PATH`, default `humo-trace.jsonl`) that
+//!   `cargo run -p bench --bin trace_check` can validate;
+//! * `HUMO_DEMO_SPILL_PAIRS=<n>` — cap resident workload pairs and postings
+//!   at `n` so the out-of-core spill layer engages (and shows up in the
+//!   trace) even on this small demo corpus.
 
 use er_core::aggregate::{AttributeMeasure, AttributeWeighting, ScoringConfig};
 use er_core::record::{Record, RecordId};
 use er_core::similarity::StringMeasure;
+use er_core::spill::MemoryBudget;
 use er_core::text::Tokenizer;
 use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
+use er_obs::ObsConfig;
 use er_pipeline::{PipelineConfig, ResolutionEngine};
 use humo::{GroundTruthOracle, Oracle, QualityRequirement};
 
@@ -62,6 +75,22 @@ fn main() {
     let mut config = PipelineConfig::new(scoring, "title", requirement);
     config.similarity_threshold = 0.4;
     config.optimizer.unit_size = 100;
+
+    // Observability: HUMO_OBS=off|metrics|trace selects the recorder; the
+    // default no-op handle keeps the run byte-identical and overhead-free.
+    let obs = ObsConfig::from_env();
+    let setup = obs.build().expect("observability setup succeeds");
+    config.recorder = setup.handle.clone();
+
+    // HUMO_DEMO_SPILL_PAIRS caps residency so the spill layer engages on this
+    // small corpus — resolution results are byte-identical either way.
+    let spill_pairs: usize =
+        std::env::var("HUMO_DEMO_SPILL_PAIRS").ok().and_then(|v| v.parse().ok()).unwrap_or(0);
+    if spill_pairs > 0 {
+        config.memory_budget = MemoryBudget::bounded(spill_pairs, spill_pairs);
+        println!("out-of-core: residency capped at {spill_pairs} pairs/postings\n");
+    }
+
     let schema = BibliographicGenerator::schema();
     let mut engine =
         ResolutionEngine::new(config, schema.clone(), schema).expect("valid pipeline config");
@@ -106,4 +135,38 @@ fn main() {
         oracle.labels_issued(),
         100.0 * oracle.labels_issued() as f64 / engine.workload().len().max(1) as f64
     );
+    let spill = engine.spill_report();
+    if spill.segments_spilled > 0 || spill.posting_generations_spilled > 0 {
+        println!(
+            "spill: {} workload segments out ({} B), {} loads back ({} B), \
+             cache hit rate {:.2}, {} posting generations ({} B)",
+            spill.segments_spilled,
+            spill.bytes_spilled,
+            spill.segments_loaded,
+            spill.bytes_loaded,
+            spill.cache_hit_rate(),
+            spill.posting_generations_spilled,
+            spill.posting_bytes_spilled,
+        );
+    }
+
+    if let Some(metrics) = &setup.metrics {
+        let snap = metrics.snapshot();
+        println!(
+            "\nobs summary: {} ingest spans totaling {:.1} ms, {} delta candidates, \
+             {} label rounds ({} plan + {} refine), token cache {} hits / {} misses",
+            snap.span("pipeline.ingest").map_or(0, |s| s.count),
+            1e3 * snap.span("pipeline.ingest").map_or(0.0, |s| s.total_secs),
+            snap.counter("ingest.delta_candidates"),
+            snap.counter("session.rounds"),
+            snap.counter("session.rounds.plan"),
+            snap.counter("session.rounds.refine"),
+            snap.counter("blocking.tokencache.hits"),
+            snap.counter("blocking.tokencache.misses"),
+        );
+    }
+    setup.flush();
+    if setup.trace.is_some() {
+        println!("\ntrace written to {}", obs.trace_path.display());
+    }
 }

@@ -126,6 +126,44 @@ fn refit_equivalence_survives_noisy_labels() {
 }
 
 #[test]
+fn refit_counters_fire_under_each_strategy() {
+    // The observability layer must see the refit machinery the equivalence
+    // tests above exercise: each strategy increments its own `gp.refit.*`
+    // counter (and only its own) once the GP is past the selection warm-up.
+    // The refit arms only engage once the boundary search probes beyond the
+    // 32-point warm-up without doubling the training set, so the sampling
+    // range is widened to let refinement run deep enough.
+    let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+    for (strategy, own, other) in [
+        (RefitStrategy::Incremental, "gp.refit.incremental", "gp.refit.full"),
+        (RefitStrategy::Full, "gp.refit.full", "gp.refit.incremental"),
+    ] {
+        let mut w = SyntheticGenerator::new(SyntheticConfig {
+            num_pairs: 20_000,
+            tau: 14.0,
+            sigma: 0.05,
+            subset_size: 100,
+            seed: 41,
+        })
+        .generate();
+        let metrics = std::sync::Arc::new(er_obs::MetricsRecorder::new());
+        w.set_obs(er_obs::ObsHandle::new(metrics.clone()));
+        let config = SessionConfig::PartialSampling(PartialSamplingConfig {
+            refit: strategy,
+            sampling_range: (0.05, 0.5),
+            ..PartialSamplingConfig::new(requirement)
+        });
+        let mut session = LabelingSession::new(config, &w).unwrap();
+        drive(&mut session, |index| w.pair(index).ground_truth());
+        let snap = metrics.snapshot();
+        assert!(snap.counter(own) > 0, "{own} never fired");
+        assert_eq!(snap.counter(other), 0, "{other} fired under the wrong strategy");
+        assert!(snap.counter("gp.reselect") > 0, "hyperparameter selection never recorded");
+        assert!(snap.counter("session.rounds") > 0, "label rounds never recorded");
+    }
+}
+
+#[test]
 fn refit_equivalence_survives_checkpoint_resume() {
     // Resuming mid-flight from the answered log must not change the outcome
     // regardless of refit strategy: the incremental state is rebuilt from the
