@@ -16,9 +16,10 @@
 //! without rescanning the pairs of previously ingested records.
 
 use crate::aggregate::{PairScorer, TokenCache};
+use crate::codec::{fnv1a, ByteReader, ByteWriter};
 use crate::parallel::{ParallelExecutor, SerialExecutor};
 use crate::record::{Dataset, Record, RecordId};
-use crate::spill::{fnv1a, ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile};
+use crate::spill::{ChunkHandle, MemoryBudget, SpillFile};
 use crate::text::Tokenizer;
 use crate::workload::{InstancePair, Label, PairId, Workload};
 use crate::Result;

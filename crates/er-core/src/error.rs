@@ -13,7 +13,8 @@ pub enum ErError {
     InvalidArgument(String),
     /// A workload was malformed (e.g. empty where a non-empty workload is required).
     InvalidWorkload(String),
-    /// An out-of-core spill operation failed (I/O error or corrupted chunk).
+    /// A byte-store operation failed: spill I/O, or a corrupted chunk or
+    /// frame detected by the [`crate::codec`] checksums.
     Spill(String),
 }
 

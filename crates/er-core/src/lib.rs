@@ -16,13 +16,18 @@
 //!   labels, label assignments, quality metrics, and the equal-count subset
 //!   partitioning used by the HUMO optimizers — stored column-wise in chunked
 //!   segments so cold data can overflow into the [`spill`] store under a
-//!   [`spill::MemoryBudget`].
+//!   [`spill::MemoryBudget`];
+//! * the shared [`codec`] primitives (little-endian byte writer/reader,
+//!   FNV-1a checksums, append-log framing) every hand-rolled on-disk format
+//!   in the workspace builds on (`HSG1`/`HPG1` in [`spill`], `HAL1` in
+//!   `humo::wal`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod blocking;
+pub mod codec;
 pub mod error;
 pub mod parallel;
 pub mod record;

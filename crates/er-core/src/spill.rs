@@ -1,11 +1,12 @@
-//! Out-of-core spill: an append-only, chunked, file-backed byte store with the
-//! codec primitives the blocking index and the workload use to push cold data
-//! past a configurable resident budget.
+//! Out-of-core spill: an append-only, chunked, file-backed byte store the
+//! blocking index and the workload use to push cold data past a configurable
+//! resident budget.
 //!
-//! The build environment is offline, so there is no serde: every structure
-//! spilled through this module is written in a hand-rolled, documented,
-//! little-endian byte format and verified with an FNV-1a checksum on read.
-//! The two on-disk chunk layouts are:
+//! The codec primitives ([`ByteWriter`], [`ByteReader`], [`fnv1a`]) live in
+//! [`crate::codec`] and are re-exported here for compatibility; every
+//! structure spilled through this module is written in a hand-rolled,
+//! documented, little-endian byte format and verified with an FNV-1a checksum
+//! on read. The two on-disk chunk layouts are:
 //!
 //! **Workload segment** (`HSG1`, written by [`crate::workload::Workload`]):
 //!
@@ -41,6 +42,7 @@
 //! abandons its old chunk (the store is an arena, not a heap), which keeps
 //! every previously returned [`ChunkHandle`] valid for the file's lifetime.
 
+pub use crate::codec::{fnv1a, ByteReader, ByteWriter};
 use crate::{ErError, Result};
 use std::fs::File;
 use std::os::unix::fs::FileExt;
@@ -210,136 +212,6 @@ impl SpillStats {
     }
 }
 
-/// FNV-1a 64-bit hash — the platform-independent hash used for token → shard
-/// assignment, posting directories and chunk checksums.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Little-endian byte writer for the spill codecs; [`ByteWriter::finish`]
-/// appends the FNV-1a checksum trailer.
-#[derive(Debug, Default)]
-pub struct ByteWriter {
-    buf: Vec<u8>,
-}
-
-impl ByteWriter {
-    /// Creates a writer with a capacity hint.
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self { buf: Vec::with_capacity(capacity) }
-    }
-
-    /// Appends a single byte.
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Appends a little-endian `u32`.
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a little-endian `u64`.
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends raw bytes.
-    pub fn put_bytes(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
-    }
-
-    /// Bytes written so far (before the checksum trailer).
-    pub fn len(&self) -> usize {
-        self.buf.len()
-    }
-
-    /// Whether nothing has been written yet.
-    pub fn is_empty(&self) -> bool {
-        self.buf.is_empty()
-    }
-
-    /// Appends the FNV-1a checksum of everything written and returns the buffer.
-    pub fn finish(mut self) -> Vec<u8> {
-        let checksum = fnv1a(&self.buf);
-        self.buf.extend_from_slice(&checksum.to_le_bytes());
-        self.buf
-    }
-}
-
-/// Little-endian byte reader over a chunk; construction verifies the FNV-1a
-/// checksum trailer and every `take_*` bounds-checks, so a truncated or
-/// corrupted chunk surfaces as [`ErError::Spill`] instead of garbage data.
-#[derive(Debug)]
-pub struct ByteReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> ByteReader<'a> {
-    /// Wraps a checksummed chunk, verifying and stripping the trailer.
-    pub fn checked(chunk: &'a [u8]) -> Result<Self> {
-        if chunk.len() < 8 {
-            return Err(ErError::Spill(format!("chunk too short: {} bytes", chunk.len())));
-        }
-        let (body, trailer) = chunk.split_at(chunk.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
-        let computed = fnv1a(body);
-        if stored != computed {
-            return Err(ErError::Spill(format!(
-                "chunk checksum mismatch (stored {stored:#x}, computed {computed:#x})"
-            )));
-        }
-        Ok(Self { buf: body, pos: 0 })
-    }
-
-    /// Wraps raw bytes without a checksum trailer (for sub-entry reads whose
-    /// enclosing chunk was already verified at write time).
-    pub fn unchecked(bytes: &'a [u8]) -> Self {
-        Self { buf: bytes, pos: 0 }
-    }
-
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
-        let end =
-            self.pos.checked_add(n).filter(|&end| end <= self.buf.len()).ok_or_else(|| {
-                ErError::Spill(format!("chunk underrun at byte {} (+{n})", self.pos))
-            })?;
-        let slice = &self.buf[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    /// Reads a single byte.
-    pub fn take_u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Reads a little-endian `u32`.
-    pub fn take_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
-    }
-
-    /// Reads a little-endian `u64`.
-    pub fn take_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
-    }
-
-    /// Reads `n` raw bytes.
-    pub fn take_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
-        self.take(n)
-    }
-
-    /// Bytes not yet consumed.
-    pub fn remaining(&self) -> usize {
-        self.buf.len() - self.pos
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,37 +240,15 @@ mod tests {
     }
 
     #[test]
-    fn writer_reader_round_trip_with_checksum() {
-        let mut w = ByteWriter::with_capacity(64);
-        w.put_u8(7);
-        w.put_u32(0xdead_beef);
-        w.put_u64(u64::MAX - 3);
-        w.put_bytes(b"token");
-        let chunk = w.finish();
-        let mut r = ByteReader::checked(&chunk).unwrap();
-        assert_eq!(r.take_u8().unwrap(), 7);
-        assert_eq!(r.take_u32().unwrap(), 0xdead_beef);
-        assert_eq!(r.take_u64().unwrap(), u64::MAX - 3);
-        assert_eq!(r.take_bytes(5).unwrap(), b"token");
-        assert_eq!(r.remaining(), 0);
-        assert!(r.take_u8().is_err());
-    }
-
-    #[test]
-    fn corrupted_chunks_are_rejected() {
+    fn codec_primitives_stay_reexported() {
+        // `HSG1`/`HPG1` callers historically imported the codec from here;
+        // the re-export keeps that path stable after the move to
+        // `crate::codec`.
         let mut w = ByteWriter::default();
         w.put_u64(42);
-        let mut chunk = w.finish();
-        chunk[3] ^= 1;
-        assert!(matches!(ByteReader::checked(&chunk), Err(ErError::Spill(_))));
-        assert!(matches!(ByteReader::checked(&chunk[..4]), Err(ErError::Spill(_))));
-    }
-
-    #[test]
-    fn fnv_is_stable() {
-        // Pinned reference values: the hash decides token → shard placement
-        // and on-disk directories, so it must never drift across platforms.
+        let chunk = w.finish();
+        let mut r = ByteReader::checked(&chunk).unwrap();
+        assert_eq!(r.take_u64().unwrap(), 42);
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
-        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
     }
 }

@@ -21,8 +21,9 @@
 //! Residency is invisible to every accessor: spilled and resident workloads
 //! return bit-identical values.
 
+use crate::codec::{ByteReader, ByteWriter};
 use crate::record::RecordId;
-use crate::spill::{ByteReader, ByteWriter, ChunkHandle, MemoryBudget, SpillFile, SpillStats};
+use crate::spill::{ChunkHandle, MemoryBudget, SpillFile, SpillStats};
 use crate::{ErError, Result};
 use er_obs::ObsHandle;
 use std::collections::HashMap;

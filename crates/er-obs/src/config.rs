@@ -8,7 +8,10 @@
 //! | `HUMO_OBS_PATH` | trace output file path  | `humo-trace.jsonl`  |
 //!
 //! Unset, empty, or unrecognized `HUMO_OBS` values mean `off`, so examples
-//! and harnesses stay uninstrumented unless explicitly asked.
+//! and harnesses stay uninstrumented unless explicitly asked. A non-empty
+//! unrecognized value additionally warns on stderr (naming the value and the
+//! accepted set), so a typo like `HUMO_OBS=metric` is noticed instead of
+//! silently running untraced.
 
 use crate::metrics::MetricsRecorder;
 use crate::trace::TraceRecorder;
@@ -63,16 +66,39 @@ impl ObsConfig {
     }
 
     /// Like [`ObsConfig::from_env`], but with an injectable variable lookup
-    /// (used by tests; env mutation is process-global and racy).
+    /// (used by tests; env mutation is process-global and racy). A non-empty
+    /// unrecognized `HUMO_OBS` value warns on stderr and falls back to `off`.
     pub fn from_lookup(lookup: impl Fn(&str) -> Option<String>) -> Self {
+        let (config, warning) = Self::from_lookup_checked(lookup);
+        if let Some(warning) = warning {
+            eprintln!("{warning}");
+        }
+        config
+    }
+
+    /// Like [`ObsConfig::from_lookup`], but returns the diagnostic for an
+    /// unrecognized `HUMO_OBS` value instead of printing it.
+    pub fn from_lookup_checked(lookup: impl Fn(&str) -> Option<String>) -> (Self, Option<String>) {
         let mut config = ObsConfig::default();
-        if let Some(mode) = lookup("HUMO_OBS").as_deref().and_then(ObsMode::parse) {
-            config.mode = mode;
+        let mut warning = None;
+        if let Some(raw) = lookup("HUMO_OBS") {
+            match ObsMode::parse(&raw) {
+                Some(mode) => config.mode = mode,
+                // Unset and empty mean "off" silently; a non-empty junk value
+                // is most likely a typo, so say what was seen and what works.
+                None if raw.trim().is_empty() => {}
+                None => {
+                    warning = Some(format!(
+                        "HUMO_OBS: unrecognized value {raw:?} \
+                         (accepted: \"off\", \"metrics\", \"trace\"); observability stays off"
+                    ));
+                }
+            }
         }
         if let Some(path) = lookup("HUMO_OBS_PATH").filter(|p| !p.is_empty()) {
             config.trace_path = PathBuf::from(path);
         }
-        config
+        (config, warning)
     }
 
     /// Build the recorder this configuration describes. `trace` mode creates
@@ -151,6 +177,25 @@ mod tests {
         let config =
             ObsConfig::from_lookup(|name| (name == "HUMO_OBS").then(|| "verbose".to_string()));
         assert_eq!(config.mode, ObsMode::Off);
+    }
+
+    #[test]
+    fn unrecognized_modes_warn_with_the_value_and_the_accepted_set() {
+        let (config, warning) =
+            ObsConfig::from_lookup_checked(|name| (name == "HUMO_OBS").then(|| "metric".into()));
+        assert_eq!(config.mode, ObsMode::Off);
+        let warning = warning.expect("junk value must produce a diagnostic");
+        assert!(warning.contains("\"metric\""), "warning must name the bad value: {warning}");
+        for accepted in ["off", "metrics", "trace"] {
+            assert!(warning.contains(accepted), "warning must list {accepted:?}: {warning}");
+        }
+
+        // Unset and empty stay silent: off-by-default is not a typo.
+        let (_, warning) = ObsConfig::from_lookup_checked(|_| None);
+        assert!(warning.is_none());
+        let (_, warning) =
+            ObsConfig::from_lookup_checked(|name| (name == "HUMO_OBS").then(String::new));
+        assert!(warning.is_none());
     }
 
     #[test]

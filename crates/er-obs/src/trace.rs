@@ -36,8 +36,22 @@ use std::time::{Duration, Instant};
 
 struct TraceInner {
     out: Box<dyn Write + Send>,
+    /// A second handle to the traced file (when there is one), kept so flush
+    /// can `fsync` after draining the `BufWriter`: a trace consulted after a
+    /// crash should end at the last flushed event, not at the page cache's
+    /// mercy.
+    sync: Option<std::fs::File>,
     depth: usize,
     totals: BTreeMap<&'static str, u64>,
+}
+
+impl TraceInner {
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+        if let Some(file) = &self.sync {
+            let _ = file.sync_data();
+        }
+    }
 }
 
 /// [`Recorder`] that streams every event as one compact JSON line.
@@ -45,7 +59,9 @@ struct TraceInner {
 /// Writes go through a mutex (events are batch-granular, so contention is
 /// negligible); I/O errors are swallowed so tracing can never fail the
 /// pipeline. Call [`TraceRecorder::flush`] (or drop the recorder) to push
-/// buffered lines to the underlying writer.
+/// buffered lines to the underlying writer; for file-backed recorders both
+/// paths also `fsync`, so the trace on disk is complete up to the last flush
+/// even if the machine dies right after.
 pub struct TraceRecorder {
     start: Instant,
     inner: Mutex<TraceInner>,
@@ -62,20 +78,24 @@ impl TraceRecorder {
     pub fn new(out: Box<dyn Write + Send>) -> Self {
         TraceRecorder {
             start: Instant::now(),
-            inner: Mutex::new(TraceInner { out, depth: 0, totals: BTreeMap::new() }),
+            inner: Mutex::new(TraceInner { out, sync: None, depth: 0, totals: BTreeMap::new() }),
         }
     }
 
-    /// Trace into a freshly created (truncated) file, buffered.
+    /// Trace into a freshly created (truncated) file, buffered. Flushes (and
+    /// the final drop) sync the file to disk.
     pub fn to_file(path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::new(Box::new(std::io::BufWriter::new(file))))
+        let sync = file.try_clone().ok();
+        let recorder = Self::new(Box::new(std::io::BufWriter::new(file)));
+        recorder.inner.lock().expect("trace lock").sync = sync;
+        Ok(recorder)
     }
 
-    /// Flush buffered trace lines to the underlying writer.
+    /// Flush buffered trace lines to the underlying writer; file-backed
+    /// recorders additionally `fsync` so the lines survive a crash.
     pub fn flush(&self) {
-        let mut inner = self.inner.lock().expect("trace lock");
-        let _ = inner.out.flush();
+        self.inner.lock().expect("trace lock").flush();
     }
 
     fn emit(&self, kind: &'static str, name: &'static str, extra: &[(&'static str, Json)]) {
@@ -97,7 +117,7 @@ impl TraceRecorder {
 impl Drop for TraceRecorder {
     fn drop(&mut self) {
         if let Ok(inner) = self.inner.get_mut() {
-            let _ = inner.out.flush();
+            inner.flush();
         }
     }
 }

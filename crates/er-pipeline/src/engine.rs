@@ -33,11 +33,13 @@ use er_core::text::Tokenizer;
 use er_core::workload::{InstancePair, Label, PairId, QualityMetrics, Workload};
 use er_obs::ObsHandle;
 use humo::sampling::WarmStart;
+use humo::wal::{WalRecord, WalWriter};
 use humo::{
-    LabelRequest, LabelResponse, OptimizationOutcome, Oracle, PartialSamplingConfig,
+    HumoError, LabelRequest, LabelResponse, OptimizationOutcome, Oracle, PartialSamplingConfig,
     PartialSamplingOptimizer, QualityRequirement, SessionConfig, SessionState, Step,
 };
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 
 /// Configuration of the streaming resolution pipeline.
 #[derive(Debug, Clone)]
@@ -220,7 +222,7 @@ pub struct ResolutionReport {
 }
 
 /// The streaming resolution engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ResolutionEngine {
     config: PipelineConfig,
     left: Dataset,
@@ -239,6 +241,34 @@ pub struct ResolutionEngine {
     /// keyed by pair id — the engine-side label store that keeps later epochs
     /// from re-requesting pairs answered in earlier ones.
     labels: BTreeMap<PairId, Label>,
+    /// The write-ahead label store, when attached: every absorbed response
+    /// batch, every session begin and every commit is appended (and fsynced)
+    /// here *before* the engine acts on it. See
+    /// [`ResolutionEngine::attach_wal`].
+    wal: Option<WalWriter>,
+}
+
+impl Clone for ResolutionEngine {
+    /// Clones everything *except* the write-ahead log: a WAL is an exclusive
+    /// append handle on one file, so the clone starts without one (attach its
+    /// own with [`ResolutionEngine::attach_wal`] to make it durable).
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config.clone(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+            index: self.index.clone(),
+            truth: self.truth.clone(),
+            workload: self.workload.clone(),
+            next_pair_id: self.next_pair_id,
+            pool: self.pool,
+            warm: self.warm.clone(),
+            candidate_count: self.candidate_count,
+            cache: self.cache.clone(),
+            labels: self.labels.clone(),
+            wal: None,
+        }
+    }
 }
 
 impl ResolutionEngine {
@@ -265,8 +295,132 @@ impl ResolutionEngine {
             candidate_count: 0,
             cache: TokenCache::new(),
             labels: BTreeMap::new(),
+            wal: None,
             config,
         })
+    }
+
+    /// Attaches a *fresh* write-ahead label store at `path` (truncating any
+    /// existing file). From here on every resolution session's begin record,
+    /// absorbed response batches and commit are appended and fsynced before
+    /// the engine acts on them, so a process killed at any instant can
+    /// [`ResolutionEngine::resume`] without re-buying a single label.
+    ///
+    /// Attach to a freshly built engine (before any `begin_resolve`): the log
+    /// must cover every label the engine knows, or a resume from it would
+    /// start poorer than the engine that wrote it.
+    pub fn attach_wal(&mut self, path: impl AsRef<Path>) -> Result<()> {
+        self.wal = Some(WalWriter::create(path)?);
+        Ok(())
+    }
+
+    /// Whether a write-ahead label store is attached.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Appends a record to the attached WAL (no-op without one), emitting the
+    /// `session.wal.*` observability counters.
+    fn wal_append(&mut self, record: &WalRecord) -> Result<()> {
+        let Some(wal) = &mut self.wal else { return Ok(()) };
+        let bytes = wal.append(record)?;
+        let obs = &self.config.recorder;
+        obs.counter("session.wal.appends", 1);
+        obs.counter("session.wal.bytes", bytes);
+        match record {
+            WalRecord::Labels(responses) => {
+                obs.counter("session.wal.labels", responses.len() as u64)
+            }
+            WalRecord::Commit { .. } => obs.counter("session.wal.commits", 1),
+            WalRecord::SessionBegin { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the engine's durable labeling state from a write-ahead label
+    /// store written by a previous process, and re-attaches the log for
+    /// appending (recovering from a torn tail first).
+    ///
+    /// The engine must already hold the same workload the dead process held —
+    /// i.e. the caller re-ingests the same record batches first; ingest is
+    /// deterministic, so this reproduces the workload bit-exactly. The replay
+    /// then folds every *committed* epoch's labels (and the latest warm
+    /// start) into the engine's cross-epoch state, and — when the log ends in
+    /// an in-flight epoch — rebuilds that mid-flight session and returns it:
+    /// driving it to completion produces the byte-identical outcome the dead
+    /// process was heading for. Returns `Ok(None)` when the log holds no
+    /// in-flight epoch (resume with [`ResolutionEngine::begin_resolve`] as
+    /// usual).
+    pub fn resume(&mut self, path: impl AsRef<Path>) -> Result<Option<ResolutionSession<'_>>> {
+        let (wal, recovery) = WalWriter::recover(path)?;
+        let obs = self.config.recorder.clone();
+        obs.counter("session.wal.resumes", 1);
+        // Fold the log: committed epochs land in the engine's label store and
+        // warm state; a trailing uncommitted epoch stays open for rebuild.
+        let mut open: Option<(u64, SessionConfig, Option<WarmStart>, Vec<LabelResponse>)> = None;
+        for record in recovery.records {
+            match record {
+                WalRecord::SessionBegin { workload_len, config, warm } => {
+                    if open.is_some() {
+                        return Err(HumoError::Wal(
+                            "log opens a session before committing the previous one".to_string(),
+                        )
+                        .into());
+                    }
+                    open = Some((workload_len, config, warm, Vec::new()));
+                }
+                WalRecord::Labels(responses) => match &mut open {
+                    Some((.., log)) => log.extend(responses),
+                    None => {
+                        return Err(HumoError::Wal(
+                            "log holds labels outside any session".to_string(),
+                        )
+                        .into())
+                    }
+                },
+                WalRecord::Commit { warm } => {
+                    let Some((.., log)) = open.take() else {
+                        return Err(HumoError::Wal(
+                            "log holds a commit outside any session".to_string(),
+                        )
+                        .into());
+                    };
+                    for response in log {
+                        self.labels.insert(response.pair_id, response.label);
+                    }
+                    if let Some(warm) = warm {
+                        self.warm = Some(warm);
+                    }
+                }
+            }
+        }
+        self.wal = Some(wal);
+        let Some((workload_len, config, warm, log)) = open else {
+            return Ok(None);
+        };
+        if workload_len != self.workload.len() as u64 {
+            return Err(HumoError::Wal(format!(
+                "in-flight session ran over a {workload_len}-pair workload, \
+                 engine holds {} pairs — re-ingest the same batches first",
+                self.workload.len()
+            ))
+            .into());
+        }
+        let used_warm = warm.as_ref().is_some_and(|w| !w.is_empty());
+        let fallback = matches!(config, SessionConfig::AllHuman);
+        let mut state = SessionState::resume(config, &self.workload, &log)?.with_warm_start(warm);
+        state
+            .preload(self.labels.iter().map(|(&pair_id, &label)| LabelResponse { pair_id, label }));
+        Ok(Some(ResolutionSession {
+            engine: self,
+            state,
+            completed_rounds: 0,
+            completed_plan_rounds: 0,
+            completed_refine_rounds: 0,
+            used_warm_start: used_warm,
+            fallback_all_human: fallback,
+            report: None,
+        }))
     }
 
     /// The current similarity-sorted workload.
@@ -469,17 +623,30 @@ impl ResolutionEngine {
         // optimizer; resolving them entirely by hand is exact, deterministic
         // and — at this size — cheap.
         let too_small = self.workload.len() < 2 * self.config.optimizer.unit_size;
-        let (mut state, used_warm, fallback) = if too_small {
-            (SessionState::new(SessionConfig::AllHuman)?, false, true)
+        let (mut state, session_config, warm, used_warm, fallback) = if too_small {
+            (
+                SessionState::new(SessionConfig::AllHuman)?,
+                SessionConfig::AllHuman,
+                None,
+                false,
+                true,
+            )
         } else {
             let warm = if self.config.warm_start { self.warm.clone() } else { None };
             let used_warm = warm.as_ref().is_some_and(|w| !w.is_empty());
-            let state = SessionState::new(SessionConfig::PartialSampling(self.config.optimizer))?
-                .with_warm_start(warm);
-            (state, used_warm, false)
+            let config = SessionConfig::PartialSampling(self.config.optimizer);
+            let state = SessionState::new(config)?.with_warm_start(warm.clone());
+            (state, config, warm, used_warm, false)
         };
         state
             .preload(self.labels.iter().map(|(&pair_id, &label)| LabelResponse { pair_id, label }));
+        // Write-ahead: the epoch's inputs (configuration + warm start) go to
+        // disk before any label does, so a resume always knows how to replay.
+        self.wal_append(&WalRecord::SessionBegin {
+            workload_len: self.workload.len() as u64,
+            config: session_config,
+            warm,
+        })?;
         Ok(ResolutionSession {
             engine: self,
             state,
@@ -606,13 +773,25 @@ impl ResolutionSession<'_> {
         let obs = self.engine.config.recorder.clone();
         let _step_span = obs.span("resolve.step");
         let mut responses: Vec<LabelResponse> = responses.to_vec();
+        // Labels re-absorbed after the all-human fallback below are already
+        // on disk (they were appended when first absorbed), so the fallback
+        // turn skips the write-ahead append.
+        let mut log_to_wal = true;
         loop {
-            match self.state.step(&self.engine.workload, &responses) {
+            // Write-ahead ordering: absorb (validate + dedup into the
+            // answered log), persist the newly logged tail, then replay. A
+            // crash after the append replays from a log that covers at least
+            // everything this process ever acted on.
+            let absorbed = self.state.absorb_responses(&self.engine.workload, &responses)?.to_vec();
+            if log_to_wal && !absorbed.is_empty() {
+                self.engine.wal_append(&WalRecord::Labels(absorbed))?;
+            }
+            match self.state.poll(&self.engine.workload) {
                 Ok(Step::NeedLabels(requests)) => {
                     return Ok(ResolutionStep::NeedLabels(requests));
                 }
                 Ok(Step::Done(outcome)) => {
-                    let report = self.complete(outcome);
+                    let report = self.complete(outcome)?;
                     self.report = Some(report.clone());
                     return Ok(ResolutionStep::Done(report));
                 }
@@ -620,11 +799,13 @@ impl ResolutionSession<'_> {
                 // collapse onto duplicate similarity coordinates and break the
                 // GP fit) is a property of the data, so both an incremental
                 // and a from-scratch run hit it identically; resolving by hand
-                // is the exact, deterministic way out. Real errors still
-                // propagate. The fallback swaps in an all-human session and
-                // loops so the fresh state's first step shares the handling
-                // above; re-absorbing the labels already paid for keeps them
-                // counting toward the session's cost.
+                // is the exact, deterministic way out — and because a resumed
+                // replay hits the same degeneracy at the same point, the WAL
+                // needs no record of the switch. Real errors still propagate.
+                // The fallback swaps in an all-human session and loops so the
+                // fresh state's first step shares the handling above;
+                // re-absorbing the labels already paid for keeps them counting
+                // toward the session's cost.
                 Err(humo::HumoError::Stats(_)) if !self.fallback_all_human => {
                     let log = self.state.answered_log().to_vec();
                     self.completed_rounds += self.state.rounds();
@@ -641,6 +822,7 @@ impl ResolutionSession<'_> {
                     self.fallback_all_human = true;
                     self.used_warm_start = false;
                     responses = log;
+                    log_to_wal = false;
                 }
                 Err(e) => return Err(e.into()),
             }
@@ -669,7 +851,12 @@ impl ResolutionSession<'_> {
     }
 
     /// Commits a finished outcome back to the engine and assembles the report.
-    fn complete(&mut self, outcome: OptimizationOutcome) -> ResolutionReport {
+    fn complete(&mut self, outcome: OptimizationOutcome) -> Result<ResolutionReport> {
+        // The commit record seals the epoch in the log *before* the engine
+        // mutates its cross-epoch state, so a resumed engine either replays
+        // the epoch (no commit on disk) or folds it in wholesale.
+        self.engine
+            .wal_append(&WalRecord::Commit { warm: self.state.next_warm_start().cloned() })?;
         for response in self.state.answered_log() {
             self.engine.labels.insert(response.pair_id, response.label);
         }
@@ -681,7 +868,7 @@ impl ResolutionSession<'_> {
         let obs = &self.engine.config.recorder;
         obs.counter("pipeline.epochs", 1);
         obs.counter("pipeline.label_rounds", self.rounds() as u64);
-        ResolutionReport {
+        Ok(ResolutionReport {
             oracle_queries: self.state.answered_log().len(),
             label_rounds: self.rounds(),
             plan_rounds: self.plan_rounds(),
@@ -691,7 +878,7 @@ impl ResolutionSession<'_> {
             cluster_metrics,
             used_warm_start: self.used_warm_start,
             fallback_all_human: self.fallback_all_human,
-        }
+        })
     }
 }
 
@@ -886,5 +1073,116 @@ mod tests {
             warm_report.oracle_queries,
             cold_report.oracle_queries
         );
+    }
+
+    fn wal_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(".er-pipeline-wal-test-{}-{name}", std::process::id()))
+    }
+
+    fn answer(
+        session: &ResolutionSession<'_>,
+        requests: &[humo::LabelRequest],
+    ) -> Vec<LabelResponse> {
+        let workload = session.workload();
+        requests
+            .iter()
+            .map(|request| LabelResponse {
+                pair_id: request.pair_id,
+                label: workload.pair(request.index).ground_truth(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn wal_resume_mid_epoch_reproduces_the_uninterrupted_outcome() {
+        let corpus = corpus(150, 23);
+        let schema = BibliographicGenerator::schema();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+        let all_left = corpus.left.records().to_vec();
+        let all_right = corpus.right.records().to_vec();
+        let path = wal_path("mid-epoch");
+
+        // Reference run: no WAL, driven to completion.
+        let mut reference =
+            ResolutionEngine::new(config(25, true), schema.clone(), schema.clone()).unwrap();
+        reference.ingest(all_left.clone(), all_right.clone(), &truth).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        let reference_report = reference.resolve(&mut oracle).unwrap();
+
+        // Crashing run: WAL attached, abandoned after two label rounds. The
+        // engine is dropped with the session in flight; only the log survives.
+        let mut crashed =
+            ResolutionEngine::new(config(25, true), schema.clone(), schema.clone()).unwrap();
+        crashed.ingest(all_left.clone(), all_right.clone(), &truth).unwrap();
+        crashed.attach_wal(&path).unwrap();
+        {
+            let mut session = crashed.begin_resolve().unwrap();
+            let mut responses = Vec::new();
+            for _ in 0..2 {
+                match session.step(&responses).unwrap() {
+                    ResolutionStep::Done(_) => {
+                        panic!("session finished before the simulated crash")
+                    }
+                    ResolutionStep::NeedLabels(requests) => {
+                        responses = answer(&session, &requests);
+                    }
+                }
+            }
+        }
+        drop(crashed);
+
+        // Resume in a fresh engine over the same ingested batches and finish.
+        let mut resumed = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        resumed.ingest(all_left, all_right, &truth).unwrap();
+        let mut session = resumed.resume(&path).unwrap().expect("log holds an in-flight epoch");
+        let mut responses = Vec::new();
+        let report = loop {
+            match session.step(&responses).unwrap() {
+                ResolutionStep::Done(report) => break report,
+                ResolutionStep::NeedLabels(requests) => {
+                    responses = answer(&session, &requests);
+                }
+            }
+        };
+        assert_eq!(report.outcome.solution, reference_report.outcome.solution);
+        assert_eq!(report.outcome.assignment, reference_report.outcome.assignment);
+        assert_eq!(report.oracle_queries, reference_report.oracle_queries);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_resume_after_commit_folds_labels_and_warm_state_into_the_engine() {
+        let corpus = corpus(150, 29);
+        let schema = BibliographicGenerator::schema();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+        let all_left = corpus.left.records().to_vec();
+        let all_right = corpus.right.records().to_vec();
+        let path = wal_path("committed");
+
+        let mut first =
+            ResolutionEngine::new(config(25, true), schema.clone(), schema.clone()).unwrap();
+        first.ingest(all_left.clone(), all_right.clone(), &truth).unwrap();
+        first.attach_wal(&path).unwrap();
+        let mut oracle = GroundTruthOracle::new();
+        let first_report = first.resolve(&mut oracle).unwrap();
+        drop(first);
+
+        // The committed epoch folds into a fresh engine without an in-flight
+        // session, so a re-resolution pays only the incremental cost — same
+        // behaviour as the engine that never crashed.
+        let mut resumed = ResolutionEngine::new(config(25, true), schema.clone(), schema).unwrap();
+        resumed.ingest(all_left, all_right, &truth).unwrap();
+        assert!(resumed.resume(&path).unwrap().is_none());
+        assert!(resumed.has_wal());
+        let mut oracle = GroundTruthOracle::new();
+        let second = resumed.resolve(&mut oracle).unwrap();
+        assert!(second.used_warm_start);
+        assert!(
+            second.oracle_queries < first_report.oracle_queries,
+            "resumed engine should reuse the committed label store ({} vs {})",
+            second.oracle_queries,
+            first_report.oracle_queries
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

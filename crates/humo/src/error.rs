@@ -14,6 +14,9 @@ pub enum HumoError {
     Stats(String),
     /// An error bubbled up from the `er-core` substrate.
     Core(String),
+    /// A write-ahead label log operation failed: I/O, a corrupted `HAL1`
+    /// frame, or a log that does not match the session it claims to resume.
+    Wal(String),
 }
 
 impl std::fmt::Display for HumoError {
@@ -24,6 +27,7 @@ impl std::fmt::Display for HumoError {
             HumoError::InvalidResponse(msg) => write!(f, "invalid label response: {msg}"),
             HumoError::Stats(msg) => write!(f, "statistics error: {msg}"),
             HumoError::Core(msg) => write!(f, "core error: {msg}"),
+            HumoError::Wal(msg) => write!(f, "label wal: {msg}"),
         }
     }
 }

@@ -86,6 +86,7 @@ pub mod requirement;
 pub mod sampling;
 pub mod session;
 pub mod solution;
+pub mod wal;
 
 pub use baseline::{BaselineConfig, BaselineOptimizer, InitialBoundary};
 pub use error::HumoError;
@@ -103,6 +104,7 @@ pub use session::{
     SessionState, Step,
 };
 pub use solution::{HumoSolution, OptimizationOutcome};
+pub use wal::{DurableSession, WalRecord, WalRecovery, WalWriter};
 
 /// Convenience result alias for fallible operations in this crate.
 pub type Result<T> = std::result::Result<T, HumoError>;

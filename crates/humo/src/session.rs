@@ -829,6 +829,30 @@ impl SessionState {
         Ok(())
     }
 
+    /// Absorbs responses *without* advancing the replay, returning the slice
+    /// of the answered log that was newly appended — the exact records a
+    /// write-ahead log must persist before the next [`SessionState::poll`]
+    /// replays them. Responses repeating an already-answered pair are
+    /// deduplicated away (first answer wins) and therefore do not appear in
+    /// the returned slice; a batch referencing a pair outside the workload is
+    /// rejected wholesale and records nothing. A completed session is frozen:
+    /// late responses are ignored and the returned slice is empty.
+    ///
+    /// `step(workload, responses)` is exactly
+    /// `absorb_responses(workload, responses)` followed by `poll(workload)`.
+    pub fn absorb_responses(
+        &mut self,
+        workload: &Workload,
+        responses: &[LabelResponse],
+    ) -> Result<&[LabelResponse]> {
+        if self.outcome.is_some() {
+            return Ok(&[]);
+        }
+        let before = self.log.len();
+        self.absorb(workload, responses)?;
+        Ok(&self.log[before..])
+    }
+
     /// Polls the session without supplying any responses — exactly
     /// [`SessionState::step`] with an empty response slice.
     ///
@@ -1015,6 +1039,14 @@ impl<'w> LabelingSession<'w> {
     /// returns the stored outcome. See [`SessionState::poll`].
     pub fn poll(&mut self) -> Result<Step> {
         self.state.poll(self.workload)
+    }
+
+    /// Absorbs responses without advancing the replay, returning the newly
+    /// appended tail of the answered log — what a write-ahead log persists
+    /// before [`LabelingSession::poll`] replays it. See
+    /// [`SessionState::absorb_responses`].
+    pub fn absorb(&mut self, responses: &[LabelResponse]) -> Result<&[LabelResponse]> {
+        self.state.absorb_responses(self.workload, responses)
     }
 
     /// Advances the session with the given responses — absorb, then

@@ -1,0 +1,871 @@
+//! Write-ahead label logs: the versioned `HAL1` on-disk format for answered
+//! labels and session configurations, plus the [`DurableSession`] wrapper
+//! that makes a [`LabelingSession`] crash-safe.
+//!
+//! Manual labels are the one irreplaceable (and billable) resource in the
+//! whole framework, and [`SessionState::answered_log`] is a complete
+//! checkpoint: the same configuration, workload and warm start plus the log
+//! replay to the same outcome. This module persists exactly those inputs,
+//! append-only, flushed and fsynced *before* the labels are replayed — so a
+//! process killed at any instant never re-buys a label.
+//!
+//! # The `HAL1` byte format
+//!
+//! Like its siblings `HSG1`/`HPG1` (see [`er_core::spill`]), `HAL1` is a
+//! hand-rolled, documented, little-endian format with FNV-1a checksums — no
+//! serde in the offline build environment. Unlike them it is an *append log*,
+//! not a chunk store: records are discovered by scanning, and a file whose
+//! last append was torn by a crash is readable up to the last complete frame.
+//!
+//! ```text
+//! magic   4 bytes  "HAL1"
+//! frame   ×        one per record, concatenated:
+//!   body_len    u32   length of `body`
+//!   head_check  u32   low 32 bits of FNV-1a over the 4 `body_len` bytes
+//!   body        body_len bytes = payload ++ FNV-1a-64(payload)
+//! ```
+//!
+//! (the frame layer is [`er_core::codec::frame`] / [`er_core::codec::FrameScan`]).
+//! A torn tail — the file ends mid-frame — truncates cleanly on recovery;
+//! corruption *inside* a complete frame (header check or body checksum
+//! mismatch) is a [`HumoError::Wal`], never a panic or a silently wrong
+//! label. Each payload is a tagged record:
+//!
+//! ```text
+//! kind    u8
+//! 0 = SessionBegin:
+//!     workload_len  u64     sanity check against the resuming workload
+//!     config        …       SessionConfig (below)
+//!     has_warm      u8      1 ⇒ followed by a WarmStart
+//! 1 = Labels:
+//!     count         u32
+//!     entry         count × { pair_id u64, label u8 (1 = match, 0 = unmatch) }
+//! 2 = Commit:
+//!     has_warm      u8      1 ⇒ followed by the WarmStart for the next epoch
+//! ```
+//!
+//! `SessionConfig` is a tagged union (`0` BASE, `1` ALL, `2` SAMP, `3` HYBR,
+//! `4` all-human) of the plain config structs; every `f64` is stored as
+//! `f64::to_bits`, every `usize` widened to `u64`, every `bool`/enum as one
+//! byte, making round trips bit-exact. A `WarmStart` is its observation list
+//! (`count u32`, then `{ similarity u64-bits, sample_size u64, positives
+//! u64 }` each) plus the optional human interval (`has u8`, two `f64`-bits).
+//!
+//! # Log grammar
+//!
+//! A well-formed log is `SessionBegin (Labels)* (Commit)?`, repeated — one
+//! group per epoch when an engine logs several sessions into one file (see
+//! `er_pipeline::ResolutionEngine::attach_wal`). [`WalWriter`] does not
+//! enforce the grammar (it appends what it is told); readers do.
+
+use crate::sampling::{
+    AllSamplingConfig, PartialSamplingConfig, PriorObservation, RefitStrategy, ShortfallBaseline,
+    TailCalibration, WarmStart,
+};
+use crate::session::{LabelResponse, LabelingSession, SessionState, Step};
+use crate::{
+    BaselineConfig, HumoError, HybridConfig, InitialBoundary, QualityRequirement, Result,
+    SessionConfig,
+};
+use er_core::codec::{frame, ByteReader, ByteWriter, FrameScan};
+use er_core::workload::{Label, PairId, Workload};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The 4-byte magic that opens every `HAL1` file.
+pub const HAL1_MAGIC: &[u8; 4] = b"HAL1";
+
+fn wal_err(context: &str, e: impl std::fmt::Display) -> HumoError {
+    HumoError::Wal(format!("{context}: {e}"))
+}
+
+/// One record of a `HAL1` write-ahead label log.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A session started: its full configuration, the workload size it ran
+    /// over (a cheap wrong-workload guard on resume) and its warm start.
+    SessionBegin {
+        /// `workload.len()` of the session's workload.
+        workload_len: u64,
+        /// The optimizer configuration the session runs.
+        config: SessionConfig,
+        /// The warm start the session was seeded with, if any.
+        warm: Option<WarmStart>,
+    },
+    /// A batch of newly absorbed answered labels, in answered-log order.
+    Labels(Vec<LabelResponse>),
+    /// The session completed; carries the warm start it produced for the
+    /// next epoch, if any.
+    Commit {
+        /// Warm-start state handed to the next epoch.
+        warm: Option<WarmStart>,
+    },
+}
+
+const KIND_SESSION_BEGIN: u8 = 0;
+const KIND_LABELS: u8 = 1;
+const KIND_COMMIT: u8 = 2;
+
+fn put_f64(w: &mut ByteWriter, v: f64) {
+    w.put_u64(v.to_bits());
+}
+
+fn take_f64(r: &mut ByteReader<'_>) -> Result<f64> {
+    Ok(f64::from_bits(r.take_u64().map_err(|e| wal_err("decode f64", e))?))
+}
+
+fn take_u8(r: &mut ByteReader<'_>) -> Result<u8> {
+    r.take_u8().map_err(|e| wal_err("decode u8", e))
+}
+
+fn take_u32(r: &mut ByteReader<'_>) -> Result<u32> {
+    r.take_u32().map_err(|e| wal_err("decode u32", e))
+}
+
+fn take_u64(r: &mut ByteReader<'_>) -> Result<u64> {
+    r.take_u64().map_err(|e| wal_err("decode u64", e))
+}
+
+fn take_usize(r: &mut ByteReader<'_>) -> Result<usize> {
+    usize::try_from(take_u64(r)?).map_err(|e| wal_err("usize overflow", e))
+}
+
+fn take_bool(r: &mut ByteReader<'_>) -> Result<bool> {
+    match take_u8(r)? {
+        0 => Ok(false),
+        1 => Ok(true),
+        v => Err(HumoError::Wal(format!("invalid boolean byte {v:#x}"))),
+    }
+}
+
+fn put_requirement(w: &mut ByteWriter, req: &QualityRequirement) {
+    put_f64(w, req.precision());
+    put_f64(w, req.recall());
+    put_f64(w, req.confidence());
+}
+
+fn take_requirement(r: &mut ByteReader<'_>) -> Result<QualityRequirement> {
+    let precision = take_f64(r)?;
+    let recall = take_f64(r)?;
+    let confidence = take_f64(r)?;
+    QualityRequirement::new(precision, recall, confidence)
+        .map_err(|e| wal_err("decoded requirement is invalid", e))
+}
+
+fn put_tail_calibration(w: &mut ByteWriter, tc: &TailCalibration) {
+    w.put_u8(tc.enabled as u8);
+    put_f64(w, tc.distance_strength);
+    w.put_u8(tc.calibrate_lower as u8);
+    w.put_u8(match tc.shortfall_baseline {
+        ShortfallBaseline::Estimate => 0,
+        ShortfallBaseline::UpperBound => 1,
+    });
+    put_f64(w, tc.quiet_fraction);
+}
+
+fn take_tail_calibration(r: &mut ByteReader<'_>) -> Result<TailCalibration> {
+    let enabled = take_bool(r)?;
+    let distance_strength = take_f64(r)?;
+    let calibrate_lower = take_bool(r)?;
+    let shortfall_baseline = match take_u8(r)? {
+        0 => ShortfallBaseline::Estimate,
+        1 => ShortfallBaseline::UpperBound,
+        v => return Err(HumoError::Wal(format!("invalid shortfall-baseline tag {v:#x}"))),
+    };
+    let quiet_fraction = take_f64(r)?;
+    Ok(TailCalibration {
+        enabled,
+        distance_strength,
+        calibrate_lower,
+        shortfall_baseline,
+        quiet_fraction,
+    })
+}
+
+fn put_partial_sampling(w: &mut ByteWriter, cfg: &PartialSamplingConfig) {
+    put_requirement(w, &cfg.requirement);
+    w.put_u64(cfg.unit_size as u64);
+    w.put_u64(cfg.samples_per_subset as u64);
+    put_f64(w, cfg.sampling_range.0);
+    put_f64(w, cfg.sampling_range.1);
+    put_f64(w, cfg.gp_error_threshold);
+    w.put_u8(cfg.conservative_noise as u8);
+    put_tail_calibration(w, &cfg.tail_calibration);
+    w.put_u8(match cfg.refit {
+        RefitStrategy::Incremental => 0,
+        RefitStrategy::Full => 1,
+    });
+    w.put_u64(cfg.seed);
+}
+
+fn take_partial_sampling(r: &mut ByteReader<'_>) -> Result<PartialSamplingConfig> {
+    let requirement = take_requirement(r)?;
+    let unit_size = take_usize(r)?;
+    let samples_per_subset = take_usize(r)?;
+    let sampling_range = (take_f64(r)?, take_f64(r)?);
+    let gp_error_threshold = take_f64(r)?;
+    let conservative_noise = take_bool(r)?;
+    let tail_calibration = take_tail_calibration(r)?;
+    let refit = match take_u8(r)? {
+        0 => RefitStrategy::Incremental,
+        1 => RefitStrategy::Full,
+        v => return Err(HumoError::Wal(format!("invalid refit-strategy tag {v:#x}"))),
+    };
+    let seed = take_u64(r)?;
+    Ok(PartialSamplingConfig {
+        requirement,
+        unit_size,
+        samples_per_subset,
+        sampling_range,
+        gp_error_threshold,
+        conservative_noise,
+        tail_calibration,
+        refit,
+        seed,
+    })
+}
+
+fn put_session_config(w: &mut ByteWriter, config: &SessionConfig) {
+    match config {
+        SessionConfig::Baseline(cfg) => {
+            w.put_u8(0);
+            put_requirement(w, &cfg.requirement);
+            w.put_u64(cfg.unit_size as u64);
+            w.put_u64(cfg.estimation_units as u64);
+            match cfg.initial_boundary {
+                InitialBoundary::Similarity(v) => {
+                    w.put_u8(0);
+                    put_f64(w, v);
+                }
+                InitialBoundary::MedianIndex => w.put_u8(1),
+                InitialBoundary::Index(i) => {
+                    w.put_u8(2);
+                    w.put_u64(i as u64);
+                }
+            }
+        }
+        SessionConfig::AllSampling(cfg) => {
+            w.put_u8(1);
+            put_requirement(w, &cfg.requirement);
+            w.put_u64(cfg.unit_size as u64);
+            w.put_u64(cfg.samples_per_subset as u64);
+            put_tail_calibration(w, &cfg.tail_calibration);
+            w.put_u64(cfg.seed);
+        }
+        SessionConfig::PartialSampling(cfg) => {
+            w.put_u8(2);
+            put_partial_sampling(w, cfg);
+        }
+        SessionConfig::Hybrid(cfg) => {
+            w.put_u8(3);
+            put_partial_sampling(w, &cfg.sampling);
+            w.put_u64(cfg.estimation_units as u64);
+        }
+        SessionConfig::AllHuman => w.put_u8(4),
+    }
+}
+
+fn take_session_config(r: &mut ByteReader<'_>) -> Result<SessionConfig> {
+    match take_u8(r)? {
+        0 => {
+            let requirement = take_requirement(r)?;
+            let unit_size = take_usize(r)?;
+            let estimation_units = take_usize(r)?;
+            let initial_boundary = match take_u8(r)? {
+                0 => InitialBoundary::Similarity(take_f64(r)?),
+                1 => InitialBoundary::MedianIndex,
+                2 => InitialBoundary::Index(take_usize(r)?),
+                v => return Err(HumoError::Wal(format!("invalid initial-boundary tag {v:#x}"))),
+            };
+            Ok(SessionConfig::Baseline(BaselineConfig {
+                requirement,
+                unit_size,
+                estimation_units,
+                initial_boundary,
+            }))
+        }
+        1 => {
+            let requirement = take_requirement(r)?;
+            let unit_size = take_usize(r)?;
+            let samples_per_subset = take_usize(r)?;
+            let tail_calibration = take_tail_calibration(r)?;
+            let seed = take_u64(r)?;
+            Ok(SessionConfig::AllSampling(AllSamplingConfig {
+                requirement,
+                unit_size,
+                samples_per_subset,
+                tail_calibration,
+                seed,
+            }))
+        }
+        2 => Ok(SessionConfig::PartialSampling(take_partial_sampling(r)?)),
+        3 => {
+            let sampling = take_partial_sampling(r)?;
+            let estimation_units = take_usize(r)?;
+            Ok(SessionConfig::Hybrid(HybridConfig { sampling, estimation_units }))
+        }
+        4 => Ok(SessionConfig::AllHuman),
+        v => Err(HumoError::Wal(format!("invalid session-config tag {v:#x}"))),
+    }
+}
+
+fn put_warm_start(w: &mut ByteWriter, warm: &WarmStart) {
+    w.put_u32(warm.observations.len() as u32);
+    for obs in &warm.observations {
+        put_f64(w, obs.similarity);
+        w.put_u64(obs.sample_size as u64);
+        w.put_u64(obs.positives as u64);
+    }
+    match warm.human_interval {
+        Some((lo, hi)) => {
+            w.put_u8(1);
+            put_f64(w, lo);
+            put_f64(w, hi);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_warm_start(r: &mut ByteReader<'_>) -> Result<WarmStart> {
+    let count = take_u32(r)? as usize;
+    let mut observations = Vec::with_capacity(count.min(1 << 16));
+    for _ in 0..count {
+        let similarity = take_f64(r)?;
+        let sample_size = take_usize(r)?;
+        let positives = take_usize(r)?;
+        observations.push(PriorObservation { similarity, sample_size, positives });
+    }
+    let human_interval = if take_bool(r)? { Some((take_f64(r)?, take_f64(r)?)) } else { None };
+    Ok(WarmStart { observations, human_interval })
+}
+
+fn put_opt_warm_start(w: &mut ByteWriter, warm: Option<&WarmStart>) {
+    match warm {
+        Some(warm) => {
+            w.put_u8(1);
+            put_warm_start(w, warm);
+        }
+        None => w.put_u8(0),
+    }
+}
+
+fn take_opt_warm_start(r: &mut ByteReader<'_>) -> Result<Option<WarmStart>> {
+    Ok(if take_bool(r)? { Some(take_warm_start(r)?) } else { None })
+}
+
+/// Encodes one record as a complete appendable frame (header + checksummed
+/// body) — the exact bytes [`WalWriter::append`] writes.
+pub fn encode_record(record: &WalRecord) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(64);
+    match record {
+        WalRecord::SessionBegin { workload_len, config, warm } => {
+            w.put_u8(KIND_SESSION_BEGIN);
+            w.put_u64(*workload_len);
+            put_session_config(&mut w, config);
+            put_opt_warm_start(&mut w, warm.as_ref());
+        }
+        WalRecord::Labels(responses) => {
+            w.put_u8(KIND_LABELS);
+            w.put_u32(responses.len() as u32);
+            for response in responses {
+                w.put_u64(response.pair_id.0);
+                w.put_u8(response.label.is_match() as u8);
+            }
+        }
+        WalRecord::Commit { warm } => {
+            w.put_u8(KIND_COMMIT);
+            put_opt_warm_start(&mut w, warm.as_ref());
+        }
+    }
+    frame(&w.finish())
+}
+
+fn decode_record(r: &mut ByteReader<'_>) -> Result<WalRecord> {
+    match take_u8(r)? {
+        KIND_SESSION_BEGIN => {
+            let workload_len = take_u64(r)?;
+            let config = take_session_config(r)?;
+            let warm = take_opt_warm_start(r)?;
+            Ok(WalRecord::SessionBegin { workload_len, config, warm })
+        }
+        KIND_LABELS => {
+            let count = take_u32(r)? as usize;
+            let mut responses = Vec::with_capacity(count.min(1 << 20));
+            for _ in 0..count {
+                let pair_id = PairId(take_u64(r)?);
+                let label = Label::from_bool(take_bool(r)?);
+                responses.push(LabelResponse { pair_id, label });
+            }
+            Ok(WalRecord::Labels(responses))
+        }
+        KIND_COMMIT => Ok(WalRecord::Commit { warm: take_opt_warm_start(r)? }),
+        v => Err(HumoError::Wal(format!("invalid record kind {v:#x}"))),
+    }
+}
+
+/// What reading a `HAL1` file (with recovery) produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecovery {
+    /// Every complete, checksum-verified record, in append order.
+    pub records: Vec<WalRecord>,
+    /// Whether the file ended in an incomplete frame (a torn append).
+    pub torn_tail: bool,
+    /// The clean length of the log — past it lie only torn-tail bytes.
+    /// Recovery truncates the file back to this offset before appending.
+    pub valid_len: u64,
+}
+
+/// Decodes a full in-memory `HAL1` image (magic included), recovering from a
+/// torn tail. Corruption inside a complete frame is an error.
+pub fn decode_log(bytes: &[u8]) -> Result<WalRecovery> {
+    if bytes.len() < HAL1_MAGIC.len() {
+        // Even the magic was torn: an empty log.
+        return Ok(WalRecovery { records: Vec::new(), torn_tail: !bytes.is_empty(), valid_len: 0 });
+    }
+    if &bytes[..HAL1_MAGIC.len()] != HAL1_MAGIC {
+        return Err(HumoError::Wal(format!(
+            "bad magic {:02x?} (expected {HAL1_MAGIC:02x?})",
+            &bytes[..HAL1_MAGIC.len()]
+        )));
+    }
+    let mut scan = FrameScan::new(&bytes[HAL1_MAGIC.len()..]);
+    let mut records = Vec::new();
+    loop {
+        match scan.next_frame() {
+            Ok(Some(mut reader)) => records.push(decode_record(&mut reader)?),
+            Ok(None) => break,
+            Err(e) => return Err(wal_err("corrupt frame", e)),
+        }
+    }
+    Ok(WalRecovery {
+        records,
+        torn_tail: scan.torn_tail(),
+        valid_len: (HAL1_MAGIC.len() + scan.consumed()) as u64,
+    })
+}
+
+/// Reads a `HAL1` file with torn-tail recovery, without modifying it.
+pub fn read_log(path: impl AsRef<Path>) -> Result<WalRecovery> {
+    let bytes = std::fs::read(path.as_ref())
+        .map_err(|e| wal_err(&format!("read {}", path.as_ref().display()), e))?;
+    decode_log(&bytes)
+}
+
+/// An append-only `HAL1` writer. Every [`WalWriter::append`] writes one
+/// complete frame and fsyncs before returning: when it comes back `Ok`, the
+/// record survives process death.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    appended: u64,
+}
+
+impl WalWriter {
+    /// Creates (truncating) a fresh log at `path` and durably writes the
+    /// magic.
+    pub fn create(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path).map_err(|e| wal_err("create wal", e))?;
+        file.write_all(HAL1_MAGIC).map_err(|e| wal_err("write magic", e))?;
+        file.sync_data().map_err(|e| wal_err("sync magic", e))?;
+        Ok(Self { file, path, appended: 0 })
+    }
+
+    /// Opens an existing log for appending, recovering its records first: a
+    /// torn tail is truncated away so the next append starts at a clean frame
+    /// boundary. Corruption inside a complete frame is an error.
+    pub fn recover(path: impl AsRef<Path>) -> Result<(Self, WalRecovery)> {
+        let path = path.as_ref().to_path_buf();
+        let recovery = read_log(&path)?;
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)
+            .map_err(|e| wal_err("open wal", e))?;
+        file.set_len(recovery.valid_len).map_err(|e| wal_err("truncate torn tail", e))?;
+        let mut writer = Self { file, path, appended: 0 };
+        if recovery.valid_len < HAL1_MAGIC.len() as u64 {
+            // The magic itself was torn: rewrite it.
+            writer.file.write_all(HAL1_MAGIC).map_err(|e| wal_err("write magic", e))?;
+        } else {
+            use std::io::Seek;
+            writer.file.seek(std::io::SeekFrom::End(0)).map_err(|e| wal_err("seek to tail", e))?;
+        }
+        writer.file.sync_data().map_err(|e| wal_err("sync recovery", e))?;
+        Ok((writer, recovery))
+    }
+
+    /// Appends one record, flushed and fsynced — durable on return.
+    /// Returns the number of bytes written.
+    pub fn append(&mut self, record: &WalRecord) -> Result<u64> {
+        let bytes = encode_record(record);
+        self.file.write_all(&bytes).map_err(|e| wal_err("append record", e))?;
+        self.file.sync_data().map_err(|e| wal_err("sync record", e))?;
+        self.appended += 1;
+        Ok(bytes.len() as u64)
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this writer (not counting recovered ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+}
+
+/// A [`LabelingSession`] whose answered log is written ahead to a `HAL1`
+/// file: every absorbed response batch is durable *before* it is replayed,
+/// and [`DurableSession::resume`] rebuilds the session — mid-flight or
+/// completed — from the file alone (plus the workload).
+///
+/// ```no_run
+/// use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+/// use humo::wal::DurableSession;
+/// use humo::{OptimizerKind, QualityRequirement, SessionConfig, Step};
+///
+/// let workload = SyntheticGenerator::new(SyntheticConfig::new(8_000, 14.0, 0.1)).generate();
+/// let requirement = QualityRequirement::new(0.9, 0.9, 0.9).unwrap();
+/// let config = SessionConfig::for_kind(OptimizerKind::Hybrid, requirement);
+///
+/// let mut session = DurableSession::create(config, &workload, "epoch.hal1").unwrap();
+/// // … drive it, crash at any point, then in a new process:
+/// let mut resumed = DurableSession::resume(&workload, "epoch.hal1").unwrap();
+/// let step = resumed.step(&[]).unwrap(); // picks up exactly where the log ends
+/// ```
+#[derive(Debug)]
+pub struct DurableSession<'w> {
+    session: LabelingSession<'w>,
+    wal: WalWriter,
+    committed: bool,
+}
+
+impl<'w> DurableSession<'w> {
+    /// Creates a fresh durable session, writing the `SessionBegin` record.
+    pub fn create(
+        config: SessionConfig,
+        workload: &'w Workload,
+        path: impl AsRef<Path>,
+    ) -> Result<Self> {
+        Self::create_with_warm_start(config, workload, None, path)
+    }
+
+    /// Creates a fresh warm-started durable session; the warm start is
+    /// persisted in the `SessionBegin` record so resume re-seeds it
+    /// automatically.
+    pub fn create_with_warm_start(
+        config: SessionConfig,
+        workload: &'w Workload,
+        warm: Option<WarmStart>,
+        path: impl AsRef<Path>,
+    ) -> Result<Self> {
+        let session = LabelingSession::with_warm_start(config, workload, warm.clone())?;
+        let mut wal = WalWriter::create(path)?;
+        wal.append(&WalRecord::SessionBegin { workload_len: workload.len() as u64, config, warm })?;
+        Ok(Self { session, wal, committed: false })
+    }
+
+    /// Rebuilds a session from its log: the `SessionBegin` record supplies
+    /// the configuration and warm start, the `Labels` records replay the
+    /// answered log, and a torn tail is truncated away. The file must hold
+    /// exactly one session (engines multiplexing epochs use
+    /// `er_pipeline::ResolutionEngine::resume`).
+    pub fn resume(workload: &'w Workload, path: impl AsRef<Path>) -> Result<Self> {
+        let (wal, recovery) = WalWriter::recover(path)?;
+        let mut records = recovery.records.into_iter();
+        let Some(WalRecord::SessionBegin { workload_len, config, warm }) = records.next() else {
+            return Err(HumoError::Wal(
+                "log does not start with a SessionBegin record".to_string(),
+            ));
+        };
+        if workload_len != workload.len() as u64 {
+            return Err(HumoError::Wal(format!(
+                "log was written for a {workload_len}-pair workload, got {} pairs",
+                workload.len()
+            )));
+        }
+        let mut log: Vec<LabelResponse> = Vec::new();
+        let mut committed = false;
+        for record in records {
+            match record {
+                WalRecord::Labels(responses) => log.extend(responses),
+                WalRecord::Commit { .. } => committed = true,
+                WalRecord::SessionBegin { .. } => {
+                    return Err(HumoError::Wal("log holds more than one session".to_string()))
+                }
+            }
+        }
+        let state = SessionState::resume(config, workload, &log)?.with_warm_start(warm);
+        let session = LabelingSession::from_state(state, workload);
+        Ok(Self { session, wal, committed })
+    }
+
+    /// Advances the session durably: the newly absorbed responses are
+    /// appended and fsynced *before* the replay consumes them, and completion
+    /// appends the `Commit` record. Exactly [`LabelingSession::step`]
+    /// semantics otherwise.
+    pub fn step(&mut self, responses: &[LabelResponse]) -> Result<Step> {
+        let absorbed = self.session.absorb(responses)?.to_vec();
+        if !absorbed.is_empty() {
+            self.wal.append(&WalRecord::Labels(absorbed))?;
+        }
+        let step = self.session.poll()?;
+        if let Step::Done(_) = &step {
+            if !self.committed {
+                let warm = self.session.next_warm_start().cloned();
+                self.wal.append(&WalRecord::Commit { warm })?;
+                self.committed = true;
+            }
+        }
+        Ok(step)
+    }
+
+    /// The wrapped session, for inspection.
+    pub fn session(&self) -> &LabelingSession<'w> {
+        &self.session
+    }
+
+    /// The underlying log writer.
+    pub fn wal(&self) -> &WalWriter {
+        &self.wal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OptimizerKind;
+    use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
+
+    fn workload(n: usize) -> Workload {
+        SyntheticGenerator::new(SyntheticConfig {
+            num_pairs: n,
+            tau: 14.0,
+            sigma: 0.1,
+            subset_size: 200,
+            seed: 7,
+        })
+        .generate()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir();
+        dir.join(format!(".humo-wal-test-{}-{name}", std::process::id()))
+    }
+
+    fn sample_configs() -> Vec<SessionConfig> {
+        let requirement = QualityRequirement::new(0.9, 0.85, 0.92).unwrap();
+        let mut configs: Vec<SessionConfig> = OptimizerKind::all()
+            .iter()
+            .map(|&kind| SessionConfig::for_kind(kind, requirement))
+            .collect();
+        configs.push(SessionConfig::AllHuman);
+        // A non-default corner: explicit boundary index, full refits.
+        configs.push(SessionConfig::Baseline(BaselineConfig {
+            requirement,
+            unit_size: 37,
+            estimation_units: 2,
+            initial_boundary: InitialBoundary::Index(11),
+        }));
+        let mut samp = PartialSamplingConfig::new(requirement);
+        samp.refit = RefitStrategy::Full;
+        samp.conservative_noise = true;
+        samp.tail_calibration.shortfall_baseline = ShortfallBaseline::UpperBound;
+        configs.push(SessionConfig::PartialSampling(samp));
+        configs
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        let warm = WarmStart {
+            observations: vec![
+                PriorObservation { similarity: 0.25, sample_size: 100, positives: 3 },
+                PriorObservation { similarity: 0.75, sample_size: 100, positives: 97 },
+            ],
+            human_interval: Some((0.4, 0.6)),
+        };
+        let mut records: Vec<WalRecord> = sample_configs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, config)| WalRecord::SessionBegin {
+                workload_len: 1000 + i as u64,
+                config,
+                warm: if i % 2 == 0 { Some(warm.clone()) } else { None },
+            })
+            .collect();
+        records.push(WalRecord::Labels(vec![
+            LabelResponse { pair_id: PairId(0), label: Label::Match },
+            LabelResponse { pair_id: PairId(u64::MAX - 1), label: Label::Unmatch },
+        ]));
+        records.push(WalRecord::Labels(Vec::new()));
+        records.push(WalRecord::Commit { warm: Some(warm) });
+        records.push(WalRecord::Commit { warm: None });
+
+        let mut image = HAL1_MAGIC.to_vec();
+        for record in &records {
+            image.extend_from_slice(&encode_record(record));
+        }
+        let recovery = decode_log(&image).unwrap();
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.valid_len, image.len() as u64);
+        assert_eq!(recovery.records, records);
+    }
+
+    #[test]
+    fn wal_writer_appends_and_recovers() {
+        let path = temp_path("append");
+        let mut writer = WalWriter::create(&path).unwrap();
+        let begin = WalRecord::SessionBegin {
+            workload_len: 5,
+            config: SessionConfig::AllHuman,
+            warm: None,
+        };
+        let labels =
+            WalRecord::Labels(vec![LabelResponse { pair_id: PairId(3), label: Label::Match }]);
+        writer.append(&begin).unwrap();
+        writer.append(&labels).unwrap();
+        drop(writer);
+
+        // Clean recovery sees both records and appends cleanly after them.
+        let (mut writer, recovery) = WalWriter::recover(&path).unwrap();
+        assert_eq!(recovery.records, vec![begin.clone(), labels.clone()]);
+        assert!(!recovery.torn_tail);
+        writer.append(&WalRecord::Commit { warm: None }).unwrap();
+        drop(writer);
+        let recovery = read_log(&path).unwrap();
+        assert_eq!(recovery.records.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tails_truncate_cleanly_on_recovery() {
+        let path = temp_path("torn");
+        let mut writer = WalWriter::create(&path).unwrap();
+        let begin = WalRecord::SessionBegin {
+            workload_len: 5,
+            config: SessionConfig::AllHuman,
+            warm: None,
+        };
+        writer.append(&begin).unwrap();
+        drop(writer);
+        let clean_len = std::fs::metadata(&path).unwrap().len();
+        // Simulate a torn append: half a labels record.
+        let torn = encode_record(&WalRecord::Labels(vec![LabelResponse {
+            pair_id: PairId(1),
+            label: Label::Unmatch,
+        }]));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&torn[..torn.len() / 2]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let (mut writer, recovery) = WalWriter::recover(&path).unwrap();
+        assert!(recovery.torn_tail);
+        assert_eq!(recovery.valid_len, clean_len);
+        assert_eq!(recovery.records, vec![begin]);
+        // The file is physically truncated and the next append reads back.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), clean_len);
+        writer.append(&WalRecord::Commit { warm: None }).unwrap();
+        drop(writer);
+        let recovery = read_log(&path).unwrap();
+        assert!(!recovery.torn_tail);
+        assert_eq!(recovery.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn durable_session_survives_arbitrary_kill_points() {
+        let w = workload(4_000);
+        let requirement = QualityRequirement::new(0.85, 0.85, 0.9).unwrap();
+        let config = SessionConfig::for_kind(OptimizerKind::PartialSampling, requirement);
+        let path = temp_path("durable");
+
+        // Reference: an uninterrupted durable run.
+        let mut reference = DurableSession::create(config, &w, &path).unwrap();
+        let mut responses = Vec::new();
+        let reference_outcome = loop {
+            match reference.step(&responses).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::NeedLabels(requests) => {
+                    responses = requests
+                        .iter()
+                        .map(|req| LabelResponse {
+                            pair_id: req.pair_id,
+                            label: w.pair(req.index).ground_truth(),
+                        })
+                        .collect();
+                }
+            }
+        };
+        let reference_log = reference.session().answered_log().to_vec();
+        drop(reference);
+
+        // "Kill" after 2 steps: drop the session object without any shutdown
+        // path, then resume purely from the file.
+        let mut session = DurableSession::create(config, &w, &path).unwrap();
+        let mut responses = Vec::new();
+        for _ in 0..2 {
+            match session.step(&responses).unwrap() {
+                Step::Done(_) => break,
+                Step::NeedLabels(requests) => {
+                    responses = requests
+                        .iter()
+                        .map(|req| LabelResponse {
+                            pair_id: req.pair_id,
+                            label: w.pair(req.index).ground_truth(),
+                        })
+                        .collect();
+                }
+            }
+        }
+        drop(session);
+
+        let mut resumed = DurableSession::resume(&w, &path).unwrap();
+        let mut responses = Vec::new();
+        let outcome = loop {
+            match resumed.step(&responses).unwrap() {
+                Step::Done(outcome) => break outcome,
+                Step::NeedLabels(requests) => {
+                    responses = requests
+                        .iter()
+                        .map(|req| LabelResponse {
+                            pair_id: req.pair_id,
+                            label: w.pair(req.index).ground_truth(),
+                        })
+                        .collect();
+                }
+            }
+        };
+        assert_eq!(outcome.solution, reference_outcome.solution);
+        assert_eq!(outcome.assignment, reference_outcome.assignment);
+        assert_eq!(outcome.total_human_cost, reference_outcome.total_human_cost);
+        assert_eq!(resumed.session().answered_log(), &reference_log[..]);
+
+        // Resuming the *completed* log returns the same outcome immediately.
+        let mut done = DurableSession::resume(&w, &path).unwrap();
+        let Step::Done(again) = done.step(&[]).unwrap() else { panic!("expected done") };
+        assert_eq!(again.solution, reference_outcome.solution);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_wrong_workloads_and_headerless_logs() {
+        let w = workload(400);
+        let other = workload(800);
+        let path = temp_path("reject");
+        let mut session = DurableSession::create(SessionConfig::AllHuman, &w, &path).unwrap();
+        let _ = session.step(&[]).unwrap();
+        drop(session);
+        assert!(matches!(DurableSession::resume(&other, &path), Err(HumoError::Wal(_))));
+
+        // A log that never wrote SessionBegin is rejected.
+        let mut writer = WalWriter::create(&path).unwrap();
+        writer.append(&WalRecord::Labels(Vec::new())).unwrap();
+        drop(writer);
+        assert!(matches!(DurableSession::resume(&w, &path), Err(HumoError::Wal(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+}
