@@ -40,6 +40,27 @@
 //!   kill point, resume from the surviving WALs in-process, and assert every
 //!   tenant's outcome digest is identical to an uninterrupted reference run.
 //!
+//! Crowd labeling (off by default; see [`humo::crowd`]):
+//!
+//! * `HUMO_SVC_CROWD_WORKERS` — per-tenant worker-pool size; `0` (default)
+//!   answers every request with ground truth, exactly as before;
+//! * `HUMO_SVC_CROWD_ERROR` — symmetric per-worker flip rate (default 0.1);
+//! * `HUMO_SVC_CROWD_REDUNDANCY` — votes per pair (default 3);
+//! * `HUMO_SVC_CROWD_ESCALATE_MAX` — when greater than the redundancy,
+//!   escalate disagreements one extra worker at a time up to this cap
+//!   (adaptive redundancy; default: equal, i.e. fixed);
+//! * `HUMO_SVC_CROWD_AGG` — `majority` (default) or `em`. The kill-and-resume
+//!   guarantee holds for `majority`: votes are pure functions of
+//!   `(worker seed, pair id)`, so re-voting pairs lost in a crash reproduces
+//!   identical aggregated labels. EM aggregation decides from the whole vote
+//!   matrix, whose scope depends on tick alignment — use it for quality
+//!   studies (`crowd_quality`), not for byte-stable replay.
+//!
+//! With the crowd enabled, the shared pool capacity is *votes* per tick (a
+//! redundancy-r tenant consumes roughly r× more pool), and only the
+//! aggregated labels — never raw votes — are stepped into the sessions and
+//! hence onto the per-tenant WALs.
+//!
 //! The outcome digest covers the solution boundaries, the full label
 //! assignment and the cost counters — everything the paper's quality
 //! guarantee speaks about. Label round-trips are deliberately excluded: they
@@ -54,18 +75,63 @@ use er_core::text::Tokenizer;
 use er_core::workload::{Label, Workload};
 use er_datagen::bibliographic::{BibliographicConfig, BibliographicGenerator};
 use er_pipeline::{PipelineConfig, ResolutionEngine, ResolutionSession, ResolutionStep};
+use humo::crowd::mix;
 use humo::wal::{read_log, WalRecord};
 use humo::{
-    HumoError, LabelRequest, LabelResponse, OptimizationOutcome, QualityRequirement, SessionConfig,
-    SessionState, Step, WarmStart,
+    Aggregation, CrowdSession, HumoError, LabelRequest, LabelResponse, OptimizationOutcome,
+    QualityRequirement, Redundancy, SessionConfig, SessionState, Step, VoteRequest, WarmStart,
+    WorkerModel, WorkerVote,
 };
 use humo_bench::BenchConfig;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 
 /// Marker printed by a crash-harness child when it reaches its kill point.
 const KILL_MARKER: &str = "HUMO_SVC_KILL_POINT";
+
+/// Crowd-labeling knobs; `workers == 0` disables the crowd path entirely.
+#[derive(Debug, Clone)]
+struct CrowdParams {
+    workers: usize,
+    error: f64,
+    redundancy: usize,
+    escalate_max: usize,
+    em: bool,
+}
+
+impl CrowdParams {
+    fn from_env(cfg: &BenchConfig) -> Self {
+        let redundancy = cfg.usize("CROWD_REDUNDANCY", 3).max(1);
+        Self {
+            workers: cfg.usize("CROWD_WORKERS", 0),
+            error: cfg.f64("CROWD_ERROR", 0.1),
+            redundancy,
+            escalate_max: cfg.usize("CROWD_ESCALATE_MAX", redundancy).max(redundancy),
+            em: std::env::var("HUMO_SVC_CROWD_AGG").is_ok_and(|v| v.eq_ignore_ascii_case("em")),
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.workers > 0
+    }
+
+    fn redundancy(&self) -> Redundancy {
+        if self.escalate_max > self.redundancy {
+            Redundancy::Adaptive { min: self.redundancy, max: self.escalate_max }
+        } else {
+            Redundancy::Fixed(self.redundancy)
+        }
+    }
+
+    fn aggregation(&self) -> Aggregation {
+        if self.em {
+            Aggregation::Em(humo::EmConfig::default())
+        } else {
+            Aggregation::Majority
+        }
+    }
+}
 
 #[derive(Debug, Clone)]
 struct ServiceParams {
@@ -76,6 +142,7 @@ struct ServiceParams {
     wal_dir: PathBuf,
     resume: bool,
     kill_ticks: usize,
+    crowd: CrowdParams,
 }
 
 impl ServiceParams {
@@ -95,6 +162,7 @@ impl ServiceParams {
             wal_dir,
             resume: cfg.flag("RESUME"),
             kill_ticks: cfg.usize("KILL_TICKS", 0),
+            crowd: CrowdParams::from_env(cfg),
         }
     }
 
@@ -103,7 +171,39 @@ impl ServiceParams {
     }
 }
 
-/// Final per-tenant outcome: everything the self test compares.
+/// Per-tenant crowd state: the simulated worker pool, the sans-I/O crowd
+/// session, and the queue of dispatched-but-unanswered vote requests.
+///
+/// Everything here is derived deterministically from `(service seed, tenant)`,
+/// so a resumed process rebuilds the identical crowd and — majority
+/// aggregation being a pure per-pair function of the votes, themselves pure
+/// functions of `(worker seed, pair id)` — re-votes lost in-flight pairs to
+/// the identical aggregated labels.
+struct TenantCrowd {
+    workers: Vec<WorkerModel>,
+    session: CrowdSession,
+    queue: VecDeque<VoteRequest>,
+}
+
+impl TenantCrowd {
+    fn new(params: &ServiceParams, tenant: usize) -> Self {
+        let crowd = &params.crowd;
+        let pool_seed = mix(params.seed, 0xC0FFEE ^ tenant as u64);
+        let workers: Vec<WorkerModel> = (0..crowd.workers)
+            .map(|w| WorkerModel::symmetric(crowd.error, mix(pool_seed, w as u64)))
+            .collect();
+        let session = CrowdSession::new(
+            crowd.workers,
+            crowd.redundancy(),
+            crowd.aggregation(),
+            mix(params.seed, 0x5EED ^ tenant as u64),
+        );
+        Self { workers, session, queue: VecDeque::new() }
+    }
+}
+
+/// Final per-tenant outcome: everything the self test compares, plus the
+/// delivered-quality and crowd-cost columns of the report.
 #[derive(Debug, Clone)]
 struct TenantSummary {
     tenant: usize,
@@ -111,6 +211,16 @@ struct TenantSummary {
     queries: usize,
     rounds: usize,
     f1: f64,
+    /// Entity-cluster F1 against ground truth — delivered quality after
+    /// transitive closure. `None` for `replayed` tenants: the log replay
+    /// recovers the outcome, and clustering is not re-run.
+    cluster_f1: Option<f64>,
+    /// Crowd votes cast for this tenant (0 when the crowd path is off).
+    votes: u64,
+    /// Votes per aggregated label — the label-cost multiplier.
+    votes_per_label: f64,
+    /// Fraction of aggregated labels whose final vote set disagreed.
+    escalation_rate: f64,
     digest: u64,
     /// `fresh`, `resumed` (in-flight epoch continued) or `replayed`
     /// (committed epoch recovered from the log alone).
@@ -128,6 +238,7 @@ enum Tenant<'e> {
     Done {
         outcome: OptimizationOutcome,
         rounds: usize,
+        cluster_f1: Option<f64>,
         mode: &'static str,
     },
 }
@@ -265,9 +376,12 @@ fn scan_log(workload: &Workload, path: &Path) -> humo::Result<LogShape> {
 /// completes outright, for a resumed log that was one step from done).
 fn prime<'e>(mut session: ResolutionSession<'e>, mode: &'static str) -> Tenant<'e> {
     match session.step(&[]).expect("session step succeeds") {
-        ResolutionStep::Done(report) => {
-            Tenant::Done { outcome: report.outcome, rounds: report.label_rounds, mode }
-        }
+        ResolutionStep::Done(report) => Tenant::Done {
+            outcome: report.outcome,
+            rounds: report.label_rounds,
+            cluster_f1: Some(report.cluster_metrics.f1()),
+            mode,
+        },
         ResolutionStep::NeedLabels(outstanding) => {
             Tenant::Active { session: Box::new(session), outstanding, mode }
         }
@@ -296,7 +410,12 @@ fn run_service(params: &ServiceParams, engines: &mut [ResolutionEngine]) -> Vec<
                         // Fold the committed labels into the engine anyway, so
                         // any later epoch starts from the recovered store.
                         assert!(engine.resume(&path).expect("WAL recovery succeeds").is_none());
-                        Tenant::Done { outcome: *outcome, rounds: 0, mode: "replayed" }
+                        Tenant::Done {
+                            outcome: *outcome,
+                            rounds: 0,
+                            cluster_f1: None,
+                            mode: "replayed",
+                        }
                     }
                     // Empty or missing log: the writer died before
                     // `begin_resolve` ever ran. Recover or create the file and
@@ -317,6 +436,12 @@ fn run_service(params: &ServiceParams, engines: &mut [ResolutionEngine]) -> Vec<
         })
         .collect();
 
+    // Per-tenant crowd state, derived deterministically from the seed so a
+    // resumed process rebuilds the identical crowd.
+    let mut crowds: Vec<Option<TenantCrowd>> = (0..tenants.len())
+        .map(|i| params.crowd.enabled().then(|| TenantCrowd::new(params, i)))
+        .collect();
+
     let mut ticks = 0usize;
     loop {
         let all_done = tenants.iter().all(|t| matches!(t, Tenant::Done { .. }));
@@ -331,8 +456,9 @@ fn run_service(params: &ServiceParams, engines: &mut [ResolutionEngine]) -> Vec<
             }
         }
         ticks += 1;
-        // The shared pool: up to `labelers` answers this tick, handed out
-        // round-robin with a rotating head so no tenant starves.
+        // The shared pool: up to `labelers` answers this tick (labels without
+        // the crowd, votes with it), handed out round-robin with a rotating
+        // head so no tenant starves.
         let mut capacity = params.labelers;
         let n = tenants.len();
         for k in 0..n {
@@ -344,52 +470,90 @@ fn run_service(params: &ServiceParams, engines: &mut [ResolutionEngine]) -> Vec<
                 let Tenant::Active { session, outstanding, .. } = &mut tenants[i] else {
                     continue;
                 };
-                let take = outstanding.len().min(capacity);
-                if take == 0 {
+                let responses: Vec<LabelResponse> = if let Some(crowd) = crowds[i].as_mut() {
+                    // Re-dispatch wholesale: the crowd session re-emits only
+                    // asked-but-unanswered votes, so nothing is duplicated and
+                    // nothing is lost across ticks (or across a resume).
+                    crowd.queue = crowd.session.submit(outstanding).into();
+                    let take = crowd.queue.len().min(capacity);
+                    capacity -= take;
+                    let votes: Vec<WorkerVote> = (0..take)
+                        .map(|_| {
+                            let ask = crowd.queue.pop_front().expect("queue holds `take` asks");
+                            let truth = session.workload().pair(ask.request.index).ground_truth();
+                            WorkerVote {
+                                pair_id: ask.request.pair_id,
+                                worker: ask.worker,
+                                label: Label::from_bool(
+                                    crowd.workers[ask.worker.0 as usize]
+                                        .vote(ask.request.pair_id.0, truth == Label::Match),
+                                ),
+                            }
+                        })
+                        .collect();
+                    let escalations = crowd.session.absorb(&votes);
+                    crowd.queue.extend(escalations);
+                    crowd.session.take_ready()
+                } else {
+                    let take = outstanding.len().min(capacity);
+                    capacity -= take;
+                    outstanding
+                        .drain(..take)
+                        .map(|request| LabelResponse {
+                            pair_id: request.pair_id,
+                            label: session.workload().pair(request.index).ground_truth(),
+                        })
+                        .collect()
+                };
+                if responses.is_empty() {
                     continue;
                 }
-                capacity -= take;
-                let responses: Vec<LabelResponse> = outstanding
-                    .drain(..take)
-                    .map(|request| LabelResponse {
-                        pair_id: request.pair_id,
-                        label: session.workload().pair(request.index).ground_truth(),
-                    })
-                    .collect();
                 // Stepping with a partial batch appends it to the WAL right
                 // away; the session re-emits whatever is still missing, so
                 // the outstanding queue is replaced wholesale.
                 match session.step(&responses).expect("session step succeeds") {
-                    ResolutionStep::Done(report) => Some((report.outcome, report.label_rounds)),
+                    ResolutionStep::Done(report) => {
+                        Some((report.outcome, report.label_rounds, report.cluster_metrics.f1()))
+                    }
                     ResolutionStep::NeedLabels(next) => {
                         *outstanding = next;
                         None
                     }
                 }
             };
-            if let Some((outcome, rounds)) = finished {
+            if let Some((outcome, rounds, cluster_f1)) = finished {
                 let mode = match &tenants[i] {
                     Tenant::Active { mode, .. } | Tenant::Done { mode, .. } => mode,
                 };
-                tenants[i] = Tenant::Done { outcome, rounds, mode };
+                tenants[i] = Tenant::Done { outcome, rounds, cluster_f1: Some(cluster_f1), mode };
             }
         }
     }
-    println!("service drained in {ticks} ticks ({} labels/tick pool capacity)", params.labelers);
+    println!(
+        "service drained in {ticks} ticks ({} {}/tick pool capacity)",
+        params.labelers,
+        if params.crowd.enabled() { "votes" } else { "labels" }
+    );
 
     tenants
         .into_iter()
         .enumerate()
         .map(|(tenant, t)| {
-            let Tenant::Done { outcome, rounds, mode } = t else {
+            let Tenant::Done { outcome, rounds, cluster_f1, mode } = t else {
                 unreachable!("scheduler drained every tenant");
             };
+            let stats = crowds[tenant].take().map(|c| c.session.stats()).unwrap_or_default();
+            let decided = stats.decided.max(1) as f64;
             TenantSummary {
                 tenant,
                 pairs: outcome.assignment.len(),
                 queries: outcome.total_human_cost,
                 rounds,
                 f1: outcome.metrics.f1(),
+                cluster_f1,
+                votes: stats.votes,
+                votes_per_label: stats.votes as f64 / decided,
+                escalation_rate: stats.disagreements as f64 / decided,
                 digest: outcome_digest(&outcome),
                 mode,
             }
@@ -399,13 +563,42 @@ fn run_service(params: &ServiceParams, engines: &mut [ResolutionEngine]) -> Vec<
 
 fn print_summaries(summaries: &[TenantSummary]) {
     println!(
-        "{:<7} {:>7} {:>8} {:>7} {:>7}  {:<16}  mode",
-        "tenant", "pairs", "queries", "rounds", "pairF1", "digest"
+        "{:<7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>7} {:>9} {:>6}  {:<16}  mode",
+        "tenant",
+        "pairs",
+        "queries",
+        "rounds",
+        "pairF1",
+        "clusterF1",
+        "votes",
+        "votes/lab",
+        "esc%",
+        "digest"
     );
     for s in summaries {
+        let cluster_f1 = s.cluster_f1.map_or_else(|| "-".to_string(), |f1| format!("{f1:.3}"));
+        let (votes, per_label, esc) = if s.votes > 0 {
+            (
+                s.votes.to_string(),
+                format!("{:.2}", s.votes_per_label),
+                format!("{:.1}", 100.0 * s.escalation_rate),
+            )
+        } else {
+            ("-".to_string(), "-".to_string(), "-".to_string())
+        };
         println!(
-            "{:<7} {:>7} {:>8} {:>7} {:>7.3}  {:016x}  {}",
-            s.tenant, s.pairs, s.queries, s.rounds, s.f1, s.digest, s.mode
+            "{:<7} {:>7} {:>8} {:>7} {:>7.3} {:>9} {:>7} {:>9} {:>6}  {:016x}  {}",
+            s.tenant,
+            s.pairs,
+            s.queries,
+            s.rounds,
+            s.f1,
+            cluster_f1,
+            votes,
+            per_label,
+            esc,
+            s.digest,
+            s.mode
         );
     }
 }
@@ -424,6 +617,11 @@ fn run_child_until_killed(params: &ServiceParams, kill_ticks: usize) -> bool {
         .env("HUMO_SVC_ENTITIES", params.entities.to_string())
         .env("HUMO_SVC_LABELERS", params.labelers.to_string())
         .env("HUMO_SVC_SEED", params.seed.to_string())
+        .env("HUMO_SVC_CROWD_WORKERS", params.crowd.workers.to_string())
+        .env("HUMO_SVC_CROWD_ERROR", params.crowd.error.to_string())
+        .env("HUMO_SVC_CROWD_REDUNDANCY", params.crowd.redundancy.to_string())
+        .env("HUMO_SVC_CROWD_ESCALATE_MAX", params.crowd.escalate_max.to_string())
+        .env("HUMO_SVC_CROWD_AGG", if params.crowd.em { "em" } else { "majority" })
         .stdout(std::process::Stdio::piped())
         .stderr(std::process::Stdio::null())
         .spawn()
@@ -512,6 +710,15 @@ fn main() {
         params.labelers,
         params.wal_dir.display()
     );
+    if params.crowd.enabled() {
+        println!(
+            "crowd: {} workers/tenant, error = {}, redundancy = {:?}, aggregation = {}",
+            params.crowd.workers,
+            params.crowd.error,
+            params.crowd.redundancy(),
+            if params.crowd.em { "em" } else { "majority" }
+        );
+    }
     println!("================================================================");
 
     if cfg.flag("SELFTEST") {

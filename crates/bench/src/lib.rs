@@ -26,7 +26,7 @@ use er_datagen::calibrated::CalibratedConfig;
 use er_datagen::synthetic::{SyntheticConfig, SyntheticGenerator};
 use humo::{
     AllSamplingConfig, AllSamplingOptimizer, BaselineConfig, BaselineOptimizer, GroundTruthOracle,
-    HybridConfig, HybridOptimizer, OptimizationOutcome, Optimizer, PartialSamplingConfig,
+    HybridConfig, HybridOptimizer, OptimizationOutcome, Optimizer, Oracle, PartialSamplingConfig,
     PartialSamplingOptimizer, QualityRequirement, TailCalibration,
 };
 
@@ -113,6 +113,35 @@ pub fn run_hybr_with_tail(
     let optimizer = HybridOptimizer::new(config).expect("valid config");
     let mut oracle = GroundTruthOracle::new();
     optimizer.optimize(workload, &mut oracle).expect("HYBR optimization succeeds")
+}
+
+/// Runs the SAMP optimizer with the given seed against an arbitrary oracle —
+/// the `_with_tail` runners hardcode [`GroundTruthOracle`]; the `crowd_quality`
+/// harness passes a [`humo::CrowdOracle`] here to measure delivered quality
+/// under noisy, redundantly-voted crowds.
+pub fn run_samp_with_oracle(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+    oracle: &mut dyn Oracle,
+) -> OptimizationOutcome {
+    let optimizer =
+        PartialSamplingOptimizer::new(PartialSamplingConfig::new(requirement).with_seed(seed))
+            .expect("valid config");
+    optimizer.optimize(workload, oracle).expect("SAMP optimization succeeds")
+}
+
+/// Runs the HYBR optimizer with the given seed against an arbitrary oracle
+/// (see [`run_samp_with_oracle`]).
+pub fn run_hybr_with_oracle(
+    workload: &Workload,
+    requirement: QualityRequirement,
+    seed: u64,
+    oracle: &mut dyn Oracle,
+) -> OptimizationOutcome {
+    let optimizer =
+        HybridOptimizer::new(HybridConfig::new(requirement).with_seed(seed)).expect("valid config");
+    optimizer.optimize(workload, oracle).expect("HYBR optimization succeeds")
 }
 
 /// The tail configuration [`run_all_sampling_with_tail`] actually applies for

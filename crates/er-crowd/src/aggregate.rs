@@ -1,0 +1,339 @@
+//! Vote aggregation: the canonical vote matrix, majority vote, and a
+//! Dawid–Skene-style EM estimator.
+//!
+//! The [`VoteMatrix`] stores votes in a canonical sorted form (pair-major,
+//! worker-minor), so every aggregate computed from it is invariant to the
+//! order and batching in which votes arrived — the property the proptests pin.
+//!
+//! [`estimate`] is a binary Dawid–Skene: it jointly infers each worker's
+//! asymmetric flip rates and each pair's posterior match probability from the
+//! redundant votes alone (no ground truth). Two deliberate deviations from the
+//! textbook form keep it safe as a *label source* for the θ-guarantee:
+//!
+//! * the class prior is held uniform rather than re-estimated — ER workloads
+//!   are overwhelmingly non-match, and a learned prior would let the majority
+//!   class overrule even unanimous minority votes;
+//! * estimated flip rates are clamped to `[min_rate, 0.5]` — every worker is
+//!   treated as no worse than a coin. Together these guarantee a unanimous
+//!   vote is never flipped: each unanimous vote contributes a log-odds term of
+//!   the vote's own sign, and exact zero-odds ties fall back to majority.
+
+use crate::worker::WorkerId;
+use std::collections::BTreeMap;
+
+/// All votes collected so far, in canonical (pair-major, worker-minor) order.
+#[derive(Debug, Clone, Default)]
+pub struct VoteMatrix {
+    votes: BTreeMap<u64, BTreeMap<WorkerId, bool>>,
+    total: usize,
+}
+
+impl VoteMatrix {
+    /// An empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one vote; returns `false` if this `(pair, worker)` cell was
+    /// already filled (the duplicate is ignored — votes are idempotent).
+    pub fn record(&mut self, pair: u64, worker: WorkerId, is_match: bool) -> bool {
+        let row = self.votes.entry(pair).or_default();
+        if row.contains_key(&worker) {
+            return false;
+        }
+        row.insert(worker, is_match);
+        self.total += 1;
+        true
+    }
+
+    /// The votes for one pair, worker-sorted. Empty if the pair is unknown.
+    pub fn row(&self, pair: u64) -> impl Iterator<Item = (WorkerId, bool)> + '_ {
+        self.votes.get(&pair).into_iter().flatten().map(|(&w, &v)| (w, v))
+    }
+
+    /// Whether the given worker already voted on the given pair.
+    pub fn has_vote(&self, pair: u64, worker: WorkerId) -> bool {
+        self.votes.get(&pair).is_some_and(|row| row.contains_key(&worker))
+    }
+
+    /// Iterates pairs and their vote rows in canonical order.
+    pub fn rows(&self) -> impl Iterator<Item = (u64, &BTreeMap<WorkerId, bool>)> + '_ {
+        self.votes.iter().map(|(&pair, row)| (pair, row))
+    }
+
+    /// Number of pairs with at least one vote.
+    pub fn pairs(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Total votes recorded.
+    pub fn total_votes(&self) -> usize {
+        self.total
+    }
+
+    /// Whether no votes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+}
+
+/// Majority vote over a set of binary votes; exact ties break to *non-match*
+/// (the conservative direction for precision, and the overwhelming prior of
+/// ER workloads).
+pub fn majority<I: IntoIterator<Item = bool>>(votes: I) -> bool {
+    let mut balance = 0i64;
+    for vote in votes {
+        balance += if vote { 1 } else { -1 };
+    }
+    balance > 0
+}
+
+/// Configuration for the EM estimator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Iteration cap (each iteration is one M-step plus one E-step).
+    pub max_iterations: usize,
+    /// Stop once no posterior moves by more than this between iterations.
+    pub tolerance: f64,
+    /// Lower clamp on estimated flip rates (the upper clamp is fixed at 0.5).
+    pub min_rate: f64,
+    /// Additive smoothing on the flip-rate counts, so a worker with few votes
+    /// is pulled toward an uninformed rate instead of a degenerate 0 or 1.
+    pub smoothing: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { max_iterations: 50, tolerance: 1e-6, min_rate: 1e-3, smoothing: 0.5 }
+    }
+}
+
+/// One worker's reliability as estimated by EM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerReliability {
+    /// Estimated probability of voting "unmatch" on a true match.
+    pub flip_match: f64,
+    /// Estimated probability of voting "match" on a true non-match.
+    pub flip_unmatch: f64,
+    /// Votes this estimate is based on.
+    pub votes: usize,
+}
+
+/// The EM estimate: per-pair posteriors and labels, per-worker reliabilities.
+#[derive(Debug, Clone, Default)]
+pub struct EmOutcome {
+    /// Posterior match probability per pair (uniform class prior).
+    pub posteriors: BTreeMap<u64, f64>,
+    /// Aggregated label per pair: posterior log-odds sign, zero-odds ties
+    /// falling back to [`majority`].
+    pub labels: BTreeMap<u64, bool>,
+    /// Estimated per-worker flip rates.
+    pub reliabilities: BTreeMap<WorkerId, WorkerReliability>,
+    /// Iterations run before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Runs binary Dawid–Skene EM over the vote matrix. Deterministic: iteration
+/// order is the matrix's canonical order, initialization is the per-pair
+/// match-vote fraction, and there is no randomness anywhere.
+pub fn estimate(matrix: &VoteMatrix, config: &EmConfig) -> EmOutcome {
+    let mut posteriors: BTreeMap<u64, f64> = matrix
+        .rows()
+        .map(|(pair, row)| {
+            let matches = row.values().filter(|&&v| v).count() as f64;
+            (pair, matches / row.len().max(1) as f64)
+        })
+        .collect();
+    let mut rates: BTreeMap<WorkerId, (f64, f64, usize)> = BTreeMap::new();
+    let mut iterations = 0;
+    while iterations < config.max_iterations {
+        iterations += 1;
+        rates = m_step(matrix, &posteriors, config);
+        let mut delta = 0.0f64;
+        for (pair, row) in matrix.rows() {
+            let odds = log_odds(row.iter().map(|(&w, &v)| (w, v)), &rates);
+            let posterior = 1.0 / (1.0 + (-odds).exp());
+            let previous = posteriors.insert(pair, posterior).unwrap_or(0.5);
+            delta = delta.max((posterior - previous).abs());
+        }
+        if delta < config.tolerance {
+            break;
+        }
+    }
+    let labels = matrix
+        .rows()
+        .map(|(pair, row)| {
+            let odds = log_odds(row.iter().map(|(&w, &v)| (w, v)), &rates);
+            let label =
+                if odds.abs() <= ODDS_TIE { majority(row.values().copied()) } else { odds > 0.0 };
+            (pair, label)
+        })
+        .collect();
+    let reliabilities = rates
+        .into_iter()
+        .map(|(w, (fm, fu, votes))| {
+            (w, WorkerReliability { flip_match: fm, flip_unmatch: fu, votes })
+        })
+        .collect();
+    EmOutcome { posteriors, labels, reliabilities, iterations }
+}
+
+/// Log-odds magnitudes at or below this are treated as exact ties.
+const ODDS_TIE: f64 = 1e-12;
+
+fn m_step(
+    matrix: &VoteMatrix,
+    posteriors: &BTreeMap<u64, f64>,
+    config: &EmConfig,
+) -> BTreeMap<WorkerId, (f64, f64, usize)> {
+    // Per worker: posterior-weighted match mass, flipped-match mass,
+    // non-match mass, flipped-non-match mass, vote count.
+    let mut accum: BTreeMap<WorkerId, (f64, f64, f64, f64, usize)> = BTreeMap::new();
+    for (pair, row) in matrix.rows() {
+        let mu = posteriors.get(&pair).copied().unwrap_or(0.5);
+        for (&worker, &vote) in row {
+            let a = accum.entry(worker).or_default();
+            a.0 += mu;
+            if !vote {
+                a.1 += mu;
+            }
+            a.2 += 1.0 - mu;
+            if vote {
+                a.3 += 1.0 - mu;
+            }
+            a.4 += 1;
+        }
+    }
+    let s = config.smoothing;
+    accum
+        .into_iter()
+        .map(|(worker, (m, m_flip, u, u_flip, votes))| {
+            let fm = ((m_flip + s) / (m + 2.0 * s)).clamp(config.min_rate, 0.5);
+            let fu = ((u_flip + s) / (u + 2.0 * s)).clamp(config.min_rate, 0.5);
+            (worker, (fm, fu, votes))
+        })
+        .collect()
+}
+
+fn log_odds(
+    row: impl Iterator<Item = (WorkerId, bool)>,
+    rates: &BTreeMap<WorkerId, (f64, f64, usize)>,
+) -> f64 {
+    let mut odds = 0.0;
+    for (worker, vote) in row {
+        let (fm, fu, _) = rates.get(&worker).copied().unwrap_or((0.5, 0.5, 0));
+        // Rates are clamped to [min_rate, 0.5], so a match vote contributes a
+        // non-negative term and an unmatch vote a non-positive one — the
+        // unanimity guarantee rests on exactly this.
+        odds += if vote { ((1.0 - fm) / fu).ln() } else { (fm / (1.0 - fu)).ln() };
+    }
+    odds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{mix, unit_draw, WorkerModel};
+
+    #[test]
+    fn matrix_is_canonical_and_idempotent() {
+        let mut forward = VoteMatrix::new();
+        let mut reverse = VoteMatrix::new();
+        let votes = [(3u64, 1u32, true), (1, 2, false), (3, 0, false), (1, 1, true)];
+        for &(p, w, v) in &votes {
+            assert!(forward.record(p, WorkerId(w), v));
+        }
+        for &(p, w, v) in votes.iter().rev() {
+            reverse.record(p, WorkerId(w), v);
+        }
+        let rows = |m: &VoteMatrix| m.rows().map(|(p, r)| (p, r.clone())).collect::<Vec<_>>();
+        assert_eq!(rows(&forward), rows(&reverse));
+        assert!(!forward.record(3, WorkerId(1), false), "duplicate cells are ignored");
+        assert_eq!(forward.total_votes(), 4);
+        assert!(forward.row(3).any(|(w, v)| w == WorkerId(1) && v), "first vote wins");
+    }
+
+    #[test]
+    fn majority_breaks_ties_to_unmatch() {
+        assert!(majority([true, true, false]));
+        assert!(!majority([true, false]));
+        assert!(!majority(std::iter::empty::<bool>()));
+        assert!(majority([true]));
+    }
+
+    #[test]
+    fn em_matches_majority_accuracy_on_identical_symmetric_workers() {
+        // With identically reliable symmetric workers there is nothing for
+        // reliability weighting to exploit: EM's accuracy must not fall below
+        // plain majority's (small finite-sample weight differences may flip
+        // individual split votes either way).
+        let workers: Vec<WorkerModel> =
+            (0..5).map(|w| WorkerModel::symmetric(0.2, mix(99, w))).collect();
+        let mut matrix = VoteMatrix::new();
+        let mut truths = BTreeMap::new();
+        for pair in 0..300u64 {
+            let truth = unit_draw(7, pair) < 0.4;
+            truths.insert(pair, truth);
+            for (w, worker) in workers.iter().enumerate() {
+                matrix.record(pair, WorkerId(w as u32), worker.vote(pair, truth));
+            }
+        }
+        let outcome = estimate(&matrix, &EmConfig::default());
+        let em_errors = truths.iter().filter(|(p, &t)| outcome.labels[p] != t).count();
+        let majority_errors = matrix
+            .rows()
+            .filter(|(pair, row)| majority(row.values().copied()) != truths[pair])
+            .count();
+        assert!(
+            em_errors <= majority_errors + 3,
+            "EM ({em_errors} errors) should not be materially worse than majority \
+             ({majority_errors} errors) on identical symmetric workers"
+        );
+        assert!(outcome.iterations >= 1);
+    }
+
+    #[test]
+    fn em_outvotes_a_majority_of_unreliable_workers() {
+        // Two workers are near-perfect, three are almost random. On pairs
+        // where the three unreliable workers happen to outvote the reliable
+        // two, plain majority is wrong and EM should side with reliability.
+        let reliable: Vec<WorkerModel> =
+            (0..2).map(|w| WorkerModel::symmetric(0.02, mix(5, w))).collect();
+        let noisy: Vec<WorkerModel> =
+            (0..3).map(|w| WorkerModel::symmetric(0.45, mix(17, w))).collect();
+        let mut matrix = VoteMatrix::new();
+        let mut truths = std::collections::BTreeMap::new();
+        for pair in 0..600u64 {
+            let truth = unit_draw(3, pair) < 0.5;
+            truths.insert(pair, truth);
+            for (w, worker) in reliable.iter().chain(&noisy).enumerate() {
+                matrix.record(pair, WorkerId(w as u32), worker.vote(pair, truth));
+            }
+        }
+        let outcome = estimate(&matrix, &EmConfig::default());
+        let errors =
+            |labels: &BTreeMap<u64, bool>| truths.iter().filter(|(p, &t)| labels[p] != t).count();
+        let majority_labels: BTreeMap<u64, bool> =
+            matrix.rows().map(|(p, row)| (p, majority(row.values().copied()))).collect();
+        assert!(
+            errors(&outcome.labels) < errors(&majority_labels),
+            "EM ({}) should beat majority ({}) with two reliable vs three noisy workers",
+            errors(&outcome.labels),
+            errors(&majority_labels)
+        );
+        // And the reliability estimates should separate the two groups.
+        for w in 0..2u32 {
+            assert!(outcome.reliabilities[&WorkerId(w)].flip_match < 0.15);
+        }
+        for w in 2..5u32 {
+            assert!(outcome.reliabilities[&WorkerId(w)].flip_match > 0.25);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_estimates_nothing() {
+        let outcome = estimate(&VoteMatrix::new(), &EmConfig::default());
+        assert!(outcome.labels.is_empty());
+        assert!(outcome.reliabilities.is_empty());
+    }
+}

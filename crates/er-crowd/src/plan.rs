@@ -1,0 +1,387 @@
+//! The re-entrant vote-collection state machine.
+//!
+//! [`CrowdPlan`] ties the planner and the aggregators together without doing
+//! any I/O: callers [`submit`](CrowdPlan::submit) pairs, forward the returned
+//! [`VoteAsk`]s to whatever answers votes (simulated [`WorkerModel`]s, a task
+//! queue, real people), feed answers back through
+//! [`absorb`](CrowdPlan::absorb) — which may return *escalation* asks when an
+//! adaptive prefix disagrees — and finally [`decide`](CrowdPlan::decide) the
+//! pairs whose voting completed. Everything is keyed by raw `u64` pair ids so
+//! the crate stays dependency-free; the `humo` crate wraps this in its
+//! `Oracle`/session vocabulary.
+//!
+//! Re-entrancy: submitting a known pair re-emits only its still-unanswered
+//! asks, absorbing a duplicate vote is a no-op, and every ask/vote/decision is
+//! a pure function of the configured seed and the pair id — so a driver that
+//! crashes and replays (the labeling service's resume path) reproduces
+//! identical votes and labels.
+//!
+//! [`WorkerModel`]: crate::WorkerModel
+
+use crate::aggregate::{estimate, majority, EmConfig, EmOutcome, VoteMatrix};
+use crate::assign::{AssignmentPlanner, Redundancy};
+use crate::worker::WorkerId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How completed vote sets are turned into labels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregation {
+    /// Per-pair majority vote (ties break to non-match).
+    Majority,
+    /// Dawid–Skene EM over *all* votes collected so far: each
+    /// [`decide`](CrowdPlan::decide) call re-estimates worker reliabilities
+    /// jointly with the requested labels. Labels therefore depend on the
+    /// aggregation scope (which other pairs have been voted on), unlike
+    /// [`Aggregation::Majority`], which is a pure per-pair function.
+    Em(EmConfig),
+}
+
+/// Configuration of a [`CrowdPlan`].
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Number of workers in the pool.
+    pub pool_size: usize,
+    /// Votes per pair.
+    pub redundancy: Redundancy,
+    /// How completed vote sets become labels.
+    pub aggregation: Aggregation,
+    /// Seed for the assignment rosters.
+    pub seed: u64,
+}
+
+/// A request for one worker's vote on one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteAsk {
+    /// The pair to vote on.
+    pub pair: u64,
+    /// The worker asked.
+    pub worker: WorkerId,
+}
+
+/// Running totals of the crowd machinery, for reports and the `crowd.*`
+/// observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrowdStats {
+    /// Votes recorded (duplicates excluded).
+    pub votes: u64,
+    /// Pairs whose final vote set was not unanimous.
+    pub disagreements: u64,
+    /// Extra asks issued beyond the initial redundancy.
+    pub escalations: u64,
+    /// Labels decided.
+    pub decided: u64,
+    /// EM aggregation passes run.
+    pub em_runs: u64,
+    /// Total EM iterations across all passes.
+    pub em_iterations: u64,
+}
+
+/// Voting progress of one submitted pair.
+#[derive(Debug)]
+struct PendingPair {
+    roster: Vec<WorkerId>,
+    asked: usize,
+}
+
+/// The sans-I/O crowd state machine. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct CrowdPlan {
+    planner: AssignmentPlanner,
+    aggregation: Aggregation,
+    matrix: VoteMatrix,
+    pending: BTreeMap<u64, PendingPair>,
+    completed: BTreeSet<u64>,
+    decided: BTreeMap<u64, bool>,
+    stats: CrowdStats,
+    last_em: Option<EmOutcome>,
+}
+
+impl CrowdPlan {
+    /// Creates a plan.
+    ///
+    /// # Panics
+    /// Panics if the pool is empty or the redundancy does not fit it.
+    pub fn new(config: CrowdConfig) -> Self {
+        Self {
+            planner: AssignmentPlanner::new(config.redundancy, config.pool_size, config.seed),
+            aggregation: config.aggregation,
+            matrix: VoteMatrix::new(),
+            pending: BTreeMap::new(),
+            completed: BTreeSet::new(),
+            decided: BTreeMap::new(),
+            stats: CrowdStats::default(),
+            last_em: None,
+        }
+    }
+
+    /// Submits a pair for labeling. New pairs return their initial asks;
+    /// already-pending pairs re-emit their still-unanswered asks (so a driver
+    /// can always recover its outstanding work by re-submitting); completed or
+    /// decided pairs return nothing.
+    pub fn submit(&mut self, pair: u64) -> Vec<VoteAsk> {
+        if self.decided.contains_key(&pair) || self.completed.contains(&pair) {
+            return Vec::new();
+        }
+        if !self.pending.contains_key(&pair) {
+            let roster = self.planner.roster(pair);
+            let asked = self.planner.redundancy().initial().min(roster.len());
+            self.pending.insert(pair, PendingPair { roster, asked });
+        }
+        self.unanswered(pair)
+    }
+
+    /// Records one vote. Unknown pairs and duplicate `(pair, worker)` votes
+    /// are ignored. When the vote completes an adaptive prefix that still
+    /// disagrees, the returned asks extend the roster by one worker; when it
+    /// completes the pair's voting altogether, the pair becomes available from
+    /// [`take_completed`](CrowdPlan::take_completed).
+    pub fn absorb(&mut self, pair: u64, worker: WorkerId, is_match: bool) -> Vec<VoteAsk> {
+        let Some(pending) = self.pending.get(&pair) else { return Vec::new() };
+        if !pending.roster[..pending.asked].contains(&worker) {
+            return Vec::new();
+        }
+        if self.matrix.record(pair, worker, is_match) {
+            self.stats.votes += 1;
+        }
+        let pending = &self.pending[&pair];
+        let answered: Vec<bool> = pending.roster[..pending.asked]
+            .iter()
+            .filter_map(|&w| self.matrix.row(pair).find(|&(rw, _)| rw == w).map(|(_, v)| v))
+            .collect();
+        if answered.len() < pending.asked {
+            return Vec::new();
+        }
+        let unanimous = answered.windows(2).all(|w| w[0] == w[1]);
+        if unanimous || pending.asked == pending.roster.len() {
+            if !unanimous {
+                self.stats.disagreements += 1;
+            }
+            self.pending.remove(&pair);
+            self.completed.insert(pair);
+            return Vec::new();
+        }
+        // Disagreement with roster room left: escalate by one worker.
+        let pending = self.pending.get_mut(&pair).expect("pair is pending");
+        pending.asked += 1;
+        self.stats.escalations += 1;
+        vec![VoteAsk { pair, worker: pending.roster[pending.asked - 1] }]
+    }
+
+    /// Drains the pairs whose voting completed but whose label has not been
+    /// decided yet, in pair order.
+    pub fn take_completed(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.completed).into_iter().collect()
+    }
+
+    /// Decides labels for the given (completed) pairs, in input order.
+    /// Majority aggregates each pair from its own row; EM re-estimates over
+    /// the full matrix. Decisions are cached and final.
+    pub fn decide(&mut self, pairs: &[u64]) -> Vec<(u64, bool)> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let em = match &self.aggregation {
+            Aggregation::Majority => None,
+            Aggregation::Em(config) => {
+                let outcome = estimate(&self.matrix, config);
+                self.stats.em_runs += 1;
+                self.stats.em_iterations += outcome.iterations as u64;
+                self.last_em = Some(outcome);
+                self.last_em.as_ref()
+            }
+        };
+        let mut decisions = Vec::with_capacity(pairs.len());
+        for &pair in pairs {
+            let label = match em {
+                Some(outcome) => outcome
+                    .labels
+                    .get(&pair)
+                    .copied()
+                    .unwrap_or_else(|| majority(self.matrix.row(pair).map(|(_, v)| v))),
+                None => majority(self.matrix.row(pair).map(|(_, v)| v)),
+            };
+            decisions.push((pair, label));
+        }
+        for &(pair, label) in &decisions {
+            if self.decided.insert(pair, label).is_none() {
+                self.stats.decided += 1;
+            }
+        }
+        decisions
+    }
+
+    /// The decided label for a pair, if any.
+    pub fn decision(&self, pair: u64) -> Option<bool> {
+        self.decided.get(&pair).copied()
+    }
+
+    /// All asked-but-unanswered asks across pending pairs, in canonical order
+    /// — what a re-entrant driver re-dispatches after losing its queue.
+    pub fn outstanding(&self) -> Vec<VoteAsk> {
+        self.pending
+            .iter()
+            .flat_map(|(&pair, pending)| {
+                pending.roster[..pending.asked]
+                    .iter()
+                    .filter(move |&&w| !self.matrix.has_vote(pair, w))
+                    .map(move |&worker| VoteAsk { pair, worker })
+            })
+            .collect()
+    }
+
+    /// Still-unanswered asks for one pair.
+    fn unanswered(&self, pair: u64) -> Vec<VoteAsk> {
+        let Some(pending) = self.pending.get(&pair) else { return Vec::new() };
+        pending.roster[..pending.asked]
+            .iter()
+            .filter(|&&w| !self.matrix.has_vote(pair, w))
+            .map(|&worker| VoteAsk { pair, worker })
+            .collect()
+    }
+
+    /// Running totals.
+    pub fn stats(&self) -> CrowdStats {
+        self.stats
+    }
+
+    /// The canonical vote matrix.
+    pub fn matrix(&self) -> &VoteMatrix {
+        &self.matrix
+    }
+
+    /// The most recent EM outcome, when EM aggregation has run.
+    pub fn last_em(&self) -> Option<&EmOutcome> {
+        self.last_em.as_ref()
+    }
+
+    /// The configured aggregation policy.
+    pub fn aggregation(&self) -> &Aggregation {
+        &self.aggregation
+    }
+
+    /// The assignment planner (roster introspection for tests and drivers).
+    pub fn planner(&self) -> &AssignmentPlanner {
+        &self.planner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{mix, WorkerModel};
+
+    fn drive(
+        plan: &mut CrowdPlan,
+        workers: &[WorkerModel],
+        truth: impl Fn(u64) -> bool,
+        pair: u64,
+    ) {
+        let mut asks = plan.submit(pair);
+        while let Some(ask) = asks.pop() {
+            let vote = workers[ask.worker.0 as usize].vote(ask.pair, truth(ask.pair));
+            asks.extend(plan.absorb(ask.pair, ask.worker, vote));
+        }
+    }
+
+    fn pool(n: usize, rate: f64, seed: u64) -> Vec<WorkerModel> {
+        (0..n).map(|w| WorkerModel::symmetric(rate, mix(seed, w as u64))).collect()
+    }
+
+    #[test]
+    fn fixed_redundancy_collects_exactly_r_votes() {
+        let workers = pool(7, 0.3, 1);
+        let mut plan = CrowdPlan::new(CrowdConfig {
+            pool_size: 7,
+            redundancy: Redundancy::Fixed(3),
+            aggregation: Aggregation::Majority,
+            seed: 5,
+        });
+        for pair in 0..100 {
+            drive(&mut plan, &workers, |p| p % 3 == 0, pair);
+        }
+        let completed = plan.take_completed();
+        assert_eq!(completed.len(), 100);
+        plan.decide(&completed);
+        assert_eq!(plan.stats().votes, 300);
+        assert_eq!(plan.stats().escalations, 0);
+        assert_eq!(plan.stats().decided, 100);
+    }
+
+    #[test]
+    fn adaptive_redundancy_escalates_only_on_disagreement() {
+        let workers = pool(9, 0.25, 2);
+        let mut plan = CrowdPlan::new(CrowdConfig {
+            pool_size: 9,
+            redundancy: Redundancy::Adaptive { min: 2, max: 5 },
+            aggregation: Aggregation::Majority,
+            seed: 6,
+        });
+        for pair in 0..200 {
+            drive(&mut plan, &workers, |p| p % 2 == 0, pair);
+        }
+        let completed = plan.take_completed();
+        assert_eq!(completed.len(), 200);
+        let stats = plan.stats();
+        assert!(stats.escalations > 0, "25% error must force some escalations");
+        assert!(stats.votes >= 400, "at least min votes per pair");
+        assert!(stats.votes <= 1000, "never beyond max votes per pair");
+        assert_eq!(stats.votes, 400 + stats.escalations, "every extra vote is an escalation");
+        // With zero noise nothing escalates.
+        let clean = pool(9, 0.0, 3);
+        let mut quiet = CrowdPlan::new(CrowdConfig {
+            pool_size: 9,
+            redundancy: Redundancy::Adaptive { min: 2, max: 5 },
+            aggregation: Aggregation::Majority,
+            seed: 6,
+        });
+        for pair in 0..200 {
+            drive(&mut quiet, &clean, |p| p % 2 == 0, pair);
+        }
+        assert_eq!(quiet.stats().escalations, 0);
+        assert_eq!(quiet.stats().disagreements, 0);
+        assert_eq!(quiet.stats().votes, 400);
+    }
+
+    #[test]
+    fn resubmitting_reemits_only_unanswered_asks() {
+        let mut plan = CrowdPlan::new(CrowdConfig {
+            pool_size: 5,
+            redundancy: Redundancy::Fixed(3),
+            aggregation: Aggregation::Majority,
+            seed: 9,
+        });
+        let first = plan.submit(42);
+        assert_eq!(first.len(), 3);
+        // Answer one vote, then "crash": resubmit and compare to outstanding.
+        assert!(plan.absorb(42, first[0].worker, true).is_empty());
+        let reissued = plan.submit(42);
+        assert_eq!(reissued, first[1..].to_vec());
+        assert_eq!(plan.outstanding(), reissued);
+        // Duplicate votes are idempotent.
+        assert!(plan.absorb(42, first[0].worker, false).is_empty());
+        assert_eq!(plan.stats().votes, 1);
+        // Completing the pair and deciding it makes resubmission a no-op.
+        plan.absorb(42, first[1].worker, true);
+        plan.absorb(42, first[2].worker, true);
+        let completed = plan.take_completed();
+        assert_eq!(completed, vec![42]);
+        assert_eq!(plan.decide(&completed), vec![(42, true)]);
+        assert!(plan.submit(42).is_empty());
+        assert_eq!(plan.decision(42), Some(true));
+    }
+
+    #[test]
+    fn votes_from_unasked_workers_are_rejected() {
+        let mut plan = CrowdPlan::new(CrowdConfig {
+            pool_size: 6,
+            redundancy: Redundancy::Fixed(2),
+            aggregation: Aggregation::Majority,
+            seed: 4,
+        });
+        let asks = plan.submit(7);
+        let unasked = (0..6).map(WorkerId).find(|w| !asks.iter().any(|a| a.worker == *w)).unwrap();
+        assert!(plan.absorb(7, unasked, true).is_empty());
+        assert_eq!(plan.stats().votes, 0, "vote from an unasked worker must not count");
+        assert!(plan.absorb(99, WorkerId(0), true).is_empty(), "unknown pair is ignored");
+    }
+}

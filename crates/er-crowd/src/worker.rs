@@ -1,0 +1,153 @@
+//! Per-worker reliability models with deterministic, replay-invariant votes.
+//!
+//! A [`WorkerModel`] is a simulated crowd worker with an *asymmetric* confusion
+//! matrix: the probability of flipping a true match to "unmatch" and the
+//! probability of flipping a true non-match to "match" are configured
+//! separately, because real annotators miss matches (conservative skimming)
+//! far more often than they invent them. Whether a given worker flips a given
+//! pair is a pure function of `(worker seed, pair id)` — the same SplitMix64
+//! finalizer the single-oracle `NoisyOracle` has always used — so votes do not
+//! depend on the order, batching or replay count of the queries. That is the
+//! invariant every crash-safe driver in this workspace relies on: re-asking a
+//! worker after a resume reproduces the identical vote.
+
+/// Identifies one worker inside a crowd pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkerId(pub u32);
+
+impl std::fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// A simulated crowd worker: an asymmetric confusion matrix over binary labels
+/// plus a private seed making every vote a pure function of the pair id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerModel {
+    flip_match: f64,
+    flip_unmatch: f64,
+    seed: u64,
+}
+
+impl WorkerModel {
+    /// Creates a worker flipping true matches with probability `flip_match`
+    /// and true non-matches with probability `flip_unmatch`.
+    ///
+    /// # Panics
+    /// Panics if either flip rate is outside `[0, 1]`.
+    pub fn new(flip_match: f64, flip_unmatch: f64, seed: u64) -> Self {
+        for rate in [flip_match, flip_unmatch] {
+            assert!((0.0..=1.0).contains(&rate), "flip rate must be in [0,1], got {rate}");
+        }
+        Self { flip_match, flip_unmatch, seed }
+    }
+
+    /// A symmetric worker: both flip rates equal `error_rate`. A pool of one
+    /// symmetric worker reproduces the classic `NoisyOracle` byte-for-byte.
+    ///
+    /// # Panics
+    /// Panics if `error_rate` is outside `[0, 1]`.
+    pub fn symmetric(error_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0,1], got {error_rate}");
+        Self { flip_match: error_rate, flip_unmatch: error_rate, seed }
+    }
+
+    /// Probability of voting "unmatch" on a true match.
+    pub fn flip_match(&self) -> f64 {
+        self.flip_match
+    }
+
+    /// Probability of voting "match" on a true non-match.
+    pub fn flip_unmatch(&self) -> f64 {
+        self.flip_unmatch
+    }
+
+    /// The worker's private seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether this worker flips the given pair: a pure function of
+    /// `(seed, pair)` and the truth-dependent flip rate. A symmetric worker
+    /// makes the identical decision the classic `NoisyOracle` makes for the
+    /// same `(seed, pair)`.
+    pub fn flips(&self, pair: u64, truth_is_match: bool) -> bool {
+        let rate = if truth_is_match { self.flip_match } else { self.flip_unmatch };
+        unit_draw(self.seed, pair) < rate
+    }
+
+    /// The worker's vote on a pair whose ground truth is `truth_is_match`.
+    pub fn vote(&self, pair: u64, truth_is_match: bool) -> bool {
+        truth_is_match != self.flips(pair, truth_is_match)
+    }
+}
+
+/// A uniform draw in `[0, 1)` derived from `(seed, pair)` alone — the
+/// SplitMix64 finalizer over the mixed key, bit-for-bit the function
+/// `NoisyOracle` has always used for its flip decisions.
+pub fn unit_draw(seed: u64, pair: u64) -> f64 {
+    let mut z = seed ^ pair.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Derives an independent sub-seed from `(seed, lane)`: the same finalizer on
+/// an integer key. Used to give pool workers distinct private seeds and the
+/// assignment planner distinct shuffle steps from one configured seed.
+pub fn mix(seed: u64, lane: u64) -> u64 {
+    let mut z = seed ^ lane.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_worker_flip_is_truth_independent() {
+        let w = WorkerModel::symmetric(0.3, 17);
+        for pair in 0..500 {
+            assert_eq!(w.flips(pair, true), w.flips(pair, false));
+            assert_eq!(w.vote(pair, true), !w.flips(pair, true));
+            assert_eq!(w.vote(pair, false), w.flips(pair, false));
+        }
+    }
+
+    #[test]
+    fn asymmetric_rates_bias_the_flip_direction() {
+        let w = WorkerModel::new(0.4, 0.05, 9);
+        let n = 4_000u64;
+        let match_flips = (0..n).filter(|&p| w.flips(p, true)).count() as f64 / n as f64;
+        let unmatch_flips = (0..n).filter(|&p| w.flips(p, false)).count() as f64 / n as f64;
+        assert!((match_flips - 0.4).abs() < 0.03, "match flip rate {match_flips}");
+        assert!((unmatch_flips - 0.05).abs() < 0.02, "unmatch flip rate {unmatch_flips}");
+    }
+
+    #[test]
+    fn zero_noise_worker_always_votes_truth() {
+        let w = WorkerModel::symmetric(0.0, 3);
+        for pair in 0..200 {
+            assert!(w.vote(pair, true));
+            assert!(!w.vote(pair, false));
+        }
+    }
+
+    #[test]
+    fn mix_produces_distinct_lanes() {
+        let seeds: std::collections::BTreeSet<u64> = (0..64).map(|w| mix(42, w)).collect();
+        assert_eq!(seeds.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "flip rate")]
+    fn rejects_invalid_rates() {
+        let _ = WorkerModel::new(1.2, 0.1, 0);
+    }
+}

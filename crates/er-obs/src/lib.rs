@@ -22,6 +22,13 @@
 //! crate previously owned; it moved here so trace emission and trace
 //! validation share one implementation.
 //!
+//! Event names form a fixed, documented schema (README "Observability"
+//! section), one dotted family per subsystem: `ingest.*`, `blocking.*`,
+//! `spill.*`, `session.*`, `gp.*` — and, since the crowd-labeling subsystem,
+//! `crowd.*` (votes, disagreements, escalations, aggregated labels, EM
+//! runs/iterations as counters; `crowd.reliability_abs_error` as a gauge
+//! reporting estimated-vs-true worker error after each EM pass).
+//!
 //! # Quick start
 //!
 //! ```

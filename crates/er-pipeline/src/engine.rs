@@ -8,7 +8,11 @@
 //! then re-optimizes the HUMO partition — warm-started from the previous
 //! epoch's samples when enabled — resolves pair labels through the oracle, and
 //! clusters match-labeled pairs into entities via union-find transitive
-//! closure.
+//! closure. Any [`Oracle`] drives the resolve step, including a redundantly
+//! voted crowd ([`humo::CrowdOracle`]); with `Redundancy::Fixed(1)` and
+//! zero-noise workers the crowd path is byte-identical to
+//! [`GroundTruthOracle`](humo::GroundTruthOracle) (pinned by the
+//! `crowd_oracle_fixed1_zero_noise_resolves_identically` test).
 //!
 //! **Equivalence guarantee:** with warm-starting disabled and a
 //! dataset-independent attribute weighting (such as
@@ -986,6 +990,38 @@ mod tests {
         assert!(report.cluster_metrics.recall() > 0.5);
         // The pair-level metrics ride along unchanged.
         assert!(report.outcome.metrics.f1() > 0.5);
+    }
+
+    #[test]
+    fn crowd_oracle_fixed1_zero_noise_resolves_identically() {
+        use humo::{symmetric_pool, Aggregation, CrowdOracle, Redundancy};
+        let corpus = corpus(120, 23);
+        let schema = BibliographicGenerator::schema();
+        let truth: Vec<(RecordId, RecordId)> = corpus.ground_truth.iter().copied().collect();
+
+        let run = |oracle: &mut dyn Oracle| {
+            let mut engine =
+                ResolutionEngine::new(config(25, false), schema.clone(), schema.clone()).unwrap();
+            engine
+                .ingest(corpus.left.records().to_vec(), corpus.right.records().to_vec(), &truth)
+                .unwrap();
+            engine.resolve(oracle).unwrap()
+        };
+        let mut ground_truth = GroundTruthOracle::new();
+        let truth_report = run(&mut ground_truth);
+        let mut crowd = CrowdOracle::new(
+            symmetric_pool(5, 0.0, 41),
+            Redundancy::Fixed(1),
+            Aggregation::Majority,
+            7,
+        );
+        let crowd_report = run(&mut crowd);
+
+        assert_eq!(crowd_report.outcome.assignment, truth_report.outcome.assignment);
+        assert_eq!(crowd_report.entities, truth_report.entities);
+        assert_eq!(crowd_report.oracle_queries, truth_report.oracle_queries);
+        assert_eq!(crowd.labels_issued(), ground_truth.labels_issued());
+        assert_eq!(crowd.votes_cast(), crowd.labels_issued() as u64, "Fixed(1) = one vote/label");
     }
 
     #[test]

@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod crowd;
 pub mod error;
 pub mod hybrid;
 pub mod optimizer;
@@ -89,6 +90,10 @@ pub mod solution;
 pub mod wal;
 
 pub use baseline::{BaselineConfig, BaselineOptimizer, InitialBoundary};
+pub use crowd::{
+    symmetric_pool, Aggregation, CrowdOracle, CrowdSession, CrowdStats, EmConfig, Redundancy,
+    VoteRequest, WorkerId, WorkerModel, WorkerVote,
+};
 pub use error::HumoError;
 pub use hybrid::{HybridConfig, HybridOptimizer};
 pub use optimizer::{Optimizer, OptimizerKind};

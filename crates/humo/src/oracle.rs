@@ -29,6 +29,7 @@
 //!   — a requirement for batched/parallel dispatch, where arrival order is
 //!   nondeterministic.
 
+use crate::crowd::WorkerModel;
 use er_core::workload::{InstancePair, Label, PairId};
 use std::collections::BTreeMap;
 
@@ -84,17 +85,18 @@ impl Oracle for GroundTruthOracle {
 /// An imperfect human: flips the ground-truth label with probability
 /// `error_rate`.
 ///
+/// Since the `er-crowd` refactor this is a thin wrapper over a single
+/// symmetric [`WorkerModel`] — a crowd of one.
 /// Whether a pair's label is flipped is a pure function of the oracle's seed
 /// and the pair's id, so the same pair always gets the same answer *and* the
 /// answers are independent of query order: labeling pairs one by one, in
-/// permuted order, or in parallel batches yields identical labels. (The
-/// previous implementation advanced a shared RNG per new pair, which made
-/// labels depend on the order in which pairs were first asked — incompatible
-/// with batched dispatch.)
+/// permuted order, or in parallel batches yields identical labels. The flip
+/// decision is bit-for-bit the SplitMix64 draw this oracle has always used
+/// (pinned by the `flip_decisions_are_pinned_to_the_splitmix64_draw`
+/// regression test), so existing seeds keep producing the same noise.
 #[derive(Debug, Clone)]
 pub struct NoisyOracle {
-    error_rate: f64,
-    seed: u64,
+    worker: WorkerModel,
     labeled: BTreeMap<PairId, Label>,
 }
 
@@ -104,41 +106,20 @@ impl NoisyOracle {
     /// # Panics
     /// Panics if `error_rate` is not in `[0, 1]`.
     pub fn new(error_rate: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&error_rate), "error rate must be in [0,1], got {error_rate}");
-        Self { error_rate, seed, labeled: BTreeMap::new() }
+        Self { worker: WorkerModel::symmetric(error_rate, seed), labeled: BTreeMap::new() }
     }
 
     /// The configured error rate.
     pub fn error_rate(&self) -> f64 {
-        self.error_rate
-    }
-
-    /// A uniform draw in `[0, 1)` derived from `(seed, pair id)` alone
-    /// (SplitMix64 finalizer over the mixed key).
-    fn unit_draw(seed: u64, pair: PairId) -> f64 {
-        let mut z = seed ^ pair.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        self.worker.flip_match()
     }
 }
 
 impl Oracle for NoisyOracle {
     fn label(&mut self, pair: &InstancePair) -> Label {
-        let error_rate = self.error_rate;
-        let seed = self.seed;
+        let worker = self.worker;
         *self.labeled.entry(pair.id()).or_insert_with(|| {
-            let truth = pair.ground_truth();
-            if Self::unit_draw(seed, pair.id()) < error_rate {
-                match truth {
-                    Label::Match => Label::Unmatch,
-                    Label::Unmatch => Label::Match,
-                }
-            } else {
-                truth
-            }
+            Label::from_bool(worker.vote(pair.id().0, pair.ground_truth() == Label::Match))
         })
     }
 
@@ -254,5 +235,55 @@ mod tests {
     #[should_panic(expected = "error rate")]
     fn noisy_oracle_rejects_invalid_error_rate() {
         let _ = NoisyOracle::new(1.5, 1);
+    }
+
+    /// The historical flip function, verbatim: the SplitMix64 finalizer over
+    /// `seed ^ (pair * golden_gamma)`. `NoisyOracle` now delegates to
+    /// `er_crowd::WorkerModel`, and this test pins that the delegation is
+    /// byte-identical — same seeds, same flips — across batch permutations.
+    #[test]
+    fn flip_decisions_are_pinned_to_the_splitmix64_draw() {
+        fn legacy_unit_draw(seed: u64, pair: PairId) -> f64 {
+            let mut z = seed ^ pair.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+        let legacy_label = |error_rate: f64, seed: u64, p: &InstancePair| {
+            if legacy_unit_draw(seed, p.id()) < error_rate {
+                match p.ground_truth() {
+                    Label::Match => Label::Unmatch,
+                    Label::Unmatch => Label::Match,
+                }
+            } else {
+                p.ground_truth()
+            }
+        };
+        let pairs: Vec<InstancePair> =
+            (0..2_000u64).map(|i| pair(i.wrapping_mul(0x51_7C_C1), 0.5, i % 3 == 0)).collect();
+        for (error_rate, seed) in [(0.2, 5u64), (0.3, 17), (0.01, 0), (0.5, u64::MAX)] {
+            let expected: Vec<Label> =
+                pairs.iter().map(|p| legacy_label(error_rate, seed, p)).collect();
+            // One at a time, forward.
+            let mut oracle = NoisyOracle::new(error_rate, seed);
+            let forward: Vec<Label> = pairs.iter().map(|p| oracle.label(p)).collect();
+            assert_eq!(forward, expected);
+            // Reverse order, then read back forward.
+            let mut oracle = NoisyOracle::new(error_rate, seed);
+            for p in pairs.iter().rev() {
+                oracle.label(p);
+            }
+            let reversed: Vec<Label> = pairs.iter().map(|p| oracle.label(p)).collect();
+            assert_eq!(reversed, expected);
+            // Two interleaved batches.
+            let mut oracle = NoisyOracle::new(error_rate, seed);
+            let (evens, odds): (Vec<_>, Vec<_>) = pairs.iter().partition(|p| p.id().0 % 2 == 0);
+            oracle.label_batch(&odds);
+            oracle.label_batch(&evens);
+            let batched: Vec<Label> = pairs.iter().map(|p| oracle.label(p)).collect();
+            assert_eq!(batched, expected);
+        }
     }
 }
